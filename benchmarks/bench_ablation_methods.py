@@ -1,0 +1,124 @@
+"""Ablation benchmark: the design choices called out in DESIGN.md.
+
+1. *Two routes per tractable case* — the paper's lineage/automaton
+   constructions versus the direct dynamic programs, on identical workloads.
+2. *State capping in the path automaton* — the number of automaton states
+   actually instantiated with and without the cap at the query length.
+3. *Arc consistency versus plain backtracking* for homomorphism tests into
+   two-way paths (the Theorem 4.13 ingredient of Proposition 4.11).
+4. *World-enumeration pruning* — brute force with and without skipping
+   zero-probability worlds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.automata.binary_tree import encode_polytree
+from repro.automata.path_automaton import build_longest_path_automaton
+from repro.core.labeled_dwt import phom_labeled_path_on_dwt
+from repro.core.unlabeled_pt import phom_unlabeled_path_on_polytree
+from repro.csp.xproperty import x_property_has_homomorphism
+from repro.graphs.classes import two_way_path_order
+from repro.graphs.generators import (
+    random_connected_graph,
+    random_downward_tree,
+    random_one_way_path,
+    random_polytree,
+    random_two_way_path,
+)
+from repro.graphs.homomorphism import has_homomorphism
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+from conftest import bench_rng
+
+
+# ----------------------------------------------------------------------
+# 1. lineage / automaton route vs direct dynamic program
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", ["dp", "lineage"])
+def test_ablation_prop410_method(benchmark, method):
+    rng = bench_rng(1000)
+    instance = attach_random_probabilities(random_downward_tree(100, ("R", "S"), rng), rng)
+    query = random_one_way_path(4, ("R", "S"), rng, prefix="q")
+    probability = benchmark(phom_labeled_path_on_dwt, query, instance, method)
+    assert 0 <= probability <= 1
+
+
+@pytest.mark.parametrize("method", ["dp", "automaton"])
+def test_ablation_prop54_method(benchmark, method):
+    instance = attach_random_probabilities(
+        random_polytree(80, ("_",), bench_rng(1001)), bench_rng(1001)
+    )
+    probability = benchmark(phom_unlabeled_path_on_polytree, 4, instance, method)
+    assert 0 <= probability <= 1
+
+
+# ----------------------------------------------------------------------
+# 2. automaton state capping
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cap", [4, 30])
+def test_ablation_state_capping(benchmark, cap):
+    """Reachable-state count with the natural cap (query length) vs an oversized cap.
+
+    The oversized cap simulates "no capping": states then track path lengths
+    far beyond the query length and the reachable state space grows with the
+    instance rather than with the query.
+    """
+    rng = bench_rng(1002)
+    instance = attach_random_probabilities(random_polytree(30, ("_",), rng), rng)
+    tree = encode_polytree(instance)
+    automaton = build_longest_path_automaton(cap)
+
+    def count_states():
+        return len(automaton.reachable_states(tree))
+
+    states = benchmark(count_states)
+    assert states <= (cap + 1) ** 3
+
+
+# ----------------------------------------------------------------------
+# 3. arc consistency (X-property algorithm) vs generic backtracking
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["x-property", "backtracking"])
+def test_ablation_homomorphism_check_on_paths(benchmark, algorithm):
+    rng = bench_rng(1003)
+    target = random_two_way_path(40, ("R", "S"), rng)
+    order = two_way_path_order(target)
+    queries = [random_connected_graph(4, 0.3, ("R", "S"), rng, prefix=f"q{i}") for i in range(10)]
+
+    def run():
+        if algorithm == "x-property":
+            return [x_property_has_homomorphism(q, target, order) for q in queries]
+        return [has_homomorphism(q, target) for q in queries]
+
+    answers = benchmark(run)
+    assert len(answers) == 10
+
+
+# ----------------------------------------------------------------------
+# 4. possible-world pruning in the brute-force oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("skip_zero", [True, False])
+def test_ablation_world_enumeration_pruning(benchmark, skip_zero):
+    rng = bench_rng(1004)
+    graph = random_downward_tree(12, ("R", "S"), rng)
+    instance = attach_random_probabilities(graph, rng, certain_fraction=0.6)
+
+    def enumerate_worlds():
+        total = Fraction(0)
+        count = 0
+        for world in instance.possible_worlds(skip_zero_probability=skip_zero):
+            total += world.probability
+            count += 1
+        return total, count
+
+    total, count = benchmark(enumerate_worlds)
+    assert total == 1
+    if skip_zero:
+        assert count == instance.num_nonzero_worlds()
+    else:
+        assert count == instance.num_possible_worlds()

@@ -1,0 +1,70 @@
+"""Experiment E1 — Figure 1 / Examples 2.1 and 2.2.
+
+The paper's worked example: on the probabilistic graph of Figure 1, the query
+``-R-> -S-> <-S-`` (∃xyzt R(x,y) ∧ S(y,z) ∧ S(t,z)) has probability
+``0.7 · (1 − (1 − 0.1)(1 − 0.8)) = 0.574``.  The benchmark times the two
+brute-force oracles and the dispatcher on this instance and asserts the
+paper's value exactly.
+"""
+
+from __future__ import annotations
+
+import warnings
+from fractions import Fraction
+
+from repro.core.solver import PHomSolver
+from repro.exceptions import IntractableFallbackWarning
+from repro.graphs.builders import two_way_path
+from repro.graphs.digraph import DiGraph
+from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
+from repro.probability.prob_graph import ProbabilisticGraph
+
+PAPER_VALUE = Fraction(574, 1000)
+
+
+def figure1_instance() -> ProbabilisticGraph:
+    graph = DiGraph()
+    graph.add_edge("a", "b", "R")
+    graph.add_edge("d", "b", "R")
+    graph.add_edge("b", "c", "S")
+    graph.add_edge("a", "d", "R")
+    graph.add_edge("e", "c", "S")
+    return ProbabilisticGraph(
+        graph,
+        {
+            ("a", "b"): "0.1",
+            ("d", "b"): "0.8",
+            ("b", "c"): "0.7",
+            ("a", "d"): 1,
+            ("e", "c"): "0.05",
+        },
+    )
+
+
+def example22_query() -> DiGraph:
+    return two_way_path([("R", "forward"), ("S", "forward"), ("S", "backward")], prefix="q")
+
+
+def test_example22_brute_force_worlds(benchmark):
+    instance, query = figure1_instance(), example22_query()
+    probability = benchmark(brute_force_phom, query, instance)
+    assert probability == PAPER_VALUE
+
+
+def test_example22_brute_force_matches(benchmark):
+    instance, query = figure1_instance(), example22_query()
+    probability = benchmark(brute_force_phom_over_matches, query, instance)
+    assert probability == PAPER_VALUE
+
+
+def test_example22_dispatcher(benchmark):
+    instance, query = figure1_instance(), example22_query()
+    solver = PHomSolver()
+
+    def run():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", IntractableFallbackWarning)
+            return solver.probability(query, instance)
+
+    probability = benchmark(run)
+    assert probability == PAPER_VALUE

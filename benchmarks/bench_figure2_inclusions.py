@@ -1,0 +1,58 @@
+"""Experiment E5 — Figure 2: the inclusion lattice of graph classes.
+
+Checks (and times) that the implemented membership tests respect every
+inclusion of Figure 2 on randomly generated members of each class: whenever
+``C ⊆ C'`` and a graph is generated in ``C``, it is recognised as a member of
+``C'`` as well.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.classes import GraphClass, class_includes, classify_graph
+from repro.workloads import make_query
+
+from conftest import bench_rng
+
+GENERATED_CLASSES = [
+    GraphClass.ONE_WAY_PATH,
+    GraphClass.TWO_WAY_PATH,
+    GraphClass.DOWNWARD_TREE,
+    GraphClass.POLYTREE,
+    GraphClass.UNION_ONE_WAY_PATH,
+    GraphClass.UNION_TWO_WAY_PATH,
+    GraphClass.UNION_DOWNWARD_TREE,
+    GraphClass.UNION_POLYTREE,
+    GraphClass.CONNECTED,
+    GraphClass.ALL,
+]
+
+
+def _verify_lattice(sample_count: int = 5, size: int = 12) -> int:
+    rng = bench_rng(5)
+    checks = 0
+    for cls in GENERATED_CLASSES:
+        for _ in range(sample_count):
+            graph = make_query(cls, labeled=True, size=size, rng=rng)
+            member_of = classify_graph(graph)
+            assert cls in member_of
+            for larger in GraphClass:
+                if class_includes(cls, larger):
+                    assert larger in member_of
+                    checks += 1
+    return checks
+
+
+def test_figure2_inclusion_lattice(benchmark):
+    checks = benchmark(_verify_lattice)
+    assert checks > 0
+
+
+def test_figure2_classification_of_large_graphs(benchmark):
+    rng = bench_rng(6)
+    graphs = [make_query(cls, labeled=True, size=40, rng=rng) for cls in GENERATED_CLASSES]
+
+    def classify_all():
+        return [classify_graph(graph) for graph in graphs]
+
+    results = benchmark(classify_all)
+    assert len(results) == len(graphs)

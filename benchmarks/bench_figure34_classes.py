@@ -1,0 +1,90 @@
+"""Experiment E6 — Figures 3 and 4: example members of the graph classes.
+
+Figure 3 shows a labeled one-way path and a labeled two-way path over
+``{R, S, T}``; Figure 4 shows an unlabeled downward tree and polytree.  The
+benchmark reconstructs the four example graphs, checks that the recognisers
+classify them exactly as the paper does, and times class recognition on
+larger randomly generated members.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.builders import downward_tree, one_way_path, polytree_from_parents, two_way_path
+from repro.graphs.builders import BACKWARD, FORWARD
+from repro.graphs.classes import (
+    GraphClass,
+    graph_class_of,
+    is_downward_tree,
+    is_one_way_path,
+    is_polytree,
+    is_two_way_path,
+)
+from repro.graphs.generators import random_downward_tree, random_polytree, random_two_way_path
+
+from conftest import bench_rng
+
+
+def figure3_examples():
+    """The 1WP (top) and 2WP (bottom) of Figure 3 over σ = {R, S, T}."""
+    owp = one_way_path(["R", "S", "S", "T"])
+    twp = two_way_path(
+        [("R", FORWARD), ("S", BACKWARD), ("S", FORWARD), ("T", BACKWARD), ("R", FORWARD)]
+    )
+    return owp, twp
+
+
+def figure4_examples():
+    """The unlabeled DWT (left) and PT (right) of Figure 4."""
+    dwt = downward_tree({"b": "a", "c": "a", "d": "b", "e": "b", "f": "c"})
+    pt = polytree_from_parents(
+        {
+            "b": ("a", "_", FORWARD),
+            "c": ("a", "_", BACKWARD),
+            "d": ("b", "_", FORWARD),
+            "e": ("b", "_", BACKWARD),
+        }
+    )
+    return dwt, pt
+
+
+def test_figure3_and_figure4_classification(benchmark):
+    def classify_examples():
+        owp, twp = figure3_examples()
+        dwt, pt = figure4_examples()
+        return (
+            graph_class_of(owp),
+            graph_class_of(twp),
+            graph_class_of(dwt),
+            graph_class_of(pt),
+        )
+
+    classes = benchmark(classify_examples)
+    assert classes == (
+        GraphClass.ONE_WAY_PATH,
+        GraphClass.TWO_WAY_PATH,
+        GraphClass.DOWNWARD_TREE,
+        GraphClass.POLYTREE,
+    )
+    owp, twp = figure3_examples()
+    dwt, pt = figure4_examples()
+    assert is_one_way_path(owp) and is_two_way_path(twp)
+    assert not is_one_way_path(twp)
+    assert is_downward_tree(dwt) and is_polytree(pt) and not is_downward_tree(pt)
+
+
+def test_recognisers_scale_to_large_graphs(benchmark):
+    rng = bench_rng(34)
+    graphs = [
+        random_two_way_path(200, rng=rng),
+        random_downward_tree(200, rng=rng),
+        random_polytree(200, rng=rng),
+    ]
+
+    def recognise_all():
+        return [
+            is_two_way_path(graphs[0]),
+            is_downward_tree(graphs[1]),
+            is_polytree(graphs[2]),
+        ]
+
+    assert benchmark(recognise_all) == [True, True, True]

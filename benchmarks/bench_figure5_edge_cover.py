@@ -1,0 +1,44 @@
+"""Experiment E7 — Figure 5 / Proposition 3.3: the #Bipartite-Edge-Cover reduction.
+
+Builds the labeled ⊔1WP-query / 1WP-instance reduction for the bipartite
+graph of Figure 5 and for random bipartite graphs, checks the counting
+identity ``#edge-covers = Pr(G ⇝ H) · 2^m`` against a direct counter, and
+times both sides (both are exponential, as #P-hardness predicts).
+"""
+
+from __future__ import annotations
+
+from repro.probability.brute_force import brute_force_phom
+from repro.reductions.bipartite import BipartiteGraph, count_edge_covers, random_bipartite_graph
+from repro.reductions.edge_cover import edge_covers_via_phom, prop33_reduction
+
+from conftest import bench_rng
+
+#: The bipartite graph of Figure 5: x1-y1, x1-y2, x2-y2, x2-y3.
+FIGURE5_GRAPH = BipartiteGraph(2, 3, ((1, 1), (1, 2), (2, 2), (2, 3)))
+
+
+def test_figure5_direct_edge_cover_count(benchmark):
+    count = benchmark(count_edge_covers, FIGURE5_GRAPH)
+    assert count == 3
+
+
+def test_figure5_reduction_construction(benchmark):
+    query, instance = benchmark(prop33_reduction, FIGURE5_GRAPH)
+    assert instance.graph.num_edges() == 23
+    assert len(query.weakly_connected_components()) == 5
+
+
+def test_figure5_count_via_phom(benchmark):
+    count = benchmark(edge_covers_via_phom, FIGURE5_GRAPH)
+    assert count == count_edge_covers(FIGURE5_GRAPH)
+
+
+def test_random_bipartite_identity(benchmark):
+    graph = random_bipartite_graph(2, 2, 0.6, bench_rng(7))
+
+    def both_sides():
+        return edge_covers_via_phom(graph), count_edge_covers(graph)
+
+    via_phom, direct = benchmark(both_sides)
+    assert via_phom == direct

@@ -1,0 +1,65 @@
+"""Experiment E9 — Figure 6 / Proposition 3.6: graded DAGs and the query collapse.
+
+Arbitrary unlabeled queries on (unions of) downward-tree instances are solved
+by computing a level mapping of the query (Definition 3.5, illustrated in
+Figure 6) and collapsing the query to a one-way path.  The benchmark times
+the collapse on large graded DAG queries and the end-to-end solver on large
+⊔DWT instances, and checks the zero-probability shortcut for non-graded
+queries.
+"""
+
+from __future__ import annotations
+
+from repro.core.disconnected import phom_unlabeled_on_union_dwt
+from repro.graphs.builders import disjoint_union
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_downward_tree, random_graded_dag, random_unlabeled_query_dag
+from repro.graphs.grading import difference_of_levels, is_graded, level_mapping
+from repro.workloads import attach_random_probabilities
+
+from conftest import bench_rng
+
+
+def test_level_mapping_of_large_graded_dag(benchmark):
+    query = random_graded_dag(8, 6, 0.4, rng=bench_rng(9))
+    mapping = benchmark(level_mapping, query)
+    assert mapping is not None
+    assert mapping.difference == 7
+
+
+def test_gradedness_check_rejects_cyclic_queries(benchmark):
+    cyclic = DiGraph(edges=[(f"v{i}", f"v{(i + 1) % 20}") for i in range(20)])
+    assert benchmark(is_graded, cyclic) is False
+
+
+def test_prop36_end_to_end_on_union_dwt(benchmark):
+    rng = bench_rng(36)
+    components = [random_downward_tree(25, ("_",), rng) for _ in range(3)]
+    instance = attach_random_probabilities(disjoint_union(components), rng)
+    query = random_graded_dag(3, 4, 0.5, rng=rng)
+    assert is_graded(query)
+    probability = benchmark(phom_unlabeled_on_union_dwt, query, instance)
+    assert 0 <= probability <= 1
+
+
+def test_prop36_zero_shortcut_for_non_graded_queries(benchmark):
+    rng = bench_rng(37)
+    instance = attach_random_probabilities(random_downward_tree(40, ("_",), rng), rng)
+    # A query with a jumping edge (two directed paths of different lengths).
+    query = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+    probability = benchmark(phom_unlabeled_on_union_dwt, query, instance)
+    assert probability == 0
+
+
+def test_collapse_length_of_random_dag_queries(benchmark):
+    rng = bench_rng(38)
+    queries = [random_unlabeled_query_dag(12, 0.2, rng) for _ in range(10)]
+
+    def collapse_all():
+        lengths = []
+        for query in queries:
+            lengths.append(difference_of_levels(query) if is_graded(query) else None)
+        return lengths
+
+    lengths = benchmark(collapse_all)
+    assert len(lengths) == 10

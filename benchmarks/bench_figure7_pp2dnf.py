@@ -1,0 +1,59 @@
+"""Experiment E10 — Figure 7 / Proposition 4.1: the #PP2DNF reduction (labeled).
+
+Builds the labeled 1WP-query / polytree-instance reduction for the formula of
+Figure 7 (X1Y2 ∨ X1Y1 ∨ X2Y2) and for random PP2DNF formulas, verifies the
+counting identity ``#SAT = Pr(G ⇝ H) · 2^{n1+n2}``, and times both the
+construction (polynomial) and the counting (exponential, as expected for a
+#P-hard cell).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.classes import is_one_way_path, is_polytree
+from repro.reductions.pp2dnf import (
+    PP2DNF,
+    count_satisfying_valuations,
+    prop41_reduction,
+    random_pp2dnf,
+    satisfying_valuations_via_phom,
+)
+
+from conftest import bench_rng
+
+#: The PP2DNF formula of Figure 7: X1Y2 ∨ X1Y1 ∨ X2Y2.
+FIGURE7_FORMULA = PP2DNF(2, 2, ((1, 2), (1, 1), (2, 2)))
+
+
+def test_figure7_direct_count(benchmark):
+    count = benchmark(count_satisfying_valuations, FIGURE7_FORMULA)
+    assert count == 8
+
+
+def test_figure7_reduction_construction(benchmark):
+    query, instance = benchmark(prop41_reduction, FIGURE7_FORMULA)
+    assert is_one_way_path(query)
+    assert is_polytree(instance.graph)
+    assert query.num_edges() == 8
+    assert instance.graph.num_vertices() == 23
+
+
+def test_figure7_count_via_phom(benchmark):
+    count = benchmark(satisfying_valuations_via_phom, FIGURE7_FORMULA)
+    assert count == 8
+
+
+def test_random_pp2dnf_identity(benchmark):
+    formula = random_pp2dnf(2, 2, 3, bench_rng(41))
+
+    def both_sides():
+        return satisfying_valuations_via_phom(formula), count_satisfying_valuations(formula)
+
+    via_phom, direct = benchmark(both_sides)
+    assert via_phom == direct
+
+
+def test_reduction_construction_scales_polynomially(benchmark):
+    formula = random_pp2dnf(8, 8, 20, bench_rng(42))
+    query, instance = benchmark(prop41_reduction, formula)
+    assert is_polytree(instance.graph)
+    assert query.num_edges() == formula.num_clauses + 5

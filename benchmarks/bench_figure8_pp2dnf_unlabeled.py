@@ -1,0 +1,47 @@
+"""Experiment E15 — Figure 8 / Proposition 5.6: the unlabeled #PP2DNF reduction.
+
+The labeled reduction of Proposition 4.1 is made unlabeled by replacing
+``S`` edges with the orientation pattern ``→→←`` and ``T`` edges with
+``→→→``; the query becomes the two-way path of Figure 8 and the instance
+stays a polytree.  The benchmark verifies the counting identity on a tiny
+formula, the Figure 8 shapes on the paper's example formula, and times the
+(polynomial) construction on larger formulas.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.classes import is_polytree, is_two_way_path
+from repro.reductions.pp2dnf import (
+    PP2DNF,
+    count_satisfying_valuations,
+    prop56_reduction,
+    random_pp2dnf,
+    satisfying_valuations_via_phom,
+)
+
+from conftest import bench_rng
+
+FIGURE8_FORMULA = PP2DNF(2, 2, ((1, 2), (1, 1), (2, 2)))
+TINY_FORMULA = PP2DNF(1, 1, ((1, 1),))
+
+
+def test_figure8_reduction_construction(benchmark):
+    query, instance = benchmark(prop56_reduction, FIGURE8_FORMULA)
+    assert is_two_way_path(query)
+    assert is_polytree(instance.graph)
+    assert query.is_unlabeled() and instance.graph.is_unlabeled()
+    # Query of Figure 8: →→→ (→→←)^{m+3} →→→ with m = 3 clauses.
+    assert query.num_edges() == 24
+    assert len(instance.uncertain_edges()) == FIGURE8_FORMULA.num_variables
+
+
+def test_figure8_count_via_phom_on_tiny_formula(benchmark):
+    count = benchmark(satisfying_valuations_via_phom, TINY_FORMULA, None, True)
+    assert count == count_satisfying_valuations(TINY_FORMULA) == 1
+
+
+def test_figure8_construction_scales_polynomially(benchmark):
+    formula = random_pp2dnf(6, 6, 12, bench_rng(56))
+    query, instance = benchmark(prop56_reduction, formula)
+    assert is_polytree(instance.graph)
+    assert query.num_edges() == 3 * (formula.num_clauses + 3) + 6

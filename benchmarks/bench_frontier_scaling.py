@@ -1,0 +1,64 @@
+"""Experiment E17 — the tractability frontier, empirically.
+
+On the PTIME side of the frontier the solvers scale polynomially with the
+instance size; on the #P-hard side the only available algorithm is
+possible-world enumeration, which blows up exponentially in the number of
+uncertain edges.  This benchmark measures both sides so the contrast shows
+up directly in the timing report:
+
+* ``ptime_side``: the Prop 4.10 / Prop 5.4 solvers on instances with 60-240
+  edges (seconds stay in the same order of magnitude);
+* ``hard_side``: brute force on the Prop 4.1 cell (labeled 1WP on PT) with
+  6 / 8 / 10 uncertain edges (each step multiplies the work by ~4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeled_dwt import phom_labeled_path_on_dwt
+from repro.core.unlabeled_pt import phom_unlabeled_path_on_polytree
+from repro.graphs.generators import random_downward_tree, random_one_way_path, random_polytree
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.reductions.pp2dnf import prop41_reduction, random_pp2dnf
+from repro.workloads import attach_random_probabilities
+
+from conftest import bench_rng
+
+
+@pytest.mark.parametrize("instance_size", [60, 120, 240])
+def test_ptime_side_prop410(benchmark, instance_size):
+    rng = bench_rng(170)
+    instance = attach_random_probabilities(
+        random_downward_tree(instance_size, ("R", "S"), rng), rng
+    )
+    query = random_one_way_path(5, ("R", "S"), rng, prefix="q")
+    probability = benchmark(phom_labeled_path_on_dwt, query, instance, "dp")
+    assert 0 <= probability <= 1
+
+
+@pytest.mark.parametrize("instance_size", [60, 120, 240])
+def test_ptime_side_prop54(benchmark, instance_size):
+    rng = bench_rng(171)
+    instance = attach_random_probabilities(random_polytree(instance_size, ("_",), rng), rng)
+    probability = benchmark(phom_unlabeled_path_on_polytree, 5, instance, "dp")
+    assert 0 <= probability <= 1
+
+
+@pytest.mark.parametrize("uncertain_edges", [6, 8, 10])
+def test_hard_side_prop41_brute_force(benchmark, uncertain_edges):
+    # The Prop 4.1 reduction has one uncertain edge per PP2DNF variable, so
+    # the brute-force cost is 2^{#variables} possible worlds: each step of
+    # the sweep multiplies the number of worlds by four.
+    num_x = uncertain_edges // 2
+    num_y = uncertain_edges - num_x
+    formula = random_pp2dnf(num_x, num_y, 3, bench_rng(172))
+    query, instance = prop41_reduction(formula)
+    assert len(instance.uncertain_edges()) == uncertain_edges
+
+    def run():
+        return brute_force_phom(query, instance)
+
+    probability = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0 <= probability <= 1

@@ -1,0 +1,63 @@
+"""Experiment E16 — Lemma 3.7: disconnected instances reduce to their components.
+
+Times the complement-product composition on instances with a growing number
+of components and checks it against solving the disjoint union directly with
+the dispatcher and (on small inputs) against brute force.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.disconnected import phom_on_disconnected_instance
+from repro.core.labeled_dwt import phom_labeled_path_on_dwt
+from repro.core.solver import PHomSolver
+from repro.graphs.builders import disjoint_union
+from repro.graphs.generators import random_downward_tree, random_one_way_path
+from repro.probability.brute_force import brute_force_phom
+from repro.workloads import attach_random_probabilities
+
+from conftest import bench_rng
+
+
+def _workload(num_components: int, component_size: int, seed: int = 37):
+    rng = bench_rng(seed)
+    components = [
+        random_downward_tree(component_size, ("R", "S"), rng) for _ in range(num_components)
+    ]
+    instance = attach_random_probabilities(disjoint_union(components), rng)
+    query = random_one_way_path(3, ("R", "S"), rng, prefix="q")
+    return query, instance
+
+
+@pytest.mark.parametrize("num_components", [2, 8, 32])
+def test_lemma37_composition_scaling(benchmark, num_components):
+    query, instance = _workload(num_components, 20)
+    probability = benchmark(
+        phom_on_disconnected_instance,
+        query,
+        instance,
+        lambda q, c: phom_labeled_path_on_dwt(q, c, "dp"),
+    )
+    assert 0 <= probability <= 1
+
+
+def test_lemma37_dispatcher_handles_union_instances(benchmark):
+    query, instance = _workload(5, 20, seed=38)
+    solver = PHomSolver()
+    result = benchmark(solver.solve, query, instance)
+    assert result.method == "labeled-dwt"
+    assert "Lemma 3.7" in result.proposition
+
+
+def test_lemma37_matches_brute_force_on_small_instances(benchmark):
+    query, instance = _workload(2, 3, seed=39)
+
+    def both():
+        via_lemma = phom_on_disconnected_instance(
+            query, instance, lambda q, c: phom_labeled_path_on_dwt(q, c, "dp")
+        )
+        return via_lemma, brute_force_phom(query, instance)
+
+    via_lemma, brute = benchmark(both)
+    assert via_lemma == brute

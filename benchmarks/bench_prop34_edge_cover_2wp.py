@@ -1,0 +1,31 @@
+"""Experiment E8 — Proposition 3.4: the unlabeled edge-cover reduction.
+
+Same counting identity as Experiment E7, but with the orientation patterns
+replacing the labels (two-wayness simulates labels): the query becomes a
+⊔2WP and the instance a 2WP, both unlabeled.  The benchmark verifies the
+identity and measures how much larger the unlabeled reduction is.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.classes import GraphClass, graph_in_class, is_two_way_path
+from repro.reductions.bipartite import BipartiteGraph, count_edge_covers
+from repro.reductions.edge_cover import edge_covers_via_phom, prop33_reduction, prop34_reduction
+
+SMALL_GRAPH = BipartiteGraph(1, 2, ((1, 1), (1, 2)))
+
+
+def test_prop34_reduction_construction(benchmark):
+    query, instance = benchmark(prop34_reduction, SMALL_GRAPH)
+    assert graph_in_class(query, GraphClass.UNION_TWO_WAY_PATH)
+    assert is_two_way_path(instance.graph)
+    assert query.is_unlabeled() and instance.graph.is_unlabeled()
+    # The unlabeled expansion multiplies the size by the pattern lengths.
+    labeled_query, labeled_instance = prop33_reduction(SMALL_GRAPH)
+    assert instance.graph.num_edges() > labeled_instance.graph.num_edges()
+    assert query.num_edges() > labeled_query.num_edges()
+
+
+def test_prop34_count_via_phom(benchmark):
+    count = benchmark(edge_covers_via_phom, SMALL_GRAPH, None, True)
+    assert count == count_edge_covers(SMALL_GRAPH) == 1

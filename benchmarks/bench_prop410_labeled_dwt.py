@@ -1,0 +1,67 @@
+"""Experiment E11 — Proposition 4.10: labeled 1WP queries on DWT instances.
+
+Times the two implementations (β-acyclic lineage and the KMP dynamic
+program) on downward-tree instances of increasing size, checks they agree
+with each other (and, on small instances, with brute force), and verifies
+that the lineage really is β-acyclic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeled_dwt import dwt_path_lineage, phom_labeled_path_on_dwt
+from repro.graphs.builders import path_query_labels
+from repro.graphs.generators import random_downward_tree, random_one_way_path
+from repro.probability.brute_force import brute_force_phom
+from repro.workloads import attach_random_probabilities
+
+from conftest import bench_rng
+
+
+def _workload(instance_size: int, query_length: int, seed: int = 410):
+    rng = bench_rng(seed)
+    instance = attach_random_probabilities(
+        random_downward_tree(instance_size, ("R", "S"), rng), rng
+    )
+    query = random_one_way_path(query_length, ("R", "S"), rng, prefix="q")
+    return query, instance
+
+
+@pytest.mark.parametrize("instance_size", [40, 80, 160])
+def test_prop410_dp_scaling(benchmark, instance_size):
+    query, instance = _workload(instance_size, 4)
+    probability = benchmark(phom_labeled_path_on_dwt, query, instance, "dp")
+    assert 0 <= probability <= 1
+
+
+@pytest.mark.parametrize("instance_size", [40, 80, 160])
+def test_prop410_lineage_scaling(benchmark, instance_size):
+    query, instance = _workload(instance_size, 4)
+    probability = benchmark(phom_labeled_path_on_dwt, query, instance, "lineage")
+    assert probability == phom_labeled_path_on_dwt(query, instance, "dp")
+
+
+def test_prop410_lineage_is_beta_acyclic(benchmark):
+    query, instance = _workload(120, 3)
+
+    def build_and_check():
+        lineage = dwt_path_lineage(path_query_labels(query), instance)
+        return lineage.is_beta_acyclic(), lineage.num_clauses()
+
+    beta_acyclic, _clauses = benchmark(build_and_check)
+    assert beta_acyclic
+
+
+def test_prop410_matches_brute_force_on_small_instances(benchmark):
+    query, instance = _workload(6, 2, seed=411)
+
+    def all_three():
+        return (
+            phom_labeled_path_on_dwt(query, instance, "dp"),
+            phom_labeled_path_on_dwt(query, instance, "lineage"),
+            brute_force_phom(query, instance),
+        )
+
+    dp, lineage, brute = benchmark(all_three)
+    assert dp == lineage == brute

@@ -1,0 +1,70 @@
+"""Experiment E12 — Proposition 4.11 / Theorem 4.13: connected queries on 2WP instances.
+
+Times the X-property-based match enumeration plus β-acyclic lineage (the
+paper's route) and the run-length dynamic program on two-way-path instances
+of increasing size, for branching and cyclic connected queries; checks
+agreement with brute force on small instances and the X-property of the
+subpaths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeled_2wp import phom_connected_on_2wp, two_way_path_lineage
+from repro.csp.xproperty import has_x_property
+from repro.graphs.classes import two_way_path_order
+from repro.graphs.generators import random_connected_graph, random_two_way_path
+from repro.probability.brute_force import brute_force_phom
+from repro.workloads import attach_random_probabilities
+
+from conftest import bench_rng
+
+
+def _workload(instance_size: int, query_size: int, seed: int = 411):
+    rng = bench_rng(seed)
+    instance = attach_random_probabilities(
+        random_two_way_path(instance_size, ("R", "S"), rng), rng
+    )
+    query = random_connected_graph(query_size, 0.3, ("R", "S"), rng, prefix="q")
+    return query, instance
+
+
+@pytest.mark.parametrize("instance_size", [15, 30, 60])
+def test_prop411_dp_scaling(benchmark, instance_size):
+    query, instance = _workload(instance_size, 4)
+    probability = benchmark(phom_connected_on_2wp, query, instance, "dp")
+    assert 0 <= probability <= 1
+
+
+@pytest.mark.parametrize("instance_size", [15, 30])
+def test_prop411_lineage_scaling(benchmark, instance_size):
+    query, instance = _workload(instance_size, 4)
+    probability = benchmark(phom_connected_on_2wp, query, instance, "lineage")
+    assert probability == phom_connected_on_2wp(query, instance, "dp")
+
+
+def test_prop411_lineage_is_beta_acyclic_and_xproperty_holds(benchmark):
+    query, instance = _workload(25, 4)
+
+    def build_and_check():
+        lineage = two_way_path_lineage(query, instance)
+        order = two_way_path_order(instance.graph)
+        return lineage.is_beta_acyclic(), has_x_property(instance.graph, order)
+
+    beta_acyclic, x_property = benchmark(build_and_check)
+    assert beta_acyclic and x_property
+
+
+def test_prop411_matches_brute_force_on_small_instances(benchmark):
+    query, instance = _workload(5, 3, seed=412)
+
+    def all_three():
+        return (
+            phom_connected_on_2wp(query, instance, "dp"),
+            phom_connected_on_2wp(query, instance, "lineage"),
+            brute_force_phom(query, instance),
+        )
+
+    dp, lineage, brute = benchmark(all_three)
+    assert dp == lineage == brute

@@ -1,0 +1,76 @@
+"""Experiment E13 — Proposition 5.4: unlabeled 1WP queries on polytree instances.
+
+Times the full tree-automaton pipeline (binary encoding → automaton →
+provenance d-DNNF → probability) and the direct message-passing dynamic
+program on polytrees of increasing size and for increasing query lengths,
+and records the circuit sizes (which must grow linearly in the instance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.binary_tree import encode_polytree
+from repro.automata.path_automaton import build_longest_path_automaton, number_of_states
+from repro.automata.provenance import provenance_circuit
+from repro.core.unlabeled_pt import phom_unlabeled_path_on_polytree
+from repro.graphs.builders import unlabeled_path
+from repro.graphs.generators import random_polytree
+from repro.probability.brute_force import brute_force_phom
+from repro.workloads import attach_random_probabilities
+
+from conftest import bench_rng
+
+
+def _instance(size: int, seed: int = 54):
+    rng = bench_rng(seed)
+    return attach_random_probabilities(random_polytree(size, ("_",), rng), rng)
+
+
+@pytest.mark.parametrize("instance_size", [30, 60, 120])
+def test_prop54_automaton_scaling_in_instance(benchmark, instance_size):
+    instance = _instance(instance_size)
+    probability = benchmark(phom_unlabeled_path_on_polytree, 4, instance, "automaton")
+    assert 0 <= probability <= 1
+
+
+@pytest.mark.parametrize("query_length", [2, 4, 8])
+def test_prop54_automaton_scaling_in_query(benchmark, query_length):
+    instance = _instance(80)
+    probability = benchmark(phom_unlabeled_path_on_polytree, query_length, instance, "automaton")
+    assert 0 <= probability <= 1
+    assert number_of_states(query_length) == (query_length + 1) ** 3
+
+
+@pytest.mark.parametrize("instance_size", [30, 60, 120])
+def test_prop54_direct_dp_scaling(benchmark, instance_size):
+    instance = _instance(instance_size)
+    probability = benchmark(phom_unlabeled_path_on_polytree, 4, instance, "dp")
+    assert probability == phom_unlabeled_path_on_polytree(4, instance, "automaton")
+
+
+def test_prop54_circuit_construction_and_size(benchmark):
+    instance = _instance(100)
+    automaton = build_longest_path_automaton(4)
+
+    def compile_circuit():
+        tree = encode_polytree(instance)
+        return provenance_circuit(automaton, tree)
+
+    circuit = benchmark(compile_circuit)
+    # The circuit stays linear in the instance (with an automaton-dependent factor).
+    assert circuit.num_gates() <= 200 * instance.graph.num_edges()
+
+
+def test_prop54_matches_brute_force_on_small_instances(benchmark):
+    instance = _instance(6, seed=55)
+
+    def all_three():
+        return (
+            phom_unlabeled_path_on_polytree(2, instance, "automaton"),
+            phom_unlabeled_path_on_polytree(2, instance, "dp"),
+            brute_force_phom(unlabeled_path(2), instance),
+        )
+
+    automaton, dp, brute = benchmark(all_three)
+    assert automaton == dp == brute

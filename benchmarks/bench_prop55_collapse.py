@@ -1,0 +1,76 @@
+"""Experiment E14 — Proposition 5.5: DWT and ⊔DWT queries collapse on polytree instances.
+
+In the unlabeled setting a downward-tree query is equivalent to the one-way
+path of its height.  The benchmark times the collapse plus evaluation for
+branching queries of increasing size, and checks the equivalence claim
+explicitly via homomorphism tests on the query graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.unlabeled_pt import (
+    collapse_query_to_path_length,
+    phom_unlabeled_tree_query_on_polytree,
+)
+from repro.graphs.builders import disjoint_union, unlabeled_path
+from repro.graphs.generators import random_downward_tree, random_polytree
+from repro.graphs.homomorphism import homomorphic_equivalent
+from repro.probability.brute_force import brute_force_phom
+from repro.workloads import attach_random_probabilities
+
+from conftest import bench_rng
+
+
+def _instance(size: int, seed: int = 55):
+    rng = bench_rng(seed)
+    return attach_random_probabilities(random_polytree(size, ("_",), rng), rng)
+
+
+@pytest.mark.parametrize("query_size", [5, 20, 80])
+def test_prop55_collapse_and_evaluate(benchmark, query_size):
+    rng = bench_rng(query_size)
+    query = random_downward_tree(query_size, ("_",), rng, prefix="q")
+    instance = _instance(60)
+    probability = benchmark(phom_unlabeled_tree_query_on_polytree, query, instance, "automaton")
+    assert 0 <= probability <= 1
+
+
+def test_prop55_union_queries(benchmark):
+    rng = bench_rng(56)
+    query = disjoint_union(
+        [random_downward_tree(10, ("_",), rng, prefix="q") for _ in range(3)], prefix="q"
+    )
+    instance = _instance(60)
+    probability = benchmark(phom_unlabeled_tree_query_on_polytree, query, instance)
+    assert 0 <= probability <= 1
+
+
+def test_prop55_equivalence_claim(benchmark):
+    rng = bench_rng(57)
+    queries = [random_downward_tree(8, ("_",), rng, prefix="q") for _ in range(5)]
+
+    def check_equivalences():
+        results = []
+        for query in queries:
+            length = collapse_query_to_path_length(query)
+            results.append(homomorphic_equivalent(query, unlabeled_path(length)))
+        return results
+
+    assert all(benchmark(check_equivalences))
+
+
+def test_prop55_matches_brute_force_on_small_inputs(benchmark):
+    rng = bench_rng(58)
+    query = random_downward_tree(4, ("_",), rng, prefix="q")
+    instance = _instance(6, seed=59)
+
+    def both():
+        return (
+            phom_unlabeled_tree_query_on_polytree(query, instance),
+            brute_force_phom(query, instance),
+        )
+
+    collapsed, brute = benchmark(both)
+    assert collapsed == brute

@@ -1,0 +1,88 @@
+"""Experiment E2 — Table 1: unlabeled setting, disconnected queries.
+
+Regenerates the paper's Table 1: every cell (query class ⊔1WP/⊔2WP/⊔DWT/⊔PT/All
+× instance class 1WP/2WP/DWT/PT/Connected) is classified from the border-case
+propositions, exercised on a sampled workload, checked against brute force,
+and — for PTIME cells — answered by a polynomial algorithm.  Additional
+benchmarks time the two tractability mechanisms of this table (Prop 3.6 and
+Prop 5.5 + Lemma 3.7) on larger instances.
+"""
+
+from __future__ import annotations
+
+from repro.classification.tables import Complexity
+from repro.core.solver import PHomSolver
+from repro.graphs.classes import GraphClass
+
+from conftest import TRACTABLE_INSTANCE_SIZE, cell_workload
+from table_utils import check_observations, format_observations, regenerate_table
+
+
+def test_table1_regeneration(benchmark):
+    observations = benchmark.pedantic(regenerate_table, args=(1,), rounds=2, iterations=1)
+    check_observations(observations)
+    hard_cells = sum(1 for o in observations if o.complexity is Complexity.SHARP_P_HARD)
+    ptime_cells = sum(1 for o in observations if o.complexity is Complexity.PTIME)
+    assert (ptime_cells, hard_cells) == (14, 11)
+    print("\nTable 1 (unlabeled, disconnected queries)")
+    print(format_observations(observations))
+
+
+def test_table1_cell_all_queries_on_dwt_instances(benchmark):
+    """PTIME cell (All, DWT): arbitrary unlabeled queries on downward trees (Prop 3.6)."""
+    workload = cell_workload(
+        GraphClass.ALL, GraphClass.DOWNWARD_TREE, labeled=False,
+        query_size=6, instance_size=TRACTABLE_INSTANCE_SIZE,
+    )
+    solver = PHomSolver()
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method == "graded-collapse"
+    assert 0 <= result.probability <= 1
+
+
+def test_table1_cell_union_dwt_queries_on_union_dwt_instances(benchmark):
+    """PTIME cell (⊔DWT, DWT): disconnected tree queries on tree instances."""
+    workload = cell_workload(
+        GraphClass.UNION_DOWNWARD_TREE, GraphClass.UNION_DOWNWARD_TREE, labeled=False,
+        query_size=6, instance_size=TRACTABLE_INSTANCE_SIZE,
+    )
+    solver = PHomSolver()
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method == "graded-collapse"
+
+
+def test_table1_cell_union_1wp_queries_on_polytrees(benchmark):
+    """PTIME cell (⊔1WP, PT): disconnected path queries collapse onto polytree instances (Prop 5.5)."""
+    workload = cell_workload(
+        GraphClass.UNION_ONE_WAY_PATH, GraphClass.POLYTREE, labeled=False,
+        query_size=5, instance_size=TRACTABLE_INSTANCE_SIZE,
+    )
+    solver = PHomSolver()
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method.startswith("polytree-")
+
+
+def test_table1_hard_cell_union_2wp_on_2wp(benchmark):
+    """#P-hard cell (⊔2WP, 2WP): the class-level problem is hard (Prop 3.4).
+
+    A sampled workload may still land in a tractable subclass (e.g. all
+    components may come out one-way), in which case the dispatcher legally
+    answers in polynomial time; the benchmark therefore only checks
+    correctness bounds and reports the timing of whatever route was taken.
+    """
+    workload = cell_workload(
+        GraphClass.UNION_TWO_WAY_PATH, GraphClass.TWO_WAY_PATH, labeled=False,
+        query_size=3, instance_size=7,
+    )
+    solver = PHomSolver()
+    import warnings
+
+    from repro.exceptions import IntractableFallbackWarning
+
+    def run():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", IntractableFallbackWarning)
+            return solver.solve(workload.query, workload.instance)
+
+    result = benchmark(run)
+    assert 0 <= result.probability <= 1

@@ -1,0 +1,97 @@
+"""Experiment E3 — Table 2: labeled setting, connected queries.
+
+Regenerates the paper's Table 2 cell by cell (classification + correctness +
+polynomial routing for the PTIME cells) and times the two tractable
+mechanisms of the labeled setting: Proposition 4.10 (1WP queries on DWT
+instances) and Proposition 4.11 (connected queries on 2WP instances).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.classification.tables import Complexity
+from repro.core.solver import PHomSolver
+from repro.exceptions import IntractableFallbackWarning
+from repro.graphs.classes import GraphClass
+
+from conftest import TRACTABLE_INSTANCE_SIZE, TWO_WP_INSTANCE_SIZE, cell_workload
+from table_utils import check_observations, format_observations, regenerate_table
+
+
+def test_table2_regeneration(benchmark):
+    observations = benchmark.pedantic(regenerate_table, args=(2,), rounds=2, iterations=1)
+    check_observations(observations)
+    hard_cells = sum(1 for o in observations if o.complexity is Complexity.SHARP_P_HARD)
+    ptime_cells = sum(1 for o in observations if o.complexity is Complexity.PTIME)
+    assert (ptime_cells, hard_cells) == (11, 14)
+    print("\nTable 2 (labeled, connected queries)")
+    print(format_observations(observations))
+
+
+def test_table2_cell_1wp_queries_on_dwt_instances(benchmark):
+    """PTIME cell (1WP, DWT): Proposition 4.10."""
+    workload = cell_workload(
+        GraphClass.ONE_WAY_PATH, GraphClass.DOWNWARD_TREE, labeled=True,
+        query_size=4, instance_size=TRACTABLE_INSTANCE_SIZE,
+    )
+    solver = PHomSolver()
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method == "labeled-dwt"
+    assert 0 <= result.probability <= 1
+
+
+def test_table2_cell_connected_queries_on_2wp_instances(benchmark):
+    """PTIME cell (Connected, 2WP): Proposition 4.11."""
+    workload = cell_workload(
+        GraphClass.CONNECTED, GraphClass.TWO_WAY_PATH, labeled=True,
+        query_size=4, instance_size=TWO_WP_INSTANCE_SIZE,
+    )
+    solver = PHomSolver()
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method == "connected-2wp"
+
+
+def test_table2_cell_polytree_queries_on_1wp_instances(benchmark):
+    """PTIME cell (PT, 1WP): arbitrary connected queries on labeled one-way paths."""
+    workload = cell_workload(
+        GraphClass.POLYTREE, GraphClass.ONE_WAY_PATH, labeled=True,
+        query_size=4, instance_size=TWO_WP_INSTANCE_SIZE,
+    )
+    solver = PHomSolver()
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method == "connected-2wp"
+
+
+def test_table2_hard_cell_1wp_on_polytree(benchmark):
+    """#P-hard cell (1WP, PT): Proposition 4.1 — only brute force applies."""
+    workload = cell_workload(
+        GraphClass.ONE_WAY_PATH, GraphClass.POLYTREE, labeled=True,
+        query_size=2, instance_size=8,
+    )
+    solver = PHomSolver()
+
+    def run():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", IntractableFallbackWarning)
+            return solver.solve(workload.query, workload.instance)
+
+    result = benchmark(run)
+    assert result.method == "brute-force-worlds"
+
+
+def test_table2_hard_cell_dwt_on_dwt(benchmark):
+    """#P-hard cell (DWT, DWT): Proposition 4.4 — only brute force applies."""
+    workload = cell_workload(
+        GraphClass.DOWNWARD_TREE, GraphClass.DOWNWARD_TREE, labeled=True,
+        query_size=3, instance_size=7,
+    )
+    solver = PHomSolver()
+
+    def run():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", IntractableFallbackWarning)
+            return solver.solve(workload.query, workload.instance)
+
+    result = benchmark(run)
+    assert 0 <= result.probability <= 1

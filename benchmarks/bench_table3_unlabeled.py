@@ -1,0 +1,91 @@
+"""Experiment E4 — Table 3: unlabeled setting, connected queries.
+
+Regenerates the paper's Table 3 cell by cell and times the tractable
+mechanisms specific to the unlabeled connected setting: Proposition 5.4/5.5
+(path and downward-tree queries on polytree instances via tree automata) and
+Proposition 3.6 (arbitrary connected queries on downward-tree instances).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.classification.tables import Complexity
+from repro.core.solver import PHomSolver
+from repro.exceptions import IntractableFallbackWarning
+from repro.graphs.classes import GraphClass
+
+from conftest import TRACTABLE_INSTANCE_SIZE, TWO_WP_INSTANCE_SIZE, cell_workload
+from table_utils import check_observations, format_observations, regenerate_table
+
+
+def test_table3_regeneration(benchmark):
+    observations = benchmark.pedantic(regenerate_table, args=(3,), rounds=2, iterations=1)
+    check_observations(observations)
+    hard_cells = sum(1 for o in observations if o.complexity is Complexity.SHARP_P_HARD)
+    ptime_cells = sum(1 for o in observations if o.complexity is Complexity.PTIME)
+    assert (ptime_cells, hard_cells) == (17, 8)
+    print("\nTable 3 (unlabeled, connected queries)")
+    print(format_observations(observations))
+
+
+def test_table3_cell_1wp_queries_on_polytrees(benchmark):
+    """PTIME cell (1WP, PT): Proposition 5.4 (tree automaton + d-DNNF)."""
+    workload = cell_workload(
+        GraphClass.ONE_WAY_PATH, GraphClass.POLYTREE, labeled=False,
+        query_size=4, instance_size=TRACTABLE_INSTANCE_SIZE,
+    )
+    solver = PHomSolver(prefer="automaton")
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method == "polytree-automaton"
+    assert 0 <= result.probability <= 1
+
+
+def test_table3_cell_dwt_queries_on_polytrees(benchmark):
+    """PTIME cell (DWT, PT): Proposition 5.5 (collapse to the height path)."""
+    workload = cell_workload(
+        GraphClass.DOWNWARD_TREE, GraphClass.POLYTREE, labeled=False,
+        query_size=5, instance_size=TRACTABLE_INSTANCE_SIZE,
+    )
+    solver = PHomSolver(prefer="automaton")
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method == "polytree-automaton"
+
+
+def test_table3_cell_connected_queries_on_dwt(benchmark):
+    """PTIME cell (Connected, DWT): Proposition 3.6 (graded-DAG collapse)."""
+    workload = cell_workload(
+        GraphClass.CONNECTED, GraphClass.DOWNWARD_TREE, labeled=False,
+        query_size=5, instance_size=TRACTABLE_INSTANCE_SIZE,
+    )
+    solver = PHomSolver()
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method in ("graded-collapse", "connected-2wp", "labeled-dwt")
+
+
+def test_table3_cell_connected_queries_on_2wp(benchmark):
+    """PTIME cell (Connected, 2WP): Proposition 4.11 applies unchanged in the unlabeled setting."""
+    workload = cell_workload(
+        GraphClass.CONNECTED, GraphClass.TWO_WAY_PATH, labeled=False,
+        query_size=4, instance_size=TWO_WP_INSTANCE_SIZE,
+    )
+    solver = PHomSolver()
+    result = benchmark(solver.solve, workload.query, workload.instance)
+    assert result.method == "connected-2wp"
+
+
+def test_table3_hard_cell_2wp_on_polytree(benchmark):
+    """#P-hard cell (2WP, PT): Proposition 5.6 — only brute force applies."""
+    workload = cell_workload(
+        GraphClass.TWO_WAY_PATH, GraphClass.POLYTREE, labeled=False,
+        query_size=3, instance_size=8,
+    )
+    solver = PHomSolver()
+
+    def run():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", IntractableFallbackWarning)
+            return solver.solve(workload.query, workload.instance)
+
+    result = benchmark(run)
+    assert 0 <= result.probability <= 1

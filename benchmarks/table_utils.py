@@ -1,0 +1,97 @@
+"""Shared machinery for regenerating the classification tables (Experiments E2-E4).
+
+A *table regeneration* does, for every cell of the table:
+
+1. derive the cell's complexity from the paper's border cases
+   (:func:`repro.classification.tables.classify_cell`);
+2. draw a small random workload of that cell (query and instance from the
+   row/column classes);
+3. run the dispatching solver and an independent brute-force oracle on it and
+   check that they agree exactly;
+4. check that PTIME cells were answered by a polynomial algorithm (never by
+   the brute-force fallback) and record which proposition was used.
+
+The returned grid is what the benchmark files print and what
+``EXPERIMENTS.md`` records against the paper's tables.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.classification.tables import Complexity, Setting, classify_cell, table_columns, table_rows
+from repro.core.solver import PHomSolver
+from repro.exceptions import IntractableFallbackWarning
+from repro.graphs.classes import GraphClass
+from repro.probability.brute_force import brute_force_phom
+from repro.workloads import workload_for_cell
+
+from conftest import BRUTE_FORCE_INSTANCE_SIZE, bench_rng
+
+
+@dataclass(frozen=True)
+class CellObservation:
+    """What happened when one table cell was exercised on a sample workload."""
+
+    query_class: GraphClass
+    instance_class: GraphClass
+    complexity: Complexity
+    proposition: str
+    method_used: str
+    agrees_with_brute_force: bool
+
+
+def regenerate_table(table_number: int, query_size: int = 2, instance_size: int = BRUTE_FORCE_INSTANCE_SIZE) -> List[CellObservation]:
+    """Exercise every cell of a table on a small workload and report what happened."""
+    setting = Setting.LABELED if table_number == 2 else Setting.UNLABELED
+    labeled = setting is Setting.LABELED
+    solver = PHomSolver()
+    observations: List[CellObservation] = []
+    for row_index, query_class in enumerate(table_rows(table_number)):
+        for column_index, instance_class in enumerate(table_columns()):
+            cell = classify_cell(query_class, instance_class, setting)
+            workload = workload_for_cell(
+                query_class,
+                instance_class,
+                labeled,
+                query_size,
+                instance_size,
+                rng=bench_rng(100 * table_number + 10 * row_index + column_index),
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", IntractableFallbackWarning)
+                result = solver.solve(workload.query, workload.instance)
+            reference = brute_force_phom(workload.query, workload.instance)
+            observations.append(
+                CellObservation(
+                    query_class=query_class,
+                    instance_class=instance_class,
+                    complexity=cell.complexity,
+                    proposition=cell.proposition,
+                    method_used=result.method,
+                    agrees_with_brute_force=result.probability == reference,
+                )
+            )
+    return observations
+
+
+def check_observations(observations: List[CellObservation]) -> None:
+    """Assert the invariants every regenerated table must satisfy."""
+    for observation in observations:
+        assert observation.agrees_with_brute_force, observation
+        if observation.complexity is Complexity.PTIME:
+            assert not observation.method_used.startswith("brute-force"), observation
+
+
+def format_observations(observations: List[CellObservation]) -> str:
+    """A compact text rendering of the regenerated table (printed by the benches)."""
+    lines = []
+    for observation in observations:
+        lines.append(
+            f"{str(observation.query_class):>5} on {str(observation.instance_class):>9}: "
+            f"{observation.complexity.value:>8}  via {observation.method_used:<22} "
+            f"({observation.proposition})"
+        )
+    return "\n".join(lines)

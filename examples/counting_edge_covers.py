@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Hardness in action: counting edge covers through PHom (Proposition 3.3).
+
+The #P-hardness of PHom for disconnected labeled path queries is shown by
+reduction from #Bipartite-Edge-Cover.  This example runs the reduction
+"forwards" as an (admittedly exotic) application: it counts the edge covers
+of small bipartite graphs by building the ⊔1WP query and 1WP probabilistic
+instance of Proposition 3.3 and reading the count off the homomorphism
+probability.  It also prints the paper's classification for the relevant
+cells, to make clear why no polynomial algorithm is offered here.
+
+Run with:  python examples/counting_edge_covers.py
+"""
+
+from __future__ import annotations
+
+from repro.classification import Setting, classify_cell
+from repro.graphs.classes import GraphClass, graph_class_of
+from repro.reductions import (
+    BipartiteGraph,
+    count_edge_covers,
+    edge_covers_via_phom,
+    prop33_reduction,
+    random_bipartite_graph,
+)
+
+
+def describe(graph: BipartiteGraph, name: str) -> None:
+    query, instance = prop33_reduction(graph)
+    via_phom = edge_covers_via_phom(graph)
+    direct = count_edge_covers(graph)
+    print(f"{name}: |X|={graph.num_left}, |Y|={graph.num_right}, m={graph.num_edges}")
+    print(f"  query  class: {graph_class_of(query)}  ({query.num_edges()} edges, "
+          f"{len(query.weakly_connected_components())} components)")
+    print(f"  instance class: {graph_class_of(instance.graph)}  ({instance.graph.num_edges()} edges)")
+    print(f"  edge covers via PHom reduction : {via_phom}")
+    print(f"  edge covers by direct counting : {direct}")
+    assert via_phom == direct
+    print()
+
+
+def main() -> None:
+    cell = classify_cell(GraphClass.UNION_ONE_WAY_PATH, GraphClass.ONE_WAY_PATH, Setting.LABELED)
+    print(
+        "Classification of the (⊔1WP, 1WP) labeled cell: "
+        f"{cell.complexity} ({cell.proposition})"
+    )
+    print("— so the counts below are obtained by the exponential brute-force oracle.\n")
+
+    # The bipartite graph of Figure 5.
+    figure5 = BipartiteGraph(2, 3, ((1, 1), (1, 2), (2, 2), (2, 3)))
+    describe(figure5, "Figure 5 graph")
+
+    # The complete bipartite graph K_{2,2}.
+    k22 = BipartiteGraph(2, 2, ((1, 1), (1, 2), (2, 1), (2, 2)))
+    describe(k22, "K_{2,2}")
+
+    # A random bipartite graph.
+    describe(random_bipartite_graph(2, 2, 0.7, rng=5), "random bipartite graph")
+
+    print("All counts obtained through the Proposition 3.3 reduction match the direct counter.")
+
+
+if __name__ == "__main__":
+    main()

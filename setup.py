@@ -1,0 +1,10 @@
+"""Setuptools shim so that editable installs work without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-build-isolation --no-use-pep517`` (the offline
+installation path) has a legacy entry point.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,111 @@
+"""repro — Conjunctive Queries on Probabilistic Graphs: Combined Complexity.
+
+A from-scratch Python implementation of the algorithms, reductions and
+complexity classification of
+
+    Antoine Amarilli, Mikaël Monet, Pierre Senellart.
+    "Conjunctive Queries on Probabilistic Graphs: Combined Complexity."
+    PODS 2017.
+
+The central problem is **PHom**: given a directed, edge-labeled query graph
+``G`` and a probabilistic instance graph ``(H, π)`` whose edges are kept
+independently with probability ``π(e)``, compute the probability that ``G``
+has a homomorphism to the surviving subgraph.
+
+Quick start
+-----------
+
+>>> from repro import DiGraph, ProbabilisticGraph, one_way_path, phom_probability
+>>> H = DiGraph()
+>>> _ = H.add_edge("a", "b", "R"); _ = H.add_edge("d", "b", "R"); _ = H.add_edge("b", "c", "S")
+>>> instance = ProbabilisticGraph(H, {("a", "b"): "0.1", ("d", "b"): "0.8", ("b", "c"): "0.7"})
+>>> query = one_way_path(["R", "S"])
+>>> float(phom_probability(query, instance))
+0.574
+
+The top-level namespace re-exports the most commonly used pieces; the
+subpackages contain the full machinery:
+
+* :mod:`repro.graphs` — graphs, graph classes (1WP/2WP/DWT/PT/...), random
+  generators, homomorphisms, graded DAGs;
+* :mod:`repro.probability` — probabilistic graphs and the brute-force oracle;
+* :mod:`repro.lineage` — DNF lineages, β-acyclicity, d-DNNF circuits;
+* :mod:`repro.automata` — tree automata and provenance circuits (Prop 5.4);
+* :mod:`repro.csp` — the X-property homomorphism algorithm (Theorem 4.13);
+* :mod:`repro.core` — the tractable solvers and the dispatching
+  :class:`~repro.core.solver.PHomSolver`;
+* :mod:`repro.reductions` — the hardness reductions (#Bipartite-Edge-Cover,
+  #PP2DNF) with brute-force counters;
+* :mod:`repro.classification` — Tables 1–3 as code;
+* :mod:`repro.workloads` — workload generators for the benchmark harness.
+"""
+
+from repro.exceptions import (
+    ReproError,
+    GraphError,
+    ClassConstraintError,
+    ProbabilityError,
+    LineageError,
+    AutomatonError,
+    IntractableFallbackWarning,
+)
+from repro.graphs import (
+    DiGraph,
+    Edge,
+    UNLABELED,
+    one_way_path,
+    two_way_path,
+    downward_tree,
+    polytree_from_parents,
+    disjoint_union,
+    GraphClass,
+    classify_graph,
+    graph_class_of,
+    has_homomorphism,
+    find_homomorphism,
+    homomorphic_equivalent,
+)
+from repro.probability import ProbabilisticGraph, brute_force_phom
+from repro.lineage import PositiveDNF, DDNNF, match_lineage
+from repro.core import PHomSolver, PHomResult, phom_probability
+from repro.classification import classify_cell, Complexity, table1, table2, table3
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "ClassConstraintError",
+    "ProbabilityError",
+    "LineageError",
+    "AutomatonError",
+    "IntractableFallbackWarning",
+    "DiGraph",
+    "Edge",
+    "UNLABELED",
+    "one_way_path",
+    "two_way_path",
+    "downward_tree",
+    "polytree_from_parents",
+    "disjoint_union",
+    "GraphClass",
+    "classify_graph",
+    "graph_class_of",
+    "has_homomorphism",
+    "find_homomorphism",
+    "homomorphic_equivalent",
+    "ProbabilisticGraph",
+    "brute_force_phom",
+    "PositiveDNF",
+    "DDNNF",
+    "match_lineage",
+    "PHomSolver",
+    "PHomResult",
+    "phom_probability",
+    "classify_cell",
+    "Complexity",
+    "table1",
+    "table2",
+    "table3",
+    "__version__",
+]

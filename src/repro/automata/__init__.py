@@ -1,0 +1,43 @@
+"""Tree-automata substrate for the polytree algorithm of Proposition 5.4.
+
+The PTIME algorithm for unlabeled one-way-path queries on polytree instances
+works in three steps (Section 5 and the appendix of the paper):
+
+1. encode the polytree instance, rooted arbitrarily, as an *uncertain full
+   binary tree* whose nodes carry the direction (``up`` / ``down``) and the
+   probability of the original edges, plus structural ``ε`` nodes
+   (:mod:`repro.automata.binary_tree`);
+2. build a bottom-up **deterministic** tree automaton whose states track the
+   longest directed path entering the current fragment's root, leaving it,
+   and anywhere inside the fragment, capped at the query length
+   (:mod:`repro.automata.path_automaton`, generic machinery in
+   :mod:`repro.automata.tree_automaton`);
+3. compile the automaton's run over the uncertain tree into a d-DNNF lineage
+   circuit whose variables are the instance edges, and evaluate its
+   probability in linear time (:mod:`repro.automata.provenance`).
+"""
+
+from repro.automata.binary_tree import (
+    BinaryTreeNode,
+    UncertainBinaryTree,
+    encode_polytree,
+    LABEL_UP,
+    LABEL_DOWN,
+    LABEL_EPSILON,
+)
+from repro.automata.tree_automaton import BottomUpTreeAutomaton
+from repro.automata.path_automaton import build_longest_path_automaton, PathState
+from repro.automata.provenance import provenance_circuit
+
+__all__ = [
+    "BinaryTreeNode",
+    "UncertainBinaryTree",
+    "encode_polytree",
+    "LABEL_UP",
+    "LABEL_DOWN",
+    "LABEL_EPSILON",
+    "BottomUpTreeAutomaton",
+    "build_longest_path_automaton",
+    "PathState",
+    "provenance_circuit",
+]

@@ -1,0 +1,123 @@
+"""The longest-directed-path automaton of Proposition 5.4.
+
+The unlabeled one-way-path query of length ``m`` holds in a possible world of
+a polytree instance exactly when the world contains a directed path with at
+least ``m`` edges.  Proposition 5.4 tests this with a bottom-up deterministic
+tree automaton running on the binary encoding of the instance
+(:mod:`repro.automata.binary_tree`): the state reached at a node of the
+binary tree is a triple
+
+``⟨up, down, best⟩``
+
+describing the fragment of the original polytree represented by that binary
+subtree — the original node ``n`` the fragment is attached to, plus a suffix
+of ``n``'s children subtrees, with edges kept or dropped according to the
+node annotations:
+
+* ``up``   — length of the longest directed path *ending at* ``n`` inside the
+  fragment;
+* ``down`` — length of the longest directed path *starting at* ``n`` inside
+  the fragment;
+* ``best`` — length of the longest directed path anywhere inside the
+  fragment.
+
+All three quantities are capped at ``m`` (once the target length is reached
+the exact value no longer matters), so the automaton has ``(m + 1)^3``
+states and is of size polynomial in the query — the key to polynomial
+*combined* complexity.  The accepting states are those with ``best = m``.
+
+Transitions distinguish the annotated label of the attach node:
+
+* ``(·, 0)`` — the original edge is absent: the child fragment contributes
+  only its ``best`` value;
+* ``(up, 1)`` — the edge ``c -> n`` is present: paths ending at ``c`` extend
+  to ``n``, and may continue with a path starting at ``n`` in the rest of the
+  fragment;
+* ``(down, 1)`` — the edge ``n -> c`` is present: symmetric;
+* ``ε`` leaves start with ``⟨0, 0, 0⟩``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import AutomatonError
+from repro.automata.binary_tree import ALPHABET, LABEL_DOWN, LABEL_EPSILON, LABEL_UP
+from repro.automata.tree_automaton import AnnotatedLabel, BottomUpTreeAutomaton
+
+
+@dataclass(frozen=True, order=True)
+class PathState:
+    """An automaton state ``⟨up, down, best⟩`` (all values capped at the query length)."""
+
+    up: int
+    down: int
+    best: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⟨↑:{self.up}, ↓:{self.down}, max:{self.best}⟩"
+
+
+def build_longest_path_automaton(path_length: int) -> BottomUpTreeAutomaton:
+    """The deterministic automaton accepting worlds with a directed path of ``path_length`` edges.
+
+    Parameters
+    ----------
+    path_length:
+        The length ``m`` (number of edges) of the one-way path query.  Must
+        be non-negative; with ``m = 0`` every world is accepted, matching the
+        fact that a single-vertex query always has a homomorphism.
+    """
+    if path_length < 0:
+        raise AutomatonError("the query path length must be non-negative")
+    m = path_length
+
+    def cap(value: int) -> int:
+        return min(m, value)
+
+    def initial(letter: AnnotatedLabel) -> PathState:
+        label, _bit = letter
+        if label not in ALPHABET:
+            raise AutomatonError(f"unexpected leaf label {label!r}")
+        return PathState(0, 0, 0)
+
+    def transition(letter: AnnotatedLabel, left: PathState, right: PathState) -> PathState:
+        label, bit = letter
+        # ``left`` is the state of the attached child's fragment (relative to
+        # the child c); ``right`` is the state of the spine continuation
+        # (relative to the current original node n).
+        child, rest = left, right
+        if label == LABEL_EPSILON or not bit:
+            # Structural node or absent edge: the child fragment is
+            # disconnected from n, only its internal best path survives.
+            return PathState(rest.up, rest.down, cap(max(rest.best, child.best)))
+        if label == LABEL_UP:
+            up = cap(max(rest.up, child.up + 1))
+            down = rest.down
+            best = cap(max(rest.best, child.best, up, child.up + 1 + rest.down))
+            return PathState(up, down, best)
+        if label == LABEL_DOWN:
+            down = cap(max(rest.down, child.down + 1))
+            up = rest.up
+            best = cap(max(rest.best, child.best, down, rest.up + 1 + child.down))
+            return PathState(up, down, best)
+        raise AutomatonError(f"unexpected internal label {label!r}")
+
+    def accepting(state: PathState) -> bool:
+        return state.best >= m
+
+    return BottomUpTreeAutomaton(
+        alphabet=frozenset(ALPHABET),
+        accepting=accepting,
+        initial=initial,
+        transition=transition,
+        description=f"longest directed path ≥ {m} automaton (states ⟨up, down, best⟩ capped at {m})",
+    )
+
+
+def number_of_states(path_length: int) -> int:
+    """The number of states ``(m + 1)^3`` of the longest-path automaton."""
+    if path_length < 0:
+        raise AutomatonError("the query path length must be non-negative")
+    return (path_length + 1) ** 3

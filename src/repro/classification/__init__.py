@@ -1,0 +1,25 @@
+"""The paper's complexity classification (Tables 1, 2 and 3) as executable data."""
+
+from repro.classification.tables import (
+    Complexity,
+    Setting,
+    CellResult,
+    classify_cell,
+    table1,
+    table2,
+    table3,
+    base_results,
+    format_table,
+)
+
+__all__ = [
+    "Complexity",
+    "Setting",
+    "CellResult",
+    "classify_cell",
+    "table1",
+    "table2",
+    "table3",
+    "base_results",
+    "format_table",
+]

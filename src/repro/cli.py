@@ -1,0 +1,160 @@
+"""Command-line interface for the library.
+
+Three subcommands mirror the three things a user typically wants:
+
+* ``repro tables`` — print the paper's complexity classification
+  (Tables 1–3), derived from the border-case propositions;
+* ``repro classify --query-class 1WP --instance-class DWT --setting labeled``
+  — look up one cell of the classification;
+* ``repro solve QUERY.json INSTANCE.json`` — compute ``Pr(G ⇝ H)`` for a
+  query and a probabilistic instance stored in the JSON format of
+  :mod:`repro.graphs.serialization`, reporting the algorithm used.
+
+The module is also importable: :func:`main` takes an ``argv`` list and
+returns an exit code, which is how the test suite exercises it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+from typing import List, Optional
+
+from repro.classification.tables import (
+    Setting,
+    classify_cell,
+    format_table,
+    table1,
+    table2,
+    table3,
+    table_rows,
+)
+from repro.core.solver import PHomSolver
+from repro.exceptions import IntractableFallbackWarning, ReproError
+from repro.graphs.classes import GraphClass
+from repro.graphs.serialization import load_instance, load_query
+
+#: Accepted spellings of the graph classes on the command line.
+_CLASS_ALIASES = {
+    "1wp": GraphClass.ONE_WAY_PATH,
+    "2wp": GraphClass.TWO_WAY_PATH,
+    "dwt": GraphClass.DOWNWARD_TREE,
+    "pt": GraphClass.POLYTREE,
+    "connected": GraphClass.CONNECTED,
+    "all": GraphClass.ALL,
+    "u1wp": GraphClass.UNION_ONE_WAY_PATH,
+    "u2wp": GraphClass.UNION_TWO_WAY_PATH,
+    "udwt": GraphClass.UNION_DOWNWARD_TREE,
+    "upt": GraphClass.UNION_POLYTREE,
+}
+
+
+def _parse_class(value: str) -> GraphClass:
+    key = value.strip().lower().replace("⊔", "u")
+    if key not in _CLASS_ALIASES:
+        raise argparse.ArgumentTypeError(
+            f"unknown graph class {value!r}; expected one of {sorted(_CLASS_ALIASES)}"
+        )
+    return _CLASS_ALIASES[key]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic graph homomorphism (PODS 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("tables", help="print the complexity classification tables 1-3")
+
+    classify = subparsers.add_parser("classify", help="classify one (query class, instance class) cell")
+    classify.add_argument("--query-class", type=_parse_class, required=True)
+    classify.add_argument("--instance-class", type=_parse_class, required=True)
+    classify.add_argument(
+        "--setting", choices=["labeled", "unlabeled"], default="labeled",
+        help="labeled (|σ|>1) or unlabeled (|σ|=1) setting",
+    )
+
+    solve = subparsers.add_parser("solve", help="compute Pr(query ⇝ instance) from JSON files")
+    solve.add_argument("query", help="path to the query graph JSON file")
+    solve.add_argument("instance", help="path to the probabilistic instance JSON file")
+    solve.add_argument(
+        "--method", default="auto",
+        help="algorithm to use ('auto' or one of PHomSolver.available_methods())",
+    )
+    solve.add_argument(
+        "--no-brute-force", action="store_true",
+        help="fail instead of falling back to exponential enumeration on #P-hard cells",
+    )
+    solve.add_argument(
+        "--prefer", choices=["dp", "lineage", "automaton"], default="dp",
+        help="evaluation flavour for the tractable cases",
+    )
+    return parser
+
+
+def _run_tables(out) -> int:
+    out.write("Table 1 - unlabeled setting, disconnected queries\n")
+    out.write(format_table(table1(), table_rows(1)) + "\n\n")
+    out.write("Table 2 - labeled setting, connected queries\n")
+    out.write(format_table(table2(), table_rows(2)) + "\n\n")
+    out.write("Table 3 - unlabeled setting, connected queries\n")
+    out.write(format_table(table3(), table_rows(3)) + "\n")
+    return 0
+
+
+def _run_classify(args, out) -> int:
+    setting = Setting.LABELED if args.setting == "labeled" else Setting.UNLABELED
+    cell = classify_cell(args.query_class, args.instance_class, setting)
+    out.write(
+        f"PHom_{'L' if setting is Setting.LABELED else '#L'}"
+        f"({args.query_class}, {args.instance_class}) is {cell.complexity}"
+        f"  [{cell.proposition}]\n"
+    )
+    return 0
+
+
+def _run_solve(args, out, err) -> int:
+    try:
+        query = load_query(args.query)
+        instance = load_instance(args.instance)
+    except (OSError, ValueError, ReproError) as exc:
+        err.write(f"error: could not load inputs: {exc}\n")
+        return 2
+    solver = PHomSolver(allow_brute_force=not args.no_brute_force, prefer=args.prefer)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", IntractableFallbackWarning)
+            result = solver.solve(query, instance, method=args.method)
+    except (ReproError, ValueError) as exc:
+        err.write(f"error: {exc}\n")
+        return 1
+    out.write(f"probability = {result.probability} ({float(result.probability)})\n")
+    out.write(f"method      = {result.method}\n")
+    if result.proposition:
+        out.write(f"backed by   = {result.proposition}\n")
+    out.write(f"query class = {result.query_class}, instance class = {result.instance_class}\n")
+    if any(issubclass(w.category, IntractableFallbackWarning) for w in caught):
+        out.write("note: this query/instance combination is #P-hard; brute force was used\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    err = err or sys.stderr
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "tables":
+        return _run_tables(out)
+    if args.command == "classify":
+        return _run_classify(args, out)
+    if args.command == "solve":
+        return _run_solve(args, out, err)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's tractable PHom algorithms and the dispatching solver.
+
+Each module implements one tractability result of the paper, in two flavours
+whenever that is natural: the paper's lineage/automaton-based construction
+and a direct dynamic program with the same polynomial guarantees (the two
+are cross-checked against each other and against the brute-force oracle in
+the test suite).
+
+* :mod:`repro.core.disconnected` — Lemma 3.7 (disconnected instances) and
+  Proposition 3.6 (arbitrary unlabeled queries on ⊔DWT instances via graded
+  DAGs);
+* :mod:`repro.core.labeled_dwt` — Proposition 4.10 (labeled 1WP queries on
+  DWT instances via β-acyclic lineages);
+* :mod:`repro.core.labeled_2wp` — Proposition 4.11 (connected queries on
+  2WP instances via the X-property and β-acyclic lineages);
+* :mod:`repro.core.unlabeled_pt` — Propositions 5.4 and 5.5 (unlabeled
+  path/tree queries on polytree instances via tree automata compiled to
+  d-DNNF circuits);
+* :mod:`repro.core.solver` — the :class:`~repro.core.solver.PHomSolver`
+  dispatcher implementing the full classification of Tables 1–3.
+"""
+
+from repro.core.solver import PHomSolver, PHomResult, phom_probability
+from repro.core.disconnected import (
+    phom_on_disconnected_instance,
+    phom_unlabeled_on_union_dwt,
+)
+from repro.core.labeled_dwt import phom_labeled_path_on_dwt, dwt_path_lineage
+from repro.core.labeled_2wp import phom_connected_on_2wp, two_way_path_lineage
+from repro.core.unlabeled_pt import (
+    phom_unlabeled_path_on_polytree,
+    phom_unlabeled_tree_query_on_polytree,
+)
+
+__all__ = [
+    "PHomSolver",
+    "PHomResult",
+    "phom_probability",
+    "phom_on_disconnected_instance",
+    "phom_unlabeled_on_union_dwt",
+    "phom_labeled_path_on_dwt",
+    "dwt_path_lineage",
+    "phom_connected_on_2wp",
+    "two_way_path_lineage",
+    "phom_unlabeled_path_on_polytree",
+    "phom_unlabeled_tree_query_on_polytree",
+]

@@ -1,0 +1,105 @@
+"""Lemma 3.7 (disconnected instances) and Proposition 3.6 (queries on ⊔DWT).
+
+*Lemma 3.7.*  When the query is connected, the image of any homomorphism lies
+inside a single connected component of the instance, and the components'
+edges are independent.  Hence
+
+``Pr(G ⇝ H) = 1 − Π_i (1 − Pr(G ⇝ H_i))``
+
+over the connected components ``H_i``; evaluating PHom on a disconnected
+instance reduces to evaluating it on the components.
+
+*Proposition 3.6.*  In the unlabeled setting, an arbitrary query graph ``G``
+on a ⊔DWT instance either has probability zero (when ``G`` has a directed
+cycle or two directed paths of different lengths between the same pair of
+vertices — i.e. when ``G`` is not a graded DAG) or is equivalent, on every
+possible world, to the one-way path whose length is the *difference of
+levels* of ``G`` (Definition 3.5).  The probability then follows from
+Proposition 5.5 applied per component.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, List
+
+from repro.exceptions import ClassConstraintError
+from repro.graphs.classes import GraphClass, graph_in_class
+from repro.graphs.digraph import DiGraph
+from repro.graphs.grading import level_mapping
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.core.unlabeled_pt import phom_unlabeled_path_on_polytree
+
+ComponentSolver = Callable[[DiGraph, ProbabilisticGraph], Fraction]
+
+
+def phom_on_disconnected_instance(
+    query: DiGraph,
+    instance: ProbabilisticGraph,
+    component_solver: ComponentSolver,
+) -> Fraction:
+    """``Pr(query ⇝ instance)`` for a *connected* query via Lemma 3.7.
+
+    Parameters
+    ----------
+    query:
+        A connected query graph.
+    instance:
+        Any probabilistic instance; its connected components are solved
+        independently with ``component_solver`` and combined with the
+        complement-product formula.
+    component_solver:
+        Callable computing ``Pr(query ⇝ component)`` for a connected
+        component of the instance.
+    """
+    if not query.is_weakly_connected():
+        raise ClassConstraintError("Lemma 3.7 requires a connected query")
+    survival = Fraction(1)
+    for component in instance.connected_components():
+        survival *= 1 - component_solver(query, component)
+    return 1 - survival
+
+
+def phom_unlabeled_on_union_dwt(
+    query: DiGraph, instance: ProbabilisticGraph, method: str = "automaton"
+) -> Fraction:
+    """``Pr(query ⇝ instance)`` for an arbitrary unlabeled query on a ⊔DWT instance.
+
+    Implements Proposition 3.6:
+
+    1. if the query is not a graded DAG, return 0 (no possible world of a
+       downward forest can satisfy it);
+    2. otherwise compute its difference of levels ``m`` and evaluate the
+       equivalent path query ``→^m`` on each instance component
+       (Proposition 5.5 / 5.4), combining components with Lemma 3.7.
+
+    Parameters
+    ----------
+    query:
+        Any (possibly disconnected, possibly cyclic) unlabeled query graph.
+    instance:
+        A probabilistic instance whose components are downward trees.
+    method:
+        Evaluation method for the per-component path probability
+        (``"automaton"`` or ``"dp"``; see
+        :func:`repro.core.unlabeled_pt.phom_unlabeled_path_on_polytree`).
+    """
+    if not graph_in_class(instance.graph, GraphClass.UNION_DOWNWARD_TREE):
+        raise ClassConstraintError(
+            "Proposition 3.6 requires an instance whose components are downward trees"
+        )
+    mapping = level_mapping(query)
+    if mapping is None:
+        return Fraction(0)
+    length = mapping.difference
+    if length == 0:
+        return Fraction(1)
+    survival = Fraction(1)
+    for component in instance.connected_components():
+        survival *= 1 - phom_unlabeled_path_on_polytree(length, component, method=method)
+    return 1 - survival
+
+
+def components_of_query(query: DiGraph) -> List[DiGraph]:
+    """The connected components of a query graph (helper for disconnected queries)."""
+    return query.connected_component_graphs()

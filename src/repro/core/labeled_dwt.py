@@ -1,0 +1,192 @@
+"""Proposition 4.10: labeled one-way-path queries on downward-tree instances.
+
+The paper's argument has three steps: (i) the candidate matches of a 1WP
+query in a DWT instance are the downward paths with as many edges as the
+query — there are linearly many of them because a downward path is determined
+by its lowest vertex; (ii) keeping only the label-matching ones yields a
+positive DNF lineage; (iii) that lineage is β-acyclic (eliminate variables
+bottom-up along the tree), so its probability is computable in polynomial
+time by Theorem 4.9.
+
+This module implements that construction (:func:`dwt_path_lineage`) and, as
+the certified-polynomial evaluation route, a direct dynamic program
+(:func:`phom_labeled_path_on_dwt` with ``method="dp"``): a
+Knuth–Morris–Pratt automaton over the query's label string is run down the
+tree, and the failure probability is multiplied over independent subtrees.
+The state space is ``O(|H| · |G|)`` pairs, each processed in constant time
+per child edge, so the overall complexity is ``O(|H| · |G|)`` — the same
+bound as the paper's.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ClassConstraintError
+from repro.graphs.builders import path_query_labels
+from repro.graphs.classes import downward_tree_root, is_downward_tree, is_one_way_path
+from repro.graphs.digraph import DiGraph, Edge, Vertex
+from repro.lineage.dnf import PositiveDNF
+from repro.probability.prob_graph import ProbabilisticGraph
+
+
+# ----------------------------------------------------------------------
+# lineage construction (the paper's route)
+# ----------------------------------------------------------------------
+def dwt_path_lineage(query_labels: Sequence[str], instance: ProbabilisticGraph) -> PositiveDNF:
+    """The β-acyclic lineage of the 1WP query ``R1 ... Rm`` on a DWT instance.
+
+    One clause per downward path of ``m`` edges whose label string equals the
+    query's; the clause contains exactly the edges of that path.  A query of
+    length zero yields the constant-true lineage (the single-vertex query
+    always holds).
+    """
+    graph = instance.graph
+    if not is_downward_tree(graph):
+        raise ClassConstraintError("dwt_path_lineage requires a downward-tree instance")
+    labels = list(query_labels)
+    m = len(labels)
+    lineage = PositiveDNF()
+    if m == 0:
+        lineage.add_clause([])
+        return lineage
+    parent_edge: Dict[Vertex, Optional[Edge]] = {v: None for v in graph.vertices}
+    for edge in graph.edges():
+        parent_edge[edge.target] = edge
+    for bottom in graph.vertices:
+        # Walk up m edges from ``bottom``; the walk is unique in a DWT.
+        edges_bottom_up: List[Edge] = []
+        current = bottom
+        while len(edges_bottom_up) < m:
+            edge = parent_edge[current]
+            if edge is None:
+                break
+            edges_bottom_up.append(edge)
+            current = edge.source
+        if len(edges_bottom_up) < m:
+            continue
+        top_down = list(reversed(edges_bottom_up))
+        if all(edge.label == label for edge, label in zip(top_down, labels)):
+            lineage.add_clause(top_down)
+    return lineage
+
+
+# ----------------------------------------------------------------------
+# KMP machinery for the direct dynamic program
+# ----------------------------------------------------------------------
+def _prefix_function(pattern: Sequence[str]) -> List[int]:
+    """The classic KMP prefix (failure) function of the label pattern."""
+    m = len(pattern)
+    failure = [0] * (m + 1)
+    k = 0
+    for i in range(1, m):
+        while k > 0 and pattern[i] != pattern[k]:
+            k = failure[k]
+        if pattern[i] == pattern[k]:
+            k += 1
+        failure[i + 1] = k
+    return failure
+
+
+def kmp_transition_table(
+    pattern: Sequence[str], alphabet: Sequence[str]
+) -> Dict[Tuple[int, str], int]:
+    """The KMP automaton ``δ(state, letter)`` for the label pattern.
+
+    State ``q`` means "the last ``q`` consecutive present edges spell the
+    first ``q`` labels of the pattern"; reaching state ``m`` means a full
+    occurrence of the pattern ends at the current edge.
+    """
+    m = len(pattern)
+    failure = _prefix_function(pattern)
+    table: Dict[Tuple[int, str], int] = {}
+    letters = sorted(set(alphabet) | set(pattern))
+    for state in range(m + 1):
+        for letter in letters:
+            if state < m and letter == pattern[state]:
+                table[(state, letter)] = state + 1
+                continue
+            if state == 0:
+                table[(state, letter)] = 0
+                continue
+            # Follow failure links until a match or state 0.
+            fallback = failure[state] if state < m else failure[m]
+            table[(state, letter)] = table[(fallback, letter)]
+    return table
+
+
+def _failure_probability_dp(
+    query_labels: Sequence[str],
+    instance: ProbabilisticGraph,
+    root: Vertex,
+) -> Fraction:
+    """Probability that *no* label-matching downward path of full length is present.
+
+    ``f(v, q)`` is the probability, over the independent edges of the subtree
+    below ``v``, that no occurrence of the pattern is completed inside that
+    subtree, given that the run of present edges ending at ``v`` is in KMP
+    state ``q``.  Children are independent given the state at ``v``, so the
+    value is a product over child edges.
+    """
+    graph = instance.graph
+    pattern = list(query_labels)
+    m = len(pattern)
+    table = kmp_transition_table(pattern, sorted(graph.labels()))
+    cache: Dict[Tuple[Vertex, int], Fraction] = {}
+
+    def failure_probability(vertex: Vertex, state: int) -> Fraction:
+        key = (vertex, state)
+        if key in cache:
+            return cache[key]
+        result = Fraction(1)
+        for edge in graph.out_edges(vertex):
+            probability = instance.probability(edge)
+            child = edge.target
+            absent = (1 - probability) * failure_probability(child, 0)
+            next_state = table[(state, edge.label)]
+            if next_state >= m:
+                present = Fraction(0)
+            else:
+                present = probability * failure_probability(child, next_state)
+            result *= absent + present
+        cache[key] = result
+        return result
+
+    return failure_probability(root, 0)
+
+
+# ----------------------------------------------------------------------
+# public solver
+# ----------------------------------------------------------------------
+def phom_labeled_path_on_dwt(
+    query: DiGraph, instance: ProbabilisticGraph, method: str = "dp"
+) -> Fraction:
+    """``Pr(query ⇝ instance)`` for a (labeled) 1WP query on a DWT instance.
+
+    Parameters
+    ----------
+    query:
+        A one-way path query (labels allowed).
+    instance:
+        A probabilistic downward-tree instance.
+    method:
+        ``"dp"`` (default) for the KMP dynamic program, ``"lineage"`` for the
+        paper's β-acyclic lineage route evaluated by memoised Shannon
+        expansion along the reverse β-elimination order.
+    """
+    if not is_one_way_path(query):
+        raise ClassConstraintError("Proposition 4.10 requires a one-way path query")
+    graph = instance.graph
+    if not is_downward_tree(graph):
+        raise ClassConstraintError("Proposition 4.10 requires a downward-tree instance")
+    labels = path_query_labels(query)
+    if not labels:
+        return Fraction(1)
+    if method == "dp":
+        root = downward_tree_root(graph)
+        return 1 - _failure_probability_dp(labels, instance, root)
+    if method == "lineage":
+        lineage = dwt_path_lineage(labels, instance)
+        return lineage.probability(instance.probabilities())
+    raise ValueError(f"unknown method {method!r}; expected 'dp' or 'lineage'")

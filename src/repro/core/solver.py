@@ -1,0 +1,325 @@
+"""The dispatching PHom solver implementing the paper's classification.
+
+:class:`PHomSolver` recognises which classes the query and the instance
+belong to (Figure 2), routes the computation to the most general applicable
+tractable algorithm (Propositions 3.6, 4.10, 4.11, 5.4/5.5, combined with
+Lemma 3.7 for disconnected instances), and only falls back to exponential
+brute force — with an explicit :class:`~repro.exceptions.IntractableFallbackWarning` —
+when the combination is #P-hard according to Tables 1–3 (or when asked to).
+
+The convenience function :func:`phom_probability` returns just the
+probability; :meth:`PHomSolver.solve` additionally reports which algorithm
+was used and which proposition backs it, which the benchmark harness uses to
+regenerate the tables.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ClassConstraintError, IntractableFallbackWarning, ReproError
+from repro.graphs.classes import (
+    GraphClass,
+    graph_class_of,
+    graph_in_class,
+    is_one_way_path,
+)
+from repro.graphs.builders import unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.lineage.builders import match_lineage
+from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.core.disconnected import phom_on_disconnected_instance, phom_unlabeled_on_union_dwt
+from repro.core.labeled_dwt import phom_labeled_path_on_dwt
+from repro.core.labeled_2wp import phom_connected_on_2wp
+from repro.core.unlabeled_pt import (
+    collapse_query_to_path_length,
+    phom_unlabeled_path_on_polytree,
+    phom_unlabeled_tree_query_on_polytree,
+)
+
+
+@dataclass
+class PHomResult:
+    """The result of a PHom computation, with provenance of the method used."""
+
+    probability: Fraction
+    method: str
+    proposition: Optional[str]
+    query_class: GraphClass
+    instance_class: GraphClass
+    labeled: bool
+    notes: str = ""
+
+    def __float__(self) -> float:  # pragma: no cover - convenience
+        return float(self.probability)
+
+
+class PHomSolver:
+    """Dispatcher for the probabilistic homomorphism problem.
+
+    Parameters
+    ----------
+    allow_brute_force:
+        Whether #P-hard combinations may fall back to exponential
+        possible-world enumeration (with a warning).  When false, such
+        combinations raise :class:`~repro.exceptions.ClassConstraintError`.
+    prefer:
+        ``"dp"`` (default) to evaluate the tractable cases with the direct
+        dynamic programs, ``"lineage"`` / ``"automaton"`` to use the paper's
+        lineage- and automaton-based constructions.
+    """
+
+    def __init__(self, allow_brute_force: bool = True, prefer: str = "dp") -> None:
+        if prefer not in ("dp", "lineage", "automaton"):
+            raise ValueError("prefer must be one of 'dp', 'lineage', 'automaton'")
+        self.allow_brute_force = allow_brute_force
+        self.prefer = prefer
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def probability(
+        self, query: DiGraph, instance: ProbabilisticGraph, method: str = "auto"
+    ) -> Fraction:
+        """``Pr(query ⇝ instance)`` (see :meth:`solve` for the full result)."""
+        return self.solve(query, instance, method=method).probability
+
+    def solve(
+        self, query: DiGraph, instance: ProbabilisticGraph, method: str = "auto"
+    ) -> PHomResult:
+        """Compute ``Pr(query ⇝ instance)`` and report the algorithm used.
+
+        ``method`` is ``"auto"`` (recommended) or one of the explicit
+        algorithm names listed in :meth:`available_methods`.
+        """
+        self._validate_inputs(query, instance)
+        if method == "auto":
+            return self._solve_auto(query, instance)
+        dispatch = self._explicit_methods()
+        if method not in dispatch:
+            raise ValueError(
+                f"unknown method {method!r}; expected 'auto' or one of {sorted(dispatch)}"
+            )
+        probability = dispatch[method](query, instance)
+        return self._result(query, instance, probability, method, proposition=None)
+
+    @classmethod
+    def available_methods(cls) -> list:
+        """The explicit method names accepted by :meth:`solve`."""
+        return sorted(cls()._explicit_methods())
+
+    # ------------------------------------------------------------------
+    # validation and bookkeeping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_inputs(query: DiGraph, instance: ProbabilisticGraph) -> None:
+        if query.num_vertices() == 0:
+            raise ReproError("the query graph must have at least one vertex")
+        if instance.graph.num_vertices() == 0:
+            raise ReproError("the instance graph must have at least one vertex")
+
+    @staticmethod
+    def _is_effectively_unlabeled(query: DiGraph, instance: ProbabilisticGraph) -> bool:
+        return len(query.labels() | instance.graph.labels()) <= 1
+
+    def _result(
+        self,
+        query: DiGraph,
+        instance: ProbabilisticGraph,
+        probability: Fraction,
+        method: str,
+        proposition: Optional[str],
+        notes: str = "",
+    ) -> PHomResult:
+        return PHomResult(
+            probability=probability,
+            method=method,
+            proposition=proposition,
+            query_class=graph_class_of(query),
+            instance_class=graph_class_of(instance.graph),
+            labeled=not self._is_effectively_unlabeled(query, instance),
+            notes=notes,
+        )
+
+    # ------------------------------------------------------------------
+    # explicit methods
+    # ------------------------------------------------------------------
+    def _explicit_methods(self) -> Dict[str, Callable[[DiGraph, ProbabilisticGraph], Fraction]]:
+        return {
+            "brute-force-worlds": brute_force_phom,
+            "brute-force-matches": brute_force_phom_over_matches,
+            "generic-lineage": self._generic_lineage,
+            "labeled-dwt-dp": lambda q, i: self._per_component(
+                q, i, lambda qq, ii: phom_labeled_path_on_dwt(qq, ii, method="dp")
+            ),
+            "labeled-dwt-lineage": lambda q, i: self._per_component(
+                q, i, lambda qq, ii: phom_labeled_path_on_dwt(qq, ii, method="lineage")
+            ),
+            "connected-2wp-dp": lambda q, i: self._per_component(
+                q, i, lambda qq, ii: phom_connected_on_2wp(qq, ii, method="dp")
+            ),
+            "connected-2wp-lineage": lambda q, i: self._per_component(
+                q, i, lambda qq, ii: phom_connected_on_2wp(qq, ii, method="lineage")
+            ),
+            "graded-collapse": lambda q, i: phom_unlabeled_on_union_dwt(
+                q, i, method=self._polytree_method()
+            ),
+            "polytree-automaton": lambda q, i: self._union_polytree(q, i, "automaton"),
+            "polytree-dp": lambda q, i: self._union_polytree(q, i, "dp"),
+        }
+
+    @staticmethod
+    def _generic_lineage(query: DiGraph, instance: ProbabilisticGraph) -> Fraction:
+        lineage = match_lineage(query, instance)
+        return lineage.probability(instance.probabilities())
+
+    @staticmethod
+    def _per_component(
+        query: DiGraph,
+        instance: ProbabilisticGraph,
+        solver: Callable[[DiGraph, ProbabilisticGraph], Fraction],
+    ) -> Fraction:
+        """Apply a connected-instance solver through Lemma 3.7 when needed."""
+        if instance.graph.is_weakly_connected():
+            return solver(query, instance)
+        return phom_on_disconnected_instance(query, instance, solver)
+
+    def _polytree_method(self) -> str:
+        return "dp" if self.prefer == "dp" else "automaton"
+
+    def _union_polytree(
+        self, query: DiGraph, instance: ProbabilisticGraph, method: str
+    ) -> Fraction:
+        # Collapse the (possibly disconnected) ⊔DWT query to the equivalent
+        # connected one-way path (Proposition 5.5), then apply Lemma 3.7.
+        length = collapse_query_to_path_length(query)
+        collapsed = unlabeled_path(length)
+        return self._per_component(
+            collapsed,
+            instance,
+            lambda _q, component: phom_unlabeled_path_on_polytree(length, component, method=method),
+        )
+
+    # ------------------------------------------------------------------
+    # automatic dispatch (the classification of Tables 1-3)
+    # ------------------------------------------------------------------
+    def _solve_auto(self, query: DiGraph, instance: ProbabilisticGraph) -> PHomResult:
+        graph = instance.graph
+        unlabeled = self._is_effectively_unlabeled(query, instance)
+
+        # Trivial cases first: edge-less queries always hold, and a query
+        # using a label absent from the instance never does.
+        if query.num_edges() == 0:
+            return self._result(
+                query, instance, Fraction(1), "trivial-edgeless-query", None,
+                notes="a query without edges maps anywhere",
+            )
+        if not query.labels() <= graph.labels():
+            return self._result(
+                query, instance, Fraction(0), "trivial-label-mismatch", None,
+                notes="some query label does not appear in the instance",
+            )
+
+        query_connected = query.is_weakly_connected()
+        instance_union_2wp = graph_in_class(graph, GraphClass.UNION_TWO_WAY_PATH)
+        instance_union_dwt = graph_in_class(graph, GraphClass.UNION_DOWNWARD_TREE)
+        instance_union_pt = graph_in_class(graph, GraphClass.UNION_POLYTREE)
+
+        if query_connected:
+            if instance_union_2wp:
+                probability = self._per_component(
+                    query,
+                    instance,
+                    lambda q, c: phom_connected_on_2wp(
+                        q, c, method="lineage" if self.prefer == "lineage" else "dp"
+                    ),
+                )
+                return self._result(
+                    query, instance, probability, "connected-2wp", "Proposition 4.11 (+ Lemma 3.7)"
+                )
+            if instance_union_dwt and is_one_way_path(query):
+                probability = self._per_component(
+                    query,
+                    instance,
+                    lambda q, c: phom_labeled_path_on_dwt(
+                        q, c, method="lineage" if self.prefer == "lineage" else "dp"
+                    ),
+                )
+                return self._result(
+                    query, instance, probability, "labeled-dwt", "Proposition 4.10 (+ Lemma 3.7)"
+                )
+
+        if unlabeled and instance_union_dwt:
+            probability = phom_unlabeled_on_union_dwt(
+                query, instance, method=self._polytree_method()
+            )
+            return self._result(
+                query, instance, probability, "graded-collapse", "Proposition 3.6"
+            )
+
+        if (
+            unlabeled
+            and instance_union_pt
+            and graph_in_class(query, GraphClass.UNION_DOWNWARD_TREE)
+        ):
+            method = "automaton" if self.prefer in ("automaton", "lineage") else "dp"
+            probability = self._union_polytree(query, instance, method)
+            return self._result(
+                query,
+                instance,
+                probability,
+                "polytree-" + method,
+                "Propositions 5.4 / 5.5 (+ Lemma 3.7)",
+            )
+
+        if not self.allow_brute_force:
+            raise ClassConstraintError(
+                "no polynomial-time algorithm applies to this query/instance combination "
+                "(it is #P-hard by the classification of Tables 1-3) and brute force is disabled"
+            )
+        warnings.warn(
+            "falling back to exponential brute-force enumeration: the query/instance "
+            "combination is #P-hard in combined complexity",
+            IntractableFallbackWarning,
+            stacklevel=3,
+        )
+        probability = brute_force_phom(query, instance)
+        return self._result(
+            query, instance, probability, "brute-force-worlds", None,
+            notes="#P-hard combination; exponential enumeration used",
+        )
+
+
+def phom_probability(
+    query: DiGraph,
+    instance: ProbabilisticGraph,
+    method: str = "auto",
+    allow_brute_force: bool = True,
+    prefer: str = "dp",
+) -> Fraction:
+    """``Pr(query ⇝ instance)``: the one-call public API of the library.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query, as a directed edge-labeled graph.
+    instance:
+        The tuple-independent probabilistic instance.
+    method:
+        ``"auto"`` (default) chooses the best applicable algorithm from the
+        paper's classification; explicit method names are accepted as well
+        (see :meth:`PHomSolver.available_methods`).
+    allow_brute_force:
+        Whether #P-hard combinations may be answered by exponential
+        enumeration (with a warning) instead of raising.
+    prefer:
+        Evaluation flavour for tractable cases: ``"dp"`` (direct dynamic
+        programs), ``"lineage"`` or ``"automaton"`` (the paper's
+        constructions).
+    """
+    solver = PHomSolver(allow_brute_force=allow_brute_force, prefer=prefer)
+    return solver.probability(query, instance, method=method)

@@ -1,0 +1,23 @@
+"""CSP substrate: the X-property and the tractable homomorphism check of Theorem 4.13.
+
+Proposition 4.11 needs to decide, for every connected subpath ``C`` of a
+two-way path instance, whether the (arbitrary, connected) query graph has a
+homomorphism to ``C``.  Graph homomorphism is NP-complete in general, but
+Gutjahr, Welzl & Woeginger (and Gottlob, Koch & Schulz for labeled graphs)
+showed that when the target has the *X-property* with respect to some total
+order, arc consistency decides the problem and the minimum-element
+assignment is a witness homomorphism.  This subpackage implements the
+property check and the algorithm.
+"""
+
+from repro.csp.xproperty import (
+    has_x_property,
+    x_property_homomorphism,
+    x_property_has_homomorphism,
+)
+
+__all__ = [
+    "has_x_property",
+    "x_property_homomorphism",
+    "x_property_has_homomorphism",
+]

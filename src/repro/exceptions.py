@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses communicate which
+subsystem rejected the input and why.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs (unknown vertices, duplicate edges, ...)."""
+
+
+class ClassConstraintError(ReproError):
+    """Raised when a graph does not belong to the graph class an algorithm requires.
+
+    The tractable algorithms of the paper only apply to restricted graph
+    classes (1WP, 2WP, DWT, PT, ...).  When a caller invokes a specialised
+    solver on an input outside its class, this error is raised instead of
+    silently returning a wrong probability.
+    """
+
+
+class ProbabilityError(ReproError):
+    """Raised for invalid probability annotations (outside ``[0, 1]``)."""
+
+
+class LineageError(ReproError):
+    """Raised for malformed lineage formulas or circuits."""
+
+
+class AutomatonError(ReproError):
+    """Raised for malformed tree automata or trees that an automaton cannot run on."""
+
+
+class IntractableFallbackWarning(UserWarning):
+    """Warning emitted when the dispatcher falls back to exponential brute force.
+
+    The combined complexity classification of the paper shows that some
+    query/instance combinations are #P-hard; for those the library can only
+    offer exponential-time possible-world enumeration.  The dispatcher emits
+    this warning so that the caller knows the computation may blow up.
+    """

@@ -1,0 +1,79 @@
+"""Graph substrate: directed edge-labeled graphs and the paper's graph classes.
+
+This subpackage implements everything the paper assumes about graphs:
+
+* :mod:`repro.graphs.digraph` — directed graphs with a single label per edge
+  (no multi-edges), the subgraph semantics of the paper (same vertex set,
+  subset of the edges), and weak-connectivity helpers.
+* :mod:`repro.graphs.builders` — convenient constructors for one-way paths,
+  two-way paths, downward trees, polytrees and disjoint unions.
+* :mod:`repro.graphs.classes` — recognisers for the classes 1WP, 2WP, DWT,
+  PT, Connected, All and their disjoint-union closures, together with the
+  inclusion lattice of Figure 2.
+* :mod:`repro.graphs.generators` — random generators of members of each
+  class, used by tests and benchmarks.
+* :mod:`repro.graphs.homomorphism` — exact homomorphism testing and match
+  enumeration.
+* :mod:`repro.graphs.grading` — graded DAGs and level mappings
+  (Definition 3.5), the key tool of Proposition 3.6.
+"""
+
+from repro.graphs.digraph import DiGraph, Edge, UNLABELED
+from repro.graphs.builders import (
+    one_way_path,
+    two_way_path,
+    downward_tree,
+    polytree_from_parents,
+    disjoint_union,
+)
+from repro.graphs.classes import (
+    GraphClass,
+    is_one_way_path,
+    is_two_way_path,
+    is_downward_tree,
+    is_polytree,
+    is_connected_graph,
+    classify_graph,
+    graph_class_of,
+    class_includes,
+)
+from repro.graphs.homomorphism import (
+    has_homomorphism,
+    find_homomorphism,
+    enumerate_homomorphisms,
+    homomorphic_equivalent,
+)
+from repro.graphs.grading import (
+    LevelMapping,
+    is_graded,
+    level_mapping,
+    difference_of_levels,
+)
+
+__all__ = [
+    "DiGraph",
+    "Edge",
+    "UNLABELED",
+    "one_way_path",
+    "two_way_path",
+    "downward_tree",
+    "polytree_from_parents",
+    "disjoint_union",
+    "GraphClass",
+    "is_one_way_path",
+    "is_two_way_path",
+    "is_downward_tree",
+    "is_polytree",
+    "is_connected_graph",
+    "classify_graph",
+    "graph_class_of",
+    "class_includes",
+    "has_homomorphism",
+    "find_homomorphism",
+    "enumerate_homomorphisms",
+    "homomorphic_equivalent",
+    "LevelMapping",
+    "is_graded",
+    "level_mapping",
+    "difference_of_levels",
+]

@@ -1,0 +1,198 @@
+"""Constructors for the paper's graph classes.
+
+These helpers build members of the classes 1WP, 2WP, DWT, PT and their
+disjoint unions (Section 2, "Graph classes") from compact descriptions:
+
+* :func:`one_way_path` — from a sequence of edge labels;
+* :func:`two_way_path` — from a sequence of ``(label, direction)`` pairs;
+* :func:`downward_tree` — from a parent map with labels;
+* :func:`polytree_from_parents` — from a parent map with labels *and*
+  orientations;
+* :func:`disjoint_union` — from a list of graphs, with automatic vertex
+  renaming to keep the components disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import DiGraph, UNLABELED
+
+#: Direction marker for a forward edge of a two-way path / polytree.
+FORWARD = "forward"
+#: Direction marker for a backward edge of a two-way path / polytree.
+BACKWARD = "backward"
+
+Step = Union[str, Tuple[str, str]]
+
+
+def _vertex_name(prefix: str, index: int) -> str:
+    return f"{prefix}{index}"
+
+
+def one_way_path(labels: Sequence[str], prefix: str = "v") -> DiGraph:
+    """Build the one-way path ``v0 --labels[0]--> v1 --labels[1]--> ...``.
+
+    Parameters
+    ----------
+    labels:
+        Edge labels in order; the path has ``len(labels)`` edges and
+        ``len(labels) + 1`` vertices.  An empty sequence yields the
+        single-vertex graph (a path of length zero).
+    prefix:
+        Prefix used for the generated vertex names.
+    """
+    graph = DiGraph()
+    graph.add_vertex(_vertex_name(prefix, 0))
+    for i, label in enumerate(labels):
+        graph.add_edge(_vertex_name(prefix, i), _vertex_name(prefix, i + 1), label)
+    return graph
+
+
+def unlabeled_path(length: int, prefix: str = "v") -> DiGraph:
+    """The unlabeled one-way path with ``length`` edges (the query ``->^m``)."""
+    if length < 0:
+        raise GraphError("path length must be non-negative")
+    return one_way_path([UNLABELED] * length, prefix=prefix)
+
+
+def two_way_path(steps: Sequence[Step], prefix: str = "v") -> DiGraph:
+    """Build a two-way path from a sequence of steps.
+
+    Each step is either a bare label (meaning a forward edge
+    ``v_i --label--> v_{i+1}``) or a ``(label, direction)`` pair with
+    direction :data:`FORWARD` or :data:`BACKWARD` (a backward edge is
+    ``v_i <--label-- v_{i+1}``).
+    """
+    graph = DiGraph()
+    graph.add_vertex(_vertex_name(prefix, 0))
+    for i, step in enumerate(steps):
+        if isinstance(step, str):
+            label, direction = step, FORWARD
+        else:
+            label, direction = step
+        u, v = _vertex_name(prefix, i), _vertex_name(prefix, i + 1)
+        if direction == FORWARD:
+            graph.add_edge(u, v, label)
+        elif direction == BACKWARD:
+            graph.add_edge(v, u, label)
+        else:
+            raise GraphError(f"unknown direction {direction!r}")
+    return graph
+
+
+def two_way_path_from_signs(signs: Sequence[int], label: str = UNLABELED, prefix: str = "v") -> DiGraph:
+    """Build an unlabeled-ish two-way path from ``+1`` / ``-1`` orientation signs.
+
+    ``+1`` produces a forward edge and ``-1`` a backward edge; every edge
+    carries ``label``.  This is the compact notation used by the unlabeled
+    reductions (e.g. the query ``→→→ (→→←)^k →→→`` of Proposition 5.6).
+    """
+    steps: List[Step] = []
+    for s in signs:
+        if s not in (1, -1):
+            raise GraphError(f"orientation signs must be +1 or -1, got {s!r}")
+        steps.append((label, FORWARD if s == 1 else BACKWARD))
+    return two_way_path(steps, prefix=prefix)
+
+
+def downward_tree(
+    parent: Mapping[Hashable, Hashable],
+    labels: Optional[Mapping[Hashable, str]] = None,
+    root: Optional[Hashable] = None,
+) -> DiGraph:
+    """Build a downward tree (DWT) from a child→parent map.
+
+    Parameters
+    ----------
+    parent:
+        Maps each non-root vertex to its parent.  Edges are oriented from
+        parent to child, as required by the DWT class.
+    labels:
+        Optional map from child vertex to the label of its parent edge
+        (default: unlabeled).
+    root:
+        Optional explicit root (useful for the single-vertex tree, where
+        ``parent`` is empty).
+    """
+    graph = DiGraph()
+    if root is not None:
+        graph.add_vertex(root)
+    for child, par in parent.items():
+        label = UNLABELED if labels is None else labels.get(child, UNLABELED)
+        graph.add_edge(par, child, label)
+    if graph.num_vertices() == 0:
+        raise GraphError("a downward tree must have at least one vertex")
+    return graph
+
+
+def polytree_from_parents(
+    parent: Mapping[Hashable, Tuple[Hashable, str, str]],
+    root: Optional[Hashable] = None,
+) -> DiGraph:
+    """Build a polytree from a child → ``(parent, label, direction)`` map.
+
+    ``direction`` is :data:`FORWARD` for an edge oriented parent→child (a
+    "downward" edge) and :data:`BACKWARD` for child→parent (an "upward"
+    edge).  The underlying undirected graph is the tree described by the
+    parent map.
+    """
+    graph = DiGraph()
+    if root is not None:
+        graph.add_vertex(root)
+    for child, (par, label, direction) in parent.items():
+        if direction == FORWARD:
+            graph.add_edge(par, child, label)
+        elif direction == BACKWARD:
+            graph.add_edge(child, par, label)
+        else:
+            raise GraphError(f"unknown direction {direction!r}")
+    if graph.num_vertices() == 0:
+        raise GraphError("a polytree must have at least one vertex")
+    return graph
+
+
+def star_tree(num_children: int, label: str = UNLABELED, prefix: str = "s") -> DiGraph:
+    """A downward tree of depth one with ``num_children`` children (a star)."""
+    if num_children < 0:
+        raise GraphError("number of children must be non-negative")
+    graph = DiGraph()
+    root = _vertex_name(prefix, 0)
+    graph.add_vertex(root)
+    for i in range(num_children):
+        graph.add_edge(root, _vertex_name(prefix, i + 1), label)
+    return graph
+
+
+def disjoint_union(graphs: Iterable[DiGraph], prefix: str = "c") -> DiGraph:
+    """The disjoint union of the given graphs.
+
+    Vertices of component ``i`` are renamed to ``(f"{prefix}{i}", v)`` so
+    that accidentally shared vertex names never merge components.
+    """
+    union = DiGraph()
+    for i, graph in enumerate(graphs):
+        tag = f"{prefix}{i}"
+        for v in graph.vertices:
+            union.add_vertex((tag, v))
+        for e in graph.edges():
+            union.add_edge((tag, e.source), (tag, e.target), e.label)
+    if union.num_vertices() == 0:
+        raise GraphError("a disjoint union must contain at least one non-empty graph")
+    return union
+
+
+def path_query_labels(graph: DiGraph) -> List[str]:
+    """The label sequence of a one-way path graph, in path order.
+
+    Raises :class:`~repro.exceptions.GraphError` if the graph is not a
+    one-way path.  This is the inverse of :func:`one_way_path` and is used
+    by the solvers that need the query as a label string (Prop 4.10).
+    """
+    from repro.graphs.classes import is_one_way_path, one_way_path_order
+
+    if not is_one_way_path(graph):
+        raise GraphError("graph is not a one-way path")
+    order = one_way_path_order(graph)
+    return [graph.label_of(order[i], order[i + 1]) for i in range(len(order) - 1)]

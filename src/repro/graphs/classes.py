@@ -1,0 +1,275 @@
+"""Recognisers for the paper's graph classes and the Figure 2 inclusion lattice.
+
+Section 2 of the paper defines the classes
+
+* **1WP** — one-way paths ``a1 -R1-> a2 -R2-> ... -> am`` (distinct vertices);
+* **2WP** — two-way paths (edges may point either way along the path);
+* **DWT** — downward trees (rooted trees, all edges parent→child);
+* **PT** — polytrees (underlying undirected graph is a tree);
+* **Connected** — weakly connected graphs;
+* **All** — all graphs;
+
+and, for each class ``C`` among the first four, the class ``⊔C`` of disjoint
+unions of members of ``C``.  This module provides a Boolean recogniser for
+each class, a :class:`GraphClass` enumeration, the inclusion lattice of
+Figure 2 (:func:`class_includes`), and helpers that recover the linear order
+of a path-shaped graph, which the path-based solvers rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.exceptions import ClassConstraintError, GraphError
+from repro.graphs.digraph import DiGraph, Vertex
+
+
+class GraphClass(enum.Enum):
+    """The graph classes studied in the paper (Figure 2)."""
+
+    ONE_WAY_PATH = "1WP"
+    TWO_WAY_PATH = "2WP"
+    DOWNWARD_TREE = "DWT"
+    POLYTREE = "PT"
+    CONNECTED = "Connected"
+    ALL = "All"
+    UNION_ONE_WAY_PATH = "⊔1WP"
+    UNION_TWO_WAY_PATH = "⊔2WP"
+    UNION_DOWNWARD_TREE = "⊔DWT"
+    UNION_POLYTREE = "⊔PT"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Direct inclusions of Figure 2, extended with the disjoint-union classes.
+_DIRECT_INCLUSIONS: Dict[GraphClass, Set[GraphClass]] = {
+    GraphClass.ONE_WAY_PATH: {
+        GraphClass.TWO_WAY_PATH,
+        GraphClass.DOWNWARD_TREE,
+        GraphClass.UNION_ONE_WAY_PATH,
+    },
+    GraphClass.TWO_WAY_PATH: {GraphClass.POLYTREE, GraphClass.UNION_TWO_WAY_PATH},
+    GraphClass.DOWNWARD_TREE: {GraphClass.POLYTREE, GraphClass.UNION_DOWNWARD_TREE},
+    GraphClass.POLYTREE: {GraphClass.CONNECTED, GraphClass.UNION_POLYTREE},
+    GraphClass.CONNECTED: {GraphClass.ALL},
+    GraphClass.UNION_ONE_WAY_PATH: {
+        GraphClass.UNION_TWO_WAY_PATH,
+        GraphClass.UNION_DOWNWARD_TREE,
+    },
+    GraphClass.UNION_TWO_WAY_PATH: {GraphClass.UNION_POLYTREE},
+    GraphClass.UNION_DOWNWARD_TREE: {GraphClass.UNION_POLYTREE},
+    GraphClass.UNION_POLYTREE: {GraphClass.ALL},
+    GraphClass.ALL: set(),
+}
+
+
+def _reachable(origin: GraphClass) -> FrozenSet[GraphClass]:
+    seen: Set[GraphClass] = {origin}
+    stack = [origin]
+    while stack:
+        current = stack.pop()
+        for nxt in _DIRECT_INCLUSIONS[current]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return frozenset(seen)
+
+
+_INCLUSION_CLOSURE: Dict[GraphClass, FrozenSet[GraphClass]] = {
+    cls: _reachable(cls) for cls in GraphClass
+}
+
+
+def class_includes(smaller: GraphClass, larger: GraphClass) -> bool:
+    """Whether every member of ``smaller`` is a member of ``larger`` (Figure 2).
+
+    The relation is reflexive and transitive: ``class_includes(c, c)`` is
+    always ``True`` and inclusions compose along the lattice.
+    """
+    return larger in _INCLUSION_CLOSURE[smaller]
+
+
+# ----------------------------------------------------------------------
+# path recognisers and orders
+# ----------------------------------------------------------------------
+def _undirected_path_order(graph: DiGraph) -> Optional[List[Vertex]]:
+    """The vertex order of the underlying undirected path, or ``None``.
+
+    Returns a list of vertices ``a1 .. am`` such that consecutive vertices
+    are joined by exactly one edge (in either direction) and no other edges
+    exist, or ``None`` if the underlying undirected graph is not a simple
+    path.  A single vertex yields a one-element order.
+    """
+    n = graph.num_vertices()
+    if n == 0:
+        return None
+    if graph.num_edges() != n - 1:
+        return None
+    if not graph.is_weakly_connected():
+        return None
+    if graph.underlying_has_undirected_cycle():
+        return None
+    degrees = {v: graph.degree(v) for v in graph.vertices}
+    if any(d > 2 for d in degrees.values()):
+        return None
+    if n == 1:
+        return [next(iter(graph.vertices))]
+    endpoints = sorted((v for v, d in degrees.items() if d == 1), key=repr)
+    if len(endpoints) != 2:
+        return None
+    order = [endpoints[0]]
+    previous: Optional[Vertex] = None
+    current = endpoints[0]
+    while len(order) < n:
+        neighbours = [w for w in graph.undirected_neighbours(current) if w != previous]
+        if len(neighbours) != 1:
+            return None
+        previous, current = current, neighbours[0]
+        order.append(current)
+    return order
+
+
+def is_two_way_path(graph: DiGraph) -> bool:
+    """Whether the graph is a two-way path (class 2WP)."""
+    return _undirected_path_order(graph) is not None
+
+
+def two_way_path_order(graph: DiGraph) -> List[Vertex]:
+    """The vertex sequence of a 2WP along the path (one of its two traversals)."""
+    order = _undirected_path_order(graph)
+    if order is None:
+        raise ClassConstraintError("graph is not a two-way path")
+    return order
+
+
+def is_one_way_path(graph: DiGraph) -> bool:
+    """Whether the graph is a one-way path (class 1WP)."""
+    order = _undirected_path_order(graph)
+    if order is None:
+        return False
+    if len(order) == 1:
+        return True
+    forward = all(graph.has_edge(order[i], order[i + 1]) for i in range(len(order) - 1))
+    backward = all(graph.has_edge(order[i + 1], order[i]) for i in range(len(order) - 1))
+    return forward or backward
+
+
+def one_way_path_order(graph: DiGraph) -> List[Vertex]:
+    """The vertex sequence of a 1WP from its source to its sink."""
+    order = _undirected_path_order(graph)
+    if order is None:
+        raise ClassConstraintError("graph is not a one-way path")
+    if len(order) == 1:
+        return order
+    if all(graph.has_edge(order[i], order[i + 1]) for i in range(len(order) - 1)):
+        return order
+    if all(graph.has_edge(order[i + 1], order[i]) for i in range(len(order) - 1)):
+        return list(reversed(order))
+    raise ClassConstraintError("graph is not a one-way path")
+
+
+# ----------------------------------------------------------------------
+# tree recognisers
+# ----------------------------------------------------------------------
+def is_polytree(graph: DiGraph) -> bool:
+    """Whether the graph is a polytree (underlying undirected graph is a tree)."""
+    if graph.num_vertices() == 0:
+        return False
+    return (
+        graph.is_weakly_connected()
+        and not graph.underlying_has_undirected_cycle()
+        and graph.num_edges() == graph.num_vertices() - 1
+    )
+
+
+def is_downward_tree(graph: DiGraph) -> bool:
+    """Whether the graph is a downward tree (rooted tree, all edges parent→child)."""
+    if not is_polytree(graph):
+        return False
+    roots = [v for v in graph.vertices if graph.in_degree(v) == 0]
+    if len(roots) != 1:
+        return False
+    return all(graph.in_degree(v) <= 1 for v in graph.vertices)
+
+
+def downward_tree_root(graph: DiGraph) -> Vertex:
+    """The root of a downward tree."""
+    if not is_downward_tree(graph):
+        raise ClassConstraintError("graph is not a downward tree")
+    roots = [v for v in graph.vertices if graph.in_degree(v) == 0]
+    return roots[0]
+
+
+def is_connected_graph(graph: DiGraph) -> bool:
+    """Whether the graph belongs to the class Connected (weak connectivity)."""
+    return graph.is_weakly_connected()
+
+
+# ----------------------------------------------------------------------
+# membership and classification
+# ----------------------------------------------------------------------
+def _components(graph: DiGraph) -> List[DiGraph]:
+    return graph.connected_component_graphs()
+
+
+def graph_in_class(graph: DiGraph, cls: GraphClass) -> bool:
+    """Whether ``graph`` belongs to the class ``cls``."""
+    if graph.num_vertices() == 0:
+        return False
+    if cls is GraphClass.ALL:
+        return True
+    if cls is GraphClass.CONNECTED:
+        return is_connected_graph(graph)
+    if cls is GraphClass.ONE_WAY_PATH:
+        return is_one_way_path(graph)
+    if cls is GraphClass.TWO_WAY_PATH:
+        return is_two_way_path(graph)
+    if cls is GraphClass.DOWNWARD_TREE:
+        return is_downward_tree(graph)
+    if cls is GraphClass.POLYTREE:
+        return is_polytree(graph)
+    per_component = {
+        GraphClass.UNION_ONE_WAY_PATH: is_one_way_path,
+        GraphClass.UNION_TWO_WAY_PATH: is_two_way_path,
+        GraphClass.UNION_DOWNWARD_TREE: is_downward_tree,
+        GraphClass.UNION_POLYTREE: is_polytree,
+    }
+    recogniser = per_component[cls]
+    return all(recogniser(component) for component in _components(graph))
+
+
+def classify_graph(graph: DiGraph) -> Set[GraphClass]:
+    """The set of all classes (from Figure 2) that contain ``graph``."""
+    return {cls for cls in GraphClass if graph_in_class(graph, cls)}
+
+
+#: Classes ordered from most to least specific, used by :func:`graph_class_of`.
+_SPECIFICITY_ORDER: Tuple[GraphClass, ...] = (
+    GraphClass.ONE_WAY_PATH,
+    GraphClass.TWO_WAY_PATH,
+    GraphClass.DOWNWARD_TREE,
+    GraphClass.POLYTREE,
+    GraphClass.UNION_ONE_WAY_PATH,
+    GraphClass.UNION_TWO_WAY_PATH,
+    GraphClass.UNION_DOWNWARD_TREE,
+    GraphClass.UNION_POLYTREE,
+    GraphClass.CONNECTED,
+    GraphClass.ALL,
+)
+
+
+def graph_class_of(graph: DiGraph) -> GraphClass:
+    """The most specific class of Figure 2 that contains ``graph``.
+
+    Ties between 2WP and DWT (both refine to neither) are broken in favour
+    of 2WP; this only matters for reporting, never for correctness, because
+    the dispatcher re-checks membership of whichever class it needs.
+    """
+    if graph.num_vertices() == 0:
+        raise GraphError("the empty graph belongs to no class")
+    for cls in _SPECIFICITY_ORDER:
+        if graph_in_class(graph, cls):
+            return cls
+    return GraphClass.ALL

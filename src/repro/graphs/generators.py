@@ -1,0 +1,254 @@
+"""Random generators for every graph class of the paper.
+
+Tests, examples and the benchmark workload generators all need random members
+of the classes 1WP, 2WP, DWT, PT, Connected, All and their disjoint unions.
+Every generator takes an explicit :class:`random.Random` instance (or a seed)
+so that experiments are reproducible, and returns graphs whose class
+membership is guaranteed by construction (and re-checked in the test suite).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import (
+    BACKWARD,
+    FORWARD,
+    disjoint_union,
+    one_way_path,
+    two_way_path,
+)
+from repro.graphs.digraph import DiGraph, UNLABELED
+
+#: Default label alphabet for the labeled setting (``|σ| > 1``).
+DEFAULT_ALPHABET: Sequence[str] = ("R", "S")
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _rng(source: RandomLike) -> random.Random:
+    """Normalise a seed / Random / None argument into a Random instance."""
+    if isinstance(source, random.Random):
+        return source
+    return random.Random(source)
+
+
+def random_label(rng: RandomLike = None, alphabet: Sequence[str] = DEFAULT_ALPHABET) -> str:
+    """A uniformly random label from the alphabet."""
+    return _rng(rng).choice(list(alphabet))
+
+
+def random_one_way_path(
+    length: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RandomLike = None,
+    prefix: str = "v",
+) -> DiGraph:
+    """A random one-way path with ``length`` edges and labels from ``alphabet``."""
+    r = _rng(rng)
+    labels = [r.choice(list(alphabet)) for _ in range(length)]
+    return one_way_path(labels, prefix=prefix)
+
+
+def random_two_way_path(
+    length: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RandomLike = None,
+    prefix: str = "v",
+) -> DiGraph:
+    """A random two-way path with ``length`` edges, random labels and orientations."""
+    r = _rng(rng)
+    steps = [
+        (r.choice(list(alphabet)), r.choice((FORWARD, BACKWARD))) for _ in range(length)
+    ]
+    return two_way_path(steps, prefix=prefix)
+
+
+def random_downward_tree(
+    num_vertices: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RandomLike = None,
+    prefix: str = "t",
+) -> DiGraph:
+    """A random downward tree on ``num_vertices`` vertices.
+
+    Vertex ``i`` (for ``i >= 1``) attaches below a uniformly random earlier
+    vertex, which yields trees of varied shapes (from paths to stars).
+    """
+    if num_vertices < 1:
+        raise GraphError("a downward tree needs at least one vertex")
+    r = _rng(rng)
+    graph = DiGraph()
+    names = [f"{prefix}{i}" for i in range(num_vertices)]
+    graph.add_vertex(names[0])
+    for i in range(1, num_vertices):
+        parent = names[r.randrange(i)]
+        graph.add_edge(parent, names[i], r.choice(list(alphabet)))
+    return graph
+
+
+def random_polytree(
+    num_vertices: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RandomLike = None,
+    prefix: str = "p",
+) -> DiGraph:
+    """A random polytree on ``num_vertices`` vertices.
+
+    The underlying tree is built like :func:`random_downward_tree`, but each
+    edge is oriented towards or away from the parent uniformly at random.
+    """
+    if num_vertices < 1:
+        raise GraphError("a polytree needs at least one vertex")
+    r = _rng(rng)
+    graph = DiGraph()
+    names = [f"{prefix}{i}" for i in range(num_vertices)]
+    graph.add_vertex(names[0])
+    for i in range(1, num_vertices):
+        parent = names[r.randrange(i)]
+        label = r.choice(list(alphabet))
+        if r.random() < 0.5:
+            graph.add_edge(parent, names[i], label)
+        else:
+            graph.add_edge(names[i], parent, label)
+    return graph
+
+
+def random_disjoint_union(
+    component_sizes: Sequence[int],
+    component_class: str = "1WP",
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RandomLike = None,
+) -> DiGraph:
+    """A random disjoint union whose components belong to ``component_class``.
+
+    ``component_class`` is one of ``"1WP"``, ``"2WP"``, ``"DWT"``, ``"PT"``;
+    each entry of ``component_sizes`` is the number of edges (for paths) or
+    vertices (for trees) of the corresponding component.
+    """
+    r = _rng(rng)
+    builders = {
+        "1WP": lambda n: random_one_way_path(n, alphabet, r),
+        "2WP": lambda n: random_two_way_path(n, alphabet, r),
+        "DWT": lambda n: random_downward_tree(max(n, 1), alphabet, r),
+        "PT": lambda n: random_polytree(max(n, 1), alphabet, r),
+    }
+    if component_class not in builders:
+        raise GraphError(f"unknown component class {component_class!r}")
+    components = [builders[component_class](size) for size in component_sizes]
+    return disjoint_union(components)
+
+
+def random_connected_graph(
+    num_vertices: int,
+    extra_edge_probability: float = 0.2,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RandomLike = None,
+    prefix: str = "g",
+) -> DiGraph:
+    """A random weakly connected graph (class Connected).
+
+    A random spanning tree guarantees connectivity; every remaining ordered
+    pair then receives an extra edge with probability
+    ``extra_edge_probability``.
+    """
+    if num_vertices < 1:
+        raise GraphError("a connected graph needs at least one vertex")
+    r = _rng(rng)
+    graph = random_polytree(num_vertices, alphabet, r, prefix=prefix)
+    names = sorted(graph.vertices, key=repr)
+    for u in names:
+        for v in names:
+            if u == v or graph.has_edge(u, v):
+                continue
+            if r.random() < extra_edge_probability:
+                graph.add_edge(u, v, r.choice(list(alphabet)))
+    return graph
+
+
+def random_graded_dag(
+    num_levels: int,
+    vertices_per_level: int,
+    edge_probability: float = 0.5,
+    alphabet: Sequence[str] = (UNLABELED,),
+    rng: RandomLike = None,
+    prefix: str = "d",
+) -> DiGraph:
+    """A random graded DAG whose vertices sit on ``num_levels`` levels.
+
+    Edges only connect a vertex of level ``i+1`` to a vertex of level ``i``,
+    so every directed path between two vertices has the same length and the
+    DAG is graded by construction (Definition 3.5).  Used by the
+    Proposition 3.6 experiments as "arbitrary query" workloads.
+    """
+    if num_levels < 1 or vertices_per_level < 1:
+        raise GraphError("need at least one level and one vertex per level")
+    r = _rng(rng)
+    graph = DiGraph()
+    names = [
+        [f"{prefix}{level}_{i}" for i in range(vertices_per_level)]
+        for level in range(num_levels)
+    ]
+    for row in names:
+        for v in row:
+            graph.add_vertex(v)
+    for level in range(num_levels - 1, 0, -1):
+        for upper in names[level]:
+            attached = False
+            for lower in names[level - 1]:
+                if r.random() < edge_probability:
+                    graph.add_edge(upper, lower, r.choice(list(alphabet)))
+                    attached = True
+            if not attached:
+                graph.add_edge(upper, r.choice(names[level - 1]), r.choice(list(alphabet)))
+    return graph
+
+
+def random_graph(
+    num_vertices: int,
+    edge_probability: float = 0.25,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RandomLike = None,
+    prefix: str = "a",
+) -> DiGraph:
+    """A random graph from the class All (no structural constraint)."""
+    if num_vertices < 1:
+        raise GraphError("a graph needs at least one vertex")
+    r = _rng(rng)
+    graph = DiGraph()
+    names = [f"{prefix}{i}" for i in range(num_vertices)]
+    for v in names:
+        graph.add_vertex(v)
+    for u in names:
+        for v in names:
+            if u != v and r.random() < edge_probability:
+                graph.add_edge(u, v, r.choice(list(alphabet)))
+    return graph
+
+
+def random_unlabeled_query_dag(
+    num_vertices: int,
+    edge_probability: float = 0.3,
+    rng: RandomLike = None,
+    prefix: str = "q",
+) -> DiGraph:
+    """A random unlabeled DAG query (edges oriented from lower to higher index).
+
+    These may or may not be graded, which is exactly what the
+    Proposition 3.6 solver needs to handle (non-graded queries have
+    probability zero on ⊔DWT instances).
+    """
+    if num_vertices < 1:
+        raise GraphError("a query needs at least one vertex")
+    r = _rng(rng)
+    graph = DiGraph()
+    names = [f"{prefix}{i}" for i in range(num_vertices)]
+    for v in names:
+        graph.add_vertex(v)
+    for i in range(num_vertices):
+        for j in range(i + 1, num_vertices):
+            if r.random() < edge_probability:
+                graph.add_edge(names[i], names[j], UNLABELED)
+    return graph

@@ -1,0 +1,113 @@
+"""Graded DAGs and level mappings (Definition 3.5).
+
+A *level mapping* of a DAG ``G`` assigns an integer level to every vertex
+such that every edge ``u -> v`` satisfies ``µ(v) = µ(u) - 1``; a DAG is
+*graded* when such a mapping exists.  Proposition 3.6 uses level mappings to
+show that, on (unions of) unlabeled downward-tree instances, any query graph
+either has probability zero or is equivalent to a one-way path whose length
+is the query's *difference of levels*.
+
+The computation follows the paper: pick a vertex per weakly connected
+component, assign it level 0, propagate levels by a breadth-first traversal
+(+1 against an incoming edge, −1 along an outgoing edge), and fail as soon
+as two different levels would be assigned to the same vertex — which happens
+exactly when the graph has a directed cycle or a "jumping edge" (two directed
+paths of different lengths between the same pair of vertices).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import DiGraph, Vertex
+
+
+@dataclass(frozen=True)
+class LevelMapping:
+    """A level mapping of a graded DAG.
+
+    Attributes
+    ----------
+    levels:
+        The mapping from vertices to integer levels.
+    difference:
+        The *difference of levels*: the gap between the largest and smallest
+        level, minimised over the component shifts (each weakly connected
+        component is shifted so that its smallest level is zero, as in the
+        proof of Proposition 3.6).
+    """
+
+    levels: Dict[Vertex, int]
+    difference: int
+
+    def level(self, v: Vertex) -> int:
+        """The level of a vertex."""
+        return self.levels[v]
+
+
+def level_mapping(graph: DiGraph) -> Optional[LevelMapping]:
+    """Compute the minimal level mapping of ``graph``, or ``None`` if not graded.
+
+    The returned mapping shifts every weakly connected component so that its
+    minimum level is zero; the global ``difference`` is therefore the
+    maximum level over all vertices, i.e. the length of the one-way path the
+    query collapses to on downward-tree instances (Proposition 3.6).
+    """
+    if graph.num_vertices() == 0:
+        raise GraphError("the empty graph has no level mapping")
+    levels: Dict[Vertex, int] = {}
+    overall_difference = 0
+    for component in graph.weakly_connected_components():
+        start = min(component, key=repr)
+        tentative: Dict[Vertex, int] = {start: 0}
+        queue: deque = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in graph.successors(v):
+                expected = tentative[v] - 1
+                if w in tentative:
+                    if tentative[w] != expected:
+                        return None
+                else:
+                    tentative[w] = expected
+                    queue.append(w)
+            for u in graph.predecessors(v):
+                expected = tentative[v] + 1
+                if u in tentative:
+                    if tentative[u] != expected:
+                        return None
+                else:
+                    tentative[u] = expected
+                    queue.append(u)
+        # Re-verify every edge inside the component (BFS may have assigned a
+        # vertex before exploring all of its edges).
+        for v in component:
+            for w in graph.successors(v):
+                if tentative[w] != tentative[v] - 1:
+                    return None
+        lowest = min(tentative.values())
+        for v, lvl in tentative.items():
+            levels[v] = lvl - lowest
+        overall_difference = max(overall_difference, max(tentative.values()) - lowest)
+    return LevelMapping(levels=levels, difference=overall_difference)
+
+
+def is_graded(graph: DiGraph) -> bool:
+    """Whether the graph is a graded DAG (admits a level mapping)."""
+    return level_mapping(graph) is not None
+
+
+def difference_of_levels(graph: DiGraph) -> int:
+    """The difference of levels of a graded query graph.
+
+    Raises :class:`~repro.exceptions.GraphError` when the graph is not
+    graded (in that case Proposition 3.6 shows the query probability on
+    ⊔DWT instances is zero, so callers should test :func:`is_graded` first).
+    """
+    mapping = level_mapping(graph)
+    if mapping is None:
+        raise GraphError("graph is not graded; it has no level mapping")
+    return mapping.difference

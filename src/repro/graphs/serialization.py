@@ -1,0 +1,136 @@
+"""(De)serialization of graphs and probabilistic graphs.
+
+A small, dependency-free interchange format so that queries and instances can
+be stored in files, passed to the command-line interface
+(:mod:`repro.cli`), or exchanged with other tools:
+
+* a graph is a dictionary ``{"vertices": [...], "edges": [[source, target,
+  label], ...]}``;
+* a probabilistic graph additionally carries ``"probabilities"``, a list of
+  ``[source, target, probability]`` triples where the probability is a
+  string (so that exact rationals such as ``"1/3"`` survive the round trip).
+
+Vertices are serialised as strings; graphs whose vertices are not strings are
+converted with ``str`` and a mapping back to the original objects is *not*
+kept (the format is meant for data interchange, not for pickling arbitrary
+Python objects).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Mapping, Union
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import DiGraph, UNLABELED
+from repro.probability.prob_graph import ProbabilisticGraph
+
+JsonDict = Dict[str, Any]
+
+
+# ----------------------------------------------------------------------
+# plain graphs
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: DiGraph) -> JsonDict:
+    """Serialise a graph to a plain dictionary."""
+    return {
+        "vertices": sorted(str(v) for v in graph.vertices),
+        "edges": [
+            [str(edge.source), str(edge.target), edge.label] for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: Mapping[str, Any]) -> DiGraph:
+    """Rebuild a graph from the dictionary produced by :func:`graph_to_dict`."""
+    if "edges" not in data:
+        raise GraphError("graph dictionary must contain an 'edges' list")
+    graph = DiGraph()
+    for vertex in data.get("vertices", []):
+        graph.add_vertex(str(vertex))
+    for entry in data["edges"]:
+        if len(entry) == 2:
+            source, target = entry
+            label = UNLABELED
+        elif len(entry) == 3:
+            source, target, label = entry
+        else:
+            raise GraphError(f"edge entry {entry!r} must have 2 or 3 fields")
+        graph.add_edge(str(source), str(target), str(label))
+    return graph
+
+
+def graph_to_json(graph: DiGraph, indent: int = 2) -> str:
+    """Serialise a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def graph_from_json(text: str) -> DiGraph:
+    """Rebuild a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# probabilistic graphs
+# ----------------------------------------------------------------------
+def probabilistic_graph_to_dict(instance: ProbabilisticGraph) -> JsonDict:
+    """Serialise a probabilistic graph (probabilities as exact fraction strings)."""
+    payload = graph_to_dict(instance.graph)
+    payload["probabilities"] = [
+        [str(edge.source), str(edge.target), str(probability)]
+        for edge, probability in sorted(
+            instance.probabilities().items(), key=lambda item: (repr(item[0].source), repr(item[0].target))
+        )
+    ]
+    return payload
+
+
+def probabilistic_graph_from_dict(data: Mapping[str, Any]) -> ProbabilisticGraph:
+    """Rebuild a probabilistic graph from :func:`probabilistic_graph_to_dict` output.
+
+    Edges missing from the ``"probabilities"`` list default to probability 1.
+    """
+    graph = graph_from_dict(data)
+    probabilities: Dict = {}
+    for entry in data.get("probabilities", []):
+        if len(entry) != 3:
+            raise GraphError(f"probability entry {entry!r} must be [source, target, probability]")
+        source, target, probability = entry
+        probabilities[(str(source), str(target))] = Fraction(str(probability))
+    return ProbabilisticGraph(graph, probabilities)
+
+
+def probabilistic_graph_to_json(instance: ProbabilisticGraph, indent: int = 2) -> str:
+    """Serialise a probabilistic graph to a JSON string."""
+    return json.dumps(probabilistic_graph_to_dict(instance), indent=indent, sort_keys=True)
+
+
+def probabilistic_graph_from_json(text: str) -> ProbabilisticGraph:
+    """Rebuild a probabilistic graph from a JSON string."""
+    return probabilistic_graph_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+def save_graph(graph: Union[DiGraph, ProbabilisticGraph], path: str) -> None:
+    """Write a (probabilistic) graph to a JSON file."""
+    if isinstance(graph, ProbabilisticGraph):
+        text = probabilistic_graph_to_json(graph)
+    else:
+        text = graph_to_json(graph)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def load_query(path: str) -> DiGraph:
+    """Read a query graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_json(handle.read())
+
+
+def load_instance(path: str) -> ProbabilisticGraph:
+    """Read a probabilistic instance from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return probabilistic_graph_from_json(handle.read())

@@ -1,0 +1,73 @@
+"""Generic lineage construction (Definition 4.6).
+
+Given a query graph ``G`` and a probabilistic instance ``(H, π)``, the
+*lineage* of ``G`` on ``H`` is a Boolean function over the edges of ``H``
+that evaluates to true on a valuation ``ν`` exactly when ``G ⇝ ν(H)``.
+Because queries are conjunctive (edge-positive), the lineage is captured by
+the positive DNF with one clause per match edge set: a world satisfies the
+query iff it contains all edges of some match.
+
+:func:`match_lineage` builds this DNF by homomorphism enumeration.  It is
+exponential in general (there may be exponentially many matches); the
+polynomial solvers of :mod:`repro.core` instead build their lineages by
+structure-specific enumeration (downward paths of a DWT, connected subpaths
+of a 2WP) with polynomially many clauses.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.graphs.digraph import DiGraph, Edge
+from repro.graphs.homomorphism import enumerate_homomorphisms
+from repro.lineage.dnf import PositiveDNF
+from repro.probability.prob_graph import ProbabilisticGraph
+
+
+def match_lineage(query: DiGraph, instance: ProbabilisticGraph, minimise: bool = True) -> PositiveDNF:
+    """The positive-DNF lineage of ``query`` on ``instance``.
+
+    Parameters
+    ----------
+    query:
+        The query graph ``G``.
+    instance:
+        The probabilistic instance ``(H, π)``; only its underlying graph is
+        used (probabilities play no role in the lineage itself).
+    minimise:
+        When true (default), clauses that are supersets of other clauses are
+        dropped; this does not change the Boolean function (a world
+        containing a superset clause also contains the subset clause) but
+        keeps the DNF smaller.
+    """
+    instance_graph = instance.graph
+    clause_sets: Set[FrozenSet[Edge]] = set()
+    for hom in enumerate_homomorphisms(query, instance_graph):
+        clause = frozenset(
+            instance_graph.get_edge(hom[e.source], hom[e.target]) for e in query.edges()
+        )
+        clause_sets.add(clause)
+    if minimise:
+        kept = []
+        for clause in sorted(clause_sets, key=len):
+            if not any(existing <= clause for existing in kept):
+                kept.append(clause)
+        clause_sets = set(kept)
+    return PositiveDNF(clause_sets)
+
+
+def lineage_captures_query(
+    lineage: PositiveDNF, query: DiGraph, instance: ProbabilisticGraph
+) -> bool:
+    """Check Definition 4.6 exhaustively: the lineage is true exactly on satisfying worlds.
+
+    Exponential in the number of instance edges; used by the test suite to
+    validate the structure-specific lineage builders on small inputs.
+    """
+    from repro.graphs.homomorphism import has_homomorphism
+
+    for world in instance.possible_worlds(skip_zero_probability=False):
+        valuation = {edge: True for edge in world.kept_edges}
+        if lineage.evaluate(valuation) != has_homomorphism(query, world.graph):
+            return False
+    return True

@@ -1,0 +1,284 @@
+"""d-DNNF circuits (Definition 5.3) with linear-time probability computation.
+
+A deterministic decomposable negation normal form circuit is a Boolean
+circuit in which
+
+* negation is only applied to input gates,
+* the children of every AND gate depend on pairwise disjoint sets of input
+  variables (*decomposability*), and
+* the children of every OR gate are mutually exclusive (*determinism*).
+
+Under these restrictions the probability of the circuit under independent
+variables is computed bottom-up in linear time: AND gates multiply, OR gates
+add.  This is the compilation target of the tree-automaton lineage of
+Proposition 5.4: the provenance circuit of a *deterministic* bottom-up tree
+automaton on an uncertain tree is a d-DNNF, so the probability of the query
+follows in polynomial combined complexity.
+
+The class below is a small arena-based DAG of gates.  Structural property
+*checkers* are included (syntactic decomposability; exhaustive determinism on
+small supports) so the test suite can verify that the circuits produced by
+:mod:`repro.automata.provenance` really are d-DNNFs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import LineageError
+
+Variable = Hashable
+
+
+class GateKind(enum.Enum):
+    """The kinds of gates a d-DNNF circuit may contain."""
+
+    VAR = "var"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    TRUE = "true"
+    FALSE = "false"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate of the circuit: its kind, its variable (for literals) and its children."""
+
+    kind: GateKind
+    variable: Optional[Variable] = None
+    children: Tuple[int, ...] = ()
+
+
+class DDNNF:
+    """An arena-based d-DNNF circuit.
+
+    Gates are created through the ``add_*`` methods, which return integer
+    gate identifiers; the circuit's output gate is set with
+    :meth:`set_root`.  Literal gates are hash-consed so repeated requests
+    for the same variable reuse the same gate.
+    """
+
+    def __init__(self) -> None:
+        self._gates: List[Gate] = []
+        self._literal_cache: Dict[Tuple[bool, Variable], int] = {}
+        self._constant_cache: Dict[GateKind, int] = {}
+        self._root: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add(self, gate: Gate) -> int:
+        self._gates.append(gate)
+        return len(self._gates) - 1
+
+    def add_var(self, variable: Variable) -> int:
+        """The positive literal gate for ``variable``."""
+        key = (True, variable)
+        if key not in self._literal_cache:
+            self._literal_cache[key] = self._add(Gate(GateKind.VAR, variable=variable))
+        return self._literal_cache[key]
+
+    def add_not(self, variable: Variable) -> int:
+        """The negative literal gate for ``variable`` (negation applies to inputs only)."""
+        key = (False, variable)
+        if key not in self._literal_cache:
+            self._literal_cache[key] = self._add(Gate(GateKind.NOT, variable=variable))
+        return self._literal_cache[key]
+
+    def add_true(self) -> int:
+        """The constant-true gate."""
+        if GateKind.TRUE not in self._constant_cache:
+            self._constant_cache[GateKind.TRUE] = self._add(Gate(GateKind.TRUE))
+        return self._constant_cache[GateKind.TRUE]
+
+    def add_false(self) -> int:
+        """The constant-false gate."""
+        if GateKind.FALSE not in self._constant_cache:
+            self._constant_cache[GateKind.FALSE] = self._add(Gate(GateKind.FALSE))
+        return self._constant_cache[GateKind.FALSE]
+
+    def add_and(self, children: Sequence[int]) -> int:
+        """An AND gate over the given children (empty AND is the constant true)."""
+        children = tuple(children)
+        if not children:
+            return self.add_true()
+        if len(children) == 1:
+            return children[0]
+        self._check_children(children)
+        return self._add(Gate(GateKind.AND, children=children))
+
+    def add_or(self, children: Sequence[int]) -> int:
+        """An OR gate over the given children (empty OR is the constant false)."""
+        children = tuple(children)
+        if not children:
+            return self.add_false()
+        if len(children) == 1:
+            return children[0]
+        self._check_children(children)
+        return self._add(Gate(GateKind.OR, children=children))
+
+    def _check_children(self, children: Sequence[int]) -> None:
+        for child in children:
+            if not (0 <= child < len(self._gates)):
+                raise LineageError(f"unknown gate identifier {child!r}")
+
+    def set_root(self, gate: int) -> None:
+        """Declare the circuit's output gate."""
+        self._check_children([gate])
+        self._root = gate
+
+    @property
+    def root(self) -> int:
+        """The output gate (raises if not set)."""
+        if self._root is None:
+            raise LineageError("circuit root has not been set")
+        return self._root
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def gate(self, gate_id: int) -> Gate:
+        """The gate with the given identifier."""
+        return self._gates[gate_id]
+
+    def num_gates(self) -> int:
+        """Number of gates in the arena."""
+        return len(self._gates)
+
+    def num_wires(self) -> int:
+        """Total number of child wires (circuit size measure)."""
+        return sum(len(g.children) for g in self._gates)
+
+    def variables(self) -> Set[Variable]:
+        """The input variables mentioned by the circuit."""
+        return {g.variable for g in self._gates if g.kind in (GateKind.VAR, GateKind.NOT)}
+
+    def _supports(self) -> List[FrozenSet[Variable]]:
+        """Variable support of every gate, computed bottom-up."""
+        supports: List[FrozenSet[Variable]] = []
+        for gate in self._gates:
+            if gate.kind in (GateKind.VAR, GateKind.NOT):
+                supports.append(frozenset([gate.variable]))
+            elif gate.kind in (GateKind.TRUE, GateKind.FALSE):
+                supports.append(frozenset())
+            else:
+                merged: Set[Variable] = set()
+                for child in gate.children:
+                    merged |= supports[child]
+                supports.append(frozenset(merged))
+        return supports
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def evaluate(self, valuation: Mapping[Variable, bool]) -> bool:
+        """Evaluate the circuit under a valuation (missing variables default to false)."""
+        values: List[bool] = []
+        for gate in self._gates:
+            if gate.kind is GateKind.VAR:
+                values.append(bool(valuation.get(gate.variable, False)))
+            elif gate.kind is GateKind.NOT:
+                values.append(not valuation.get(gate.variable, False))
+            elif gate.kind is GateKind.TRUE:
+                values.append(True)
+            elif gate.kind is GateKind.FALSE:
+                values.append(False)
+            elif gate.kind is GateKind.AND:
+                values.append(all(values[c] for c in gate.children))
+            else:
+                values.append(any(values[c] for c in gate.children))
+        return values[self.root]
+
+    def probability(self, probabilities: Mapping[Variable, Fraction]) -> Fraction:
+        """The probability of the circuit under independent variables.
+
+        AND gates multiply and OR gates add, which is only correct because
+        of decomposability and determinism; callers constructing circuits by
+        hand should validate them with :meth:`is_decomposable` and
+        :meth:`is_deterministic`.
+        """
+        values: List[Fraction] = []
+        for gate in self._gates:
+            if gate.kind is GateKind.VAR:
+                values.append(Fraction(probabilities[gate.variable]))
+            elif gate.kind is GateKind.NOT:
+                values.append(1 - Fraction(probabilities[gate.variable]))
+            elif gate.kind is GateKind.TRUE:
+                values.append(Fraction(1))
+            elif gate.kind is GateKind.FALSE:
+                values.append(Fraction(0))
+            elif gate.kind is GateKind.AND:
+                term = Fraction(1)
+                for child in gate.children:
+                    term *= values[child]
+                values.append(term)
+            else:
+                total = Fraction(0)
+                for child in gate.children:
+                    total += values[child]
+                values.append(total)
+        return values[self.root]
+
+    # ------------------------------------------------------------------
+    # property checkers (used by the test suite)
+    # ------------------------------------------------------------------
+    def is_decomposable(self) -> bool:
+        """Whether every AND gate has children with pairwise disjoint supports."""
+        supports = self._supports()
+        for gate in self._gates:
+            if gate.kind is not GateKind.AND:
+                continue
+            seen: Set[Variable] = set()
+            for child in gate.children:
+                if supports[child] & seen:
+                    return False
+                seen |= supports[child]
+        return True
+
+    def is_deterministic(self, max_support: int = 16) -> bool:
+        """Whether every OR gate has mutually exclusive children.
+
+        The check is semantic and exhaustive over the support of each OR
+        gate, so it is limited to gates whose support has at most
+        ``max_support`` variables; a larger support raises
+        :class:`~repro.exceptions.LineageError` rather than silently
+        checking nothing.
+        """
+        supports = self._supports()
+
+        def gate_value(gate_id: int, valuation: Mapping[Variable, bool]) -> bool:
+            gate = self._gates[gate_id]
+            if gate.kind is GateKind.VAR:
+                return bool(valuation.get(gate.variable, False))
+            if gate.kind is GateKind.NOT:
+                return not valuation.get(gate.variable, False)
+            if gate.kind is GateKind.TRUE:
+                return True
+            if gate.kind is GateKind.FALSE:
+                return False
+            if gate.kind is GateKind.AND:
+                return all(gate_value(c, valuation) for c in gate.children)
+            return any(gate_value(c, valuation) for c in gate.children)
+
+        for gate_id, gate in enumerate(self._gates):
+            if gate.kind is not GateKind.OR or len(gate.children) < 2:
+                continue
+            support = sorted(supports[gate_id], key=repr)
+            if len(support) > max_support:
+                raise LineageError(
+                    f"OR gate support of size {len(support)} exceeds max_support={max_support}"
+                )
+            for bits in product((False, True), repeat=len(support)):
+                valuation = dict(zip(support, bits))
+                true_children = sum(1 for c in gate.children if gate_value(c, valuation))
+                if true_children > 1:
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DDNNF(gates={self.num_gates()}, wires={self.num_wires()}, vars={len(self.variables())})"

@@ -1,0 +1,214 @@
+"""Positive DNF formulas over arbitrary hashable variables.
+
+The lineages computed in Section 4 are *positive DNF formulas*
+(Definition 4.3): disjunctions of clauses, each clause being a conjunction of
+variables (here: edges of the probabilistic instance).  This module
+implements such formulas together with three ways of computing their
+probability under independent variables:
+
+* :meth:`PositiveDNF.probability_by_enumeration` — sum over all valuations;
+  exponential, used only as a test oracle;
+* :meth:`PositiveDNF.probability_inclusion_exclusion` — inclusion–exclusion
+  over clauses; exponential in the number of clauses;
+* :meth:`PositiveDNF.probability` — memoised Shannon expansion following an
+  elimination order.  On the β-acyclic lineages produced by
+  Propositions 4.10 and 4.11 the reverse β-elimination order keeps the
+  number of distinct sub-formulas polynomial, which makes this the practical
+  evaluation route (the certified-polynomial routes are the direct dynamic
+  programs in :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations, product
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import LineageError
+from repro.lineage.hypergraph import (
+    Hypergraph,
+    beta_elimination_order,
+    hypergraph_of_clauses,
+    is_beta_acyclic,
+)
+
+Variable = Hashable
+Clause = FrozenSet[Variable]
+
+
+class PositiveDNF:
+    """A positive DNF formula ``∨_i ∧_j x_{i,j}`` over hashable variables.
+
+    The formula with zero clauses is the constant *false*; a formula
+    containing an empty clause is the constant *true* (an empty conjunction).
+    Clauses are stored as a set of frozensets, so duplicate clauses collapse.
+    """
+
+    def __init__(self, clauses: Optional[Iterable[Iterable[Variable]]] = None) -> None:
+        self._clauses: Set[Clause] = set()
+        if clauses is not None:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # construction and basic queries
+    # ------------------------------------------------------------------
+    def add_clause(self, clause: Iterable[Variable]) -> Clause:
+        """Add a clause (a set of variables whose conjunction is one disjunct)."""
+        frozen = frozenset(clause)
+        self._clauses.add(frozen)
+        return frozen
+
+    @property
+    def clauses(self) -> FrozenSet[Clause]:
+        """The set of clauses."""
+        return frozenset(self._clauses)
+
+    def variables(self) -> Set[Variable]:
+        """All variables appearing in some clause."""
+        if not self._clauses:
+            return set()
+        return set().union(*self._clauses)
+
+    def num_clauses(self) -> int:
+        """Number of distinct clauses."""
+        return len(self._clauses)
+
+    def is_false(self) -> bool:
+        """Whether the formula is the constant false (no clauses)."""
+        return not self._clauses
+
+    def is_true(self) -> bool:
+        """Whether the formula is the constant true (contains the empty clause)."""
+        return any(not clause for clause in self._clauses)
+
+    def evaluate(self, valuation: Mapping[Variable, bool]) -> bool:
+        """Evaluate the formula under a valuation (missing variables default to false)."""
+        return any(all(valuation.get(v, False) for v in clause) for clause in self._clauses)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def hypergraph(self) -> Hypergraph:
+        """The clause hypergraph ``H(φ)`` of Definition 4.8."""
+        return hypergraph_of_clauses([c for c in self._clauses if c])
+
+    def is_beta_acyclic(self) -> bool:
+        """Whether the formula is β-acyclic (Definition 4.8)."""
+        return is_beta_acyclic(self.hypergraph())
+
+    def beta_elimination_order(self) -> Optional[List[Variable]]:
+        """A β-elimination order of the clause hypergraph, or ``None``."""
+        return beta_elimination_order(self.hypergraph())
+
+    # ------------------------------------------------------------------
+    # probability computation
+    # ------------------------------------------------------------------
+    def probability_by_enumeration(self, probabilities: Mapping[Variable, Fraction]) -> Fraction:
+        """Exact probability by summing over all valuations (exponential oracle)."""
+        variables = sorted(self.variables(), key=repr)
+        if self.is_true():
+            return Fraction(1)
+        total = Fraction(0)
+        for bits in product((False, True), repeat=len(variables)):
+            valuation = dict(zip(variables, bits))
+            if not self.evaluate(valuation):
+                continue
+            weight = Fraction(1)
+            for variable, value in valuation.items():
+                p = Fraction(probabilities[variable])
+                weight *= p if value else (1 - p)
+            total += weight
+        return total
+
+    def probability_inclusion_exclusion(
+        self, probabilities: Mapping[Variable, Fraction]
+    ) -> Fraction:
+        """Exact probability by inclusion–exclusion over clauses (exponential in #clauses)."""
+        if self.is_true():
+            return Fraction(1)
+        clause_list = sorted(self._clauses, key=lambda c: sorted(map(repr, c)))
+        total = Fraction(0)
+        for size in range(1, len(clause_list) + 1):
+            sign = Fraction(1) if size % 2 == 1 else Fraction(-1)
+            for subset in combinations(clause_list, size):
+                union: Set[Variable] = set()
+                for clause in subset:
+                    union |= clause
+                term = Fraction(1)
+                for variable in union:
+                    term *= Fraction(probabilities[variable])
+                total += sign * term
+        return total
+
+    def probability(
+        self,
+        probabilities: Mapping[Variable, Fraction],
+        order: Optional[Sequence[Variable]] = None,
+    ) -> Fraction:
+        """Exact probability by memoised Shannon expansion along an elimination order.
+
+        Parameters
+        ----------
+        probabilities:
+            Independent truth probability of each variable.
+        order:
+            Variable branching order.  When omitted, the reverse of a
+            β-elimination order is used if the formula is β-acyclic (this is
+            the order under which the lineages of Props 4.10/4.11 produce
+            polynomially many distinct sub-formulas), and a most-frequent-
+            variable-first order otherwise.
+        """
+        if self.is_true():
+            return Fraction(1)
+        if self.is_false():
+            return Fraction(0)
+        if order is None:
+            elimination = self.beta_elimination_order()
+            if elimination is not None:
+                order = list(reversed(elimination))
+            else:
+                frequency: Dict[Variable, int] = {}
+                for clause in self._clauses:
+                    for variable in clause:
+                        frequency[variable] = frequency.get(variable, 0) + 1
+                order = sorted(frequency, key=lambda v: (-frequency[v], repr(v)))
+        order = list(order)
+        missing = self.variables() - set(order)
+        if missing:
+            raise LineageError(f"branching order is missing variables: {missing!r}")
+        position = {variable: index for index, variable in enumerate(order)}
+        cache: Dict[FrozenSet[Clause], Fraction] = {}
+
+        def solve(clauses: FrozenSet[Clause]) -> Fraction:
+            if not clauses:
+                return Fraction(0)
+            if any(not clause for clause in clauses):
+                return Fraction(1)
+            if clauses in cache:
+                return cache[clauses]
+            variable = min(
+                (v for clause in clauses for v in clause), key=lambda v: position[v]
+            )
+            p = Fraction(probabilities[variable])
+            positive = frozenset(clause - {variable} for clause in clauses)
+            negative = frozenset(clause for clause in clauses if variable not in clause)
+            result = p * solve(positive) + (1 - p) * solve(negative)
+            cache[clauses] = result
+            return result
+
+        return solve(frozenset(self._clauses))
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PositiveDNF):
+            return NotImplemented
+        return self._clauses == other._clauses
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PositiveDNF(clauses={len(self._clauses)}, variables={len(self.variables())})"

@@ -1,0 +1,128 @@
+"""Hypergraphs, β-leaves and β-acyclicity (Definition 4.7).
+
+A hypergraph is a finite vertex set together with a set of non-empty
+hyperedges.  A vertex is a *β-leaf* when the hyperedges containing it are
+totally ordered by inclusion; a *β-elimination order* repeatedly removes
+β-leaves (dropping emptied hyperedges) until no hyperedge remains, and a
+hypergraph is *β-acyclic* when such an order exists.
+
+β-acyclicity is the structural property that makes the lineages of
+Propositions 4.10 and 4.11 tractable (via Theorem 4.9).  Removing a β-leaf
+of a β-acyclic hypergraph leaves it β-acyclic, so the greedy procedure below
+(eliminate any β-leaf, in any order) is a sound and complete test.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import LineageError
+
+VertexName = Hashable
+Hyperedge = FrozenSet[VertexName]
+
+
+class Hypergraph:
+    """A finite hypergraph with non-empty hyperedges.
+
+    Duplicate hyperedges are merged (the edge set is a *set* of subsets),
+    matching Definition 4.7.
+    """
+
+    def __init__(
+        self,
+        vertices: Optional[Iterable[VertexName]] = None,
+        hyperedges: Optional[Iterable[Iterable[VertexName]]] = None,
+    ) -> None:
+        self._vertices: Set[VertexName] = set(vertices) if vertices is not None else set()
+        self._hyperedges: Set[Hyperedge] = set()
+        if hyperedges is not None:
+            for edge in hyperedges:
+                self.add_hyperedge(edge)
+
+    def add_vertex(self, v: VertexName) -> None:
+        """Add an isolated vertex."""
+        self._vertices.add(v)
+
+    def add_hyperedge(self, edge: Iterable[VertexName]) -> Hyperedge:
+        """Add a hyperedge (its vertices are added to the vertex set)."""
+        frozen = frozenset(edge)
+        if not frozen:
+            raise LineageError("hyperedges must be non-empty")
+        self._vertices |= frozen
+        self._hyperedges.add(frozen)
+        return frozen
+
+    @property
+    def vertices(self) -> FrozenSet[VertexName]:
+        """The vertex set."""
+        return frozenset(self._vertices)
+
+    @property
+    def hyperedges(self) -> FrozenSet[Hyperedge]:
+        """The set of hyperedges."""
+        return frozenset(self._hyperedges)
+
+    def incident_hyperedges(self, v: VertexName) -> List[Hyperedge]:
+        """The hyperedges containing ``v``."""
+        return [edge for edge in self._hyperedges if v in edge]
+
+    def is_beta_leaf(self, v: VertexName) -> bool:
+        """Whether ``v`` is a β-leaf (its incident hyperedges form a chain)."""
+        incident = sorted(self.incident_hyperedges(v), key=len)
+        for smaller, larger in zip(incident, incident[1:]):
+            if not smaller <= larger:
+                return False
+        return True
+
+    def remove_vertex(self, v: VertexName) -> "Hypergraph":
+        """The hypergraph ``H \\ v`` (vertex removed from every hyperedge)."""
+        new_edges = []
+        for edge in self._hyperedges:
+            reduced = edge - {v}
+            if reduced:
+                new_edges.append(reduced)
+        return Hypergraph(vertices=self._vertices - {v}, hyperedges=new_edges)
+
+    def copy(self) -> "Hypergraph":
+        """An independent copy."""
+        return Hypergraph(vertices=self._vertices, hyperedges=self._hyperedges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Hypergraph(|V|={len(self._vertices)}, |E|={len(self._hyperedges)})"
+
+
+def beta_elimination_order(hypergraph: Hypergraph) -> Optional[List[VertexName]]:
+    """A β-elimination order of the hypergraph, or ``None`` if none exists.
+
+    The returned order lists the eliminated vertices in elimination order; it
+    stops as soon as no hyperedge remains (vertices that are in no hyperedge
+    never need to be eliminated, per Definition 4.7).
+    """
+    current = hypergraph.copy()
+    order: List[VertexName] = []
+    while current.hyperedges:
+        leaf: Optional[VertexName] = None
+        covered = set().union(*current.hyperedges)
+        for v in sorted(covered, key=repr):
+            if current.is_beta_leaf(v):
+                leaf = v
+                break
+        if leaf is None:
+            return None
+        order.append(leaf)
+        current = current.remove_vertex(leaf)
+    return order
+
+
+def is_beta_acyclic(hypergraph: Hypergraph) -> bool:
+    """Whether the hypergraph is β-acyclic."""
+    return beta_elimination_order(hypergraph) is not None
+
+
+def hypergraph_of_clauses(clauses: Sequence[Iterable[VertexName]]) -> Hypergraph:
+    """The hypergraph ``H(φ)`` of a positive DNF: one hyperedge per clause (Definition 4.8)."""
+    hypergraph = Hypergraph()
+    for clause in clauses:
+        hypergraph.add_hyperedge(clause)
+    return hypergraph

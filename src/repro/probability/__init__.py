@@ -1,0 +1,23 @@
+"""Probabilistic graphs (tuple-independent instances) and the brute-force oracle.
+
+* :mod:`repro.probability.prob_graph` — the :class:`ProbabilisticGraph`
+  representation ``(H, π)`` of Section 2, with exact rational probabilities
+  and possible-world enumeration.
+* :mod:`repro.probability.brute_force` — the exponential-time reference
+  solver that sums the probabilities of the possible worlds satisfying the
+  query.  Every polynomial algorithm in :mod:`repro.core` is tested against
+  it.
+"""
+
+from repro.probability.prob_graph import ProbabilisticGraph, PossibleWorld
+from repro.probability.brute_force import (
+    brute_force_phom,
+    brute_force_phom_over_matches,
+)
+
+__all__ = [
+    "ProbabilisticGraph",
+    "PossibleWorld",
+    "brute_force_phom",
+    "brute_force_phom_over_matches",
+]

@@ -1,0 +1,91 @@
+"""Exponential-time reference solvers for the probabilistic homomorphism problem.
+
+``PHom`` asks for ``Pr(G ⇝ H) = Σ_{H' ⊆ H, G ⇝ H'} Pr(H')``.  The paper
+shows this is #P-hard in general, so the only *generally* correct algorithms
+are exponential.  This module provides two of them:
+
+* :func:`brute_force_phom` enumerates possible worlds and tests each one for
+  a homomorphism — a direct transcription of the definition;
+* :func:`brute_force_phom_over_matches` enumerates the minimal matches of the
+  query and applies inclusion–exclusion over their edge sets, which is often
+  much faster when the query has few matches (this is the calculation used in
+  Example 2.2).
+
+Both are used as oracles by the test suite; every polynomial-time solver in
+:mod:`repro.core` must agree with them exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Set
+
+from repro.graphs.digraph import DiGraph, Edge
+from repro.graphs.homomorphism import enumerate_homomorphisms, has_homomorphism
+from repro.probability.prob_graph import ProbabilisticGraph
+
+
+def brute_force_phom(query: DiGraph, instance: ProbabilisticGraph) -> Fraction:
+    """Exact ``Pr(query ⇝ instance)`` by possible-world enumeration.
+
+    Runs in time ``O(2^u · hom(query, world))`` where ``u`` is the number of
+    uncertain edges; only usable on small instances, but unconditionally
+    correct.
+    """
+    if query.num_vertices() == 0:
+        return Fraction(0)
+    total = Fraction(0)
+    for world in instance.possible_worlds():
+        if world.probability == 0:
+            continue
+        if has_homomorphism(query, world.graph):
+            total += world.probability
+    return total
+
+
+def _minimal_match_edge_sets(query: DiGraph, instance: ProbabilisticGraph) -> List[FrozenSet[Edge]]:
+    """The distinct edge sets of query matches in the full instance graph."""
+    instance_graph = instance.graph
+    edge_sets: Set[FrozenSet[Edge]] = set()
+    for hom in enumerate_homomorphisms(query, instance_graph):
+        edges = frozenset(
+            instance_graph.get_edge(hom[e.source], hom[e.target]) for e in query.edges()
+        )
+        edge_sets.add(edges)
+    # Keep only inclusion-minimal edge sets: any world containing a superset
+    # also contains the subset, so non-minimal sets are redundant for the
+    # union event (and dropping them speeds up inclusion-exclusion).
+    minimal: List[FrozenSet[Edge]] = []
+    for candidate in sorted(edge_sets, key=len):
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return minimal
+
+
+def brute_force_phom_over_matches(query: DiGraph, instance: ProbabilisticGraph) -> Fraction:
+    """Exact ``Pr(query ⇝ instance)`` by inclusion–exclusion over match edge sets.
+
+    The event ``query ⇝ world`` is the union, over matches ``M`` of the query
+    in the instance, of the events "all edges of ``M`` are present".
+    Inclusion–exclusion over the (inclusion-minimal) match edge sets gives the
+    probability of the union.  Exponential in the number of matches.
+    """
+    if query.num_vertices() == 0:
+        return Fraction(0)
+    matches = _minimal_match_edge_sets(query, instance)
+    if not matches:
+        return Fraction(0)
+    probabilities: Dict[Edge, Fraction] = instance.probabilities()
+    total = Fraction(0)
+    for size in range(1, len(matches) + 1):
+        sign = Fraction(1) if size % 2 == 1 else Fraction(-1)
+        for subset in combinations(matches, size):
+            union_edges: Set[Edge] = set()
+            for match in subset:
+                union_edges |= match
+            term = Fraction(1)
+            for edge in union_edges:
+                term *= probabilities[edge]
+            total += sign * term
+    return total

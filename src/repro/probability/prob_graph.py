@@ -1,0 +1,229 @@
+"""Probabilistic graphs: the tuple-independent instances of the paper.
+
+A probabilistic graph ``(H, π)`` (Section 2) annotates every edge of a
+directed labeled graph ``H`` with a rational probability ``π(e) ∈ [0, 1]``.
+It concisely represents the probability distribution over the subgraphs
+``H' ⊆ H`` (possible worlds) obtained by keeping or deleting every edge
+independently:
+
+```
+Pr(H') = Π_{e ∈ H'} π(e) × Π_{e ∉ H'} (1 − π(e))
+```
+
+All probabilities are stored as :class:`fractions.Fraction` so that the
+library computes *exact* answers; the test suite can therefore compare the
+polynomial-time algorithms against the brute-force oracle with equality
+rather than with numerical tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import GraphError, ProbabilityError
+from repro.graphs.digraph import DiGraph, Edge, Vertex
+
+ProbabilityLike = Union[int, float, str, Fraction]
+
+
+def as_probability(value: ProbabilityLike) -> Fraction:
+    """Convert a user-supplied probability into an exact :class:`Fraction` in [0, 1].
+
+    Floats are converted through their decimal string representation (so
+    ``0.1`` becomes exactly ``1/10`` rather than the binary float closest to
+    it), which matches the paper's convention that probabilities are
+    rational numbers given in the input.
+    """
+    if isinstance(value, Fraction):
+        probability = value
+    elif isinstance(value, bool):
+        raise ProbabilityError(f"probabilities must be numbers, got {value!r}")
+    elif isinstance(value, int):
+        probability = Fraction(value)
+    elif isinstance(value, float):
+        probability = Fraction(str(value))
+    elif isinstance(value, str):
+        probability = Fraction(value)
+    else:
+        raise ProbabilityError(f"cannot interpret {value!r} as a probability")
+    if probability < 0 or probability > 1:
+        raise ProbabilityError(f"probability {probability} is outside [0, 1]")
+    return probability
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One possible world of a probabilistic graph: a subgraph and its probability."""
+
+    graph: DiGraph
+    probability: Fraction
+    kept_edges: Tuple[Edge, ...]
+
+
+class ProbabilisticGraph:
+    """A probabilistic instance graph ``(H, π)``.
+
+    Parameters
+    ----------
+    graph:
+        The underlying directed labeled graph ``H``.
+    probabilities:
+        Mapping from edges to probabilities.  Keys may be :class:`Edge`
+        objects or ``(source, target)`` pairs.  Edges missing from the
+        mapping receive ``default``.
+    default:
+        Probability assigned to unmapped edges (default 1, i.e. certain).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        probabilities: Optional[Mapping] = None,
+        default: ProbabilityLike = 1,
+    ) -> None:
+        self._graph = graph.copy()
+        default_probability = as_probability(default)
+        self._probabilities: Dict[Edge, Fraction] = {
+            edge: default_probability for edge in self._graph.edge_set()
+        }
+        if probabilities:
+            for key, value in probabilities.items():
+                edge = self._resolve_edge(key)
+                self._probabilities[edge] = as_probability(value)
+
+    def _resolve_edge(self, key) -> Edge:
+        if isinstance(key, Edge):
+            candidate = self._graph.get_edge(key.source, key.target)
+            if candidate.label != key.label:
+                raise GraphError(f"edge {key!r} does not match the instance edge {candidate!r}")
+            return candidate
+        if isinstance(key, tuple) and len(key) == 2:
+            return self._graph.get_edge(key[0], key[1])
+        raise GraphError(f"cannot interpret {key!r} as an edge of the instance")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The underlying graph ``H`` (do not mutate)."""
+        return self._graph
+
+    def probability(self, edge: Union[Edge, Tuple[Vertex, Vertex]]) -> Fraction:
+        """The probability ``π(e)`` of an edge."""
+        return self._probabilities[self._resolve_edge(edge)]
+
+    def probabilities(self) -> Dict[Edge, Fraction]:
+        """A copy of the full probability assignment."""
+        return dict(self._probabilities)
+
+    def set_probability(self, edge, value: ProbabilityLike) -> None:
+        """Update the probability of one edge."""
+        self._probabilities[self._resolve_edge(edge)] = as_probability(value)
+
+    def edges(self) -> List[Edge]:
+        """All edges of the instance, in a deterministic order."""
+        return self._graph.edges()
+
+    def uncertain_edges(self) -> List[Edge]:
+        """Edges with probability strictly between 0 and 1."""
+        return [e for e in self.edges() if 0 < self._probabilities[e] < 1]
+
+    def certain_edges(self) -> List[Edge]:
+        """Edges with probability exactly 1 (present in every non-null world)."""
+        return [e for e in self.edges() if self._probabilities[e] == 1]
+
+    def impossible_edges(self) -> List[Edge]:
+        """Edges with probability exactly 0 (absent from every non-null world)."""
+        return [e for e in self.edges() if self._probabilities[e] == 0]
+
+    def num_possible_worlds(self) -> int:
+        """Number of possible worlds (2 to the number of edges)."""
+        return 2 ** self._graph.num_edges()
+
+    def num_nonzero_worlds(self) -> int:
+        """Number of possible worlds with non-zero probability."""
+        return 2 ** len(self.uncertain_edges())
+
+    # ------------------------------------------------------------------
+    # possible worlds
+    # ------------------------------------------------------------------
+    def world_probability(self, kept_edges: Iterable[Edge]) -> Fraction:
+        """The probability of the possible world keeping exactly ``kept_edges``."""
+        kept = set(kept_edges)
+        unknown = kept - self._graph.edge_set()
+        if unknown:
+            raise GraphError(f"edges {unknown!r} are not edges of the instance")
+        result = Fraction(1)
+        for edge, probability in self._probabilities.items():
+            result *= probability if edge in kept else (1 - probability)
+        return result
+
+    def possible_worlds(self, skip_zero_probability: bool = True) -> Iterator[PossibleWorld]:
+        """Enumerate possible worlds (exponentially many).
+
+        When ``skip_zero_probability`` is true (the default), edges with
+        probability 1 are always kept and edges with probability 0 always
+        dropped, so only worlds of non-zero probability are produced; the
+        produced probabilities then sum to 1.
+        """
+        if skip_zero_probability:
+            always = [e for e in self.edges() if self._probabilities[e] == 1]
+            free = self.uncertain_edges()
+        else:
+            always = []
+            free = self.edges()
+        for choices in product((False, True), repeat=len(free)):
+            kept = list(always) + [e for e, keep in zip(free, choices) if keep]
+            probability = Fraction(1)
+            for edge, keep in zip(free, choices):
+                p = self._probabilities[edge]
+                probability *= p if keep else (1 - p)
+            yield PossibleWorld(
+                graph=self._graph.subgraph_with_edges(kept),
+                probability=probability,
+                kept_edges=tuple(kept),
+            )
+
+    # ------------------------------------------------------------------
+    # restriction (used by Lemma 3.7)
+    # ------------------------------------------------------------------
+    def restrict_to_component(self, vertices: Iterable[Vertex]) -> "ProbabilisticGraph":
+        """The probabilistic graph induced by a set of vertices.
+
+        Edge probabilities are preserved.  Used to split a disconnected
+        instance into its connected components (Lemma 3.7).
+        """
+        component = self._graph.induced_component(vertices)
+        probabilities = {
+            edge: self._probabilities[self._graph.get_edge(edge.source, edge.target)]
+            for edge in component.edge_set()
+        }
+        return ProbabilisticGraph(component, probabilities)
+
+    def connected_components(self) -> List["ProbabilisticGraph"]:
+        """The probabilistic graphs induced by each weakly connected component."""
+        return [
+            self.restrict_to_component(component)
+            for component in self._graph.weakly_connected_components()
+        ]
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_uniform_probability(
+        cls, graph: DiGraph, probability: ProbabilityLike
+    ) -> "ProbabilisticGraph":
+        """A probabilistic graph where every edge has the same probability."""
+        return cls(graph, probabilities=None, default=probability)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProbabilisticGraph(|V|={self._graph.num_vertices()}, "
+            f"|E|={self._graph.num_edges()}, "
+            f"uncertain={len(self.uncertain_edges())})"
+        )

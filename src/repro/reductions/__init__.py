@@ -1,0 +1,47 @@
+"""Hardness reductions of the paper, with brute-force counters to verify them.
+
+The #P-hardness results are established by polynomial-time reductions from
+two canonical counting problems:
+
+* **#Bipartite-Edge-Cover** (Theorem 3.2 / D.1) — used by Proposition 3.3
+  (labeled ⊔1WP queries on 1WP instances) and Proposition 3.4 (unlabeled
+  ⊔2WP queries on 2WP instances, where two-wayness simulates labels);
+* **#PP2DNF** (Definition 4.3) — used by Proposition 4.1 (labeled 1WP
+  queries on polytree instances) and Proposition 5.6 (unlabeled 2WP queries
+  on polytree instances).
+
+Each reduction builds the query graph and probabilistic instance of the
+corresponding proof; the identity ``count = Pr(G ⇝ H) · 2^k`` is verified in
+the test suite against brute-force counters, which demonstrates that solving
+those PHom cells is at least as hard as the #P-complete counting problems.
+"""
+
+from repro.reductions.bipartite import BipartiteGraph, count_edge_covers, random_bipartite_graph
+from repro.reductions.edge_cover import (
+    prop33_reduction,
+    prop34_reduction,
+    edge_covers_via_phom,
+)
+from repro.reductions.pp2dnf import (
+    PP2DNF,
+    count_satisfying_valuations,
+    random_pp2dnf,
+    prop41_reduction,
+    prop56_reduction,
+    satisfying_valuations_via_phom,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "count_edge_covers",
+    "random_bipartite_graph",
+    "prop33_reduction",
+    "prop34_reduction",
+    "edge_covers_via_phom",
+    "PP2DNF",
+    "count_satisfying_valuations",
+    "random_pp2dnf",
+    "prop41_reduction",
+    "prop56_reduction",
+    "satisfying_valuations_via_phom",
+]

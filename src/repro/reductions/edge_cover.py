@@ -1,0 +1,125 @@
+"""The #Bipartite-Edge-Cover reductions of Propositions 3.3 and 3.4.
+
+*Proposition 3.3* (labeled setting).  Given a bipartite graph ``Γ`` with
+parts of sizes ``n_l`` and ``n_r`` and edges ``e_1 .. e_m``, build
+
+* the 1WP probabilistic instance
+  ``-C-> He_1 -C-> He_2 -C-> ... -C-> He_m -C->`` where
+  ``He_j = (-L->)^{l_j} -V-> (-R->)^{r_j}``, the ``V`` edges having
+  probability ½ (they encode whether ``e_j`` is picked) and all other edges
+  probability 1;
+* the ⊔1WP query with one component ``-C-> (-L->)^i -V->`` per left vertex
+  ``x_i`` and one component ``-V-> (-R->)^i -C->`` per right vertex ``y_i``
+  (each component asserts that some incident edge is picked).
+
+Then ``#edge-covers(Γ) = Pr(G ⇝ H) · 2^m``.
+
+*Proposition 3.4* (unlabeled setting).  Apply the same construction, then
+replace every ``L``/``R`` edge by the orientation pattern ``→→←``, every
+``C`` edge by ``←←←`` and every ``V`` edge by ``→→→→→←`` (its *first* edge
+keeps probability ½); two-wayness now plays the role of the labels, and the
+same counting identity holds on the resulting ⊔2WP query and 2WP instance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.graphs.builders import disjoint_union, one_way_path
+from repro.graphs.digraph import DiGraph
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.reductions.bipartite import BipartiteGraph
+from repro.reductions.expansion import expand_instance, expand_query
+
+#: Labels used by the Proposition 3.3 construction.
+LABEL_C, LABEL_L, LABEL_V, LABEL_R = "C", "L", "V", "R"
+
+#: Orientation patterns of Proposition 3.4 (two-wayness simulating labels).
+PROP34_PATTERNS: Dict[str, Tuple[int, ...]] = {
+    LABEL_L: (1, 1, -1),
+    LABEL_R: (1, 1, -1),
+    LABEL_C: (-1, -1, -1),
+    LABEL_V: (1, 1, 1, 1, 1, -1),
+}
+#: Which pattern edge carries the original probability (the first one, per the proof).
+PROP34_PROBABILITY_POSITIONS: Dict[str, int] = {
+    LABEL_L: 0,
+    LABEL_R: 0,
+    LABEL_C: 0,
+    LABEL_V: 0,
+}
+
+
+def prop33_reduction(graph: BipartiteGraph) -> Tuple[DiGraph, ProbabilisticGraph]:
+    """The Proposition 3.3 reduction: a labeled ⊔1WP query and 1WP instance.
+
+    Returns ``(query, instance)`` such that the number of edge covers of the
+    input bipartite graph equals ``Pr(query ⇝ instance) · 2^m``.
+    """
+    if graph.num_edges == 0:
+        raise ReproError("the reduction needs at least one edge in the bipartite graph")
+    instance_labels: List[str] = [LABEL_C]
+    for left, right in graph.edges:
+        instance_labels.extend([LABEL_L] * left)
+        instance_labels.append(LABEL_V)
+        instance_labels.extend([LABEL_R] * right)
+        instance_labels.append(LABEL_C)
+    instance_graph = one_way_path(instance_labels, prefix="h")
+    probabilities = {
+        edge: Fraction(1, 2) if edge.label == LABEL_V else Fraction(1)
+        for edge in instance_graph.edges()
+    }
+    instance = ProbabilisticGraph(instance_graph, probabilities)
+
+    components: List[DiGraph] = []
+    for i in range(1, graph.num_left + 1):
+        components.append(one_way_path([LABEL_C] + [LABEL_L] * i + [LABEL_V], prefix=f"x{i}_"))
+    for i in range(1, graph.num_right + 1):
+        components.append(one_way_path([LABEL_V] + [LABEL_R] * i + [LABEL_C], prefix=f"y{i}_"))
+    query = disjoint_union(components, prefix="q")
+    return query, instance
+
+
+def prop34_reduction(graph: BipartiteGraph) -> Tuple[DiGraph, ProbabilisticGraph]:
+    """The Proposition 3.4 reduction: an unlabeled ⊔2WP query and 2WP instance.
+
+    Obtained from the Proposition 3.3 output by replacing each labeled edge
+    with its orientation pattern; the same counting identity holds.
+    """
+    labeled_query, labeled_instance = prop33_reduction(graph)
+    query = expand_query(labeled_query, PROP34_PATTERNS)
+    instance = expand_instance(labeled_instance, PROP34_PATTERNS, PROP34_PROBABILITY_POSITIONS)
+    return query, instance
+
+
+def edge_covers_via_phom(
+    graph: BipartiteGraph,
+    phom_solver: Optional[Callable[[DiGraph, ProbabilisticGraph], Fraction]] = None,
+    unlabeled: bool = False,
+) -> int:
+    """Count the edge covers of ``graph`` through the PHom reduction.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph whose edge covers are counted.
+    phom_solver:
+        Callable computing ``Pr(query ⇝ instance)``; defaults to the
+        brute-force oracle (the reductions target #P-hard cells, so no
+        polynomial solver applies).
+    unlabeled:
+        Use the Proposition 3.4 (unlabeled) reduction instead of the
+        Proposition 3.3 (labeled) one.
+    """
+    solver = phom_solver or brute_force_phom
+    query, instance = prop34_reduction(graph) if unlabeled else prop33_reduction(graph)
+    probability = solver(query, instance)
+    count = probability * (2 ** graph.num_edges)
+    if count.denominator != 1:
+        raise ReproError(
+            f"reduction produced a non-integer count {count}; the PHom solver is inconsistent"
+        )
+    return int(count)

@@ -1,0 +1,109 @@
+"""Edge-expansion helper shared by the unlabeled hardness reductions.
+
+Propositions 3.4 and 5.6 turn labeled reductions into unlabeled ones by
+replacing each labeled edge with a short pattern of unlabeled edges whose
+*orientations* encode the original label (two-wayness simulates labels).
+:func:`expand_graph` performs this replacement generically: every edge whose
+label appears in ``patterns`` is replaced by a path of fresh intermediate
+vertices whose edges follow the pattern's orientation signs, and (for
+probabilistic instances) exactly one edge of the pattern inherits the
+original edge's probability while the others are certain.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.graphs.digraph import DiGraph, Edge, UNLABELED
+from repro.probability.prob_graph import ProbabilisticGraph
+
+
+def expand_graph(
+    graph: DiGraph,
+    patterns: Mapping[str, Sequence[int]],
+    probability_positions: Optional[Mapping[str, int]] = None,
+    probabilities: Optional[Mapping[Edge, Fraction]] = None,
+) -> Tuple[DiGraph, Dict[Tuple[Edge, int], Edge], Dict[Edge, Fraction]]:
+    """Replace every labeled edge by an unlabeled orientation pattern.
+
+    Parameters
+    ----------
+    graph:
+        The labeled graph to expand.
+    patterns:
+        For each label, the sequence of orientation signs (+1 forward, −1
+        backward) of the replacement path.  Every label of the graph must be
+        covered.
+    probability_positions:
+        For each label, the 0-based index of the pattern edge that inherits
+        the original edge's probability; remaining pattern edges get
+        probability 1.  Only needed when ``probabilities`` is given.
+    probabilities:
+        The probability of each original edge (omit when expanding a query
+        graph).
+
+    Returns
+    -------
+    expanded:
+        The unlabeled expanded graph.
+    edge_map:
+        Maps ``(original_edge, position)`` to the corresponding expanded edge.
+    expanded_probabilities:
+        Probabilities for the expanded edges (empty when ``probabilities`` is
+        ``None``).
+    """
+    expanded = DiGraph()
+    for vertex in graph.vertices:
+        expanded.add_vertex(("v", vertex))
+    edge_map: Dict[Tuple[Edge, int], Edge] = {}
+    expanded_probabilities: Dict[Edge, Fraction] = {}
+    for edge in graph.edges():
+        if edge.label not in patterns:
+            raise ReproError(f"no expansion pattern for label {edge.label!r}")
+        signs = list(patterns[edge.label])
+        if not signs or any(sign not in (1, -1) for sign in signs):
+            raise ReproError(f"invalid expansion pattern for label {edge.label!r}")
+        waypoints = [("v", edge.source)]
+        for position in range(1, len(signs)):
+            waypoints.append(("w", edge.source, edge.target, edge.label, position))
+        waypoints.append(("v", edge.target))
+        for position, sign in enumerate(signs):
+            lower, upper = waypoints[position], waypoints[position + 1]
+            if sign == 1:
+                new_edge = expanded.add_edge(lower, upper, UNLABELED)
+            else:
+                new_edge = expanded.add_edge(upper, lower, UNLABELED)
+            edge_map[(edge, position)] = new_edge
+            if probabilities is not None:
+                if probability_positions is None or edge.label not in probability_positions:
+                    raise ReproError(
+                        f"no probability position declared for label {edge.label!r}"
+                    )
+                carries = position == probability_positions[edge.label]
+                expanded_probabilities[new_edge] = (
+                    Fraction(probabilities[edge]) if carries else Fraction(1)
+                )
+    return expanded, edge_map, expanded_probabilities
+
+
+def expand_instance(
+    instance: ProbabilisticGraph,
+    patterns: Mapping[str, Sequence[int]],
+    probability_positions: Mapping[str, int],
+) -> ProbabilisticGraph:
+    """Expand a labeled probabilistic instance into an unlabeled one."""
+    expanded, _edge_map, expanded_probabilities = expand_graph(
+        instance.graph,
+        patterns,
+        probability_positions=probability_positions,
+        probabilities=instance.probabilities(),
+    )
+    return ProbabilisticGraph(expanded, expanded_probabilities)
+
+
+def expand_query(graph: DiGraph, patterns: Mapping[str, Sequence[int]]) -> DiGraph:
+    """Expand a labeled query graph into an unlabeled one."""
+    expanded, _edge_map, _probs = expand_graph(graph, patterns)
+    return expanded

@@ -1,0 +1,215 @@
+"""PP2DNF formulas and the reductions of Propositions 4.1 and 5.6.
+
+A *positive partitioned 2-DNF* (Definition 4.3) is a formula
+``∨_{j=1..m} (X_{x_j} ∧ Y_{y_j})`` over two disjoint variable sets
+``X = {X_1..X_{n_1}}`` and ``Y = {Y_1..Y_{n_2}}``; #PP2DNF (counting its
+satisfying valuations) is #P-hard.
+
+*Proposition 4.1* (labeled setting) reduces #PP2DNF to PHom on a 1WP query
+and a polytree instance over the labels ``{S, T}``: the instance has one
+branch per variable hanging off a central vertex ``R`` (the variable's first
+``S`` edge has probability ½ and encodes its truth value), the clause indices
+are encoded by the depth at which a ``T``-labeled gadget is attached, and the
+query ``-T-> (-S->)^{m+3} -T->`` has a match exactly when two chosen
+variables carry gadgets at depths that sum correctly — i.e. when they occur
+in the same clause.  Then ``#SAT(φ) = Pr(G ⇝ H) · 2^{n_1 + n_2}``.
+
+*Proposition 5.6* (unlabeled setting) applies the orientation patterns
+``S ↦ →→←`` and ``T ↦ →→→`` to both the query and the instance (the middle
+edge of the valuation ``S`` edges keeps probability ½); the instance remains
+a polytree, the query becomes a 2WP, and the same identity holds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.graphs.builders import one_way_path
+from repro.graphs.digraph import DiGraph
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.reductions.expansion import expand_instance, expand_query
+
+#: Labels used by the Proposition 4.1 construction.
+LABEL_S, LABEL_T = "S", "T"
+
+#: Orientation patterns of Proposition 5.6 (two-wayness in the query simulating labels).
+PROP56_PATTERNS: Dict[str, Tuple[int, ...]] = {
+    LABEL_S: (1, 1, -1),
+    LABEL_T: (1, 1, 1),
+}
+#: The middle edge of an expanded S edge carries the original probability.
+PROP56_PROBABILITY_POSITIONS: Dict[str, int] = {LABEL_S: 1, LABEL_T: 0}
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _rng(source: RandomLike) -> random.Random:
+    if isinstance(source, random.Random):
+        return source
+    return random.Random(source)
+
+
+@dataclass(frozen=True)
+class PP2DNF:
+    """A positive partitioned 2-DNF formula.
+
+    Attributes
+    ----------
+    num_x, num_y:
+        Sizes of the two variable partitions.
+    clauses:
+        The clauses, as 1-based index pairs ``(x_j, y_j)``.
+    """
+
+    num_x: int
+    num_y: int
+    clauses: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_x < 1 or self.num_y < 1:
+            raise ReproError("both variable partitions must be non-empty")
+        if not self.clauses:
+            raise ReproError("a PP2DNF formula needs at least one clause")
+        for x_index, y_index in self.clauses:
+            if not (1 <= x_index <= self.num_x and 1 <= y_index <= self.num_y):
+                raise ReproError(f"clause ({x_index}, {y_index}) is out of range")
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses ``m``."""
+        return len(self.clauses)
+
+    @property
+    def num_variables(self) -> int:
+        """Total number of variables ``n_1 + n_2``."""
+        return self.num_x + self.num_y
+
+    def evaluate(self, x_values: Tuple[bool, ...], y_values: Tuple[bool, ...]) -> bool:
+        """Evaluate the formula under a valuation of the two partitions."""
+        return any(x_values[x - 1] and y_values[y - 1] for x, y in self.clauses)
+
+
+def count_satisfying_valuations(formula: PP2DNF) -> int:
+    """#PP2DNF by brute-force enumeration over the ``2^{n_1 + n_2}`` valuations."""
+    count = 0
+    for x_values in product((False, True), repeat=formula.num_x):
+        for y_values in product((False, True), repeat=formula.num_y):
+            if formula.evaluate(x_values, y_values):
+                count += 1
+    return count
+
+
+def random_pp2dnf(
+    num_x: int, num_y: int, num_clauses: int, rng: RandomLike = None
+) -> PP2DNF:
+    """A random PP2DNF formula with distinct random clauses."""
+    r = _rng(rng)
+    all_pairs = [(x, y) for x in range(1, num_x + 1) for y in range(1, num_y + 1)]
+    if num_clauses > len(all_pairs):
+        raise ReproError("cannot draw more distinct clauses than variable pairs")
+    clauses = tuple(sorted(r.sample(all_pairs, num_clauses)))
+    return PP2DNF(num_x, num_y, clauses)
+
+
+# ----------------------------------------------------------------------
+# Proposition 4.1: labeled 1WP query on a polytree instance
+# ----------------------------------------------------------------------
+def prop41_reduction(formula: PP2DNF) -> Tuple[DiGraph, ProbabilisticGraph]:
+    """The Proposition 4.1 reduction: a labeled 1WP query and PT instance.
+
+    Returns ``(query, instance)`` with
+    ``#SAT(formula) = Pr(query ⇝ instance) · 2^{n_1 + n_2}``.
+    """
+    m = formula.num_clauses
+    graph = DiGraph()
+    probabilities: Dict[Tuple, Fraction] = {}
+    root = "R"
+    graph.add_vertex(root)
+
+    def x_var(i: int) -> str:
+        return f"X{i}"
+
+    def y_var(i: int) -> str:
+        return f"Y{i}"
+
+    def x_chain(i: int, j: int) -> str:
+        return f"X{i},{j}"
+
+    def y_chain(i: int, j: int) -> str:
+        return f"Y{i},{j}"
+
+    # Valuation edges (probability 1/2).
+    for i in range(1, formula.num_x + 1):
+        graph.add_edge(x_var(i), root, LABEL_S)
+        probabilities[(x_var(i), root)] = Fraction(1, 2)
+    for i in range(1, formula.num_y + 1):
+        graph.add_edge(root, y_var(i), LABEL_S)
+        probabilities[(root, y_var(i))] = Fraction(1, 2)
+    # Chains encoding clause indices by depth (probability 1).
+    for i in range(1, formula.num_x + 1):
+        graph.add_edge(x_chain(i, m), x_var(i), LABEL_S)
+        for j in range(1, m):
+            graph.add_edge(x_chain(i, j), x_chain(i, j + 1), LABEL_S)
+    for i in range(1, formula.num_y + 1):
+        graph.add_edge(y_var(i), y_chain(i, 1), LABEL_S)
+        for j in range(1, m):
+            graph.add_edge(y_chain(i, j), y_chain(i, j + 1), LABEL_S)
+    # Clause gadgets: T edges marking which chain positions belong to clauses.
+    for j, (x_index, y_index) in enumerate(formula.clauses, start=1):
+        graph.add_edge(f"A{x_index},{j}", x_chain(x_index, j), LABEL_T)
+        graph.add_edge(y_chain(y_index, j), f"B{y_index},{j}", LABEL_T)
+
+    instance = ProbabilisticGraph(graph, probabilities, default=1)
+    query = one_way_path([LABEL_T] + [LABEL_S] * (m + 3) + [LABEL_T], prefix="q")
+    return query, instance
+
+
+# ----------------------------------------------------------------------
+# Proposition 5.6: unlabeled 2WP query on a polytree instance
+# ----------------------------------------------------------------------
+def prop56_reduction(formula: PP2DNF) -> Tuple[DiGraph, ProbabilisticGraph]:
+    """The Proposition 5.6 reduction: an unlabeled 2WP query and PT instance.
+
+    Obtained from the Proposition 4.1 output by replacing ``S`` edges with
+    the pattern ``→→←`` and ``T`` edges with ``→→→``; the middle edge of the
+    valuation ``S`` edges keeps probability ½.
+    """
+    labeled_query, labeled_instance = prop41_reduction(formula)
+    query = expand_query(labeled_query, PROP56_PATTERNS)
+    instance = expand_instance(labeled_instance, PROP56_PATTERNS, PROP56_PROBABILITY_POSITIONS)
+    return query, instance
+
+
+def satisfying_valuations_via_phom(
+    formula: PP2DNF,
+    phom_solver: Optional[Callable[[DiGraph, ProbabilisticGraph], Fraction]] = None,
+    unlabeled: bool = False,
+) -> int:
+    """Count the satisfying valuations of ``formula`` through the PHom reduction.
+
+    Parameters
+    ----------
+    formula:
+        The PP2DNF formula.
+    phom_solver:
+        Callable computing ``Pr(query ⇝ instance)``; defaults to the
+        brute-force oracle.
+    unlabeled:
+        Use the Proposition 5.6 (unlabeled) reduction instead of the
+        Proposition 4.1 (labeled) one.
+    """
+    solver = phom_solver or brute_force_phom
+    query, instance = prop56_reduction(formula) if unlabeled else prop41_reduction(formula)
+    probability = solver(query, instance)
+    count = probability * (2 ** formula.num_variables)
+    if count.denominator != 1:
+        raise ReproError(
+            f"reduction produced a non-integer count {count}; the PHom solver is inconsistent"
+        )
+    return int(count)

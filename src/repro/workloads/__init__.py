@@ -1,0 +1,17 @@
+"""Workload generators for the benchmark harness (one workload family per table cell)."""
+
+from repro.workloads.generators import (
+    attach_random_probabilities,
+    make_query,
+    make_instance,
+    workload_for_cell,
+    Workload,
+)
+
+__all__ = [
+    "attach_random_probabilities",
+    "make_query",
+    "make_instance",
+    "workload_for_cell",
+    "Workload",
+]

@@ -1,0 +1,157 @@
+"""Parameterised workload generators used by the benchmark harness.
+
+Every cell of Tables 1–3 is a pair (query class, instance class) in a given
+setting (labeled / unlabeled).  The benchmark harness regenerates a table by
+drawing, for each cell, random queries and instances *from those classes*
+with a controllable size knob, running the dispatcher, and reporting the
+algorithm used and its scaling.  This module centralises the drawing logic so
+tests and benchmarks share identical workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence, Union
+
+from repro.exceptions import ReproError
+from repro.graphs.classes import GraphClass, graph_in_class
+from repro.graphs.digraph import DiGraph, UNLABELED
+from repro.graphs.generators import (
+    DEFAULT_ALPHABET,
+    random_connected_graph,
+    random_disjoint_union,
+    random_downward_tree,
+    random_graph,
+    random_one_way_path,
+    random_polytree,
+    random_two_way_path,
+    random_unlabeled_query_dag,
+)
+from repro.probability.prob_graph import ProbabilisticGraph
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _rng(source: RandomLike) -> random.Random:
+    if isinstance(source, random.Random):
+        return source
+    return random.Random(source)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark input: a query, a probabilistic instance, and their provenance."""
+
+    query: DiGraph
+    instance: ProbabilisticGraph
+    query_class: GraphClass
+    instance_class: GraphClass
+    labeled: bool
+
+
+def attach_random_probabilities(
+    graph: DiGraph,
+    rng: RandomLike = None,
+    certain_fraction: float = 0.3,
+    denominator: int = 8,
+) -> ProbabilisticGraph:
+    """Annotate a graph with random rational edge probabilities.
+
+    A ``certain_fraction`` of the edges get probability 1 (the paper's
+    hardness proofs rely on certain edges, and realistic instances mix
+    certain and uncertain facts); the rest get a random probability
+    ``k / denominator`` with ``1 ≤ k < denominator``.
+    """
+    r = _rng(rng)
+    probabilities = {}
+    for edge in graph.edges():
+        if r.random() < certain_fraction:
+            probabilities[edge] = Fraction(1)
+        else:
+            probabilities[edge] = Fraction(r.randint(1, denominator - 1), denominator)
+    return ProbabilisticGraph(graph, probabilities)
+
+
+def _alphabet(labeled: bool) -> Sequence[str]:
+    return DEFAULT_ALPHABET if labeled else (UNLABELED,)
+
+
+def make_query(
+    query_class: GraphClass, labeled: bool, size: int, rng: RandomLike = None
+) -> DiGraph:
+    """A random query graph of the requested class.
+
+    ``size`` is the number of edges for path classes and the number of
+    vertices for tree and general classes; disjoint-union classes produce two
+    or three components whose sizes sum to roughly ``size``.
+    """
+    r = _rng(rng)
+    alphabet = _alphabet(labeled)
+    size = max(size, 1)
+    if query_class is GraphClass.ONE_WAY_PATH:
+        return random_one_way_path(size, alphabet, r, prefix="q")
+    if query_class is GraphClass.TWO_WAY_PATH:
+        return random_two_way_path(size, alphabet, r, prefix="q")
+    if query_class is GraphClass.DOWNWARD_TREE:
+        return random_downward_tree(size + 1, alphabet, r, prefix="q")
+    if query_class is GraphClass.POLYTREE:
+        return random_polytree(size + 1, alphabet, r, prefix="q")
+    if query_class is GraphClass.CONNECTED:
+        return random_connected_graph(size + 1, 0.15, alphabet, r, prefix="q")
+    if query_class is GraphClass.ALL:
+        if labeled:
+            return random_graph(size + 1, 0.2, alphabet, r, prefix="q")
+        return random_unlabeled_query_dag(size + 1, 0.3, r, prefix="q")
+    union_map = {
+        GraphClass.UNION_ONE_WAY_PATH: "1WP",
+        GraphClass.UNION_TWO_WAY_PATH: "2WP",
+        GraphClass.UNION_DOWNWARD_TREE: "DWT",
+        GraphClass.UNION_POLYTREE: "PT",
+    }
+    if query_class in union_map:
+        pieces = max(2, min(3, size))
+        base = max(1, size // pieces)
+        sizes = [base + (1 if i < size % pieces else 0) for i in range(pieces)]
+        return random_disjoint_union(sizes, union_map[query_class], alphabet, r)
+    raise ReproError(f"cannot generate queries for class {query_class}")
+
+
+def make_instance(
+    instance_class: GraphClass, labeled: bool, size: int, rng: RandomLike = None
+) -> DiGraph:
+    """A random instance graph of the requested class (same size conventions as queries)."""
+    return make_query(instance_class, labeled, size, rng)
+
+
+def workload_for_cell(
+    query_class: GraphClass,
+    instance_class: GraphClass,
+    labeled: bool,
+    query_size: int,
+    instance_size: int,
+    rng: RandomLike = None,
+    certain_fraction: float = 0.3,
+) -> Workload:
+    """A random workload for one cell of a classification table.
+
+    The generated query and instance are guaranteed (by construction, and
+    re-checked here) to belong to the requested classes, so benchmark timings
+    attach to the right cell.
+    """
+    r = _rng(rng)
+    query = make_query(query_class, labeled, query_size, r)
+    instance_graph = make_instance(instance_class, labeled, instance_size, r)
+    if not graph_in_class(query, query_class):
+        raise ReproError(f"generated query does not belong to {query_class}")
+    if not graph_in_class(instance_graph, instance_class):
+        raise ReproError(f"generated instance does not belong to {instance_class}")
+    instance = attach_random_probabilities(instance_graph, r, certain_fraction=certain_fraction)
+    return Workload(
+        query=query,
+        instance=instance,
+        query_class=query_class,
+        instance_class=instance_class,
+        labeled=labeled,
+    )

@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs.builders import downward_tree, one_way_path, two_way_path
+from repro.graphs.digraph import DiGraph
+from repro.probability.prob_graph import ProbabilisticGraph
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for reproducible tests."""
+    return random.Random(20170514)  # PODS'17 started on May 14, 2017
+
+
+@pytest.fixture
+def figure1_instance() -> ProbabilisticGraph:
+    """A probabilistic graph reproducing the computation of Example 2.2.
+
+    The graph has two ``R`` edges entering ``b`` (probabilities 0.1 and 0.8)
+    and one ``S`` edge leaving it (probability 0.7), so that the query
+    ``-R-> -S-> <-S-`` of Example 2.2 has probability
+    ``0.7 · (1 − 0.9 · 0.2) = 0.574``.
+    """
+    graph = DiGraph()
+    graph.add_edge("a", "b", "R")
+    graph.add_edge("d", "b", "R")
+    graph.add_edge("b", "c", "S")
+    graph.add_edge("a", "d", "R")
+    graph.add_edge("e", "c", "S")
+    return ProbabilisticGraph(
+        graph,
+        {
+            ("a", "b"): Fraction(1, 10),
+            ("d", "b"): Fraction(4, 5),
+            ("b", "c"): Fraction(7, 10),
+            ("a", "d"): Fraction(1),
+            ("e", "c"): Fraction(1, 20),
+        },
+    )
+
+
+@pytest.fixture
+def example22_query() -> DiGraph:
+    """The query of Example 2.2: ``-R-> -S-> <-S-`` (∃xyzt R(x,y) ∧ S(y,z) ∧ S(t,z))."""
+    return two_way_path([("R", "forward"), ("S", "forward"), ("S", "backward")], prefix="q")
+
+
+@pytest.fixture
+def small_dwt_instance() -> ProbabilisticGraph:
+    """A small labeled downward-tree instance used across solver tests."""
+    graph = downward_tree(
+        {"b": "a", "c": "a", "d": "b", "e": "b", "f": "c"},
+        labels={"b": "R", "c": "S", "d": "S", "e": "R", "f": "R"},
+    )
+    return ProbabilisticGraph(
+        graph,
+        {
+            ("a", "b"): Fraction(1, 2),
+            ("a", "c"): Fraction(3, 4),
+            ("b", "d"): Fraction(1, 3),
+            ("b", "e"): Fraction(1),
+            ("c", "f"): Fraction(2, 5),
+        },
+    )
+
+
+@pytest.fixture
+def rs_path_query() -> DiGraph:
+    """The labeled path query ``-R-> -S->``."""
+    return one_way_path(["R", "S"], prefix="q")
+
+
+def random_fraction(rng: random.Random, denominator: int = 8) -> Fraction:
+    """A random probability ``k / denominator`` with ``0 ≤ k ≤ denominator``."""
+    return Fraction(rng.randint(0, denominator), denominator)

@@ -1,0 +1,115 @@
+"""Unit tests for uncertain binary trees and the polytree binary encoding."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import AutomatonError, ClassConstraintError
+from repro.automata.binary_tree import (
+    LABEL_DOWN,
+    LABEL_EPSILON,
+    LABEL_UP,
+    BinaryTreeNode,
+    UncertainBinaryTree,
+    encode_polytree,
+)
+from repro.graphs.builders import downward_tree, unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_polytree
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestBinaryTreeNodes:
+    def test_leaf_and_internal_nodes(self):
+        leaf = BinaryTreeNode(LABEL_EPSILON)
+        assert leaf.is_leaf()
+        internal = BinaryTreeNode(LABEL_UP, left=BinaryTreeNode(LABEL_EPSILON), right=BinaryTreeNode(LABEL_EPSILON))
+        assert not internal.is_leaf()
+        UncertainBinaryTree(root=internal)
+
+    def test_half_node_is_rejected(self):
+        broken = BinaryTreeNode(LABEL_UP, left=BinaryTreeNode(LABEL_EPSILON))
+        with pytest.raises(AutomatonError):
+            UncertainBinaryTree(root=broken)
+
+    def test_node_traversal_and_depth(self):
+        leaf = lambda: BinaryTreeNode(LABEL_EPSILON)  # noqa: E731 - local helper
+        root = BinaryTreeNode(LABEL_UP, left=BinaryTreeNode(LABEL_DOWN, left=leaf(), right=leaf()), right=leaf())
+        tree = UncertainBinaryTree(root=root)
+        assert tree.num_nodes() == 5
+        assert tree.depth() == 2
+
+
+class TestEncodePolytree:
+    def test_single_vertex(self):
+        instance = ProbabilisticGraph(DiGraph(vertices=["only"]))
+        tree = encode_polytree(instance)
+        assert tree.root.is_leaf()
+        assert tree.variables == []
+
+    def test_single_edge_orientation(self):
+        down = ProbabilisticGraph(DiGraph(edges=[("a", "b")]), {("a", "b"): "1/2"})
+        tree = encode_polytree(down, root="a")
+        assert tree.root.label == LABEL_DOWN
+        assert tree.root.probability == Fraction(1, 2)
+        up = ProbabilisticGraph(DiGraph(edges=[("b", "a")]), {("b", "a"): "1/3"})
+        tree_up = encode_polytree(up, root="a")
+        assert tree_up.root.label == LABEL_UP
+        assert tree_up.root.probability == Fraction(1, 3)
+
+    def test_every_edge_appears_exactly_once(self, rng):
+        for _ in range(10):
+            graph = random_polytree(rng.randint(2, 8), ("_",), rng)
+            instance = attach_random_probabilities(graph, rng)
+            tree = encode_polytree(instance)
+            assert sorted(tree.variables, key=repr) == sorted(graph.edges(), key=repr)
+            attach_nodes = [n for n in tree.nodes() if n.variable is not None]
+            assert len(attach_nodes) == graph.num_edges()
+
+    def test_tree_is_full_binary(self, rng):
+        graph = random_polytree(7, ("_",), rng)
+        instance = attach_random_probabilities(graph, rng)
+        tree = encode_polytree(instance)
+        for node in tree.nodes():
+            assert (node.left is None) == (node.right is None)
+
+    def test_structural_nodes_have_probability_one(self, rng):
+        graph = random_polytree(6, ("_",), rng)
+        tree = encode_polytree(ProbabilisticGraph.with_uniform_probability(graph, "1/2"))
+        for node in tree.nodes():
+            if node.variable is None:
+                assert node.label == LABEL_EPSILON
+                assert node.probability == 1
+            else:
+                assert node.label in (LABEL_UP, LABEL_DOWN)
+                assert node.probability == Fraction(1, 2)
+
+    def test_node_count_is_linear_in_instance(self):
+        path = unlabeled_path(10)
+        tree = encode_polytree(ProbabilisticGraph(path))
+        # One attach node per edge plus one ε leaf per vertex.
+        assert tree.num_nodes() == path.num_edges() + path.num_vertices()
+
+    def test_rejects_non_polytrees(self):
+        cyclic = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        with pytest.raises(ClassConstraintError):
+            encode_polytree(ProbabilisticGraph(cyclic))
+        disconnected = DiGraph(edges=[("a", "b")])
+        disconnected.add_vertex("z")
+        with pytest.raises(ClassConstraintError):
+            encode_polytree(ProbabilisticGraph(disconnected))
+
+    def test_unknown_root_rejected(self):
+        instance = ProbabilisticGraph(unlabeled_path(2))
+        with pytest.raises(AutomatonError):
+            encode_polytree(instance, root="nope")
+
+    def test_rooting_choice_changes_encoding_not_variables(self):
+        tree = downward_tree({"b": "a", "c": "a", "d": "b"})
+        instance = ProbabilisticGraph.with_uniform_probability(tree, "1/2")
+        first = encode_polytree(instance, root="a")
+        second = encode_polytree(instance, root="d")
+        assert set(first.variables) == set(second.variables)

@@ -1,0 +1,77 @@
+"""Unit tests for the brute-force PHom oracles."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.graphs.builders import disjoint_union, one_way_path, unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_graph, random_one_way_path
+from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestBruteForceWorlds:
+    def test_single_edge(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]), {("v0", "v1"): "1/3"})
+        assert brute_force_phom(one_way_path(["R"], prefix="q"), instance) == Fraction(1, 3)
+
+    def test_impossible_query(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]), {("v0", "v1"): "1/3"})
+        assert brute_force_phom(one_way_path(["S"], prefix="q"), instance) == 0
+
+    def test_certain_query(self):
+        instance = ProbabilisticGraph(one_way_path(["R", "R"]))
+        assert brute_force_phom(one_way_path(["R"], prefix="q"), instance) == 1
+
+    def test_union_of_two_independent_edges(self):
+        graph = disjoint_union([one_way_path(["R"]), one_way_path(["R"])])
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+        query = one_way_path(["R"], prefix="q")
+        # 1 - (1/2)^2 chance that at least one R edge is present.
+        assert brute_force_phom(query, instance) == Fraction(3, 4)
+
+    def test_conjunction_of_both_components(self):
+        graph = disjoint_union([one_way_path(["R"]), one_way_path(["S"])])
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+        query = disjoint_union([one_way_path(["R"]), one_way_path(["S"])], prefix="q")
+        assert brute_force_phom(query, instance) == Fraction(1, 4)
+
+    def test_example22(self, figure1_instance, example22_query):
+        assert brute_force_phom(example22_query, figure1_instance) == Fraction(574, 1000)
+
+    def test_empty_query_probability_zero(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        assert brute_force_phom(DiGraph(), instance) == 0
+
+    def test_path_of_length_two_probability(self):
+        # Prop 5.1's simple query: probability that a directed path of length 2 exists.
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("b", "d")])
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+        # Need (a,b) and at least one of (b,c), (b,d): 1/2 * 3/4.
+        assert brute_force_phom(unlabeled_path(2), instance) == Fraction(3, 8)
+
+
+class TestBruteForceMatches:
+    def test_agrees_with_world_enumeration_on_random_inputs(self, rng):
+        for _ in range(15):
+            instance_graph = random_graph(rng.randint(2, 4), 0.5, ("R", "S"), rng)
+            instance = attach_random_probabilities(instance_graph, rng)
+            query = random_one_way_path(rng.randint(1, 3), ("R", "S"), rng, prefix="q")
+            assert brute_force_phom(query, instance) == brute_force_phom_over_matches(
+                query, instance
+            )
+
+    def test_no_match_gives_zero(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        assert brute_force_phom_over_matches(one_way_path(["S"], prefix="q"), instance) == 0
+
+    def test_overlapping_matches_are_not_double_counted(self):
+        # Two R->S matches sharing the S edge.
+        graph = DiGraph(edges=[("a", "b", "R"), ("c", "b", "R"), ("b", "d", "S")])
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+        query = one_way_path(["R", "S"], prefix="q")
+        expected = Fraction(1, 2) * (1 - Fraction(1, 2) * Fraction(1, 2))
+        assert brute_force_phom_over_matches(query, instance) == expected
+        assert brute_force_phom(query, instance) == expected

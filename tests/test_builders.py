@@ -1,0 +1,138 @@
+"""Unit tests for :mod:`repro.graphs.builders`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import (
+    BACKWARD,
+    FORWARD,
+    disjoint_union,
+    downward_tree,
+    one_way_path,
+    path_query_labels,
+    polytree_from_parents,
+    star_tree,
+    two_way_path,
+    two_way_path_from_signs,
+    unlabeled_path,
+)
+from repro.graphs.classes import (
+    is_downward_tree,
+    is_one_way_path,
+    is_polytree,
+    is_two_way_path,
+)
+from repro.graphs.digraph import UNLABELED
+
+
+class TestPaths:
+    def test_one_way_path_structure(self):
+        path = one_way_path(["R", "S", "R"])
+        assert path.num_vertices() == 4
+        assert path.num_edges() == 3
+        assert is_one_way_path(path)
+        assert path.label_of("v0", "v1") == "R"
+        assert path.label_of("v1", "v2") == "S"
+
+    def test_one_way_path_empty_labels_is_single_vertex(self):
+        path = one_way_path([])
+        assert path.num_vertices() == 1
+        assert path.num_edges() == 0
+        assert is_one_way_path(path)
+
+    def test_unlabeled_path(self):
+        path = unlabeled_path(3)
+        assert path.num_edges() == 3
+        assert path.labels() == {UNLABELED}
+        with pytest.raises(GraphError):
+            unlabeled_path(-1)
+
+    def test_two_way_path_directions(self):
+        path = two_way_path([("R", FORWARD), ("S", BACKWARD)])
+        assert path.has_edge("v0", "v1", "R")
+        assert path.has_edge("v2", "v1", "S")
+        assert is_two_way_path(path)
+        assert not is_one_way_path(path)
+
+    def test_two_way_path_bare_labels_are_forward(self):
+        path = two_way_path(["R", "S"])
+        assert is_one_way_path(path)
+
+    def test_two_way_path_bad_direction(self):
+        with pytest.raises(GraphError):
+            two_way_path([("R", "sideways")])
+
+    def test_two_way_path_from_signs(self):
+        path = two_way_path_from_signs([1, 1, -1])
+        assert path.has_edge("v0", "v1")
+        assert path.has_edge("v1", "v2")
+        assert path.has_edge("v3", "v2")
+        with pytest.raises(GraphError):
+            two_way_path_from_signs([0])
+
+    def test_path_query_labels_roundtrip(self):
+        labels = ["R", "S", "S", "T"]
+        assert path_query_labels(one_way_path(labels)) == labels
+
+    def test_path_query_labels_rejects_non_paths(self):
+        with pytest.raises(GraphError):
+            path_query_labels(star_tree(3))
+
+
+class TestTrees:
+    def test_downward_tree(self):
+        tree = downward_tree({"b": "a", "c": "a", "d": "b"}, labels={"b": "R"})
+        assert is_downward_tree(tree)
+        assert tree.label_of("a", "b") == "R"
+        assert tree.label_of("a", "c") == UNLABELED
+
+    def test_downward_tree_single_vertex(self):
+        tree = downward_tree({}, root="only")
+        assert tree.num_vertices() == 1
+        assert is_downward_tree(tree)
+
+    def test_downward_tree_empty_raises(self):
+        with pytest.raises(GraphError):
+            downward_tree({})
+
+    def test_polytree_from_parents(self):
+        tree = polytree_from_parents(
+            {"b": ("a", "R", FORWARD), "c": ("b", "S", BACKWARD)}
+        )
+        assert is_polytree(tree)
+        assert tree.has_edge("a", "b", "R")
+        assert tree.has_edge("c", "b", "S")
+        assert not is_downward_tree(tree)
+
+    def test_polytree_bad_direction(self):
+        with pytest.raises(GraphError):
+            polytree_from_parents({"b": ("a", "R", "diagonal")})
+
+    def test_star_tree(self):
+        star = star_tree(4)
+        assert is_downward_tree(star)
+        assert star.num_edges() == 4
+        assert star.out_degree("s0") == 4
+        with pytest.raises(GraphError):
+            star_tree(-1)
+
+
+class TestDisjointUnion:
+    def test_disjoint_union_renames_vertices(self):
+        first = one_way_path(["R"])
+        second = one_way_path(["S"])
+        union = disjoint_union([first, second])
+        assert union.num_vertices() == 4
+        assert union.num_edges() == 2
+        assert len(union.weakly_connected_components()) == 2
+
+    def test_disjoint_union_same_component_names_do_not_merge(self):
+        first = one_way_path(["R"])
+        union = disjoint_union([first, first])
+        assert union.num_vertices() == 4
+
+    def test_disjoint_union_empty_raises(self):
+        with pytest.raises(GraphError):
+            disjoint_union([])

@@ -1,0 +1,176 @@
+"""Unit tests for the graph-class recognisers and the Figure 2 inclusion lattice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ClassConstraintError, GraphError
+from repro.graphs.builders import (
+    disjoint_union,
+    downward_tree,
+    one_way_path,
+    star_tree,
+    two_way_path,
+)
+from repro.graphs.classes import (
+    GraphClass,
+    class_includes,
+    classify_graph,
+    downward_tree_root,
+    graph_class_of,
+    graph_in_class,
+    is_connected_graph,
+    is_downward_tree,
+    is_one_way_path,
+    is_polytree,
+    is_two_way_path,
+    one_way_path_order,
+    two_way_path_order,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    random_downward_tree,
+    random_one_way_path,
+    random_polytree,
+    random_two_way_path,
+)
+
+
+class TestPathRecognition:
+    def test_single_vertex_is_a_path(self):
+        graph = DiGraph(vertices=["v"])
+        assert is_one_way_path(graph)
+        assert is_two_way_path(graph)
+        assert is_downward_tree(graph)
+        assert is_polytree(graph)
+
+    def test_figure3_examples(self):
+        # Figure 3: a labeled 1WP (top) and 2WP (bottom) over {R, S, T}.
+        owp = one_way_path(["R", "S", "S", "T"])
+        assert is_one_way_path(owp) and is_two_way_path(owp)
+        twp = two_way_path(
+            [("R", "forward"), ("S", "backward"), ("S", "forward"), ("T", "backward"), ("R", "forward")]
+        )
+        assert is_two_way_path(twp) and not is_one_way_path(twp)
+
+    def test_branching_is_not_a_path(self):
+        assert not is_one_way_path(star_tree(3))
+        assert not is_two_way_path(star_tree(3))
+
+    def test_disconnected_is_not_a_path(self):
+        union = disjoint_union([one_way_path(["R"]), one_way_path(["S"])])
+        assert not is_one_way_path(union)
+        assert not is_two_way_path(union)
+
+    def test_antiparallel_pair_is_not_a_path(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "a")])
+        assert not is_two_way_path(graph)
+
+    def test_reversed_one_way_path_is_recognised(self):
+        graph = DiGraph(edges=[("c", "b", "R"), ("b", "a", "R")])
+        assert is_one_way_path(graph)
+        assert one_way_path_order(graph) == ["c", "b", "a"]
+
+    def test_path_orders(self):
+        path = one_way_path(["R", "S"])
+        assert one_way_path_order(path) == ["v0", "v1", "v2"]
+        order = two_way_path_order(path)
+        assert order in (["v0", "v1", "v2"], ["v2", "v1", "v0"])
+        # A two-child star is still a 2WP (but not a 1WP); a three-child star is neither.
+        assert two_way_path_order(star_tree(2)) in (["s1", "s0", "s2"], ["s2", "s0", "s1"])
+        with pytest.raises(ClassConstraintError):
+            one_way_path_order(star_tree(2))
+        with pytest.raises(ClassConstraintError):
+            two_way_path_order(star_tree(3))
+
+
+class TestTreeRecognition:
+    def test_figure4_examples(self):
+        # Figure 4: an unlabeled DWT (left) and PT (right).
+        dwt = downward_tree({"b": "a", "c": "a", "d": "b", "e": "b"})
+        assert is_downward_tree(dwt) and is_polytree(dwt)
+        pt = DiGraph(edges=[("a", "b"), ("c", "b"), ("b", "d")])
+        assert is_polytree(pt) and not is_downward_tree(pt)
+
+    def test_downward_tree_root(self):
+        dwt = downward_tree({"b": "a", "c": "b"})
+        assert downward_tree_root(dwt) == "a"
+        with pytest.raises(ClassConstraintError):
+            downward_tree_root(DiGraph(edges=[("a", "b"), ("c", "b")]))
+
+    def test_cycle_is_not_a_polytree(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert not is_polytree(graph)
+
+    def test_connected(self):
+        assert is_connected_graph(one_way_path(["R"]))
+        assert not is_connected_graph(disjoint_union([one_way_path(["R"]), one_way_path(["S"])]))
+
+
+class TestInclusionLattice:
+    def test_figure2_direct_inclusions(self):
+        assert class_includes(GraphClass.ONE_WAY_PATH, GraphClass.TWO_WAY_PATH)
+        assert class_includes(GraphClass.ONE_WAY_PATH, GraphClass.DOWNWARD_TREE)
+        assert class_includes(GraphClass.TWO_WAY_PATH, GraphClass.POLYTREE)
+        assert class_includes(GraphClass.DOWNWARD_TREE, GraphClass.POLYTREE)
+        assert class_includes(GraphClass.POLYTREE, GraphClass.CONNECTED)
+        assert class_includes(GraphClass.CONNECTED, GraphClass.ALL)
+
+    def test_union_inclusions(self):
+        assert class_includes(GraphClass.ONE_WAY_PATH, GraphClass.UNION_ONE_WAY_PATH)
+        assert class_includes(GraphClass.UNION_ONE_WAY_PATH, GraphClass.UNION_DOWNWARD_TREE)
+        assert class_includes(GraphClass.UNION_POLYTREE, GraphClass.ALL)
+
+    def test_non_inclusions(self):
+        assert not class_includes(GraphClass.TWO_WAY_PATH, GraphClass.DOWNWARD_TREE)
+        assert not class_includes(GraphClass.DOWNWARD_TREE, GraphClass.TWO_WAY_PATH)
+        assert not class_includes(GraphClass.CONNECTED, GraphClass.UNION_POLYTREE)
+        assert not class_includes(GraphClass.ALL, GraphClass.CONNECTED)
+
+    def test_inclusion_is_reflexive_and_transitive(self):
+        for cls in GraphClass:
+            assert class_includes(cls, cls)
+            assert class_includes(cls, GraphClass.ALL)
+
+    def test_semantic_inclusion_on_random_members(self, rng):
+        """Membership is monotone along the lattice: members of a class belong to its superclasses."""
+        samples = [
+            random_one_way_path(3, rng=rng),
+            random_two_way_path(3, rng=rng),
+            random_downward_tree(5, rng=rng),
+            random_polytree(5, rng=rng),
+        ]
+        for graph in samples:
+            member_of = classify_graph(graph)
+            for smaller in member_of:
+                for larger in GraphClass:
+                    if class_includes(smaller, larger):
+                        assert larger in member_of
+
+
+class TestClassification:
+    def test_graph_class_of_most_specific(self):
+        assert graph_class_of(one_way_path(["R", "S"])) is GraphClass.ONE_WAY_PATH
+        assert graph_class_of(star_tree(3)) is GraphClass.DOWNWARD_TREE
+        twp = two_way_path([("R", "forward"), ("S", "backward")])
+        assert graph_class_of(twp) is GraphClass.TWO_WAY_PATH
+        union = disjoint_union([one_way_path(["R"]), one_way_path(["S"])])
+        assert graph_class_of(union) is GraphClass.UNION_ONE_WAY_PATH
+
+    def test_graph_class_of_general_graphs(self):
+        clique = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert graph_class_of(clique) is GraphClass.CONNECTED
+        two_cliques = disjoint_union([clique, clique])
+        assert graph_class_of(two_cliques) is GraphClass.ALL
+
+    def test_graph_in_class_empty_graph(self):
+        assert not graph_in_class(DiGraph(), GraphClass.ALL)
+        with pytest.raises(GraphError):
+            graph_class_of(DiGraph())
+
+    def test_union_class_membership(self):
+        union = disjoint_union([star_tree(2), one_way_path(["R"])])
+        assert graph_in_class(union, GraphClass.UNION_DOWNWARD_TREE)
+        assert graph_in_class(union, GraphClass.UNION_POLYTREE)
+        assert not graph_in_class(union, GraphClass.UNION_ONE_WAY_PATH)
+        assert not graph_in_class(union, GraphClass.CONNECTED)

@@ -1,0 +1,154 @@
+"""Unit tests for the complexity classification (Tables 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.classification.tables import (
+    Complexity,
+    Setting,
+    base_results,
+    classify_cell,
+    format_table,
+    table1,
+    table2,
+    table3,
+    table_columns,
+    table_rows,
+)
+from repro.graphs.classes import GraphClass
+
+P = Complexity.PTIME
+H = Complexity.SHARP_P_HARD
+
+#: Table 1 of the paper (unlabeled, disconnected queries), row by row.
+EXPECTED_TABLE1 = {
+    GraphClass.UNION_ONE_WAY_PATH: (P, P, P, P, H),
+    GraphClass.UNION_TWO_WAY_PATH: (P, H, P, H, H),
+    GraphClass.UNION_DOWNWARD_TREE: (P, P, P, P, H),
+    GraphClass.UNION_POLYTREE: (P, H, P, H, H),
+    GraphClass.ALL: (P, H, P, H, H),
+}
+
+#: Table 2 of the paper (labeled, connected queries).
+EXPECTED_TABLE2 = {
+    GraphClass.ONE_WAY_PATH: (P, P, P, H, H),
+    GraphClass.TWO_WAY_PATH: (P, P, H, H, H),
+    GraphClass.DOWNWARD_TREE: (P, P, H, H, H),
+    GraphClass.POLYTREE: (P, P, H, H, H),
+    GraphClass.CONNECTED: (P, P, H, H, H),
+}
+
+#: Table 3 of the paper (unlabeled, connected queries).
+EXPECTED_TABLE3 = {
+    GraphClass.ONE_WAY_PATH: (P, P, P, P, H),
+    GraphClass.TWO_WAY_PATH: (P, P, P, H, H),
+    GraphClass.DOWNWARD_TREE: (P, P, P, P, H),
+    GraphClass.POLYTREE: (P, P, P, H, H),
+    GraphClass.CONNECTED: (P, P, P, H, H),
+}
+
+
+def _check_table(table, expected):
+    columns = table_columns()
+    for row, values in expected.items():
+        for column, value in zip(columns, values):
+            assert table[(row, column)].complexity is value, (row, column)
+
+
+class TestTablesMatchThePaper:
+    def test_table1(self):
+        _check_table(table1(), EXPECTED_TABLE1)
+
+    def test_table2(self):
+        _check_table(table2(), EXPECTED_TABLE2)
+
+    def test_table3(self):
+        _check_table(table3(), EXPECTED_TABLE3)
+
+    def test_every_cell_is_determined_and_has_provenance(self):
+        for table in (table1(), table2(), table3()):
+            for cell in table.values():
+                assert cell.complexity in (P, H)
+                assert "Proposition" in cell.proposition or "Lemma" in cell.proposition
+
+    def test_tables_cover_all_rows_and_columns(self):
+        assert len(table1()) == 25
+        assert len(table2()) == 25
+        assert len(table3()) == 25
+        assert table_rows(1)[0] is GraphClass.UNION_ONE_WAY_PATH
+        assert table_rows(2) == table_rows(3)
+        with pytest.raises(ReproError):
+            table_rows(4)
+
+
+class TestClassifyCell:
+    def test_known_border_cases(self):
+        assert classify_cell(
+            GraphClass.ONE_WAY_PATH, GraphClass.DOWNWARD_TREE, Setting.LABELED
+        ).complexity is P
+        assert classify_cell(
+            GraphClass.ONE_WAY_PATH, GraphClass.POLYTREE, Setting.LABELED
+        ).complexity is H
+        assert classify_cell(
+            GraphClass.TWO_WAY_PATH, GraphClass.POLYTREE, Setting.UNLABELED
+        ).complexity is H
+        assert classify_cell(
+            GraphClass.ALL, GraphClass.UNION_DOWNWARD_TREE, Setting.UNLABELED
+        ).complexity is P
+
+    def test_labeled_hardness_does_not_leak_to_unlabeled(self):
+        # PHomL(DWT, DWT) is #P-hard (Prop 4.4) but PHom#L(DWT, DWT) is PTIME (Prop 3.6).
+        labeled = classify_cell(GraphClass.DOWNWARD_TREE, GraphClass.DOWNWARD_TREE, Setting.LABELED)
+        unlabeled = classify_cell(
+            GraphClass.DOWNWARD_TREE, GraphClass.DOWNWARD_TREE, Setting.UNLABELED
+        )
+        assert labeled.complexity is H
+        assert unlabeled.complexity is P
+
+    def test_labeled_tractability_transfers_to_unlabeled(self):
+        labeled = classify_cell(GraphClass.CONNECTED, GraphClass.TWO_WAY_PATH, Setting.LABELED)
+        unlabeled = classify_cell(GraphClass.CONNECTED, GraphClass.TWO_WAY_PATH, Setting.UNLABELED)
+        assert labeled.complexity is unlabeled.complexity is P
+
+    def test_unlabeled_hardness_transfers_to_labeled(self):
+        for setting in (Setting.LABELED, Setting.UNLABELED):
+            assert classify_cell(
+                GraphClass.ONE_WAY_PATH, GraphClass.CONNECTED, setting
+            ).complexity is H
+
+    def test_union_instance_classes_keep_tractability(self):
+        # Section 3.3: the tractable cells also hold for unions of the instance classes.
+        assert classify_cell(
+            GraphClass.CONNECTED, GraphClass.UNION_TWO_WAY_PATH, Setting.LABELED
+        ).complexity is P
+        assert classify_cell(
+            GraphClass.UNION_DOWNWARD_TREE, GraphClass.UNION_POLYTREE, Setting.UNLABELED
+        ).complexity is P
+
+    def test_all_on_all_is_hard_in_both_settings(self):
+        for setting in Setting:
+            assert classify_cell(GraphClass.ALL, GraphClass.ALL, setting).complexity is H
+
+    def test_no_cell_is_contradictory(self):
+        for setting in Setting:
+            for query_class in GraphClass:
+                for instance_class in GraphClass:
+                    cell = classify_cell(query_class, instance_class, setting)
+                    assert cell.complexity in (P, H)
+
+
+class TestPresentation:
+    def test_base_results_reference_the_paper(self):
+        propositions = {result.proposition for result in base_results()}
+        assert any("3.6" in p for p in propositions)
+        assert any("4.10" in p for p in propositions)
+        assert any("4.11" in p for p in propositions)
+        assert any("5.6" in p for p in propositions)
+
+    def test_format_table_renders_every_cell(self):
+        rendering = format_table(table2(), table_rows(2))
+        assert rendering.count("PTIME") == 11
+        assert rendering.count("#P-hard") == 14
+        assert "1WP" in rendering and "Connected" in rendering

@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.builders import one_way_path, star_tree
+from repro.graphs.serialization import save_graph
+from repro.probability.prob_graph import ProbabilisticGraph
+
+
+def run_cli(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestTablesCommand:
+    def test_tables_prints_all_three(self):
+        code, out, _err = run_cli(["tables"])
+        assert code == 0
+        assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+        assert out.count("PTIME") + out.count("#P-hard") == 75
+
+
+class TestClassifyCommand:
+    def test_classify_known_cells(self):
+        code, out, _err = run_cli(
+            ["classify", "--query-class", "1WP", "--instance-class", "DWT", "--setting", "labeled"]
+        )
+        assert code == 0
+        assert "PTIME" in out and "4.10" in out
+
+        code, out, _err = run_cli(
+            ["classify", "--query-class", "2wp", "--instance-class", "pt", "--setting", "unlabeled"]
+        )
+        assert code == 0
+        assert "#P-hard" in out and "5.6" in out
+
+    def test_unknown_class_is_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["classify", "--query-class", "hypercube", "--instance-class", "DWT"])
+
+
+class TestSolveCommand:
+    @pytest.fixture
+    def files(self, tmp_path):
+        query = one_way_path(["R", "S"], prefix="q")
+        instance = ProbabilisticGraph(
+            star_tree(1, label="R"), {("s0", "s1"): "1/2"}
+        )
+        # Extend the star into a small DWT with an S edge below.
+        graph = instance.graph.copy()
+        graph.add_edge("s1", "s2", "S")
+        instance = ProbabilisticGraph(graph, {("s0", "s1"): "1/2", ("s1", "s2"): "1/4"})
+        query_path = tmp_path / "query.json"
+        instance_path = tmp_path / "instance.json"
+        save_graph(query, str(query_path))
+        save_graph(instance, str(instance_path))
+        return str(query_path), str(instance_path)
+
+    def test_solve_reports_probability_and_method(self, files):
+        query_path, instance_path = files
+        code, out, _err = run_cli(["solve", query_path, instance_path])
+        assert code == 0
+        assert "probability = 1/8" in out
+        assert "labeled-dwt" in out or "connected-2wp" in out
+
+    def test_solve_with_explicit_method(self, files):
+        query_path, instance_path = files
+        code, out, _err = run_cli(["solve", query_path, instance_path, "--method", "brute-force-worlds"])
+        assert code == 0
+        assert "probability = 1/8" in out
+
+    def test_solve_prefers_flavour(self, files):
+        query_path, instance_path = files
+        code, out, _err = run_cli(["solve", query_path, instance_path, "--prefer", "lineage"])
+        assert code == 0
+        assert "probability = 1/8" in out
+
+    def test_solve_unknown_method_fails_cleanly(self, files):
+        query_path, instance_path = files
+        code, _out, err = run_cli(["solve", query_path, instance_path, "--method", "sorcery"])
+        assert code == 1
+        assert "error" in err
+
+    def test_solve_missing_file_fails_cleanly(self, tmp_path, files):
+        query_path, _instance_path = files
+        code, _out, err = run_cli(["solve", query_path, str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "could not load" in err

@@ -1,0 +1,122 @@
+"""Unit tests for d-DNNF circuits (Definition 5.3)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import LineageError
+from repro.lineage.ddnnf import DDNNF, GateKind
+
+
+def _xor_circuit() -> DDNNF:
+    """The d-DNNF for x XOR y: (x ∧ ¬y) ∨ (¬x ∧ y)."""
+    circuit = DDNNF()
+    left = circuit.add_and([circuit.add_var("x"), circuit.add_not("y")])
+    right = circuit.add_and([circuit.add_not("x"), circuit.add_var("y")])
+    circuit.set_root(circuit.add_or([left, right]))
+    return circuit
+
+
+class TestConstruction:
+    def test_literal_gates_are_cached(self):
+        circuit = DDNNF()
+        assert circuit.add_var("x") == circuit.add_var("x")
+        assert circuit.add_not("x") == circuit.add_not("x")
+        assert circuit.add_var("x") != circuit.add_not("x")
+        assert circuit.add_true() == circuit.add_true()
+
+    def test_empty_and_or_are_constants(self):
+        circuit = DDNNF()
+        true_gate = circuit.add_and([])
+        false_gate = circuit.add_or([])
+        assert circuit.gate(true_gate).kind is GateKind.TRUE
+        assert circuit.gate(false_gate).kind is GateKind.FALSE
+
+    def test_single_child_gates_collapse(self):
+        circuit = DDNNF()
+        x = circuit.add_var("x")
+        assert circuit.add_and([x]) == x
+        assert circuit.add_or([x]) == x
+
+    def test_unknown_child_rejected(self):
+        circuit = DDNNF()
+        with pytest.raises(LineageError):
+            circuit.add_and([0, 99])
+
+    def test_root_must_be_set(self):
+        circuit = DDNNF()
+        circuit.add_var("x")
+        with pytest.raises(LineageError):
+            _ = circuit.root
+
+    def test_size_measures(self):
+        circuit = _xor_circuit()
+        assert circuit.num_gates() == 7
+        assert circuit.num_wires() == 6
+        assert circuit.variables() == {"x", "y"}
+
+
+class TestSemantics:
+    def test_evaluate_xor(self):
+        circuit = _xor_circuit()
+        assert circuit.evaluate({"x": True, "y": False})
+        assert circuit.evaluate({"x": False, "y": True})
+        assert not circuit.evaluate({"x": True, "y": True})
+        assert not circuit.evaluate({})
+
+    def test_probability_xor(self):
+        circuit = _xor_circuit()
+        probabilities = {"x": Fraction(1, 2), "y": Fraction(1, 3)}
+        expected = Fraction(1, 2) * Fraction(2, 3) + Fraction(1, 2) * Fraction(1, 3)
+        assert circuit.probability(probabilities) == expected
+
+    def test_constants(self):
+        circuit = DDNNF()
+        circuit.set_root(circuit.add_true())
+        assert circuit.probability({}) == 1
+        circuit2 = DDNNF()
+        circuit2.set_root(circuit2.add_false())
+        assert circuit2.probability({}) == 0
+
+    def test_probability_matches_exhaustive_evaluation(self):
+        circuit = _xor_circuit()
+        probabilities = {"x": Fraction(1, 4), "y": Fraction(2, 3)}
+        total = Fraction(0)
+        for x_value in (False, True):
+            for y_value in (False, True):
+                if circuit.evaluate({"x": x_value, "y": y_value}):
+                    weight = (probabilities["x"] if x_value else 1 - probabilities["x"]) * (
+                        probabilities["y"] if y_value else 1 - probabilities["y"]
+                    )
+                    total += weight
+        assert circuit.probability(probabilities) == total
+
+
+class TestPropertyCheckers:
+    def test_xor_circuit_is_valid_ddnnf(self):
+        circuit = _xor_circuit()
+        assert circuit.is_decomposable()
+        assert circuit.is_deterministic()
+
+    def test_non_decomposable_and_is_detected(self):
+        circuit = DDNNF()
+        gate = circuit.add_and([circuit.add_var("x"), circuit.add_var("x"), circuit.add_var("y")])
+        circuit.set_root(gate)
+        assert not circuit.is_decomposable()
+
+    def test_non_deterministic_or_is_detected(self):
+        circuit = DDNNF()
+        gate = circuit.add_or([circuit.add_var("x"), circuit.add_var("y")])
+        circuit.set_root(gate)
+        assert not circuit.is_deterministic()
+
+    def test_determinism_check_support_limit(self):
+        circuit = DDNNF()
+        children = []
+        for index in range(3):
+            children.append(circuit.add_and([circuit.add_var(f"v{index}"), circuit.add_not(f"w{index}")]))
+        circuit.set_root(circuit.add_or(children))
+        with pytest.raises(LineageError):
+            circuit.is_deterministic(max_support=2)

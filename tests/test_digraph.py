@@ -1,0 +1,200 @@
+"""Unit tests for :mod:`repro.graphs.digraph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import DiGraph, Edge, UNLABELED
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.num_vertices() == 0
+        assert graph.num_edges() == 0
+        assert not graph.is_weakly_connected()
+
+    def test_add_vertex_is_idempotent(self):
+        graph = DiGraph()
+        graph.add_vertex("a")
+        graph.add_vertex("a")
+        assert graph.num_vertices() == 1
+
+    def test_add_edge_adds_endpoints(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b", "R")
+        assert graph.has_vertex("a") and graph.has_vertex("b")
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("a", "b", "R")
+        assert not graph.has_edge("a", "b", "S")
+        assert not graph.has_edge("b", "a")
+
+    def test_multi_edges_are_rejected(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b", "R")
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "b", "S")
+
+    def test_antiparallel_edges_are_allowed(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b", "R")
+        graph.add_edge("b", "a", "S")
+        assert graph.num_edges() == 2
+
+    def test_constructor_accepts_tuples_and_edges(self):
+        graph = DiGraph(vertices=["x"], edges=[("a", "b"), ("b", "c", "S"), Edge("c", "d", "T")])
+        assert graph.num_vertices() == 5
+        assert graph.label_of("a", "b") == UNLABELED
+        assert graph.label_of("b", "c") == "S"
+        assert graph.label_of("c", "d") == "T"
+
+    def test_remove_edge_keeps_vertices(self):
+        graph = DiGraph(edges=[("a", "b")])
+        graph.remove_edge("a", "b")
+        assert graph.num_edges() == 0
+        assert graph.num_vertices() == 2
+        with pytest.raises(GraphError):
+            graph.remove_edge("a", "b")
+
+    def test_copy_is_independent(self):
+        graph = DiGraph(edges=[("a", "b")])
+        clone = graph.copy()
+        clone.add_edge("b", "c")
+        assert graph.num_edges() == 1
+        assert clone.num_edges() == 2
+        assert graph == DiGraph(edges=[("a", "b")])
+
+
+class TestQueries:
+    def test_labels_and_unlabeled(self):
+        graph = DiGraph(edges=[("a", "b", "R"), ("b", "c", "R")])
+        assert graph.labels() == {"R"}
+        assert graph.is_unlabeled()
+        graph.add_edge("c", "d", "S")
+        assert not graph.is_unlabeled()
+
+    def test_degrees_and_neighbours(self):
+        graph = DiGraph(edges=[("a", "b"), ("a", "c"), ("d", "a")])
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("a") == 1
+        assert graph.degree("a") == 3
+        assert graph.successors("a") == {"b", "c"}
+        assert graph.predecessors("a") == {"d"}
+        assert graph.undirected_neighbours("a") == {"b", "c", "d"}
+
+    def test_get_edge_unknown_raises(self):
+        graph = DiGraph(edges=[("a", "b")])
+        with pytest.raises(GraphError):
+            graph.get_edge("b", "a")
+
+    def test_edges_are_deterministically_ordered(self):
+        graph = DiGraph(edges=[("b", "c"), ("a", "b")])
+        assert [e.endpoints for e in graph.edges()] == [("a", "b"), ("b", "c")]
+
+
+class TestSubgraphs:
+    def test_subgraph_with_edges_keeps_all_vertices(self):
+        graph = DiGraph(edges=[("a", "b", "R"), ("b", "c", "S")])
+        sub = graph.subgraph_with_edges([graph.get_edge("a", "b")])
+        assert sub.num_vertices() == 3
+        assert sub.num_edges() == 1
+        assert sub.has_edge("a", "b", "R")
+
+    def test_subgraph_with_foreign_edge_raises(self):
+        graph = DiGraph(edges=[("a", "b", "R")])
+        with pytest.raises(GraphError):
+            graph.subgraph_with_edges([Edge("x", "y", "R")])
+
+    def test_induced_component(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("x", "y")])
+        sub = graph.induced_component({"a", "b"})
+        assert sub.num_vertices() == 2
+        assert sub.has_edge("a", "b")
+        assert not sub.has_vertex("c")
+
+
+class TestConnectivity:
+    def test_weakly_connected_components(self):
+        graph = DiGraph(edges=[("a", "b"), ("c", "b"), ("x", "y")])
+        graph.add_vertex("lonely")
+        components = graph.weakly_connected_components()
+        assert sorted(len(c) for c in components) == [1, 2, 3]
+        assert not graph.is_weakly_connected()
+
+    def test_connected_component_graphs(self):
+        graph = DiGraph(edges=[("a", "b"), ("x", "y")])
+        parts = graph.connected_component_graphs()
+        assert len(parts) == 2
+        assert {p.num_edges() for p in parts} == {1}
+
+
+class TestStructure:
+    def test_directed_cycle_detection(self):
+        acyclic = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert not acyclic.has_directed_cycle()
+        cyclic = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert cyclic.has_directed_cycle()
+        self_loop = DiGraph(edges=[("a", "a")])
+        assert self_loop.has_directed_cycle()
+
+    def test_undirected_cycle_detection(self):
+        tree = DiGraph(edges=[("a", "b"), ("c", "b")])
+        assert not tree.underlying_has_undirected_cycle()
+        antiparallel = DiGraph(edges=[("a", "b"), ("b", "a")])
+        assert antiparallel.underlying_has_undirected_cycle()
+        square = DiGraph(edges=[("a", "b"), ("b", "c"), ("d", "c"), ("a", "d")])
+        assert square.underlying_has_undirected_cycle()
+
+    def test_topological_order(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+        cyclic = DiGraph(edges=[("a", "b"), ("b", "a")])
+        with pytest.raises(GraphError):
+            cyclic.topological_order()
+
+    def test_longest_directed_path_length(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        assert graph.longest_directed_path_length() == 3
+        single = DiGraph(vertices=["v"])
+        assert single.longest_directed_path_length() == 0
+        cyclic = DiGraph(edges=[("a", "b"), ("b", "a")])
+        with pytest.raises(GraphError):
+            cyclic.longest_directed_path_length()
+
+    def test_relabel_vertices(self):
+        graph = DiGraph(edges=[("a", "b", "R")])
+        renamed = graph.relabel_vertices({"a": "x"})
+        assert renamed.has_edge("x", "b", "R")
+        with pytest.raises(GraphError):
+            graph.relabel_vertices({"a": "b"})
+
+
+class TestDunder:
+    def test_contains_iter_len(self):
+        graph = DiGraph(edges=[("a", "b")])
+        assert "a" in graph
+        assert "z" not in graph
+        assert len(graph) == 2
+        assert sorted(graph) == ["a", "b"]
+
+    def test_equality(self):
+        first = DiGraph(edges=[("a", "b", "R")])
+        second = DiGraph(edges=[("a", "b", "R")])
+        third = DiGraph(edges=[("a", "b", "S")])
+        assert first == second
+        assert first != third
+        assert first != "not a graph"
+
+
+class TestEdge:
+    def test_edge_reversed(self):
+        edge = Edge("a", "b", "R")
+        assert edge.reversed() == Edge("b", "a", "R")
+        assert edge.endpoints == ("a", "b")
+
+    def test_edges_are_hashable_and_ordered(self):
+        edges = {Edge("a", "b", "R"), Edge("a", "b", "R"), Edge("a", "b", "S")}
+        assert len(edges) == 2
+        assert Edge("a", "a", "A") < Edge("a", "b", "A")

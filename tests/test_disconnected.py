@@ -1,0 +1,112 @@
+"""Unit tests for Lemma 3.7 and Proposition 3.6."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ClassConstraintError
+from repro.core.disconnected import (
+    components_of_query,
+    phom_on_disconnected_instance,
+    phom_unlabeled_on_union_dwt,
+)
+from repro.core.labeled_dwt import phom_labeled_path_on_dwt
+from repro.graphs.builders import disjoint_union, downward_tree, one_way_path, star_tree, unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    random_downward_tree,
+    random_one_way_path,
+    random_unlabeled_query_dag,
+)
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestLemma37:
+    def test_complement_product_formula(self):
+        union = disjoint_union([one_way_path(["R"]), one_way_path(["R"])])
+        instance = ProbabilisticGraph.with_uniform_probability(union, "1/2")
+        query = one_way_path(["R"], prefix="q")
+        probability = phom_on_disconnected_instance(query, instance, brute_force_phom)
+        assert probability == Fraction(3, 4)
+        assert probability == brute_force_phom(query, instance)
+
+    def test_agrees_with_brute_force_using_tractable_component_solver(self, rng):
+        for _ in range(10):
+            components = [
+                random_downward_tree(rng.randint(1, 4), ("R", "S"), rng) for _ in range(rng.randint(2, 3))
+            ]
+            union = disjoint_union(components)
+            instance = attach_random_probabilities(union, rng)
+            query = random_one_way_path(rng.randint(1, 3), ("R", "S"), rng, prefix="q")
+            via_lemma = phom_on_disconnected_instance(
+                query, instance, lambda q, c: phom_labeled_path_on_dwt(q, c, "dp")
+            )
+            assert via_lemma == brute_force_phom(query, instance)
+
+    def test_requires_connected_query(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        disconnected = disjoint_union([one_way_path(["R"]), one_way_path(["R"])], prefix="q")
+        with pytest.raises(ClassConstraintError):
+            phom_on_disconnected_instance(disconnected, instance, brute_force_phom)
+
+    def test_connected_instance_is_a_single_component(self):
+        instance = ProbabilisticGraph(one_way_path(["R", "S"]), {("v0", "v1"): "1/2"})
+        query = one_way_path(["R", "S"], prefix="q")
+        assert phom_on_disconnected_instance(query, instance, brute_force_phom) == Fraction(1, 2)
+
+    def test_components_of_query(self):
+        union = disjoint_union([one_way_path(["R"]), star_tree(2)], prefix="q")
+        assert len(components_of_query(union)) == 2
+
+
+class TestProposition36:
+    def test_non_graded_query_has_probability_zero(self):
+        cyclic = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        jumping = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        instance = ProbabilisticGraph.with_uniform_probability(star_tree(3), "1/2")
+        assert phom_unlabeled_on_union_dwt(cyclic, instance) == 0
+        assert phom_unlabeled_on_union_dwt(jumping, instance) == 0
+        assert brute_force_phom(jumping, instance) == 0
+
+    def test_graded_query_collapses_to_difference_of_levels(self):
+        # Difference of levels 3 but longest directed path only 2 (see the
+        # grading tests): the probability equals that of a path of length 3.
+        query = DiGraph(
+            edges=[("a3", "a2"), ("a2", "a1"), ("b2", "a1"), ("b2", "b1"), ("b1", "b0")]
+        )
+        chain = downward_tree({"b": "a", "c": "b", "d": "c", "e": "a"})
+        instance = ProbabilisticGraph.with_uniform_probability(chain, "1/2")
+        expected = brute_force_phom(query, instance)
+        assert phom_unlabeled_on_union_dwt(query, instance) == expected
+        assert expected == brute_force_phom(unlabeled_path(3), instance) == Fraction(1, 8)
+
+    def test_agrees_with_brute_force_on_random_inputs(self, rng):
+        for _ in range(15):
+            components = [
+                random_downward_tree(rng.randint(1, 4), ("_",), rng) for _ in range(rng.randint(1, 2))
+            ]
+            instance = attach_random_probabilities(disjoint_union(components), rng)
+            query = random_unlabeled_query_dag(rng.randint(2, 5), 0.4, rng)
+            assert phom_unlabeled_on_union_dwt(query, instance) == brute_force_phom(query, instance)
+            assert phom_unlabeled_on_union_dwt(query, instance, method="dp") == brute_force_phom(
+                query, instance
+            )
+
+    def test_disconnected_queries_are_allowed(self, rng):
+        instance = attach_random_probabilities(random_downward_tree(5, ("_",), rng), rng)
+        query = disjoint_union([unlabeled_path(1), unlabeled_path(2)], prefix="q")
+        assert phom_unlabeled_on_union_dwt(query, instance) == brute_force_phom(query, instance)
+
+    def test_edgeless_query_is_certain(self):
+        instance = ProbabilisticGraph(star_tree(2))
+        query = DiGraph(vertices=["x", "y"])
+        assert phom_unlabeled_on_union_dwt(query, instance) == 1
+
+    def test_requires_union_dwt_instance(self):
+        polytree_instance = ProbabilisticGraph(DiGraph(edges=[("a", "b"), ("c", "b")]))
+        with pytest.raises(ClassConstraintError):
+            phom_unlabeled_on_union_dwt(unlabeled_path(1), polytree_instance)

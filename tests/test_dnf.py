@@ -1,0 +1,121 @@
+"""Unit tests for positive DNF formulas and their probability evaluation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import LineageError
+from repro.lineage.dnf import PositiveDNF
+
+
+def _uniform(variables, value=Fraction(1, 2)):
+    return {v: value for v in variables}
+
+
+class TestBasics:
+    def test_empty_formula_is_false(self):
+        formula = PositiveDNF()
+        assert formula.is_false()
+        assert not formula.is_true()
+        assert not formula.evaluate({"x": True})
+        assert formula.probability({}) == 0
+
+    def test_empty_clause_is_true(self):
+        formula = PositiveDNF([[]])
+        assert formula.is_true()
+        assert formula.evaluate({})
+        assert formula.probability({}) == 1
+        assert formula.probability_by_enumeration({}) == 1
+        assert formula.probability_inclusion_exclusion({}) == 1
+
+    def test_duplicate_clauses_collapse(self):
+        formula = PositiveDNF([["x", "y"], ["y", "x"]])
+        assert formula.num_clauses() == 1
+        assert len(formula) == 1
+
+    def test_variables_and_evaluation(self):
+        formula = PositiveDNF([["x", "y"], ["z"]])
+        assert formula.variables() == {"x", "y", "z"}
+        assert formula.evaluate({"z": True})
+        assert formula.evaluate({"x": True, "y": True})
+        assert not formula.evaluate({"x": True})
+        assert not formula.evaluate({})
+
+
+class TestProbability:
+    def test_single_clause(self):
+        formula = PositiveDNF([["x", "y"]])
+        probabilities = {"x": Fraction(1, 2), "y": Fraction(1, 3)}
+        expected = Fraction(1, 6)
+        assert formula.probability(probabilities) == expected
+        assert formula.probability_by_enumeration(probabilities) == expected
+        assert formula.probability_inclusion_exclusion(probabilities) == expected
+
+    def test_two_disjoint_clauses(self):
+        formula = PositiveDNF([["x"], ["y"]])
+        probabilities = {"x": Fraction(1, 2), "y": Fraction(1, 3)}
+        expected = 1 - Fraction(1, 2) * Fraction(2, 3)
+        assert formula.probability(probabilities) == expected
+
+    def test_overlapping_clauses(self):
+        formula = PositiveDNF([["x", "y"], ["y", "z"]])
+        probabilities = _uniform("xyz")
+        # Pr(y and (x or z)) = 1/2 * 3/4.
+        assert formula.probability(probabilities) == Fraction(3, 8)
+
+    def test_all_methods_agree_on_small_formulas(self, rng):
+        variables = list("abcde")
+        for _ in range(20):
+            clauses = []
+            for _ in range(rng.randint(1, 4)):
+                size = rng.randint(1, 3)
+                clauses.append(rng.sample(variables, size))
+            formula = PositiveDNF(clauses)
+            probabilities = {v: Fraction(rng.randint(0, 4), 4) for v in variables}
+            reference = formula.probability_by_enumeration(probabilities)
+            assert formula.probability(probabilities) == reference
+            assert formula.probability_inclusion_exclusion(probabilities) == reference
+
+    def test_explicit_order(self):
+        formula = PositiveDNF([["x", "y"], ["y", "z"]])
+        probabilities = _uniform("xyz")
+        assert formula.probability(probabilities, order=["y", "x", "z"]) == Fraction(3, 8)
+
+    def test_order_missing_variable_raises(self):
+        formula = PositiveDNF([["x", "y"]])
+        with pytest.raises(LineageError):
+            formula.probability(_uniform("xy"), order=["x"])
+
+    def test_variables_with_probability_zero_or_one(self):
+        formula = PositiveDNF([["x", "y"], ["z"]])
+        probabilities = {"x": Fraction(1), "y": Fraction(1, 2), "z": Fraction(0)}
+        assert formula.probability(probabilities) == Fraction(1, 2)
+
+
+class TestBetaAcyclicity:
+    def test_nested_clauses_are_beta_acyclic(self):
+        formula = PositiveDNF([["a"], ["a", "b"], ["a", "b", "c"]])
+        assert formula.is_beta_acyclic()
+        order = formula.beta_elimination_order()
+        assert order is not None
+
+    def test_triangle_clauses_are_not_beta_acyclic(self):
+        formula = PositiveDNF([["a", "b"], ["b", "c"], ["a", "c"]])
+        assert not formula.is_beta_acyclic()
+        assert formula.beta_elimination_order() is None
+
+    def test_non_beta_acyclic_probability_still_exact(self):
+        formula = PositiveDNF([["a", "b"], ["b", "c"], ["a", "c"]])
+        probabilities = _uniform("abc")
+        assert formula.probability(probabilities) == formula.probability_by_enumeration(
+            probabilities
+        )
+
+
+class TestEquality:
+    def test_equality_is_clause_set_equality(self):
+        assert PositiveDNF([["x"], ["y"]]) == PositiveDNF([["y"], ["x"]])
+        assert PositiveDNF([["x"]]) != PositiveDNF([["y"]])
+        assert PositiveDNF() != "not a formula"

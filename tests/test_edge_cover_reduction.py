@@ -1,0 +1,122 @@
+"""Unit tests for #Bipartite-Edge-Cover and the Propositions 3.3 / 3.4 reductions."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graphs.classes import GraphClass, graph_in_class, is_one_way_path, is_two_way_path
+from repro.probability.brute_force import brute_force_phom
+from repro.reductions.bipartite import BipartiteGraph, count_edge_covers, random_bipartite_graph
+from repro.reductions.edge_cover import (
+    edge_covers_via_phom,
+    prop33_reduction,
+    prop34_reduction,
+)
+
+
+class TestBipartiteGraphs:
+    def test_construction_validation(self):
+        with pytest.raises(ReproError):
+            BipartiteGraph(0, 1, ())
+        with pytest.raises(ReproError):
+            BipartiteGraph(1, 1, ((1, 2),))
+        with pytest.raises(ReproError):
+            BipartiteGraph(1, 1, ((1, 1), (1, 1)))
+
+    def test_degrees_and_isolation(self):
+        graph = BipartiteGraph(2, 2, ((1, 1), (1, 2)))
+        assert graph.degree_left(1) == 2
+        assert graph.degree_right(2) == 1
+        assert graph.has_isolated_vertex()  # x2 is isolated
+        full = BipartiteGraph(2, 2, ((1, 1), (2, 2)))
+        assert not full.has_isolated_vertex()
+
+    def test_count_edge_covers_known_values(self):
+        # A single edge covering both vertices: exactly one cover.
+        assert count_edge_covers(BipartiteGraph(1, 1, ((1, 1),))) == 1
+        # K_{1,2}: both edges are needed.
+        assert count_edge_covers(BipartiteGraph(1, 2, ((1, 1), (1, 2)))) == 1
+        # K_{2,2}: 7 of the 16 subsets are edge covers.
+        k22 = BipartiteGraph(2, 2, ((1, 1), (1, 2), (2, 1), (2, 2)))
+        assert count_edge_covers(k22) == 7
+        # An isolated vertex kills every cover.
+        assert count_edge_covers(BipartiteGraph(2, 1, ((1, 1),))) == 0
+
+    def test_random_generator_avoids_isolated_vertices(self, rng):
+        for _ in range(10):
+            graph = random_bipartite_graph(3, 2, 0.3, rng)
+            assert not graph.has_isolated_vertex()
+        sparse = random_bipartite_graph(2, 2, 0.0, rng, ensure_no_isolated=False)
+        assert sparse.num_edges == 0
+
+
+class TestProp33Reduction:
+    def test_output_classes(self):
+        graph = BipartiteGraph(2, 2, ((1, 1), (2, 2), (1, 2)))
+        query, instance = prop33_reduction(graph)
+        assert graph_in_class(query, GraphClass.UNION_ONE_WAY_PATH)
+        assert not query.is_weakly_connected()
+        assert is_one_way_path(instance.graph)
+        assert len(query.weakly_connected_components()) == graph.num_left + graph.num_right
+
+    def test_probabilistic_edges_are_the_v_edges(self):
+        graph = BipartiteGraph(1, 2, ((1, 1), (1, 2)))
+        _query, instance = prop33_reduction(graph)
+        uncertain = instance.uncertain_edges()
+        assert len(uncertain) == graph.num_edges
+        assert all(e.label == "V" for e in uncertain)
+        assert all(instance.probability(e) == Fraction(1, 2) for e in uncertain)
+
+    def test_counting_identity_on_small_graphs(self):
+        graphs = [
+            BipartiteGraph(1, 1, ((1, 1),)),
+            BipartiteGraph(1, 2, ((1, 1), (1, 2))),
+            BipartiteGraph(2, 1, ((1, 1), (2, 1))),
+            BipartiteGraph(2, 2, ((1, 1), (1, 2), (2, 2))),
+            BipartiteGraph(2, 1, ((1, 1),)),  # isolated vertex: zero covers
+        ]
+        for graph in graphs:
+            assert edge_covers_via_phom(graph) == count_edge_covers(graph)
+
+    def test_counting_identity_on_random_graphs(self, rng):
+        for _ in range(3):
+            graph = random_bipartite_graph(2, 2, 0.5, rng)
+            assert edge_covers_via_phom(graph) == count_edge_covers(graph)
+
+    def test_empty_edge_set_rejected(self):
+        with pytest.raises(ReproError):
+            prop33_reduction(BipartiteGraph(1, 1, ()))
+
+
+class TestProp34Reduction:
+    def test_output_classes(self):
+        graph = BipartiteGraph(1, 2, ((1, 1), (1, 2)))
+        query, instance = prop34_reduction(graph)
+        assert graph_in_class(query, GraphClass.UNION_TWO_WAY_PATH)
+        assert is_two_way_path(instance.graph)
+        assert instance.graph.is_unlabeled()
+        assert query.is_unlabeled()
+
+    def test_probability_placement(self):
+        graph = BipartiteGraph(1, 1, ((1, 1),))
+        _query, instance = prop34_reduction(graph)
+        uncertain = instance.uncertain_edges()
+        assert len(uncertain) == 1
+        assert instance.probability(uncertain[0]) == Fraction(1, 2)
+
+    def test_counting_identity(self, rng):
+        graphs = [
+            BipartiteGraph(1, 1, ((1, 1),)),
+            BipartiteGraph(1, 2, ((1, 1), (1, 2))),
+            BipartiteGraph(2, 1, ((1, 1), (2, 1))),
+        ]
+        for graph in graphs:
+            assert edge_covers_via_phom(graph, unlabeled=True) == count_edge_covers(graph)
+
+    def test_inconsistent_solver_detected(self):
+        graph = BipartiteGraph(1, 1, ((1, 1),))
+        with pytest.raises(ReproError):
+            edge_covers_via_phom(graph, phom_solver=lambda q, i: Fraction(1, 3))

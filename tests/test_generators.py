@@ -1,0 +1,134 @@
+"""Unit tests for the random graph generators: class membership by construction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.classes import (
+    GraphClass,
+    graph_in_class,
+    is_connected_graph,
+    is_downward_tree,
+    is_one_way_path,
+    is_polytree,
+    is_two_way_path,
+)
+from repro.graphs.digraph import UNLABELED
+from repro.graphs.generators import (
+    DEFAULT_ALPHABET,
+    random_connected_graph,
+    random_disjoint_union,
+    random_downward_tree,
+    random_graded_dag,
+    random_graph,
+    random_label,
+    random_one_way_path,
+    random_polytree,
+    random_two_way_path,
+    random_unlabeled_query_dag,
+)
+from repro.graphs.grading import is_graded
+
+
+class TestSeeding:
+    def test_integer_seed_is_reproducible(self):
+        first = random_downward_tree(8, rng=123)
+        second = random_downward_tree(8, rng=123)
+        assert first == second
+
+    def test_random_label_comes_from_alphabet(self):
+        assert random_label(0, alphabet=("A", "B")) in {"A", "B"}
+
+
+class TestClassMembershipByConstruction:
+    @pytest.mark.parametrize("length", [1, 2, 5, 9])
+    def test_one_way_paths(self, length, rng):
+        graph = random_one_way_path(length, rng=rng)
+        assert is_one_way_path(graph)
+        assert graph.num_edges() == length
+        assert graph.labels() <= set(DEFAULT_ALPHABET)
+
+    @pytest.mark.parametrize("length", [1, 2, 5, 9])
+    def test_two_way_paths(self, length, rng):
+        graph = random_two_way_path(length, rng=rng)
+        assert is_two_way_path(graph)
+        assert graph.num_edges() == length
+
+    @pytest.mark.parametrize("size", [1, 2, 6, 12])
+    def test_downward_trees(self, size, rng):
+        graph = random_downward_tree(size, rng=rng)
+        assert is_downward_tree(graph)
+        assert graph.num_vertices() == size
+
+    @pytest.mark.parametrize("size", [1, 2, 6, 12])
+    def test_polytrees(self, size, rng):
+        graph = random_polytree(size, rng=rng)
+        assert is_polytree(graph)
+        assert graph.num_vertices() == size
+
+    def test_size_validation(self):
+        with pytest.raises(GraphError):
+            random_downward_tree(0)
+        with pytest.raises(GraphError):
+            random_polytree(0)
+        with pytest.raises(GraphError):
+            random_connected_graph(0)
+        with pytest.raises(GraphError):
+            random_graph(0)
+
+    @pytest.mark.parametrize(
+        "component_class,graph_class",
+        [
+            ("1WP", GraphClass.UNION_ONE_WAY_PATH),
+            ("2WP", GraphClass.UNION_TWO_WAY_PATH),
+            ("DWT", GraphClass.UNION_DOWNWARD_TREE),
+            ("PT", GraphClass.UNION_POLYTREE),
+        ],
+    )
+    def test_disjoint_unions(self, component_class, graph_class, rng):
+        graph = random_disjoint_union([2, 3, 1], component_class, rng=rng)
+        assert graph_in_class(graph, graph_class)
+        assert len(graph.weakly_connected_components()) == 3
+
+    def test_disjoint_union_unknown_class(self):
+        with pytest.raises(GraphError):
+            random_disjoint_union([2], "CYCLE")
+
+    def test_connected_graph(self, rng):
+        graph = random_connected_graph(7, 0.3, rng=rng)
+        assert is_connected_graph(graph)
+
+    def test_random_graph_labels(self, rng):
+        graph = random_graph(6, 0.4, alphabet=("A", "B", "C"), rng=rng)
+        assert graph.labels() <= {"A", "B", "C"}
+
+    def test_graded_dag_is_graded(self, rng):
+        graph = random_graded_dag(4, 3, 0.5, rng=rng)
+        assert is_graded(graph)
+        assert not graph.has_directed_cycle()
+
+    def test_unlabeled_query_dag(self, rng):
+        graph = random_unlabeled_query_dag(6, 0.4, rng=rng)
+        assert not graph.has_directed_cycle()
+        assert graph.labels() <= {UNLABELED}
+
+    def test_graded_dag_validation(self):
+        with pytest.raises(GraphError):
+            random_graded_dag(0, 3)
+        with pytest.raises(GraphError):
+            random_unlabeled_query_dag(0)
+
+
+class TestVariety:
+    def test_trees_are_not_always_paths(self):
+        shapes = {random_downward_tree(6, rng=seed).out_degree("t0") for seed in range(20)}
+        assert len(shapes) > 1
+
+    def test_two_way_paths_use_both_orientations(self):
+        rng = random.Random(3)
+        graph = random_two_way_path(20, rng=rng)
+        forward = sum(1 for e in graph.edges() if int(e.source[1:]) < int(e.target[1:]))
+        assert 0 < forward < 20

@@ -1,0 +1,101 @@
+"""Unit tests for graded DAGs and level mappings (Definition 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import disjoint_union, downward_tree, star_tree, unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.grading import difference_of_levels, is_graded, level_mapping
+
+
+def _check_level_mapping(graph, mapping):
+    for edge in graph.edges():
+        assert mapping.levels[edge.target] == mapping.levels[edge.source] - 1
+
+
+class TestGradedness:
+    def test_path_is_graded(self):
+        path = unlabeled_path(4)
+        mapping = level_mapping(path)
+        assert mapping is not None
+        _check_level_mapping(path, mapping)
+        assert mapping.difference == 4
+
+    def test_zigzag_dag_levels(self):
+        graph = DiGraph(
+            edges=[("a", "b"), ("b", "c"), ("d", "c"), ("d", "e"), ("f", "e")]
+        )
+        mapping = level_mapping(graph)
+        assert mapping is not None
+        _check_level_mapping(graph, mapping)
+        assert mapping.difference == 2
+
+    def test_figure6_remark_difference_can_exceed_longest_path(self):
+        # The paper notes (after Definition 3.5 / Figure 6) that the
+        # difference of levels is *not* the length of the longest directed
+        # path: here the difference is 3 while the longest path has 2 edges.
+        graph = DiGraph(
+            edges=[("a3", "a2"), ("a2", "a1"), ("b2", "a1"), ("b2", "b1"), ("b1", "b0")]
+        )
+        mapping = level_mapping(graph)
+        assert mapping is not None
+        _check_level_mapping(graph, mapping)
+        assert graph.is_weakly_connected()
+        assert mapping.difference == 3
+        assert graph.longest_directed_path_length() == 2
+
+    def test_directed_cycle_is_not_graded(self):
+        cycle = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert not is_graded(cycle)
+        assert level_mapping(cycle) is None
+
+    def test_self_loop_is_not_graded(self):
+        assert not is_graded(DiGraph(edges=[("a", "a")]))
+
+    def test_jumping_edge_is_not_graded(self):
+        # Two directed paths of different lengths between the same endpoints.
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert not is_graded(graph)
+
+    def test_diamond_is_graded(self):
+        diamond = DiGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        mapping = level_mapping(diamond)
+        assert mapping is not None
+        assert mapping.difference == 2
+
+    def test_star_is_graded(self):
+        assert difference_of_levels(star_tree(4)) == 1
+
+    def test_isolated_vertices(self):
+        graph = DiGraph(vertices=["a", "b"])
+        mapping = level_mapping(graph)
+        assert mapping is not None
+        assert mapping.difference == 0
+
+
+class TestDifferenceOfLevels:
+    def test_difference_is_max_over_components(self):
+        union = disjoint_union([unlabeled_path(1), unlabeled_path(3), star_tree(2)])
+        assert difference_of_levels(union) == 3
+
+    def test_levels_are_shifted_per_component(self):
+        union = disjoint_union([unlabeled_path(2), unlabeled_path(1)])
+        mapping = level_mapping(union)
+        assert mapping is not None
+        for component in union.weakly_connected_components():
+            assert min(mapping.levels[v] for v in component) == 0
+
+    def test_difference_of_levels_on_ungraded_raises(self):
+        cycle = DiGraph(edges=[("a", "b"), ("b", "a")])
+        with pytest.raises(GraphError):
+            difference_of_levels(cycle)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            level_mapping(DiGraph())
+
+    def test_downward_tree_difference_is_height(self):
+        tree = downward_tree({"b": "a", "c": "b", "d": "b", "e": "a"})
+        assert difference_of_levels(tree) == tree.longest_directed_path_length() == 2

@@ -1,0 +1,132 @@
+"""Unit tests for homomorphism search and query equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.builders import downward_tree, one_way_path, star_tree, two_way_path, unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.homomorphism import (
+    arc_consistent_domains,
+    enumerate_homomorphisms,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphic_equivalent,
+    match_image,
+)
+
+
+def _check_is_homomorphism(hom, query, instance):
+    for edge in query.edges():
+        assert instance.has_edge(hom[edge.source], hom[edge.target], edge.label)
+
+
+class TestBasicHomomorphisms:
+    def test_path_into_itself(self):
+        path = one_way_path(["R", "S"])
+        hom = find_homomorphism(path, path)
+        assert hom is not None
+        _check_is_homomorphism(hom, path, path)
+
+    def test_label_mismatch(self):
+        query = one_way_path(["R"])
+        instance = one_way_path(["S"])
+        assert not has_homomorphism(query, instance)
+
+    def test_orientation_and_labels_interact(self):
+        # The unlabeled zig-zag folds onto a single edge, but with two labels
+        # the backward S edge has no image in an R-only path.
+        unlabeled_zigzag = two_way_path([("R", "forward"), ("R", "backward")])
+        assert has_homomorphism(unlabeled_zigzag, one_way_path(["R", "R"]))
+        labeled_zigzag = two_way_path([("R", "forward"), ("S", "backward")])
+        assert not has_homomorphism(labeled_zigzag, one_way_path(["R", "R"]))
+
+    def test_longer_query_does_not_map_to_shorter_path(self):
+        assert not has_homomorphism(unlabeled_path(3), unlabeled_path(2))
+        assert has_homomorphism(unlabeled_path(2), unlabeled_path(3))
+
+    def test_query_collapses_onto_cycle(self):
+        # A long unlabeled path maps into a directed 2-cycle by alternating.
+        cycle = DiGraph(edges=[("a", "b"), ("b", "a")])
+        assert has_homomorphism(unlabeled_path(5), cycle)
+
+    def test_branching_query_on_path(self):
+        # An unlabeled star of out-degree 3 maps onto a single edge.
+        assert has_homomorphism(star_tree(3), unlabeled_path(1))
+        # But not when the labels of the branches differ.
+        labeled_star = DiGraph(edges=[("r", "a", "R"), ("r", "b", "S")])
+        assert not has_homomorphism(labeled_star, one_way_path(["R"]))
+
+    def test_empty_query_has_no_homomorphism(self):
+        assert find_homomorphism(DiGraph(), unlabeled_path(1)) is None
+
+    def test_disconnected_query_needs_all_components(self):
+        from repro.graphs.builders import disjoint_union
+
+        query = disjoint_union([one_way_path(["R"]), one_way_path(["S"])])
+        only_r = one_way_path(["R", "R"])
+        both = one_way_path(["R", "S"])
+        assert not has_homomorphism(query, only_r)
+        assert has_homomorphism(query, both)
+
+
+class TestEnumeration:
+    def test_enumeration_counts_all_homomorphisms(self):
+        # An unlabeled single edge maps into a path of 3 edges in 3 ways.
+        homs = list(enumerate_homomorphisms(unlabeled_path(1), unlabeled_path(3)))
+        assert len(homs) == 3
+        for hom in homs:
+            _check_is_homomorphism(hom, unlabeled_path(1), unlabeled_path(3))
+
+    def test_enumeration_respects_limit(self):
+        homs = list(enumerate_homomorphisms(unlabeled_path(1), unlabeled_path(3), limit=2))
+        assert len(homs) == 2
+
+    def test_enumeration_no_duplicates(self):
+        query = star_tree(2)
+        instance = downward_tree({"b": "a", "c": "a", "d": "a"})
+        homs = [tuple(sorted(h.items())) for h in enumerate_homomorphisms(query, instance)]
+        assert len(homs) == len(set(homs))
+        # root -> a, each leaf independently -> one of 3 children: 9 homomorphisms.
+        assert len(homs) == 9
+
+    def test_match_image(self):
+        query = unlabeled_path(1)
+        instance = unlabeled_path(2)
+        hom = find_homomorphism(query, instance)
+        image = match_image(hom, query, instance)
+        assert image.num_edges() == 1
+        assert image.num_vertices() == instance.num_vertices()
+
+
+class TestArcConsistency:
+    def test_arc_consistency_detects_impossibility(self):
+        assert arc_consistent_domains(unlabeled_path(3), unlabeled_path(2)) is None
+
+    def test_arc_consistency_domains_support_all_homomorphisms(self):
+        query = one_way_path(["R", "S"])
+        instance = DiGraph(
+            edges=[("a", "b", "R"), ("b", "c", "S"), ("x", "b", "R"), ("b", "y", "R")]
+        )
+        domains = arc_consistent_domains(query, instance)
+        assert domains is not None
+        for hom in enumerate_homomorphisms(query, instance):
+            for vertex, image in hom.items():
+                assert image in domains[vertex]
+
+
+class TestEquivalence:
+    def test_dwt_query_equivalent_to_its_height_path(self):
+        # Proposition 5.5's key observation, checked on a concrete tree.
+        tree = downward_tree({"b": "a", "c": "a", "d": "b"})
+        assert homomorphic_equivalent(tree, unlabeled_path(2))
+        assert not homomorphic_equivalent(tree, unlabeled_path(3))
+
+    def test_equivalence_is_symmetric_and_reflexive(self):
+        path = unlabeled_path(2)
+        tree = downward_tree({"b": "a", "c": "b", "d": "a"})
+        assert homomorphic_equivalent(path, path)
+        assert homomorphic_equivalent(path, tree) == homomorphic_equivalent(tree, path)
+
+    def test_labels_break_equivalence(self):
+        assert not homomorphic_equivalent(one_way_path(["R"]), one_way_path(["S"]))

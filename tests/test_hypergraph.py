@@ -1,0 +1,112 @@
+"""Unit tests for hypergraphs and β-acyclicity (Definition 4.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LineageError
+from repro.lineage.hypergraph import (
+    Hypergraph,
+    beta_elimination_order,
+    hypergraph_of_clauses,
+    is_beta_acyclic,
+)
+
+
+class TestHypergraphBasics:
+    def test_add_hyperedge_extends_vertices(self):
+        hypergraph = Hypergraph()
+        hypergraph.add_hyperedge(["a", "b"])
+        assert hypergraph.vertices == frozenset({"a", "b"})
+        assert len(hypergraph.hyperedges) == 1
+
+    def test_empty_hyperedge_rejected(self):
+        with pytest.raises(LineageError):
+            Hypergraph(hyperedges=[[]])
+
+    def test_duplicate_hyperedges_merge(self):
+        hypergraph = Hypergraph(hyperedges=[["a", "b"], ["b", "a"]])
+        assert len(hypergraph.hyperedges) == 1
+
+    def test_incident_hyperedges(self):
+        hypergraph = Hypergraph(hyperedges=[["a", "b"], ["b", "c"]])
+        assert len(hypergraph.incident_hyperedges("b")) == 2
+        assert len(hypergraph.incident_hyperedges("a")) == 1
+        assert hypergraph.incident_hyperedges("missing") == []
+
+    def test_remove_vertex_drops_empty_edges(self):
+        hypergraph = Hypergraph(hyperedges=[["a"], ["a", "b"]])
+        reduced = hypergraph.remove_vertex("a")
+        assert reduced.vertices == frozenset({"b"})
+        assert reduced.hyperedges == frozenset({frozenset({"b"})})
+
+    def test_copy_is_independent(self):
+        hypergraph = Hypergraph(hyperedges=[["a", "b"]])
+        clone = hypergraph.copy()
+        clone.add_hyperedge(["c"])
+        assert len(hypergraph.hyperedges) == 1
+
+
+class TestBetaLeaves:
+    def test_chain_vertex_is_beta_leaf(self):
+        hypergraph = Hypergraph(hyperedges=[["a", "b"], ["a", "b", "c"]])
+        assert hypergraph.is_beta_leaf("a")
+        assert hypergraph.is_beta_leaf("c")
+
+    def test_vertex_in_incomparable_edges_is_not_beta_leaf(self):
+        hypergraph = Hypergraph(hyperedges=[["a", "b"], ["a", "c"]])
+        assert not hypergraph.is_beta_leaf("a")
+        assert hypergraph.is_beta_leaf("b")
+
+    def test_isolated_vertex_is_beta_leaf(self):
+        hypergraph = Hypergraph(vertices=["x"], hyperedges=[["a", "b"]])
+        assert hypergraph.is_beta_leaf("x")
+
+
+class TestBetaAcyclicity:
+    def test_nested_family_is_beta_acyclic(self):
+        hypergraph = Hypergraph(hyperedges=[["a"], ["a", "b"], ["a", "b", "c"]])
+        assert is_beta_acyclic(hypergraph)
+        order = beta_elimination_order(hypergraph)
+        assert order is not None
+        assert set(order) <= {"a", "b", "c"}
+
+    def test_interval_family_is_beta_acyclic(self):
+        # Connected sub-intervals of a path containing an endpoint are nested:
+        # this is the structure behind Proposition 4.11.
+        hypergraph = Hypergraph(
+            hyperedges=[["e1"], ["e1", "e2"], ["e1", "e2", "e3"], ["e3", "e4"]]
+        )
+        assert is_beta_acyclic(hypergraph)
+
+    def test_triangle_is_not_beta_acyclic(self):
+        triangle = Hypergraph(hyperedges=[["a", "b"], ["b", "c"], ["a", "c"]])
+        assert not is_beta_acyclic(triangle)
+        assert beta_elimination_order(triangle) is None
+
+    def test_alpha_acyclic_but_beta_cyclic_example(self):
+        # The classic example: adding the big edge {a, b, c} makes the
+        # triangle α-acyclic but it stays β-cyclic.
+        hypergraph = Hypergraph(
+            hyperedges=[["a", "b"], ["b", "c"], ["a", "c"], ["a", "b", "c"]]
+        )
+        assert not is_beta_acyclic(hypergraph)
+
+    def test_empty_hypergraph_is_beta_acyclic(self):
+        assert is_beta_acyclic(Hypergraph())
+        assert beta_elimination_order(Hypergraph(vertices=["a", "b"])) == []
+
+    def test_elimination_order_is_valid(self):
+        hypergraph = Hypergraph(hyperedges=[["a", "b"], ["b", "c"], ["b"]])
+        order = beta_elimination_order(hypergraph)
+        assert order is not None
+        current = hypergraph.copy()
+        for vertex in order:
+            assert current.is_beta_leaf(vertex)
+            current = current.remove_vertex(vertex)
+        assert not current.hyperedges
+
+    def test_hypergraph_of_clauses(self):
+        hypergraph = hypergraph_of_clauses([["x", "y"], ["y"]])
+        assert hypergraph.vertices == frozenset({"x", "y"})
+        assert len(hypergraph.hyperedges) == 2

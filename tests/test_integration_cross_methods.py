@@ -1,0 +1,126 @@
+"""Integration tests: every applicable algorithm must give the same probability.
+
+These tests draw random workloads that sit in the intersection of several
+tractable classes (e.g. a labeled one-way-path instance is simultaneously a
+1WP, a 2WP, a DWT and a PT) and check that every algorithm of the library —
+brute force over worlds, inclusion–exclusion over matches, generic lineage,
+the β-acyclic lineage routes, the direct dynamic programs, the X-property
+route and the tree-automaton route — agrees exactly.
+"""
+
+from __future__ import annotations
+
+import warnings
+from fractions import Fraction
+
+import pytest
+
+from repro.core.labeled_2wp import phom_connected_on_2wp
+from repro.core.labeled_dwt import phom_labeled_path_on_dwt
+from repro.core.solver import PHomSolver
+from repro.core.unlabeled_pt import (
+    phom_unlabeled_path_on_polytree,
+    phom_unlabeled_tree_query_on_polytree,
+)
+from repro.core.disconnected import phom_unlabeled_on_union_dwt
+from repro.exceptions import IntractableFallbackWarning
+from repro.graphs.builders import unlabeled_path
+from repro.graphs.generators import (
+    random_downward_tree,
+    random_one_way_path,
+    random_two_way_path,
+)
+from repro.lineage.builders import match_lineage
+from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestAllMethodsAgreeOnPathInstances:
+    def test_labeled_path_query_on_path_instance(self, rng):
+        for _ in range(10):
+            instance_graph = random_one_way_path(rng.randint(1, 6), ("R", "S"), rng)
+            instance = attach_random_probabilities(instance_graph, rng)
+            query = random_one_way_path(rng.randint(1, 3), ("R", "S"), rng, prefix="q")
+            values = {
+                brute_force_phom(query, instance),
+                brute_force_phom_over_matches(query, instance),
+                match_lineage(query, instance).probability(instance.probabilities()),
+                phom_labeled_path_on_dwt(query, instance, "dp"),
+                phom_labeled_path_on_dwt(query, instance, "lineage"),
+                phom_connected_on_2wp(query, instance, "dp"),
+                phom_connected_on_2wp(query, instance, "lineage"),
+                PHomSolver().probability(query, instance),
+            }
+            assert len(values) == 1
+
+    def test_unlabeled_path_query_on_path_instance(self, rng):
+        for _ in range(10):
+            instance_graph = random_one_way_path(rng.randint(1, 6), ("_",), rng)
+            instance = attach_random_probabilities(instance_graph, rng)
+            length = rng.randint(1, 3)
+            query = unlabeled_path(length, prefix="q")
+            values = {
+                brute_force_phom(query, instance),
+                phom_labeled_path_on_dwt(query, instance, "dp"),
+                phom_connected_on_2wp(query, instance, "dp"),
+                phom_unlabeled_path_on_polytree(length, instance, "automaton"),
+                phom_unlabeled_path_on_polytree(length, instance, "dp"),
+                phom_unlabeled_on_union_dwt(query, instance),
+                PHomSolver().probability(query, instance),
+                PHomSolver(prefer="automaton").probability(query, instance),
+            }
+            assert len(values) == 1
+
+
+class TestAllMethodsAgreeOnTreeInstances:
+    def test_unlabeled_dwt_instances(self, rng):
+        for _ in range(10):
+            instance_graph = random_downward_tree(rng.randint(2, 6), ("_",), rng)
+            instance = attach_random_probabilities(instance_graph, rng)
+            query = random_downward_tree(rng.randint(1, 3), ("_",), rng, prefix="q")
+            values = {
+                brute_force_phom(query, instance),
+                phom_unlabeled_on_union_dwt(query, instance),
+                phom_unlabeled_tree_query_on_polytree(query, instance, "automaton"),
+                phom_unlabeled_tree_query_on_polytree(query, instance, "dp"),
+                PHomSolver().probability(query, instance),
+            }
+            assert len(values) == 1
+
+    def test_dispatcher_prefer_flags_agree_everywhere(self, rng):
+        for _ in range(8):
+            instance_graph = random_two_way_path(rng.randint(1, 5), ("R", "S"), rng)
+            instance = attach_random_probabilities(instance_graph, rng)
+            query = random_one_way_path(rng.randint(1, 3), ("R", "S"), rng, prefix="q")
+            values = {
+                PHomSolver(prefer=flavour).probability(query, instance)
+                for flavour in ("dp", "lineage", "automaton")
+            }
+            assert len(values) == 1
+
+
+class TestMonotonicityAcrossInstances:
+    def test_adding_probability_mass_never_decreases_the_answer(self, rng):
+        """Raising one edge's probability can only increase Pr(G ⇝ H)."""
+        for _ in range(10):
+            instance_graph = random_downward_tree(rng.randint(2, 6), ("R", "S"), rng)
+            instance = attach_random_probabilities(instance_graph, rng, certain_fraction=0.0)
+            query = random_one_way_path(rng.randint(1, 3), ("R", "S"), rng, prefix="q")
+            before = phom_labeled_path_on_dwt(query, instance, "dp")
+            boosted_edge = rng.choice(instance.edges())
+            boosted = ProbabilisticGraph(instance.graph, instance.probabilities())
+            boosted.set_probability(boosted_edge, 1)
+            after = phom_labeled_path_on_dwt(query, boosted, "dp")
+            assert after >= before
+
+    def test_answers_stay_in_the_unit_interval(self, rng):
+        solver = PHomSolver()
+        for _ in range(10):
+            instance_graph = random_two_way_path(rng.randint(1, 6), ("R", "S"), rng)
+            instance = attach_random_probabilities(instance_graph, rng)
+            query = random_downward_tree(rng.randint(2, 4), ("R", "S"), rng, prefix="q")
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", IntractableFallbackWarning)
+                probability = solver.probability(query, instance)
+            assert Fraction(0) <= probability <= Fraction(1)

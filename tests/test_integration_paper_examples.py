@@ -1,0 +1,130 @@
+"""Integration tests reproducing the paper's worked examples and figure constructions."""
+
+from __future__ import annotations
+
+import warnings
+from fractions import Fraction
+
+import pytest
+
+from repro.core.solver import PHomSolver
+from repro.exceptions import IntractableFallbackWarning
+from repro.graphs.builders import one_way_path, two_way_path_from_signs
+from repro.graphs.classes import (
+    GraphClass,
+    graph_in_class,
+    is_one_way_path,
+    is_polytree,
+    is_two_way_path,
+)
+from repro.probability.brute_force import brute_force_phom
+from repro.reductions.bipartite import BipartiteGraph, count_edge_covers
+from repro.reductions.edge_cover import prop33_reduction, prop34_reduction
+from repro.reductions.pp2dnf import (
+    PP2DNF,
+    count_satisfying_valuations,
+    prop41_reduction,
+    prop56_reduction,
+)
+
+
+class TestExample22:
+    """Example 2.2: Pr(G ⇝ H) = 0.7 · (1 − 0.9 · 0.2) = 0.574."""
+
+    def test_brute_force_matches_the_paper(self, figure1_instance, example22_query):
+        assert brute_force_phom(example22_query, figure1_instance) == Fraction(287, 500)
+
+    def test_dispatcher_matches_the_paper(self, figure1_instance, example22_query):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", IntractableFallbackWarning)
+            result = PHomSolver().solve(example22_query, figure1_instance)
+        assert float(result.probability) == pytest.approx(0.574)
+
+    def test_collapsed_query_gives_the_same_answer(self, figure1_instance):
+        # In Example 2.2 the variable t can be mapped to y, so the query is
+        # equivalent to the plain R-S path; our solvers exploit no such
+        # simplification but must agree with it.
+        collapsed = one_way_path(["R", "S"], prefix="c")
+        assert brute_force_phom(collapsed, figure1_instance) == Fraction(287, 500)
+
+
+class TestFigure5Construction:
+    """Figure 5: the Proposition 3.3 reduction applied to a 2+3-vertex bipartite graph."""
+
+    #: The bipartite graph of Figure 5: X = {x1, x2}, Y = {y1, y2, y3},
+    #: edges e1=(x1,y1), e2=(x1,y2), e3=(x2,y2), e4=(x2,y3).
+    FIGURE5_GRAPH = BipartiteGraph(2, 3, ((1, 1), (1, 2), (2, 2), (2, 3)))
+
+    def test_instance_shape(self):
+        query, instance = prop33_reduction(self.FIGURE5_GRAPH)
+        assert is_one_way_path(instance.graph)
+        # One component per vertex of the bipartite graph.
+        assert len(query.weakly_connected_components()) == 5
+        # Instance length: m+1 C edges, one V edge per bipartite edge, plus
+        # l_j L-edges and r_j R-edges per bipartite edge.
+        expected_edges = (4 + 1) + 4 + sum(l for l, _ in self.FIGURE5_GRAPH.edges) + sum(
+            r for _, r in self.FIGURE5_GRAPH.edges
+        )
+        assert instance.graph.num_edges() == expected_edges
+
+    def test_counting_identity(self):
+        query, instance = prop33_reduction(self.FIGURE5_GRAPH)
+        probability = brute_force_phom(query, instance)
+        assert probability * 2 ** self.FIGURE5_GRAPH.num_edges == count_edge_covers(
+            self.FIGURE5_GRAPH
+        )
+
+
+class TestProposition34Construction:
+    def test_unlabeled_expansion_preserves_the_count(self):
+        graph = BipartiteGraph(1, 2, ((1, 1), (1, 2)))
+        query, instance = prop34_reduction(graph)
+        assert graph_in_class(query, GraphClass.UNION_TWO_WAY_PATH)
+        assert is_two_way_path(instance.graph)
+        probability = brute_force_phom(query, instance)
+        assert probability * 2 ** graph.num_edges == count_edge_covers(graph)
+
+
+class TestFigure7Construction:
+    """Figure 7: the Proposition 4.1 reduction for X1Y2 ∨ X1Y1 ∨ X2Y2."""
+
+    FIGURE7_FORMULA = PP2DNF(2, 2, ((1, 2), (1, 1), (2, 2)))
+
+    def test_instance_shape(self):
+        query, instance = prop41_reduction(self.FIGURE7_FORMULA)
+        graph = instance.graph
+        assert is_polytree(graph)
+        assert is_one_way_path(query)
+        # Query of Figure 7: T -> S^{m+3} -> T with m = 3 clauses.
+        assert query.num_edges() == 8
+        # Vertices: R, X1, X2, Y1, Y2, the 4·3 chain vertices, 3 A's and 3 B's.
+        assert graph.num_vertices() == 1 + 4 + 12 + 6
+        # Valuation edges: one per variable, probability 1/2.
+        assert len(instance.uncertain_edges()) == 4
+
+    def test_counting_identity(self):
+        query, instance = prop41_reduction(self.FIGURE7_FORMULA)
+        probability = brute_force_phom(query, instance)
+        assert probability * 2 ** 4 == count_satisfying_valuations(self.FIGURE7_FORMULA)
+
+
+class TestFigure8Construction:
+    """Figure 8: the Proposition 5.6 reduction for the same formula, unlabeled."""
+
+    def test_query_is_the_figure8_two_way_path(self):
+        formula = PP2DNF(2, 2, ((1, 2), (1, 1), (2, 2)))
+        query, instance = prop56_reduction(formula)
+        assert is_two_way_path(query)
+        assert is_polytree(instance.graph)
+        # →→→ (→→←)^{m+3} →→→ with m = 3.
+        reference = two_way_path_from_signs([1, 1, 1] + [1, 1, -1] * 6 + [1, 1, 1])
+        assert query.num_edges() == reference.num_edges() == 24
+        from repro.graphs.homomorphism import homomorphic_equivalent
+
+        assert homomorphic_equivalent(query, reference)
+
+    def test_counting_identity_on_a_tiny_formula(self):
+        formula = PP2DNF(1, 1, ((1, 1),))
+        query, instance = prop56_reduction(formula)
+        probability = brute_force_phom(query, instance)
+        assert probability * 2 ** 2 == count_satisfying_valuations(formula)

@@ -1,0 +1,116 @@
+"""Unit tests for Proposition 4.11 (connected queries on 2WP instances)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ClassConstraintError
+from repro.core.labeled_2wp import phom_connected_on_2wp, two_way_path_lineage
+from repro.graphs.builders import disjoint_union, one_way_path, star_tree, two_way_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    random_connected_graph,
+    random_downward_tree,
+    random_polytree,
+    random_two_way_path,
+)
+from repro.lineage.builders import lineage_captures_query
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestLineageConstruction:
+    def test_lineage_is_beta_acyclic(self, rng):
+        for _ in range(10):
+            graph = random_two_way_path(rng.randint(1, 7), ("R", "S"), rng)
+            instance = attach_random_probabilities(graph, rng)
+            query = random_connected_graph(rng.randint(2, 4), 0.3, ("R", "S"), rng, prefix="q")
+            lineage = two_way_path_lineage(query, instance)
+            assert lineage.is_beta_acyclic()
+
+    def test_lineage_captures_query(self, rng):
+        for _ in range(5):
+            graph = random_two_way_path(rng.randint(1, 5), ("R", "S"), rng)
+            instance = attach_random_probabilities(graph, rng)
+            query = random_connected_graph(rng.randint(2, 3), 0.3, ("R", "S"), rng, prefix="q")
+            lineage = two_way_path_lineage(query, instance)
+            assert lineage_captures_query(lineage, query, instance)
+
+    def test_edgeless_query_lineage_is_true(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        query = DiGraph(vertices=["lonely"])
+        assert two_way_path_lineage(query, instance).is_true()
+
+    def test_requires_connected_query_and_path_instance(self):
+        path_instance = ProbabilisticGraph(one_way_path(["R", "S"]))
+        disconnected = disjoint_union([one_way_path(["R"]), one_way_path(["S"])], prefix="q")
+        with pytest.raises(ClassConstraintError):
+            two_way_path_lineage(disconnected, path_instance)
+        tree_instance = ProbabilisticGraph(star_tree(3))
+        with pytest.raises(ClassConstraintError):
+            two_way_path_lineage(one_way_path(["R"], prefix="q"), tree_instance)
+
+
+class TestSolver:
+    def test_simple_forward_query(self):
+        instance = ProbabilisticGraph(
+            one_way_path(["R", "S", "R"]),
+            {("v0", "v1"): "1/2", ("v1", "v2"): "1/3", ("v2", "v3"): "1/4"},
+        )
+        query = one_way_path(["R", "S"], prefix="q")
+        expected = Fraction(1, 2) * Fraction(1, 3)
+        assert phom_connected_on_2wp(query, instance, "dp") == expected
+        assert phom_connected_on_2wp(query, instance, "lineage") == expected
+
+    def test_two_way_query_on_two_way_instance(self):
+        instance_graph = two_way_path(
+            [("R", "forward"), ("S", "backward"), ("S", "forward"), ("R", "backward")]
+        )
+        instance = ProbabilisticGraph.with_uniform_probability(instance_graph, "1/2")
+        query = two_way_path([("R", "forward"), ("S", "backward")], prefix="q")
+        reference = brute_force_phom(query, instance)
+        assert phom_connected_on_2wp(query, instance, "dp") == reference
+        assert phom_connected_on_2wp(query, instance, "lineage") == reference
+
+    def test_branching_and_cyclic_queries(self, rng):
+        """Proposition 4.11 allows *arbitrary* connected queries, not just paths."""
+        for _ in range(15):
+            graph = random_two_way_path(rng.randint(1, 6), ("R", "S"), rng)
+            instance = attach_random_probabilities(graph, rng)
+            query = random_connected_graph(rng.randint(2, 4), 0.4, ("R", "S"), rng, prefix="q")
+            reference = brute_force_phom(query, instance)
+            assert phom_connected_on_2wp(query, instance, "dp") == reference
+            assert phom_connected_on_2wp(query, instance, "lineage") == reference
+
+    def test_tree_and_polytree_queries(self, rng):
+        for _ in range(10):
+            graph = random_two_way_path(rng.randint(1, 6), ("R", "S"), rng)
+            instance = attach_random_probabilities(graph, rng)
+            if rng.random() < 0.5:
+                query = random_downward_tree(rng.randint(2, 4), ("R", "S"), rng, prefix="q")
+            else:
+                query = random_polytree(rng.randint(2, 4), ("R", "S"), rng, prefix="q")
+            reference = brute_force_phom(query, instance)
+            assert phom_connected_on_2wp(query, instance, "dp") == reference
+
+    def test_edgeless_query_has_probability_one(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]), {("v0", "v1"): "1/5"})
+        assert phom_connected_on_2wp(DiGraph(vertices=["q"]), instance) == 1
+
+    def test_impossible_query_has_probability_zero(self):
+        instance = ProbabilisticGraph(one_way_path(["R", "R"]))
+        query = one_way_path(["T"], prefix="q")
+        assert phom_connected_on_2wp(query, instance) == 0
+
+    def test_unknown_method(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        with pytest.raises(ValueError):
+            phom_connected_on_2wp(one_way_path(["R"], prefix="q"), instance, "magic")
+
+    def test_single_vertex_instance(self):
+        instance = ProbabilisticGraph(DiGraph(vertices=["only"]))
+        query = one_way_path(["R"], prefix="q")
+        assert phom_connected_on_2wp(query, instance) == 0

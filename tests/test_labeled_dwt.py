@@ -1,0 +1,121 @@
+"""Unit tests for Proposition 4.10 (labeled 1WP queries on DWT instances)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ClassConstraintError
+from repro.core.labeled_dwt import dwt_path_lineage, kmp_transition_table, phom_labeled_path_on_dwt
+from repro.graphs.builders import downward_tree, one_way_path, star_tree, two_way_path
+from repro.graphs.generators import random_downward_tree, random_one_way_path
+from repro.lineage.builders import lineage_captures_query
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestKMPTable:
+    def test_simple_pattern(self):
+        table = kmp_transition_table(["R", "S"], ["R", "S"])
+        assert table[(0, "R")] == 1
+        assert table[(0, "S")] == 0
+        assert table[(1, "S")] == 2
+        assert table[(1, "R")] == 1  # restart on the new R
+
+    def test_self_overlapping_pattern(self):
+        table = kmp_transition_table(["R", "R", "S"], ["R", "S"])
+        assert table[(2, "R")] == 2  # RR read, another R keeps two Rs matched
+        assert table[(2, "S")] == 3
+
+    def test_unknown_letter_resets(self):
+        table = kmp_transition_table(["R", "S"], ["R", "S", "T"])
+        assert table[(1, "T")] == 0
+
+
+class TestLineageConstruction:
+    def test_lineage_clause_per_matching_path(self, small_dwt_instance):
+        lineage = dwt_path_lineage(["R", "S"], small_dwt_instance)
+        # Matching downward RS paths in the fixture: a-R->b-S->d only.
+        assert lineage.num_clauses() == 1
+        (clause,) = lineage.clauses
+        assert {e.endpoints for e in clause} == {("a", "b"), ("b", "d")}
+
+    def test_lineage_is_beta_acyclic(self, rng):
+        for _ in range(10):
+            graph = random_downward_tree(rng.randint(2, 8), ("R", "S"), rng)
+            instance = attach_random_probabilities(graph, rng)
+            labels = [rng.choice(["R", "S"]) for _ in range(rng.randint(1, 3))]
+            lineage = dwt_path_lineage(labels, instance)
+            assert lineage.is_beta_acyclic()
+
+    def test_lineage_captures_query(self, rng):
+        for _ in range(5):
+            graph = random_downward_tree(rng.randint(2, 5), ("R", "S"), rng)
+            instance = attach_random_probabilities(graph, rng)
+            query = random_one_way_path(rng.randint(1, 3), ("R", "S"), rng, prefix="q")
+            lineage = dwt_path_lineage([e.label for e in _path_edges(query)], instance)
+            assert lineage_captures_query(lineage, query, instance)
+
+    def test_zero_length_query_is_true(self, small_dwt_instance):
+        lineage = dwt_path_lineage([], small_dwt_instance)
+        assert lineage.is_true()
+
+    def test_requires_dwt_instance(self):
+        non_tree = ProbabilisticGraph(two_way_path([("R", "forward"), ("S", "backward")]))
+        with pytest.raises(ClassConstraintError):
+            dwt_path_lineage(["R"], non_tree)
+
+
+def _path_edges(query):
+    from repro.graphs.classes import one_way_path_order
+
+    order = one_way_path_order(query)
+    return [query.get_edge(order[i], order[i + 1]) for i in range(len(order) - 1)]
+
+
+class TestSolver:
+    def test_fixture_probability(self, small_dwt_instance):
+        query = one_way_path(["R", "S"], prefix="q")
+        expected = Fraction(1, 2) * Fraction(1, 3)  # edges a->b and b->d must both be present
+        assert phom_labeled_path_on_dwt(query, small_dwt_instance, "dp") == expected
+        assert phom_labeled_path_on_dwt(query, small_dwt_instance, "lineage") == expected
+
+    def test_methods_agree_with_brute_force(self, rng):
+        for _ in range(20):
+            graph = random_downward_tree(rng.randint(2, 7), ("R", "S"), rng)
+            instance = attach_random_probabilities(graph, rng)
+            query = random_one_way_path(rng.randint(1, 4), ("R", "S"), rng, prefix="q")
+            reference = brute_force_phom(query, instance)
+            assert phom_labeled_path_on_dwt(query, instance, "dp") == reference
+            assert phom_labeled_path_on_dwt(query, instance, "lineage") == reference
+
+    def test_single_vertex_query(self, small_dwt_instance):
+        query = one_way_path([], prefix="q")
+        assert phom_labeled_path_on_dwt(query, small_dwt_instance) == 1
+
+    def test_query_longer_than_tree(self, small_dwt_instance):
+        query = one_way_path(["R"] * 10, prefix="q")
+        assert phom_labeled_path_on_dwt(query, small_dwt_instance) == 0
+
+    def test_overlapping_occurrences(self):
+        # Pattern RR on a chain of three R edges: clauses overlap, probabilities
+        # must not be double counted.
+        chain = downward_tree({"b": "a", "c": "b", "d": "c"}, labels={"b": "R", "c": "R", "d": "R"})
+        instance = ProbabilisticGraph.with_uniform_probability(chain, "1/2")
+        query = one_way_path(["R", "R"], prefix="q")
+        reference = brute_force_phom(query, instance)
+        assert phom_labeled_path_on_dwt(query, instance, "dp") == reference
+        assert phom_labeled_path_on_dwt(query, instance, "lineage") == reference
+
+    def test_rejects_wrong_classes(self, small_dwt_instance):
+        with pytest.raises(ClassConstraintError):
+            phom_labeled_path_on_dwt(star_tree(2, prefix="q"), small_dwt_instance)
+        non_tree = ProbabilisticGraph(two_way_path([("R", "forward"), ("S", "backward")]))
+        with pytest.raises(ClassConstraintError):
+            phom_labeled_path_on_dwt(one_way_path(["R"], prefix="q"), non_tree)
+
+    def test_unknown_method(self, small_dwt_instance):
+        with pytest.raises(ValueError):
+            phom_labeled_path_on_dwt(one_way_path(["R"], prefix="q"), small_dwt_instance, "magic")

@@ -1,0 +1,74 @@
+"""Unit tests for generic lineage construction (Definition 4.6)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.graphs.builders import disjoint_union, one_way_path, star_tree, unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_downward_tree, random_one_way_path, random_two_way_path
+from repro.lineage.builders import lineage_captures_query, match_lineage
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestMatchLineage:
+    def test_single_edge_lineage(self):
+        instance = ProbabilisticGraph(one_way_path(["R", "R"]))
+        lineage = match_lineage(one_way_path(["R"], prefix="q"), instance)
+        assert lineage.num_clauses() == 2
+        assert all(len(clause) == 1 for clause in lineage.clauses)
+
+    def test_lineage_captures_query_semantics(self):
+        graph = DiGraph(edges=[("a", "b", "R"), ("c", "b", "R"), ("b", "d", "S")])
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+        query = one_way_path(["R", "S"], prefix="q")
+        lineage = match_lineage(query, instance)
+        assert lineage_captures_query(lineage, query, instance)
+
+    def test_no_match_gives_false_lineage(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        lineage = match_lineage(one_way_path(["S"], prefix="q"), instance)
+        assert lineage.is_false()
+
+    def test_minimisation_drops_superset_clauses(self):
+        # A star query collapses onto a single edge; without minimisation the
+        # lineage would contain clauses with several edges.
+        instance = ProbabilisticGraph.with_uniform_probability(star_tree(3), "1/2")
+        query = star_tree(2, prefix="q")
+        minimised = match_lineage(query, instance, minimise=True)
+        raw = match_lineage(query, instance, minimise=False)
+        assert minimised.num_clauses() <= raw.num_clauses()
+        assert all(len(clause) == 1 for clause in minimised.clauses)
+        probabilities = instance.probabilities()
+        assert minimised.probability(probabilities) == raw.probability(probabilities)
+
+    def test_disconnected_query_lineage(self):
+        graph = disjoint_union([one_way_path(["R"]), one_way_path(["S"])])
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+        query = disjoint_union([one_way_path(["R"]), one_way_path(["S"])], prefix="q")
+        lineage = match_lineage(query, instance)
+        assert lineage.num_clauses() == 1
+        assert lineage.probability(instance.probabilities()) == Fraction(1, 4)
+
+    def test_lineage_probability_equals_phom_on_random_inputs(self, rng):
+        for _ in range(10):
+            shape = rng.choice(["dwt", "2wp"])
+            if shape == "dwt":
+                graph = random_downward_tree(rng.randint(2, 5), ("R", "S"), rng)
+            else:
+                graph = random_two_way_path(rng.randint(1, 4), ("R", "S"), rng)
+            instance = attach_random_probabilities(graph, rng)
+            query = random_one_way_path(rng.randint(1, 3), ("R", "S"), rng, prefix="q")
+            lineage = match_lineage(query, instance)
+            assert lineage.probability(instance.probabilities()) == brute_force_phom(
+                query, instance
+            )
+
+    def test_unlabeled_path_lineage_on_forked_graph(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("b", "d")])
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+        lineage = match_lineage(unlabeled_path(2), instance)
+        assert lineage.num_clauses() == 2
+        assert lineage.probability(instance.probabilities()) == Fraction(3, 8)

@@ -1,0 +1,102 @@
+"""Unit tests for the longest-directed-path tree automaton (Proposition 5.4)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+
+from repro.exceptions import AutomatonError
+from repro.automata.binary_tree import encode_polytree
+from repro.automata.path_automaton import PathState, build_longest_path_automaton, number_of_states
+from repro.automata.tree_automaton import BottomUpTreeAutomaton
+from repro.graphs.builders import unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_polytree
+from repro.probability.prob_graph import ProbabilisticGraph
+
+
+def _accepts_annotation(automaton, tree, annotation):
+    return automaton.accepts(tree, annotation)
+
+
+class TestAutomatonBasics:
+    def test_negative_length_rejected(self):
+        with pytest.raises(AutomatonError):
+            build_longest_path_automaton(-1)
+        with pytest.raises(AutomatonError):
+            number_of_states(-2)
+
+    def test_number_of_states(self):
+        assert number_of_states(0) == 1
+        assert number_of_states(3) == 64
+
+    def test_zero_length_accepts_everything(self):
+        automaton = build_longest_path_automaton(0)
+        instance = ProbabilisticGraph(unlabeled_path(2))
+        tree = encode_polytree(instance)
+        edges = instance.edges()
+        for bits in product((False, True), repeat=len(edges)):
+            annotation = dict(zip(edges, bits))
+            assert automaton.accepts(tree, annotation)
+
+    def test_states_are_capped_at_query_length(self):
+        automaton = build_longest_path_automaton(2)
+        instance = ProbabilisticGraph(unlabeled_path(6))
+        tree = encode_polytree(instance)
+        for state in automaton.reachable_states(tree):
+            assert isinstance(state, PathState)
+            assert 0 <= state.up <= 2
+            assert 0 <= state.down <= 2
+            assert 0 <= state.best <= 2
+
+    def test_unexpected_label_rejected(self):
+        automaton = build_longest_path_automaton(1)
+        assert isinstance(automaton, BottomUpTreeAutomaton)
+        with pytest.raises(AutomatonError):
+            automaton.initial(("weird", True))
+        leaf_state = automaton.initial(("eps", True))
+        with pytest.raises(AutomatonError):
+            automaton.transition(("weird", True), leaf_state, leaf_state)
+
+
+class TestAcceptanceSemantics:
+    def _check_against_definition(self, instance_graph: DiGraph, max_length: int) -> None:
+        """Acceptance must coincide with 'the annotated world has a directed path of length m'."""
+        instance = ProbabilisticGraph(instance_graph)
+        tree = encode_polytree(instance)
+        edges = instance.edges()
+        for m in range(max_length + 1):
+            automaton = build_longest_path_automaton(m)
+            for bits in product((False, True), repeat=len(edges)):
+                annotation = dict(zip(edges, bits))
+                kept = [e for e, bit in zip(edges, bits) if bit]
+                world = instance_graph.subgraph_with_edges(kept)
+                expected = world.longest_directed_path_length() >= m
+                assert automaton.accepts(tree, annotation) == expected
+
+    def test_one_way_path_instance(self):
+        self._check_against_definition(unlabeled_path(4), 4)
+
+    def test_branching_instance(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("b", "d"), ("e", "b")])
+        self._check_against_definition(graph, 3)
+
+    def test_two_way_instance(self):
+        graph = DiGraph(edges=[("a", "b"), ("c", "b"), ("c", "d"), ("e", "d")])
+        self._check_against_definition(graph, 3)
+
+    def test_random_polytrees(self, rng):
+        for _ in range(5):
+            graph = random_polytree(rng.randint(2, 6), ("_",), rng)
+            self._check_against_definition(graph, 3)
+
+
+class TestMaterialisation:
+    def test_materialised_tables_match_callables(self):
+        automaton = build_longest_path_automaton(1)
+        states = [PathState(u, d, b) for u in range(2) for d in range(2) for b in range(2)]
+        init, delta = automaton.materialise(states)
+        assert init[("eps", True)] == PathState(0, 0, 0)
+        for (letter, left, right), value in list(delta.items())[:50]:
+            assert value == automaton.transition(letter, left, right)

@@ -1,0 +1,110 @@
+"""Unit tests for PP2DNF formulas and the Propositions 4.1 / 5.6 reductions."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graphs.classes import is_one_way_path, is_polytree, is_two_way_path
+from repro.reductions.pp2dnf import (
+    PP2DNF,
+    count_satisfying_valuations,
+    prop41_reduction,
+    prop56_reduction,
+    random_pp2dnf,
+    satisfying_valuations_via_phom,
+)
+
+
+class TestPP2DNF:
+    def test_construction_validation(self):
+        with pytest.raises(ReproError):
+            PP2DNF(0, 1, ((1, 1),))
+        with pytest.raises(ReproError):
+            PP2DNF(1, 1, ())
+        with pytest.raises(ReproError):
+            PP2DNF(1, 1, ((1, 2),))
+
+    def test_evaluation(self):
+        formula = PP2DNF(2, 2, ((1, 2), (2, 1)))
+        assert formula.evaluate((True, False), (False, True))
+        assert not formula.evaluate((True, False), (True, False))
+        assert formula.num_clauses == 2
+        assert formula.num_variables == 4
+
+    def test_count_satisfying_valuations_known_values(self):
+        # X1 ∧ Y1 over one variable each: exactly one satisfying valuation.
+        assert count_satisfying_valuations(PP2DNF(1, 1, ((1, 1),))) == 1
+        # X1Y1 ∨ X1Y2: X1 must be true and at least one of Y1, Y2: 1 * 3 = 3.
+        assert count_satisfying_valuations(PP2DNF(1, 2, ((1, 1), (1, 2)))) == 3
+        # The paper's running example X1Y2 ∨ X1Y1 ∨ X2Y2 (Figure 7) has 2+2=4
+        # variables; direct enumeration gives 8 satisfying valuations.
+        figure7 = PP2DNF(2, 2, ((1, 2), (1, 1), (2, 2)))
+        assert count_satisfying_valuations(figure7) == 8
+
+    def test_random_formula_respects_bounds(self, rng):
+        formula = random_pp2dnf(3, 2, 4, rng)
+        assert formula.num_clauses == 4
+        assert len(set(formula.clauses)) == 4
+        with pytest.raises(ReproError):
+            random_pp2dnf(1, 1, 2, rng)
+
+
+class TestProp41Reduction:
+    def test_output_classes_and_shape(self):
+        formula = PP2DNF(2, 2, ((1, 2), (1, 1), (2, 2)))
+        query, instance = prop41_reduction(formula)
+        assert is_one_way_path(query)
+        assert query.num_edges() == formula.num_clauses + 5  # T + (m+3) S edges + T
+        assert is_polytree(instance.graph)
+        assert instance.graph.labels() == {"S", "T"}
+
+    def test_uncertain_edges_encode_the_valuation(self):
+        formula = PP2DNF(2, 3, ((1, 1), (2, 3)))
+        _query, instance = prop41_reduction(formula)
+        uncertain = instance.uncertain_edges()
+        assert len(uncertain) == formula.num_variables
+        assert all(instance.probability(e) == Fraction(1, 2) for e in uncertain)
+        assert all(e.label == "S" for e in uncertain)
+
+    def test_counting_identity_small_formulas(self):
+        formulas = [
+            PP2DNF(1, 1, ((1, 1),)),
+            PP2DNF(1, 2, ((1, 1), (1, 2))),
+            PP2DNF(2, 1, ((1, 1), (2, 1))),
+            PP2DNF(2, 2, ((1, 2), (2, 1))),
+        ]
+        for formula in formulas:
+            assert satisfying_valuations_via_phom(formula) == count_satisfying_valuations(formula)
+
+    def test_counting_identity_random_formula(self, rng):
+        formula = random_pp2dnf(2, 2, 2, rng)
+        assert satisfying_valuations_via_phom(formula) == count_satisfying_valuations(formula)
+
+    def test_inconsistent_solver_detected(self):
+        formula = PP2DNF(1, 1, ((1, 1),))
+        with pytest.raises(ReproError):
+            satisfying_valuations_via_phom(formula, phom_solver=lambda q, i: Fraction(1, 7))
+
+
+class TestProp56Reduction:
+    def test_output_classes_and_shape(self):
+        formula = PP2DNF(2, 2, ((1, 2), (1, 1), (2, 2)))
+        query, instance = prop56_reduction(formula)
+        assert is_two_way_path(query)
+        assert query.is_unlabeled()
+        assert is_polytree(instance.graph)
+        assert instance.graph.is_unlabeled()
+        # The query is →→→ (→→←)^{m+3} →→→ as in Figure 8.
+        assert query.num_edges() == 3 + 3 * (formula.num_clauses + 3) + 3
+
+    def test_uncertain_edges_count(self):
+        formula = PP2DNF(1, 2, ((1, 1), (1, 2)))
+        _query, instance = prop56_reduction(formula)
+        assert len(instance.uncertain_edges()) == formula.num_variables
+
+    def test_counting_identity(self):
+        formula = PP2DNF(1, 1, ((1, 1),))
+        assert satisfying_valuations_via_phom(formula, unlabeled=True) == 1

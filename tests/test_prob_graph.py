@@ -1,0 +1,160 @@
+"""Unit tests for :mod:`repro.probability.prob_graph`."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import GraphError, ProbabilityError
+from repro.graphs.builders import disjoint_union, one_way_path
+from repro.graphs.digraph import DiGraph, Edge
+from repro.probability.prob_graph import ProbabilisticGraph, as_probability
+
+
+class TestAsProbability:
+    def test_accepts_common_representations(self):
+        assert as_probability(1) == Fraction(1)
+        assert as_probability(0) == Fraction(0)
+        assert as_probability(0.1) == Fraction(1, 10)
+        assert as_probability("3/4") == Fraction(3, 4)
+        assert as_probability(Fraction(2, 5)) == Fraction(2, 5)
+
+    def test_float_conversion_is_decimal_exact(self):
+        # 0.1 must become exactly 1/10, not the nearest binary float.
+        assert as_probability(0.1) == Fraction(1, 10)
+        assert as_probability(0.3) == Fraction(3, 10)
+
+    def test_rejects_out_of_range_and_garbage(self):
+        with pytest.raises(ProbabilityError):
+            as_probability(1.5)
+        with pytest.raises(ProbabilityError):
+            as_probability(-0.1)
+        with pytest.raises(ProbabilityError):
+            as_probability(True)
+        with pytest.raises(ProbabilityError):
+            as_probability(object())
+
+
+class TestConstruction:
+    def test_default_probability_is_one(self):
+        graph = one_way_path(["R", "S"])
+        instance = ProbabilisticGraph(graph)
+        assert all(p == 1 for p in instance.probabilities().values())
+        assert instance.certain_edges() == instance.edges()
+
+    def test_probabilities_by_pair_and_edge(self):
+        graph = one_way_path(["R", "S"])
+        edge = graph.get_edge("v0", "v1")
+        instance = ProbabilisticGraph(graph, {edge: "1/3", ("v1", "v2"): 0.5})
+        assert instance.probability(("v0", "v1")) == Fraction(1, 3)
+        assert instance.probability(edge) == Fraction(1, 3)
+        assert instance.probability(("v1", "v2")) == Fraction(1, 2)
+
+    def test_unknown_edge_rejected(self):
+        graph = one_way_path(["R"])
+        with pytest.raises(GraphError):
+            ProbabilisticGraph(graph, {("v1", "v0"): 0.5})
+        with pytest.raises(GraphError):
+            ProbabilisticGraph(graph, {Edge("v0", "v1", "WRONG"): 0.5})
+
+    def test_instance_copies_the_graph(self):
+        graph = one_way_path(["R"])
+        instance = ProbabilisticGraph(graph)
+        graph.add_edge("v1", "v2", "S")
+        assert instance.graph.num_edges() == 1
+
+    def test_uniform_probability_constructor(self):
+        instance = ProbabilisticGraph.with_uniform_probability(one_way_path(["R", "S"]), "1/2")
+        assert set(instance.probabilities().values()) == {Fraction(1, 2)}
+
+    def test_set_probability(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        instance.set_probability(("v0", "v1"), 0.25)
+        assert instance.probability(("v0", "v1")) == Fraction(1, 4)
+
+
+class TestEdgePartitions:
+    def test_edge_partitions(self):
+        graph = one_way_path(["R", "S", "T"])
+        instance = ProbabilisticGraph(
+            graph, {("v0", "v1"): 0, ("v1", "v2"): "1/2", ("v2", "v3"): 1}
+        )
+        assert [e.endpoints for e in instance.impossible_edges()] == [("v0", "v1")]
+        assert [e.endpoints for e in instance.uncertain_edges()] == [("v1", "v2")]
+        assert [e.endpoints for e in instance.certain_edges()] == [("v2", "v3")]
+        assert instance.num_possible_worlds() == 8
+        assert instance.num_nonzero_worlds() == 2
+
+
+class TestPossibleWorlds:
+    def test_world_probabilities_sum_to_one(self):
+        graph = one_way_path(["R", "S"])
+        instance = ProbabilisticGraph(graph, {("v0", "v1"): "1/3", ("v1", "v2"): "1/4"})
+        worlds = list(instance.possible_worlds())
+        assert len(worlds) == 4
+        assert sum(w.probability for w in worlds) == 1
+
+    def test_example21_nonzero_world_count(self):
+        """Example 2.1: 2^6 possible worlds, half of them (one certain edge) have non-zero probability."""
+        graph = DiGraph(
+            edges=[
+                ("a", "b", "R"), ("b", "c", "R"), ("c", "d", "R"),
+                ("d", "a", "R"), ("a", "c", "S"), ("b", "d", "R"),
+            ]
+        )
+        instance = ProbabilisticGraph(
+            graph,
+            {
+                ("a", "b"): 1, ("b", "c"): 0.1, ("c", "d"): 0.8,
+                ("d", "a"): 0.1, ("a", "c"): 0.05, ("b", "d"): 0.7,
+            },
+        )
+        assert instance.num_possible_worlds() == 64
+        assert instance.num_nonzero_worlds() == 32
+        worlds = list(instance.possible_worlds())
+        assert len(worlds) == 32
+        assert sum(w.probability for w in worlds) == 1
+        # The world keeping all R edges and dropping the S edge (Example 2.1).
+        target = Fraction(1) * Fraction(1, 10) * Fraction(4, 5) * Fraction(1, 10) * Fraction(7, 10) * (
+            1 - Fraction(1, 20)
+        )
+        assert any(
+            w.probability == target and len(w.kept_edges) == 5 and all(e.label == "R" for e in w.kept_edges)
+            for w in worlds
+        )
+
+    def test_certain_edges_always_kept(self):
+        graph = one_way_path(["R", "S"])
+        instance = ProbabilisticGraph(graph, {("v0", "v1"): 1, ("v1", "v2"): "1/2"})
+        for world in instance.possible_worlds():
+            assert graph.get_edge("v0", "v1") in world.kept_edges
+
+    def test_world_probability_of_specific_subset(self):
+        graph = one_way_path(["R", "S"])
+        instance = ProbabilisticGraph(graph, {("v0", "v1"): "1/3", ("v1", "v2"): "1/4"})
+        kept = [graph.get_edge("v0", "v1")]
+        assert instance.world_probability(kept) == Fraction(1, 3) * Fraction(3, 4)
+        with pytest.raises(GraphError):
+            instance.world_probability([Edge("x", "y")])
+
+    def test_worlds_keep_all_vertices(self):
+        graph = one_way_path(["R"])
+        instance = ProbabilisticGraph(graph, {("v0", "v1"): "1/2"})
+        for world in instance.possible_worlds():
+            assert world.graph.num_vertices() == 2
+
+
+class TestComponents:
+    def test_connected_components_preserve_probabilities(self):
+        union = disjoint_union([one_way_path(["R"]), one_way_path(["S", "T"])])
+        instance = ProbabilisticGraph.with_uniform_probability(union, "1/2")
+        components = instance.connected_components()
+        assert sorted(c.graph.num_edges() for c in components) == [1, 2]
+        for component in components:
+            assert set(component.probabilities().values()) == {Fraction(1, 2)}
+
+    def test_restrict_to_component_unknown_vertex(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        with pytest.raises(GraphError):
+            instance.restrict_to_component({"nope"})

@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for positive DNF formulas."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lineage.dnf import PositiveDNF
+
+VARIABLES = ["a", "b", "c", "d", "e"]
+
+clauses_strategy = st.lists(
+    st.sets(st.sampled_from(VARIABLES), min_size=1, max_size=3),
+    min_size=1,
+    max_size=5,
+)
+
+probabilities_strategy = st.fixed_dictionaries(
+    {v: st.integers(min_value=0, max_value=6).map(lambda k: Fraction(k, 6)) for v in VARIABLES}
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clauses=clauses_strategy, probabilities=probabilities_strategy)
+def test_shannon_expansion_matches_enumeration(clauses, probabilities):
+    formula = PositiveDNF(clauses)
+    assert formula.probability(probabilities) == formula.probability_by_enumeration(probabilities)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clauses=clauses_strategy, probabilities=probabilities_strategy)
+def test_inclusion_exclusion_matches_enumeration(clauses, probabilities):
+    formula = PositiveDNF(clauses)
+    assert formula.probability_inclusion_exclusion(
+        probabilities
+    ) == formula.probability_by_enumeration(probabilities)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clauses=clauses_strategy, probabilities=probabilities_strategy)
+def test_probability_is_in_the_unit_interval(clauses, probabilities):
+    probability = PositiveDNF(clauses).probability(probabilities)
+    assert 0 <= probability <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    clauses=clauses_strategy,
+    extra=st.sets(st.sampled_from(VARIABLES), min_size=1, max_size=3),
+    probabilities=probabilities_strategy,
+)
+def test_adding_a_clause_is_monotone(clauses, extra, probabilities):
+    """A positive DNF is monotone in its clause set: more disjuncts can only help."""
+    smaller = PositiveDNF(clauses)
+    larger = PositiveDNF(list(clauses) + [extra])
+    assert larger.probability(probabilities) >= smaller.probability(probabilities)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clauses=clauses_strategy, probabilities=probabilities_strategy)
+def test_monotone_in_variable_probabilities(clauses, probabilities):
+    """Raising every variable's probability never decreases the formula's probability."""
+    formula = PositiveDNF(clauses)
+    raised = {v: p + (1 - p) / 2 for v, p in probabilities.items()}
+    assert formula.probability(raised) >= formula.probability(probabilities)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clauses=clauses_strategy)
+def test_beta_elimination_order_is_valid_when_it_exists(clauses):
+    formula = PositiveDNF(clauses)
+    order = formula.beta_elimination_order()
+    if order is None:
+        assert not formula.is_beta_acyclic()
+        return
+    assert formula.is_beta_acyclic()
+    hypergraph = formula.hypergraph()
+    for vertex in order:
+        assert hypergraph.is_beta_leaf(vertex)
+        hypergraph = hypergraph.remove_vertex(vertex)
+    assert not hypergraph.hyperedges
+
+
+@settings(max_examples=40, deadline=None)
+@given(clauses=clauses_strategy, probabilities=probabilities_strategy)
+def test_certain_variables_can_be_contracted(clauses, probabilities):
+    """Variables with probability 1 can be removed from every clause without changing the result."""
+    certain = {v for v, p in probabilities.items() if p == 1}
+    formula = PositiveDNF(clauses)
+    contracted = PositiveDNF([set(clause) - certain for clause in clauses])
+    assert formula.probability(probabilities) == contracted.probability(probabilities)

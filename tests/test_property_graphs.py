@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.graphs.classes import GraphClass, class_includes, classify_graph, graph_class_of
+from repro.graphs.digraph import DiGraph
+from repro.graphs.grading import level_mapping
+from repro.graphs.homomorphism import has_homomorphism
+
+VERTICES = ["a", "b", "c", "d", "e"]
+LABELS = ["R", "S"]
+
+edges_strategy = st.sets(
+    st.tuples(st.sampled_from(VERTICES), st.sampled_from(VERTICES), st.sampled_from(LABELS)),
+    min_size=1,
+    max_size=8,
+).map(lambda pairs: [(u, v, l) for (u, v, l) in pairs if u != v])
+
+
+def _build(edge_list):
+    graph = DiGraph()
+    for source, target, label in edge_list:
+        if not graph.has_edge(source, target):
+            graph.add_edge(source, target, label)
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edges_strategy)
+def test_classification_is_upward_closed_along_the_lattice(edges):
+    assume(edges)
+    graph = _build(edges)
+    member_of = classify_graph(graph)
+    assert GraphClass.ALL in member_of
+    for smaller in member_of:
+        for larger in GraphClass:
+            if class_includes(smaller, larger):
+                assert larger in member_of
+    # The reported "most specific" class is indeed one the graph belongs to.
+    assert graph_class_of(graph) in member_of
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edges_strategy)
+def test_level_mappings_satisfy_the_level_equation(edges):
+    assume(edges)
+    graph = _build(edges)
+    mapping = level_mapping(graph)
+    if mapping is None:
+        return
+    for edge in graph.edges():
+        assert mapping.levels[edge.target] == mapping.levels[edge.source] - 1
+    assert mapping.difference >= 0
+    assert min(mapping.levels.values()) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edges_strategy)
+def test_graphs_with_a_cycle_or_jump_are_not_graded(edges):
+    assume(edges)
+    graph = _build(edges)
+    if graph.has_directed_cycle():
+        assert level_mapping(graph) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edges_strategy)
+def test_every_graph_maps_into_itself_and_into_supergraphs(edges):
+    assume(edges)
+    graph = _build(edges)
+    assert has_homomorphism(graph, graph)
+    extended = graph.copy()
+    for vertex in list(extended.vertices):
+        if not extended.has_edge(vertex, "fresh"):
+            extended.add_edge(vertex, "fresh", "R")
+            break
+    assert has_homomorphism(graph, extended)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edges_strategy)
+def test_component_count_matches_component_graphs(edges):
+    assume(edges)
+    graph = _build(edges)
+    components = graph.weakly_connected_components()
+    component_graphs = graph.connected_component_graphs()
+    assert len(components) == len(component_graphs)
+    assert sum(len(c) for c in components) == graph.num_vertices()
+    assert sum(g.num_edges() for g in component_graphs) == graph.num_edges()

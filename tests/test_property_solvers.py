@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the tractable PHom solvers.
+
+Each property draws a random workload of a tractable cell and asserts that
+the polynomial algorithms agree exactly with the exponential brute-force
+oracle — the central correctness claim of the reproduction — plus structural
+invariants (probabilities in [0, 1], Lemma 3.7 composition, d-DNNF validity).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.binary_tree import encode_polytree
+from repro.automata.path_automaton import build_longest_path_automaton
+from repro.automata.provenance import provenance_circuit
+from repro.core.disconnected import phom_on_disconnected_instance, phom_unlabeled_on_union_dwt
+from repro.core.labeled_dwt import phom_labeled_path_on_dwt
+from repro.core.labeled_2wp import phom_connected_on_2wp
+from repro.core.unlabeled_pt import phom_unlabeled_path_on_polytree
+from repro.graphs.builders import disjoint_union, one_way_path, unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+
+LABELS = ["R", "S"]
+
+probability_strategy = st.integers(min_value=0, max_value=4).map(lambda k: Fraction(k, 4))
+
+
+@st.composite
+def labeled_dwt_instances(draw, max_vertices=6):
+    """A random labeled downward tree with random rational edge probabilities."""
+    size = draw(st.integers(min_value=2, max_value=max_vertices))
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, size)]
+    graph = DiGraph()
+    graph.add_vertex("n0")
+    probabilities = {}
+    for child, parent in enumerate(parents, start=1):
+        label = draw(st.sampled_from(LABELS))
+        edge = graph.add_edge(f"n{parent}", f"n{child}", label)
+        probabilities[edge] = draw(probability_strategy)
+    return ProbabilisticGraph(graph, probabilities)
+
+
+@st.composite
+def polytree_instances(draw, max_vertices=6):
+    """A random unlabeled polytree with random rational edge probabilities."""
+    size = draw(st.integers(min_value=2, max_value=max_vertices))
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, size)]
+    graph = DiGraph()
+    graph.add_vertex("n0")
+    probabilities = {}
+    for child, parent in enumerate(parents, start=1):
+        upward = draw(st.booleans())
+        if upward:
+            edge = graph.add_edge(f"n{child}", f"n{parent}")
+        else:
+            edge = graph.add_edge(f"n{parent}", f"n{child}")
+        probabilities[edge] = draw(probability_strategy)
+    return ProbabilisticGraph(graph, probabilities)
+
+
+@st.composite
+def label_paths(draw, max_length=3):
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    return [draw(st.sampled_from(LABELS)) for _ in range(length)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=labeled_dwt_instances(), labels=label_paths())
+def test_prop410_agrees_with_brute_force(instance, labels):
+    query = one_way_path(labels, prefix="q")
+    reference = brute_force_phom(query, instance)
+    assert phom_labeled_path_on_dwt(query, instance, "dp") == reference
+    assert phom_labeled_path_on_dwt(query, instance, "lineage") == reference
+    assert 0 <= reference <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=polytree_instances(), length=st.integers(min_value=1, max_value=3))
+def test_prop54_agrees_with_brute_force(instance, length):
+    reference = brute_force_phom(unlabeled_path(length, prefix="q"), instance)
+    assert phom_unlabeled_path_on_polytree(length, instance, "automaton") == reference
+    assert phom_unlabeled_path_on_polytree(length, instance, "dp") == reference
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=polytree_instances(max_vertices=5), length=st.integers(min_value=1, max_value=3))
+def test_prop54_circuits_are_ddnnf(instance, length):
+    circuit = provenance_circuit(
+        build_longest_path_automaton(length), encode_polytree(instance)
+    )
+    assert circuit.is_decomposable()
+    assert circuit.is_deterministic(max_support=instance.graph.num_edges())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    labels=st.lists(st.sampled_from(LABELS), min_size=1, max_size=5),
+    probabilities=st.lists(probability_strategy, min_size=1, max_size=5),
+    query_labels=label_paths(),
+)
+def test_prop411_agrees_with_brute_force_on_labeled_paths(labels, probabilities, query_labels):
+    instance_graph = one_way_path(labels)
+    instance = ProbabilisticGraph(
+        instance_graph,
+        {
+            edge: probabilities[index % len(probabilities)]
+            for index, edge in enumerate(instance_graph.edges())
+        },
+    )
+    query = one_way_path(query_labels, prefix="q")
+    reference = brute_force_phom(query, instance)
+    assert phom_connected_on_2wp(query, instance, "dp") == reference
+    assert phom_connected_on_2wp(query, instance, "lineage") == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    first=labeled_dwt_instances(max_vertices=4),
+    second=labeled_dwt_instances(max_vertices=4),
+    labels=label_paths(),
+)
+def test_lemma37_composition(first, second, labels):
+    """Pr on a two-component instance is 1 − (1 − p₁)(1 − p₂)."""
+    query = one_way_path(labels, prefix="q")
+    union_graph = disjoint_union([first.graph, second.graph])
+    probabilities = {}
+    for tag, component in (("c0", first), ("c1", second)):
+        for edge, probability in component.probabilities().items():
+            probabilities[((tag, edge.source), (tag, edge.target))] = probability
+    union_instance = ProbabilisticGraph(union_graph, probabilities)
+    expected = 1 - (1 - brute_force_phom(query, first)) * (1 - brute_force_phom(query, second))
+    combined = phom_on_disconnected_instance(
+        query, union_instance, lambda q, c: phom_labeled_path_on_dwt(q, c, "dp")
+    )
+    assert combined == expected
+    assert combined == brute_force_phom(query, union_instance)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=labeled_dwt_instances(max_vertices=5), length=st.integers(min_value=1, max_value=3))
+def test_prop36_matches_prop410_on_unlabeled_path_queries(instance, length):
+    """On a DWT instance an unlabeled path query can go through either Prop 3.6 or Prop 4.10."""
+    unlabeled_instance = ProbabilisticGraph(
+        DiGraph(edges=[(e.source, e.target) for e in instance.graph.edges()]),
+        {(e.source, e.target): p for e, p in instance.probabilities().items()},
+    )
+    query = unlabeled_path(length, prefix="q")
+    via_grading = phom_unlabeled_on_union_dwt(query, unlabeled_instance)
+    via_kmp = phom_labeled_path_on_dwt(query, unlabeled_instance, "dp")
+    assert via_grading == via_kmp

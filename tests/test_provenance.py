@@ -1,0 +1,83 @@
+"""Unit tests for provenance (d-DNNF) circuits of tree automata runs."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+
+from repro.automata.binary_tree import encode_polytree
+from repro.automata.path_automaton import build_longest_path_automaton
+from repro.automata.provenance import provenance_circuit
+from repro.graphs.builders import unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_polytree
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestCircuitSemantics:
+    def test_circuit_agrees_with_automaton_on_every_annotation(self, rng):
+        for _ in range(5):
+            graph = random_polytree(rng.randint(2, 5), ("_",), rng)
+            instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+            tree = encode_polytree(instance)
+            for m in (1, 2, 3):
+                automaton = build_longest_path_automaton(m)
+                circuit = provenance_circuit(automaton, tree)
+                edges = instance.edges()
+                for bits in product((False, True), repeat=len(edges)):
+                    annotation = dict(zip(edges, bits))
+                    assert circuit.evaluate(annotation) == automaton.accepts(tree, annotation)
+
+    def test_circuit_is_a_ddnnf(self, rng):
+        graph = random_polytree(6, ("_",), rng)
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/3")
+        tree = encode_polytree(instance)
+        circuit = provenance_circuit(build_longest_path_automaton(2), tree)
+        assert circuit.is_decomposable()
+        assert circuit.is_deterministic(max_support=graph.num_edges())
+
+    def test_unsatisfiable_query_gives_false_circuit(self):
+        # A path query longer than the instance can never hold.
+        instance = ProbabilisticGraph(unlabeled_path(2))
+        tree = encode_polytree(instance)
+        circuit = provenance_circuit(build_longest_path_automaton(5), tree)
+        assert circuit.probability(instance.probabilities()) == 0
+
+    def test_certain_instance_gives_probability_one(self):
+        instance = ProbabilisticGraph(unlabeled_path(3))
+        tree = encode_polytree(instance)
+        circuit = provenance_circuit(build_longest_path_automaton(3), tree)
+        assert circuit.probability(instance.probabilities()) == 1
+
+    def test_probability_matches_brute_force(self, rng):
+        for _ in range(10):
+            graph = random_polytree(rng.randint(2, 6), ("_",), rng)
+            instance = attach_random_probabilities(graph, rng)
+            tree = encode_polytree(instance)
+            for m in (1, 2, 3):
+                circuit = provenance_circuit(build_longest_path_automaton(m), tree)
+                assert circuit.probability(instance.probabilities()) == brute_force_phom(
+                    unlabeled_path(m), instance
+                )
+
+    def test_circuit_size_grows_linearly_with_instance(self):
+        automaton = build_longest_path_automaton(2)
+        sizes = []
+        for n in (4, 8, 16):
+            instance = ProbabilisticGraph.with_uniform_probability(unlabeled_path(n), "1/2")
+            circuit = provenance_circuit(automaton, encode_polytree(instance))
+            sizes.append(circuit.num_gates() / n)
+        # Gates per instance edge stay bounded (no super-linear blow-up).
+        assert max(sizes) <= 3 * min(sizes)
+
+    def test_probability_independent_of_rooting(self):
+        graph = DiGraph(edges=[("a", "b"), ("c", "b"), ("b", "d"), ("d", "e")])
+        instance = ProbabilisticGraph.with_uniform_probability(graph, "1/2")
+        automaton = build_longest_path_automaton(2)
+        values = set()
+        for root in graph.vertices:
+            circuit = provenance_circuit(automaton, encode_polytree(instance, root=root))
+            values.add(circuit.probability(instance.probabilities()))
+        assert len(values) == 1

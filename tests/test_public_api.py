@@ -1,0 +1,65 @@
+"""Tests for the top-level package namespace and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    AutomatonError,
+    ClassConstraintError,
+    GraphError,
+    IntractableFallbackWarning,
+    LineageError,
+    ProbabilityError,
+    ReproError,
+)
+
+
+class TestPublicNamespace:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_example(self):
+        H = repro.DiGraph()
+        H.add_edge("a", "b", "R")
+        H.add_edge("d", "b", "R")
+        H.add_edge("b", "c", "S")
+        instance = repro.ProbabilisticGraph(
+            H, {("a", "b"): "0.1", ("d", "b"): "0.8", ("b", "c"): "0.7"}
+        )
+        query = repro.one_way_path(["R", "S"])
+        assert float(repro.phom_probability(query, instance)) == pytest.approx(0.574)
+
+    def test_tables_accessible_from_top_level(self):
+        assert len(repro.table1()) == 25
+        assert repro.Complexity.PTIME.value == "PTIME"
+        cell = repro.classify_cell(
+            repro.GraphClass.ONE_WAY_PATH,
+            repro.GraphClass.DOWNWARD_TREE,
+            repro.classification.tables.Setting.LABELED,
+        )
+        assert cell.complexity is repro.Complexity.PTIME
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [GraphError, ClassConstraintError, ProbabilityError, LineageError, AutomatonError],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+        assert issubclass(exception_type, Exception)
+
+    def test_fallback_warning_is_a_warning(self):
+        assert issubclass(IntractableFallbackWarning, UserWarning)
+
+    def test_catching_the_base_class(self):
+        graph = repro.DiGraph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ReproError):
+            graph.add_edge("a", "b")

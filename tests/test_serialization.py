@@ -1,0 +1,98 @@
+"""Unit tests for graph / probabilistic-graph (de)serialization."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import one_way_path
+from repro.graphs.generators import random_polytree
+from repro.graphs.serialization import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    load_instance,
+    load_query,
+    probabilistic_graph_from_dict,
+    probabilistic_graph_from_json,
+    probabilistic_graph_to_dict,
+    probabilistic_graph_to_json,
+    save_graph,
+)
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestGraphRoundTrip:
+    def test_dict_round_trip(self):
+        graph = one_way_path(["R", "S"])
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt == graph
+
+    def test_json_round_trip(self, rng):
+        graph = random_polytree(8, ("R", "S"), rng)
+        rebuilt = graph_from_json(graph_to_json(graph))
+        assert rebuilt == graph
+
+    def test_isolated_vertices_survive(self):
+        graph = one_way_path(["R"])
+        graph.add_vertex("lonely")
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.has_vertex("lonely")
+        assert rebuilt.num_vertices() == 3
+
+    def test_two_field_edges_default_to_unlabeled(self):
+        rebuilt = graph_from_dict({"edges": [["a", "b"]]})
+        assert rebuilt.has_edge("a", "b")
+        assert rebuilt.is_unlabeled()
+
+    def test_malformed_input_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"vertices": ["a"]})
+        with pytest.raises(GraphError):
+            graph_from_dict({"edges": [["a", "b", "R", "extra"]]})
+
+
+class TestProbabilisticGraphRoundTrip:
+    def test_dict_round_trip_preserves_exact_probabilities(self):
+        graph = one_way_path(["R", "S"])
+        instance = ProbabilisticGraph(graph, {("v0", "v1"): "1/3", ("v1", "v2"): "0.25"})
+        rebuilt = probabilistic_graph_from_dict(probabilistic_graph_to_dict(instance))
+        assert rebuilt.graph == instance.graph
+        assert rebuilt.probability(("v0", "v1")) == Fraction(1, 3)
+        assert rebuilt.probability(("v1", "v2")) == Fraction(1, 4)
+
+    def test_json_round_trip_random_instance(self, rng):
+        instance = attach_random_probabilities(random_polytree(7, ("R", "S"), rng), rng)
+        rebuilt = probabilistic_graph_from_json(probabilistic_graph_to_json(instance))
+        assert rebuilt.graph == instance.graph
+        assert set(rebuilt.probabilities().values()) == set(instance.probabilities().values())
+
+    def test_missing_probabilities_default_to_one(self):
+        data = {"edges": [["a", "b", "R"]], "probabilities": []}
+        rebuilt = probabilistic_graph_from_dict(data)
+        assert rebuilt.probability(("a", "b")) == 1
+
+    def test_malformed_probability_entry_rejected(self):
+        with pytest.raises(GraphError):
+            probabilistic_graph_from_dict({"edges": [["a", "b", "R"]], "probabilities": [["a", "b"]]})
+
+
+class TestFiles:
+    def test_save_and_load_query_and_instance(self, tmp_path, rng):
+        query = one_way_path(["R", "S"], prefix="q")
+        instance = attach_random_probabilities(random_polytree(6, ("R", "S"), rng), rng)
+        query_path = tmp_path / "query.json"
+        instance_path = tmp_path / "instance.json"
+        save_graph(query, str(query_path))
+        save_graph(instance, str(instance_path))
+        assert load_query(str(query_path)) == query
+        loaded = load_instance(str(instance_path))
+        assert loaded.graph == instance.graph
+        assert loaded.probabilities() == {
+            loaded.graph.get_edge(str(e.source), str(e.target)): p
+            for e, p in instance.probabilities().items()
+        }

@@ -1,0 +1,192 @@
+"""Unit tests for the dispatching :class:`PHomSolver` and ``phom_probability``."""
+
+from __future__ import annotations
+
+import warnings
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ClassConstraintError, IntractableFallbackWarning, ReproError
+from repro.core.solver import PHomSolver, phom_probability
+from repro.graphs.builders import (
+    disjoint_union,
+    downward_tree,
+    one_way_path,
+    star_tree,
+    two_way_path,
+    unlabeled_path,
+)
+from repro.graphs.classes import GraphClass
+from repro.graphs.digraph import DiGraph
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities, workload_for_cell
+
+
+class TestTrivialCases:
+    def test_edgeless_query(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]), {("v0", "v1"): "1/7"})
+        result = PHomSolver().solve(DiGraph(vertices=["q"]), instance)
+        assert result.probability == 1
+        assert result.method == "trivial-edgeless-query"
+
+    def test_label_mismatch(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        result = PHomSolver().solve(one_way_path(["T"], prefix="q"), instance)
+        assert result.probability == 0
+        assert result.method == "trivial-label-mismatch"
+
+    def test_empty_inputs_rejected(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        with pytest.raises(ReproError):
+            PHomSolver().solve(DiGraph(), instance)
+        with pytest.raises(ReproError):
+            PHomSolver().solve(one_way_path(["R"]), ProbabilisticGraph(DiGraph()))
+
+
+class TestDispatchRouting:
+    def test_connected_query_on_2wp_uses_prop_411(self):
+        instance = ProbabilisticGraph.with_uniform_probability(
+            two_way_path([("R", "forward"), ("S", "backward")]), "1/2"
+        )
+        result = PHomSolver().solve(one_way_path(["R"], prefix="q"), instance)
+        assert result.method == "connected-2wp"
+        assert "4.11" in result.proposition
+
+    def test_labeled_path_on_dwt_uses_prop_410(self):
+        # The star instance is a DWT but not a 2WP, so Proposition 4.10 applies.
+        instance = ProbabilisticGraph.with_uniform_probability(star_tree(3, label="R"), "1/2")
+        result = PHomSolver().solve(one_way_path(["R"], prefix="q"), instance)
+        assert result.method == "labeled-dwt"
+        assert "4.10" in result.proposition
+
+    def test_unlabeled_query_on_dwt_uses_prop_36(self):
+        instance = ProbabilisticGraph.with_uniform_probability(star_tree(3), "1/2")
+        query = disjoint_union([unlabeled_path(1), unlabeled_path(1)], prefix="q")
+        result = PHomSolver().solve(query, instance)
+        assert result.method == "graded-collapse"
+        assert "3.6" in result.proposition
+
+    def test_unlabeled_dwt_query_on_polytree_uses_prop_55(self):
+        polytree = DiGraph(edges=[("a", "b"), ("c", "b"), ("b", "d")])
+        instance = ProbabilisticGraph.with_uniform_probability(polytree, "1/2")
+        result = PHomSolver().solve(unlabeled_path(2), instance)
+        assert result.method.startswith("polytree-")
+        assert "5.4" in result.proposition
+
+    def test_hard_cell_falls_back_to_brute_force_with_warning(self):
+        polytree = DiGraph(edges=[("a", "b", "R"), ("c", "b", "S"), ("b", "d", "R")])
+        instance = ProbabilisticGraph.with_uniform_probability(polytree, "1/2")
+        query = one_way_path(["R", "R"], prefix="q")  # labeled 1WP on PT: #P-hard (Prop 4.1)
+        with pytest.warns(IntractableFallbackWarning):
+            result = PHomSolver().solve(query, instance)
+        assert result.method == "brute-force-worlds"
+        assert result.probability == brute_force_phom(query, instance)
+
+    def test_hard_cell_raises_when_brute_force_disallowed(self):
+        polytree = DiGraph(edges=[("a", "b", "R"), ("c", "b", "S"), ("b", "d", "R")])
+        instance = ProbabilisticGraph.with_uniform_probability(polytree, "1/2")
+        query = one_way_path(["R", "R"], prefix="q")
+        with pytest.raises(ClassConstraintError):
+            PHomSolver(allow_brute_force=False).solve(query, instance)
+
+    def test_prefer_flag_switches_methods(self):
+        # A genuine polytree (not a DWT, not a 2WP), so only the Prop 5.4 route applies.
+        polytree = DiGraph(edges=[("a", "b"), ("c", "b"), ("b", "d")])
+        instance = ProbabilisticGraph.with_uniform_probability(polytree, "1/2")
+        dp_result = PHomSolver(prefer="dp").solve(unlabeled_path(1), instance)
+        automaton_result = PHomSolver(prefer="automaton").solve(unlabeled_path(1), instance)
+        assert dp_result.probability == automaton_result.probability
+        assert dp_result.method == "polytree-dp"
+        assert automaton_result.method == "polytree-automaton"
+
+    def test_invalid_prefer_rejected(self):
+        with pytest.raises(ValueError):
+            PHomSolver(prefer="psychic")
+
+    def test_result_metadata(self):
+        instance = ProbabilisticGraph.with_uniform_probability(one_way_path(["R", "S"]), "1/2")
+        result = PHomSolver().solve(one_way_path(["R"], prefix="q"), instance)
+        assert result.query_class is GraphClass.ONE_WAY_PATH
+        assert result.instance_class is GraphClass.ONE_WAY_PATH
+        assert result.labeled is True
+        assert float(result) == float(result.probability)
+
+
+class TestExplicitMethods:
+    def test_available_methods_listed(self):
+        methods = PHomSolver.available_methods()
+        assert "brute-force-worlds" in methods
+        assert "connected-2wp-dp" in methods
+        assert "polytree-automaton" in methods
+
+    def test_unknown_method_rejected(self):
+        instance = ProbabilisticGraph(one_way_path(["R"]))
+        with pytest.raises(ValueError):
+            PHomSolver().solve(one_way_path(["R"], prefix="q"), instance, method="alchemy")
+
+    def test_explicit_methods_agree_on_compatible_input(self):
+        # A labeled 1WP instance is simultaneously a DWT and a 2WP, so many
+        # methods apply and they must all agree.
+        instance = ProbabilisticGraph(
+            one_way_path(["R", "S", "R"]),
+            {("v0", "v1"): "1/2", ("v1", "v2"): "2/3", ("v2", "v3"): "1/5"},
+        )
+        query = one_way_path(["R", "S"], prefix="q")
+        solver = PHomSolver()
+        reference = brute_force_phom(query, instance)
+        for method in [
+            "brute-force-worlds",
+            "brute-force-matches",
+            "generic-lineage",
+            "labeled-dwt-dp",
+            "labeled-dwt-lineage",
+            "connected-2wp-dp",
+            "connected-2wp-lineage",
+        ]:
+            assert solver.solve(query, instance, method=method).probability == reference
+
+    def test_explicit_method_rejects_wrong_class(self):
+        instance = ProbabilisticGraph.with_uniform_probability(star_tree(3, label="R"), "1/2")
+        query = one_way_path(["R"], prefix="q")
+        with pytest.raises(ClassConstraintError):
+            PHomSolver().solve(query, instance, method="connected-2wp-dp")
+
+
+class TestAutoAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "query_class,instance_class,labeled",
+        [
+            (GraphClass.ONE_WAY_PATH, GraphClass.DOWNWARD_TREE, True),
+            (GraphClass.CONNECTED, GraphClass.TWO_WAY_PATH, True),
+            (GraphClass.DOWNWARD_TREE, GraphClass.POLYTREE, False),
+            (GraphClass.UNION_DOWNWARD_TREE, GraphClass.POLYTREE, False),
+            (GraphClass.ALL, GraphClass.DOWNWARD_TREE, False),
+            (GraphClass.UNION_ONE_WAY_PATH, GraphClass.ONE_WAY_PATH, True),
+            (GraphClass.TWO_WAY_PATH, GraphClass.POLYTREE, False),
+            (GraphClass.ONE_WAY_PATH, GraphClass.CONNECTED, False),
+        ],
+    )
+    def test_dispatcher_matches_oracle(self, query_class, instance_class, labeled, rng):
+        solver = PHomSolver()
+        for _ in range(4):
+            workload = workload_for_cell(
+                query_class, instance_class, labeled, rng.randint(1, 3), rng.randint(2, 5), rng
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", IntractableFallbackWarning)
+                result = solver.solve(workload.query, workload.instance)
+            assert result.probability == brute_force_phom(workload.query, workload.instance)
+
+    def test_probability_convenience_function(self, figure1_instance, example22_query):
+        assert phom_probability(example22_query, figure1_instance) == Fraction(287, 500)
+
+    def test_probabilities_are_in_unit_interval(self, rng):
+        solver = PHomSolver()
+        for _ in range(10):
+            workload = workload_for_cell(
+                GraphClass.DOWNWARD_TREE, GraphClass.POLYTREE, False, rng.randint(1, 3), rng.randint(2, 6), rng
+            )
+            probability = solver.probability(workload.query, workload.instance)
+            assert 0 <= probability <= 1

@@ -1,0 +1,107 @@
+"""Unit tests for Propositions 5.4 and 5.5 (unlabeled queries on polytree instances)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ClassConstraintError
+from repro.core.unlabeled_pt import (
+    collapse_query_to_path_length,
+    phom_unlabeled_path_on_polytree,
+    phom_unlabeled_tree_query_on_polytree,
+)
+from repro.graphs.builders import disjoint_union, downward_tree, star_tree, unlabeled_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_downward_tree, random_polytree
+from repro.graphs.homomorphism import homomorphic_equivalent
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads import attach_random_probabilities
+
+
+class TestQueryCollapse:
+    def test_dwt_collapses_to_height(self):
+        tree = downward_tree({"b": "a", "c": "a", "d": "b"})
+        assert collapse_query_to_path_length(tree) == 2
+        assert homomorphic_equivalent(tree, unlabeled_path(2))
+
+    def test_union_collapses_to_max_height(self):
+        union = disjoint_union([unlabeled_path(1), downward_tree({"b": "a", "c": "b", "d": "c"})])
+        assert collapse_query_to_path_length(union) == 3
+
+    def test_star_collapses_to_single_edge(self):
+        assert collapse_query_to_path_length(star_tree(5)) == 1
+
+    def test_rejects_non_dwt_queries(self):
+        two_way = DiGraph(edges=[("a", "b"), ("c", "b")])
+        with pytest.raises(ClassConstraintError):
+            collapse_query_to_path_length(two_way)
+
+
+class TestPathOnPolytree:
+    def test_path_instance_needs_all_edges(self):
+        instance = ProbabilisticGraph(
+            unlabeled_path(3), {("v0", "v1"): "1/2", ("v1", "v2"): "1/3", ("v2", "v3"): "1/5"}
+        )
+        expected = Fraction(1, 2) * Fraction(1, 3) * Fraction(1, 5)
+        assert phom_unlabeled_path_on_polytree(3, instance, "automaton") == expected
+        assert phom_unlabeled_path_on_polytree(3, instance, "dp") == expected
+
+    def test_length_zero_is_certain(self):
+        instance = ProbabilisticGraph(unlabeled_path(1), {("v0", "v1"): "1/9"})
+        assert phom_unlabeled_path_on_polytree(0, instance) == 1
+
+    def test_length_longer_than_instance_is_impossible(self):
+        instance = ProbabilisticGraph.with_uniform_probability(unlabeled_path(2), "1/2")
+        assert phom_unlabeled_path_on_polytree(5, instance) == 0
+
+    def test_methods_agree_with_brute_force(self, rng):
+        for _ in range(15):
+            graph = random_polytree(rng.randint(2, 7), ("_",), rng)
+            instance = attach_random_probabilities(graph, rng)
+            for length in (1, 2, 3):
+                reference = brute_force_phom(unlabeled_path(length), instance)
+                assert phom_unlabeled_path_on_polytree(length, instance, "automaton") == reference
+                assert phom_unlabeled_path_on_polytree(length, instance, "dp") == reference
+
+    def test_rejects_non_polytree_instances(self):
+        cyclic = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        with pytest.raises(ClassConstraintError):
+            phom_unlabeled_path_on_polytree(1, ProbabilisticGraph(cyclic))
+
+    def test_rejects_negative_length_and_unknown_method(self):
+        instance = ProbabilisticGraph(unlabeled_path(1))
+        with pytest.raises(ValueError):
+            phom_unlabeled_path_on_polytree(-1, instance)
+        with pytest.raises(ValueError):
+            phom_unlabeled_path_on_polytree(1, instance, "magic")
+
+    def test_upward_and_downward_edges_combine(self):
+        # c -> b <- a ... a directed path of length 2 needs consistently
+        # oriented edges, so the "V" shape never yields one.
+        vee = DiGraph(edges=[("a", "b"), ("c", "b")])
+        instance = ProbabilisticGraph.with_uniform_probability(vee, "1/2")
+        assert phom_unlabeled_path_on_polytree(2, instance) == 0
+        # Whereas a -> b -> c does, with probability 1/4.
+        chain = ProbabilisticGraph.with_uniform_probability(unlabeled_path(2), "1/2")
+        assert phom_unlabeled_path_on_polytree(2, chain) == Fraction(1, 4)
+
+
+class TestTreeQueryOnPolytree:
+    def test_dwt_query_agrees_with_brute_force(self, rng):
+        for _ in range(15):
+            graph = random_polytree(rng.randint(2, 6), ("_",), rng)
+            instance = attach_random_probabilities(graph, rng)
+            query = random_downward_tree(rng.randint(1, 4), ("_",), rng, prefix="q")
+            reference = brute_force_phom(query, instance)
+            assert phom_unlabeled_tree_query_on_polytree(query, instance, "automaton") == reference
+            assert phom_unlabeled_tree_query_on_polytree(query, instance, "dp") == reference
+
+    def test_union_dwt_query(self, rng):
+        graph = random_polytree(6, ("_",), rng)
+        instance = attach_random_probabilities(graph, rng)
+        query = disjoint_union([star_tree(2), unlabeled_path(2)], prefix="q")
+        reference = brute_force_phom(query, instance)
+        assert phom_unlabeled_tree_query_on_polytree(query, instance) == reference

@@ -1,0 +1,73 @@
+"""Unit tests for the benchmark workload generators."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graphs.classes import GraphClass, graph_in_class
+from repro.graphs.builders import one_way_path
+from repro.workloads import attach_random_probabilities, make_query, workload_for_cell
+
+
+class TestAttachRandomProbabilities:
+    def test_probabilities_are_valid(self, rng):
+        instance = attach_random_probabilities(one_way_path(["R"] * 10), rng)
+        for probability in instance.probabilities().values():
+            assert 0 < probability <= 1
+
+    def test_certain_fraction_extremes(self, rng):
+        all_certain = attach_random_probabilities(one_way_path(["R"] * 10), rng, certain_fraction=1.0)
+        assert all(p == 1 for p in all_certain.probabilities().values())
+        none_certain = attach_random_probabilities(one_way_path(["R"] * 10), rng, certain_fraction=0.0)
+        assert all(p < 1 for p in none_certain.probabilities().values())
+
+    def test_probabilities_use_requested_denominator(self, rng):
+        instance = attach_random_probabilities(
+            one_way_path(["R"] * 6), rng, certain_fraction=0.0, denominator=4
+        )
+        for probability in instance.probabilities().values():
+            assert probability.denominator in (1, 2, 4)
+
+
+class TestMakeQuery:
+    @pytest.mark.parametrize("query_class", list(GraphClass))
+    @pytest.mark.parametrize("labeled", [True, False])
+    def test_generated_queries_belong_to_their_class(self, query_class, labeled, rng):
+        query = make_query(query_class, labeled, 4, rng)
+        assert graph_in_class(query, query_class)
+        if not labeled:
+            assert query.is_unlabeled()
+
+    def test_size_knob_is_monotone_in_expectation(self, rng):
+        small = make_query(GraphClass.DOWNWARD_TREE, True, 2, rng)
+        large = make_query(GraphClass.DOWNWARD_TREE, True, 12, rng)
+        assert large.num_vertices() > small.num_vertices()
+
+
+class TestWorkloadForCell:
+    @pytest.mark.parametrize(
+        "query_class,instance_class,labeled",
+        [
+            (GraphClass.ONE_WAY_PATH, GraphClass.DOWNWARD_TREE, True),
+            (GraphClass.CONNECTED, GraphClass.TWO_WAY_PATH, True),
+            (GraphClass.UNION_DOWNWARD_TREE, GraphClass.POLYTREE, False),
+            (GraphClass.ALL, GraphClass.DOWNWARD_TREE, False),
+        ],
+    )
+    def test_workload_matches_requested_cell(self, query_class, instance_class, labeled, rng):
+        workload = workload_for_cell(query_class, instance_class, labeled, 3, 6, rng)
+        assert graph_in_class(workload.query, query_class)
+        assert graph_in_class(workload.instance.graph, instance_class)
+        assert workload.query_class is query_class
+        assert workload.instance_class is instance_class
+        assert workload.labeled is labeled
+
+    def test_workloads_are_reproducible_from_seed(self):
+        first = workload_for_cell(GraphClass.ONE_WAY_PATH, GraphClass.POLYTREE, True, 3, 6, rng=7)
+        second = workload_for_cell(GraphClass.ONE_WAY_PATH, GraphClass.POLYTREE, True, 3, 6, rng=7)
+        assert first.query == second.query
+        assert first.instance.graph == second.instance.graph
+        assert first.instance.probabilities() == second.instance.probabilities()

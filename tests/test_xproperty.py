@@ -1,0 +1,96 @@
+"""Unit tests for the X-property and the Theorem 4.13 homomorphism algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ClassConstraintError, GraphError
+from repro.csp.xproperty import (
+    has_x_property,
+    x_property_has_homomorphism,
+    x_property_homomorphism,
+)
+from repro.graphs.builders import one_way_path, two_way_path
+from repro.graphs.classes import two_way_path_order
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_connected_graph, random_two_way_path
+from repro.graphs.homomorphism import has_homomorphism
+
+
+class TestXPropertyCheck:
+    def test_two_way_paths_have_the_x_property(self, rng):
+        # The key observation of the Proposition 4.11 proof: subpaths of a
+        # 2WP trivially satisfy the X-property w.r.t. the path order.
+        for _ in range(10):
+            path = random_two_way_path(rng.randint(1, 6), ("R", "S"), rng)
+            order = two_way_path_order(path)
+            assert has_x_property(path, order)
+
+    def test_counterexample_graph(self):
+        # n0 -R-> n3 and n1 -R-> n2 with n0 < n1, n2 < n3 but no n0 -R-> n2.
+        graph = DiGraph(edges=[("n0", "n3", "R"), ("n1", "n2", "R")])
+        order = ["n0", "n1", "n2", "n3"]
+        assert not has_x_property(graph, order)
+        graph.add_edge("n0", "n2", "R")
+        assert has_x_property(graph, order)
+
+    def test_x_property_is_per_label(self):
+        graph = DiGraph(edges=[("n0", "n3", "R"), ("n1", "n2", "S")])
+        assert has_x_property(graph, ["n0", "n1", "n2", "n3"])
+
+    def test_order_must_cover_all_vertices(self):
+        graph = DiGraph(edges=[("a", "b", "R")])
+        with pytest.raises(GraphError):
+            has_x_property(graph, ["a"])
+        with pytest.raises(GraphError):
+            has_x_property(graph, ["a", "b", "b"])
+
+
+class TestXPropertyHomomorphism:
+    def test_agrees_with_backtracking_on_2wp_targets(self, rng):
+        for _ in range(20):
+            target = random_two_way_path(rng.randint(1, 5), ("R", "S"), rng)
+            order = two_way_path_order(target)
+            query = random_connected_graph(rng.randint(2, 4), 0.3, ("R", "S"), rng, prefix="q")
+            expected = has_homomorphism(query, target)
+            assert x_property_has_homomorphism(query, target, order) == expected
+
+    def test_returns_an_actual_homomorphism(self):
+        target = two_way_path([("R", "forward"), ("S", "backward"), ("R", "forward")])
+        order = two_way_path_order(target)
+        query = one_way_path(["R"], prefix="q")
+        hom = x_property_homomorphism(query, target, order)
+        assert hom is not None
+        for edge in query.edges():
+            assert target.has_edge(hom[edge.source], hom[edge.target], edge.label)
+
+    def test_no_homomorphism_returns_none(self):
+        target = one_way_path(["R", "R"])
+        order = two_way_path_order(target)
+        query = one_way_path(["S"], prefix="q")
+        assert x_property_homomorphism(query, target, order) is None
+
+    def test_verify_property_flag(self):
+        bad_target = DiGraph(edges=[("n0", "n3", "R"), ("n1", "n2", "R")])
+        order = ["n0", "n1", "n2", "n3"]
+        query = one_way_path(["R"], prefix="q")
+        with pytest.raises(ClassConstraintError):
+            x_property_homomorphism(query, bad_target, order, verify_property=True)
+
+    def test_empty_query_rejected(self):
+        target = one_way_path(["R"])
+        with pytest.raises(GraphError):
+            x_property_homomorphism(DiGraph(), target, two_way_path_order(target))
+
+    def test_min_assignment_on_monotone_target(self):
+        # A target closed under coordinatewise minima (a "staircase") that is
+        # not a path: the algorithm must still find the minimal homomorphism.
+        target = DiGraph(
+            edges=[("1", "2", "R"), ("1", "3", "R"), ("2", "3", "R"), ("2", "4", "R"), ("1", "4", "R")]
+        )
+        order = ["1", "2", "3", "4"]
+        assert has_x_property(target, order)
+        query = one_way_path(["R", "R"], prefix="q")
+        hom = x_property_homomorphism(query, target, order)
+        assert hom is not None
+        assert has_homomorphism(query, target)
