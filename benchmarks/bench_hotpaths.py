@@ -1,0 +1,21 @@
+"""Hot-path benchmark script: repeated queries against a shared instance.
+
+Thin wrapper over :mod:`repro.bench` so the benchmark can be run either as
+
+    python benchmarks/bench_hotpaths.py [--smoke] [--output BENCH_hotpaths.json]
+
+or through the CLI as ``repro bench``.  The recorded artefact,
+``BENCH_hotpaths.json``, is checked into the repository root and gives every
+PR a measured before/after trajectory for the serving hot path:
+seed-style per-call solving vs the cached solver vs ``solve_many`` with the
+exact and float numeric backends.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

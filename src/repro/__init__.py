@@ -65,6 +65,7 @@ from repro.graphs import (
     find_homomorphism,
     homomorphic_equivalent,
 )
+from repro.numeric import EXACT, FAST, NumericContext, resolve_context
 from repro.probability import ProbabilisticGraph, brute_force_phom
 from repro.lineage import PositiveDNF, DDNNF, match_lineage
 from repro.core import PHomSolver, PHomResult, phom_probability
@@ -94,6 +95,10 @@ __all__ = [
     "has_homomorphism",
     "find_homomorphism",
     "homomorphic_equivalent",
+    "EXACT",
+    "FAST",
+    "NumericContext",
+    "resolve_context",
     "ProbabilisticGraph",
     "brute_force_phom",
     "PositiveDNF",

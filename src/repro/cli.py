@@ -91,6 +91,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prefer", choices=["dp", "lineage", "automaton"], default="dp",
         help="evaluation flavour for the tractable cases",
     )
+    solve.add_argument(
+        "--precision", choices=["exact", "float"], default="exact",
+        help="numeric backend: exact rationals (default) or fast floats",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="run the hot-path benchmark and record BENCH_hotpaths.json"
+    )
+    bench.add_argument(
+        "--instance-size", type=int, default=60,
+        help="instance size knob for the benchmark workloads",
+    )
+    bench.add_argument(
+        "--queries", type=int, default=40,
+        help="number of queries per repeated-query workload",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=3,
+        help="number of timed repetitions per configuration",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_hotpaths.json",
+        help="where to write the JSON report ('-' to skip writing)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI smoke runs (overrides the size knobs)",
+    )
     return parser
 
 
@@ -122,7 +150,11 @@ def _run_solve(args, out, err) -> int:
     except (OSError, ValueError, ReproError) as exc:
         err.write(f"error: could not load inputs: {exc}\n")
         return 2
-    solver = PHomSolver(allow_brute_force=not args.no_brute_force, prefer=args.prefer)
+    solver = PHomSolver(
+        allow_brute_force=not args.no_brute_force,
+        prefer=args.prefer,
+        precision=args.precision,
+    )
     try:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always", IntractableFallbackWarning)
@@ -140,6 +172,27 @@ def _run_solve(args, out, err) -> int:
     return 0
 
 
+def _run_bench(args, out, err) -> int:
+    from repro.bench import format_report, run_benchmarks, write_report
+
+    if args.smoke:
+        instance_size, queries, repeat = 12, 6, 1
+    else:
+        instance_size, queries, repeat = args.instance_size, args.queries, args.repeat
+    try:
+        report = run_benchmarks(
+            instance_size=instance_size, num_queries=queries, repeat=repeat
+        )
+    except AssertionError as exc:
+        err.write(f"error: benchmark cross-check failed: {exc}\n")
+        return 1
+    out.write(format_report(report) + "\n")
+    if args.output != "-":
+        write_report(report, args.output)
+        out.write(f"report written to {args.output}\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -152,6 +205,8 @@ def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
         return _run_classify(args, out)
     if args.command == "solve":
         return _run_solve(args, out, err)
+    if args.command == "bench":
+        return _run_bench(args, out, err)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

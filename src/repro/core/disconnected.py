@@ -27,17 +27,19 @@ from repro.exceptions import ClassConstraintError
 from repro.graphs.classes import GraphClass, graph_in_class
 from repro.graphs.digraph import DiGraph
 from repro.graphs.grading import level_mapping
+from repro.numeric import EXACT, Number, NumericContext
 from repro.probability.prob_graph import ProbabilisticGraph
 from repro.core.unlabeled_pt import phom_unlabeled_path_on_polytree
 
-ComponentSolver = Callable[[DiGraph, ProbabilisticGraph], Fraction]
+ComponentSolver = Callable[[DiGraph, ProbabilisticGraph], Number]
 
 
 def phom_on_disconnected_instance(
     query: DiGraph,
     instance: ProbabilisticGraph,
     component_solver: ComponentSolver,
-) -> Fraction:
+    context: NumericContext = EXACT,
+) -> Number:
     """``Pr(query ⇝ instance)`` for a *connected* query via Lemma 3.7.
 
     Parameters
@@ -51,18 +53,23 @@ def phom_on_disconnected_instance(
     component_solver:
         Callable computing ``Pr(query ⇝ component)`` for a connected
         component of the instance.
+    context:
+        Numeric backend combining the per-component answers.
     """
     if not query.is_weakly_connected():
         raise ClassConstraintError("Lemma 3.7 requires a connected query")
-    survival = Fraction(1)
+    survival = context.one
     for component in instance.connected_components():
         survival *= 1 - component_solver(query, component)
     return 1 - survival
 
 
 def phom_unlabeled_on_union_dwt(
-    query: DiGraph, instance: ProbabilisticGraph, method: str = "automaton"
-) -> Fraction:
+    query: DiGraph,
+    instance: ProbabilisticGraph,
+    method: str = "automaton",
+    context: NumericContext = EXACT,
+) -> Number:
     """``Pr(query ⇝ instance)`` for an arbitrary unlabeled query on a ⊔DWT instance.
 
     Implements Proposition 3.6:
@@ -88,16 +95,23 @@ def phom_unlabeled_on_union_dwt(
         raise ClassConstraintError(
             "Proposition 3.6 requires an instance whose components are downward trees"
         )
-    mapping = level_mapping(query)
+    mapping = _cached_level_mapping(query)
     if mapping is None:
-        return Fraction(0)
+        return context.zero
     length = mapping.difference
     if length == 0:
-        return Fraction(1)
-    survival = Fraction(1)
+        return context.one
+    survival = context.one
     for component in instance.connected_components():
-        survival *= 1 - phom_unlabeled_path_on_polytree(length, component, method=method)
+        survival *= 1 - phom_unlabeled_path_on_polytree(
+            length, component, method=method, context=context
+        )
     return 1 - survival
+
+
+def _cached_level_mapping(query: DiGraph):
+    """Memoise the query's level mapping on the query graph itself."""
+    return query.cached("level_mapping", lambda: level_mapping(query))
 
 
 def components_of_query(query: DiGraph) -> List[DiGraph]:

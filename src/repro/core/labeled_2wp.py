@@ -26,13 +26,14 @@ arithmetic operations.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ClassConstraintError
 from repro.csp.xproperty import x_property_has_homomorphism
 from repro.graphs.classes import is_two_way_path, two_way_path_order
 from repro.graphs.digraph import DiGraph, Edge, Vertex
 from repro.lineage.dnf import PositiveDNF
+from repro.numeric import EXACT, Number, NumericContext
 from repro.probability.prob_graph import ProbabilisticGraph
 
 
@@ -50,9 +51,17 @@ def _path_edges_in_order(graph: DiGraph, order: Sequence[Vertex]) -> List[Edge]:
 def _interval_matches(
     query: DiGraph, graph: DiGraph, order: Sequence[Vertex], start: int, end: int
 ) -> bool:
-    """Whether the connected query maps into the subpath with edge interval ``[start, end]``."""
+    """Whether the connected query maps into the subpath with edge interval ``[start, end]``.
+
+    The induced subpath graphs depend on the instance only, so they are
+    memoised on the instance graph and shared by every query answered
+    against it (the repeated-query hot path of :meth:`PHomSolver.solve_many`).
+    """
     subpath_vertices = order[start - 1 : end + 1]
-    subpath = graph.induced_component(subpath_vertices)
+    subpath = graph.cached(
+        ("2wp_subpath", start, end),
+        lambda: graph.induced_component(subpath_vertices).freeze(),
+    )
     return x_property_has_homomorphism(query, subpath, subpath_vertices)
 
 
@@ -116,9 +125,10 @@ def two_way_path_lineage(query: DiGraph, instance: ProbabilisticGraph) -> Positi
 
 def _interval_dp_probability(
     edges: Sequence[Edge],
-    probabilities: Dict[Edge, Fraction],
+    probabilities: Mapping[Edge, Fraction],
     shortest: Sequence[Optional[int]],
-) -> Fraction:
+    context: NumericContext = EXACT,
+) -> Number:
     """Probability that some matching edge interval is fully present.
 
     ``shortest[j]`` is the length of the shortest matching interval ending at
@@ -127,26 +137,30 @@ def _interval_dp_probability(
     matching interval has been completed yet"; the answer is one minus the
     surviving mass.
     """
-    no_match: Dict[int, Fraction] = {0: Fraction(1)}
+    zero = context.zero
+    no_match: Dict[int, Number] = {0: context.one}
     for position, edge in enumerate(edges, start=1):
         probability = probabilities[edge]
         threshold = shortest[position]
-        updated: Dict[int, Fraction] = {}
-        absent_mass = Fraction(0)
+        updated: Dict[int, Number] = {}
+        absent_mass = zero
         for run_length, mass in no_match.items():
             absent_mass += (1 - probability) * mass
             extended = run_length + 1
             if threshold is not None and extended >= threshold:
                 continue  # a matching interval completes: leave the "no match" event
-            updated[extended] = updated.get(extended, Fraction(0)) + probability * mass
-        updated[0] = updated.get(0, Fraction(0)) + absent_mass
+            updated[extended] = updated.get(extended, zero) + probability * mass
+        updated[0] = updated.get(0, zero) + absent_mass
         no_match = updated
-    return 1 - sum(no_match.values(), Fraction(0))
+    return 1 - sum(no_match.values(), zero)
 
 
 def phom_connected_on_2wp(
-    query: DiGraph, instance: ProbabilisticGraph, method: str = "dp"
-) -> Fraction:
+    query: DiGraph,
+    instance: ProbabilisticGraph,
+    method: str = "dp",
+    context: NumericContext = EXACT,
+) -> Number:
     """``Pr(query ⇝ instance)`` for a connected query on a 2WP instance.
 
     Parameters
@@ -159,6 +173,8 @@ def phom_connected_on_2wp(
     method:
         ``"dp"`` (default) for the run-length dynamic program, ``"lineage"``
         for the paper's β-acyclic lineage route.
+    context:
+        Numeric backend (exact :class:`~fractions.Fraction` by default).
     """
     graph = instance.graph
     if not is_two_way_path(graph):
@@ -166,13 +182,17 @@ def phom_connected_on_2wp(
     if not query.is_weakly_connected():
         raise ClassConstraintError("Proposition 4.11 requires a connected query")
     if query.num_edges() == 0:
-        return Fraction(1)
+        return context.one
     order = two_way_path_order(graph)
     if method == "lineage":
         lineage = two_way_path_lineage(query, instance)
-        return lineage.probability(instance.probabilities())
+        return lineage.probability(
+            context.instance_probabilities(instance), context=context
+        )
     if method == "dp":
         edges = _path_edges_in_order(graph, order)
         shortest = _shortest_match_lengths(query, graph, order)
-        return _interval_dp_probability(edges, instance.probabilities(), shortest)
+        return _interval_dp_probability(
+            edges, context.instance_probabilities(instance), shortest, context
+        )
     raise ValueError(f"unknown method {method!r}; expected 'dp' or 'lineage'")

@@ -28,6 +28,7 @@ from repro.graphs.builders import path_query_labels
 from repro.graphs.classes import downward_tree_root, is_downward_tree, is_one_way_path
 from repro.graphs.digraph import DiGraph, Edge, Vertex
 from repro.lineage.dnf import PositiveDNF
+from repro.numeric import EXACT, Number, NumericContext
 from repro.probability.prob_graph import ProbabilisticGraph
 
 
@@ -120,7 +121,8 @@ def _failure_probability_dp(
     query_labels: Sequence[str],
     instance: ProbabilisticGraph,
     root: Vertex,
-) -> Fraction:
+    context: NumericContext = EXACT,
+) -> Number:
     """Probability that *no* label-matching downward path of full length is present.
 
     ``f(v, q)`` is the probability, over the independent edges of the subtree
@@ -133,20 +135,23 @@ def _failure_probability_dp(
     pattern = list(query_labels)
     m = len(pattern)
     table = kmp_transition_table(pattern, sorted(graph.labels()))
-    cache: Dict[Tuple[Vertex, int], Fraction] = {}
+    probabilities = context.instance_probabilities(instance)
+    one = context.one
+    zero = context.zero
+    cache: Dict[Tuple[Vertex, int], Number] = {}
 
-    def failure_probability(vertex: Vertex, state: int) -> Fraction:
+    def failure_probability(vertex: Vertex, state: int) -> Number:
         key = (vertex, state)
         if key in cache:
             return cache[key]
-        result = Fraction(1)
+        result = one
         for edge in graph.out_edges(vertex):
-            probability = instance.probability(edge)
+            probability = probabilities[edge]
             child = edge.target
             absent = (1 - probability) * failure_probability(child, 0)
             next_state = table[(state, edge.label)]
             if next_state >= m:
-                present = Fraction(0)
+                present = zero
             else:
                 present = probability * failure_probability(child, next_state)
             result *= absent + present
@@ -160,8 +165,11 @@ def _failure_probability_dp(
 # public solver
 # ----------------------------------------------------------------------
 def phom_labeled_path_on_dwt(
-    query: DiGraph, instance: ProbabilisticGraph, method: str = "dp"
-) -> Fraction:
+    query: DiGraph,
+    instance: ProbabilisticGraph,
+    method: str = "dp",
+    context: NumericContext = EXACT,
+) -> Number:
     """``Pr(query ⇝ instance)`` for a (labeled) 1WP query on a DWT instance.
 
     Parameters
@@ -174,6 +182,8 @@ def phom_labeled_path_on_dwt(
         ``"dp"`` (default) for the KMP dynamic program, ``"lineage"`` for the
         paper's β-acyclic lineage route evaluated by memoised Shannon
         expansion along the reverse β-elimination order.
+    context:
+        Numeric backend (exact :class:`~fractions.Fraction` by default).
     """
     if not is_one_way_path(query):
         raise ClassConstraintError("Proposition 4.10 requires a one-way path query")
@@ -182,11 +192,13 @@ def phom_labeled_path_on_dwt(
         raise ClassConstraintError("Proposition 4.10 requires a downward-tree instance")
     labels = path_query_labels(query)
     if not labels:
-        return Fraction(1)
+        return context.one
     if method == "dp":
         root = downward_tree_root(graph)
-        return 1 - _failure_probability_dp(labels, instance, root)
+        return 1 - _failure_probability_dp(labels, instance, root, context)
     if method == "lineage":
         lineage = dwt_path_lineage(labels, instance)
-        return lineage.probability(instance.probabilities())
+        return lineage.probability(
+            context.instance_probabilities(instance), context=context
+        )
     raise ValueError(f"unknown method {method!r}; expected 'dp' or 'lineage'")

@@ -18,7 +18,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.exceptions import ClassConstraintError, IntractableFallbackWarning, ReproError
 from repro.graphs.classes import (
@@ -30,6 +30,7 @@ from repro.graphs.classes import (
 from repro.graphs.builders import unlabeled_path
 from repro.graphs.digraph import DiGraph
 from repro.lineage.builders import match_lineage
+from repro.numeric import EXACT, Number, NumericContext, resolve_context
 from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
 from repro.probability.prob_graph import ProbabilisticGraph
 from repro.core.disconnected import phom_on_disconnected_instance, phom_unlabeled_on_union_dwt
@@ -41,12 +42,19 @@ from repro.core.unlabeled_pt import (
     phom_unlabeled_tree_query_on_polytree,
 )
 
+PrecisionLike = Union[str, NumericContext, None]
+
 
 @dataclass
 class PHomResult:
-    """The result of a PHom computation, with provenance of the method used."""
+    """The result of a PHom computation, with provenance of the method used.
 
-    probability: Fraction
+    ``probability`` is an exact :class:`~fractions.Fraction` under the
+    default ``precision="exact"`` contract and a ``float`` under
+    ``precision="float"``.
+    """
+
+    probability: Number
     method: str
     proposition: Optional[str]
     query_class: GraphClass
@@ -71,41 +79,99 @@ class PHomSolver:
         ``"dp"`` (default) to evaluate the tractable cases with the direct
         dynamic programs, ``"lineage"`` / ``"automaton"`` to use the paper's
         lineage- and automaton-based constructions.
+    precision:
+        ``"exact"`` (default) computes with :class:`~fractions.Fraction` —
+        results are bit-identical exact rationals.  ``"float"`` computes
+        with native floats, which is much faster on large instances and
+        agrees with exact mode to within double-precision rounding.
     """
 
-    def __init__(self, allow_brute_force: bool = True, prefer: str = "dp") -> None:
+    def __init__(
+        self,
+        allow_brute_force: bool = True,
+        prefer: str = "dp",
+        precision: PrecisionLike = "exact",
+    ) -> None:
         if prefer not in ("dp", "lineage", "automaton"):
             raise ValueError("prefer must be one of 'dp', 'lineage', 'automaton'")
         self.allow_brute_force = allow_brute_force
         self.prefer = prefer
+        self.context = resolve_context(precision)
 
     # ------------------------------------------------------------------
     # public entry points
     # ------------------------------------------------------------------
     def probability(
-        self, query: DiGraph, instance: ProbabilisticGraph, method: str = "auto"
-    ) -> Fraction:
+        self,
+        query: DiGraph,
+        instance: ProbabilisticGraph,
+        method: str = "auto",
+        precision: PrecisionLike = None,
+    ) -> Number:
         """``Pr(query ⇝ instance)`` (see :meth:`solve` for the full result)."""
-        return self.solve(query, instance, method=method).probability
+        return self.solve(query, instance, method=method, precision=precision).probability
 
     def solve(
-        self, query: DiGraph, instance: ProbabilisticGraph, method: str = "auto"
+        self,
+        query: DiGraph,
+        instance: ProbabilisticGraph,
+        method: str = "auto",
+        precision: PrecisionLike = None,
     ) -> PHomResult:
         """Compute ``Pr(query ⇝ instance)`` and report the algorithm used.
 
         ``method`` is ``"auto"`` (recommended) or one of the explicit
-        algorithm names listed in :meth:`available_methods`.
+        algorithm names listed in :meth:`available_methods`.  ``precision``
+        overrides the solver's numeric backend for this call.
         """
+        context = self.context if precision is None else resolve_context(precision)
         self._validate_inputs(query, instance)
         if method == "auto":
-            return self._solve_auto(query, instance)
-        dispatch = self._explicit_methods()
+            return self._solve_auto(query, instance, context)
+        dispatch = self._explicit_methods(context)
         if method not in dispatch:
             raise ValueError(
                 f"unknown method {method!r}; expected 'auto' or one of {sorted(dispatch)}"
             )
         probability = dispatch[method](query, instance)
         return self._result(query, instance, probability, method, proposition=None)
+
+    def solve_many(
+        self,
+        queries: Iterable[DiGraph],
+        instance: ProbabilisticGraph,
+        method: str = "auto",
+        precision: PrecisionLike = None,
+    ) -> List[PHomResult]:
+        """Answer a batch of queries against one shared instance.
+
+        Returns one :class:`PHomResult` per query, identical to calling
+        :meth:`solve` in a loop — but the instance-side work (class
+        recognition, connectivity, the component split and its probability
+        tables) is performed once and shared across the whole batch, which
+        is the intended entry point for serving many queries against the
+        same probabilistic instance.
+        """
+        queries = list(queries)
+        if queries:
+            # Warm the shared instance-side caches once, outside the loop,
+            # so the first query does not pay for them alone (the values are
+            # memoised on the frozen instance graph / the instance itself).
+            graph = instance.graph
+            if graph.num_vertices() > 0:
+                graph_class_of(graph)
+                for cls in (
+                    GraphClass.UNION_TWO_WAY_PATH,
+                    GraphClass.UNION_DOWNWARD_TREE,
+                    GraphClass.UNION_POLYTREE,
+                ):
+                    graph_in_class(graph, cls)
+                if not graph.is_weakly_connected():
+                    instance.connected_components()
+        return [
+            self.solve(query, instance, method=method, precision=precision)
+            for query in queries
+        ]
 
     @classmethod
     def available_methods(cls) -> list:
@@ -130,7 +196,7 @@ class PHomSolver:
         self,
         query: DiGraph,
         instance: ProbabilisticGraph,
-        probability: Fraction,
+        probability: Number,
         method: str,
         proposition: Optional[str],
         notes: str = "",
@@ -148,52 +214,69 @@ class PHomSolver:
     # ------------------------------------------------------------------
     # explicit methods
     # ------------------------------------------------------------------
-    def _explicit_methods(self) -> Dict[str, Callable[[DiGraph, ProbabilisticGraph], Fraction]]:
+    def _explicit_methods(
+        self, context: NumericContext = EXACT
+    ) -> Dict[str, Callable[[DiGraph, ProbabilisticGraph], Number]]:
         return {
-            "brute-force-worlds": brute_force_phom,
-            "brute-force-matches": brute_force_phom_over_matches,
-            "generic-lineage": self._generic_lineage,
+            "brute-force-worlds": lambda q, i: brute_force_phom(q, i, context),
+            "brute-force-matches": lambda q, i: brute_force_phom_over_matches(q, i, context),
+            "generic-lineage": lambda q, i: self._generic_lineage(q, i, context),
             "labeled-dwt-dp": lambda q, i: self._per_component(
-                q, i, lambda qq, ii: phom_labeled_path_on_dwt(qq, ii, method="dp")
+                q, i, lambda qq, ii: phom_labeled_path_on_dwt(qq, ii, method="dp", context=context),
+                context,
             ),
             "labeled-dwt-lineage": lambda q, i: self._per_component(
-                q, i, lambda qq, ii: phom_labeled_path_on_dwt(qq, ii, method="lineage")
+                q, i,
+                lambda qq, ii: phom_labeled_path_on_dwt(qq, ii, method="lineage", context=context),
+                context,
             ),
             "connected-2wp-dp": lambda q, i: self._per_component(
-                q, i, lambda qq, ii: phom_connected_on_2wp(qq, ii, method="dp")
+                q, i, lambda qq, ii: phom_connected_on_2wp(qq, ii, method="dp", context=context),
+                context,
             ),
             "connected-2wp-lineage": lambda q, i: self._per_component(
-                q, i, lambda qq, ii: phom_connected_on_2wp(qq, ii, method="lineage")
+                q, i,
+                lambda qq, ii: phom_connected_on_2wp(qq, ii, method="lineage", context=context),
+                context,
             ),
             "graded-collapse": lambda q, i: phom_unlabeled_on_union_dwt(
-                q, i, method=self._polytree_method()
+                q, i, method=self._polytree_method(), context=context
             ),
-            "polytree-automaton": lambda q, i: self._union_polytree(q, i, "automaton"),
-            "polytree-dp": lambda q, i: self._union_polytree(q, i, "dp"),
+            "polytree-automaton": lambda q, i: self._union_polytree(q, i, "automaton", context),
+            "polytree-dp": lambda q, i: self._union_polytree(q, i, "dp", context),
         }
 
     @staticmethod
-    def _generic_lineage(query: DiGraph, instance: ProbabilisticGraph) -> Fraction:
+    def _generic_lineage(
+        query: DiGraph, instance: ProbabilisticGraph, context: NumericContext = EXACT
+    ) -> Number:
         lineage = match_lineage(query, instance)
-        return lineage.probability(instance.probabilities())
+        return lineage.probability(
+            context.instance_probabilities(instance), context=context
+        )
 
     @staticmethod
     def _per_component(
         query: DiGraph,
         instance: ProbabilisticGraph,
-        solver: Callable[[DiGraph, ProbabilisticGraph], Fraction],
-    ) -> Fraction:
+        solver: Callable[[DiGraph, ProbabilisticGraph], Number],
+        context: NumericContext = EXACT,
+    ) -> Number:
         """Apply a connected-instance solver through Lemma 3.7 when needed."""
         if instance.graph.is_weakly_connected():
             return solver(query, instance)
-        return phom_on_disconnected_instance(query, instance, solver)
+        return phom_on_disconnected_instance(query, instance, solver, context)
 
     def _polytree_method(self) -> str:
         return "dp" if self.prefer == "dp" else "automaton"
 
     def _union_polytree(
-        self, query: DiGraph, instance: ProbabilisticGraph, method: str
-    ) -> Fraction:
+        self,
+        query: DiGraph,
+        instance: ProbabilisticGraph,
+        method: str,
+        context: NumericContext = EXACT,
+    ) -> Number:
         # Collapse the (possibly disconnected) ⊔DWT query to the equivalent
         # connected one-way path (Proposition 5.5), then apply Lemma 3.7.
         length = collapse_query_to_path_length(query)
@@ -201,13 +284,18 @@ class PHomSolver:
         return self._per_component(
             collapsed,
             instance,
-            lambda _q, component: phom_unlabeled_path_on_polytree(length, component, method=method),
+            lambda _q, component: phom_unlabeled_path_on_polytree(
+                length, component, method=method, context=context
+            ),
+            context,
         )
 
     # ------------------------------------------------------------------
     # automatic dispatch (the classification of Tables 1-3)
     # ------------------------------------------------------------------
-    def _solve_auto(self, query: DiGraph, instance: ProbabilisticGraph) -> PHomResult:
+    def _solve_auto(
+        self, query: DiGraph, instance: ProbabilisticGraph, context: NumericContext = EXACT
+    ) -> PHomResult:
         graph = instance.graph
         unlabeled = self._is_effectively_unlabeled(query, instance)
 
@@ -215,12 +303,12 @@ class PHomSolver:
         # using a label absent from the instance never does.
         if query.num_edges() == 0:
             return self._result(
-                query, instance, Fraction(1), "trivial-edgeless-query", None,
+                query, instance, context.one, "trivial-edgeless-query", None,
                 notes="a query without edges maps anywhere",
             )
         if not query.labels() <= graph.labels():
             return self._result(
-                query, instance, Fraction(0), "trivial-label-mismatch", None,
+                query, instance, context.zero, "trivial-label-mismatch", None,
                 notes="some query label does not appear in the instance",
             )
 
@@ -235,8 +323,11 @@ class PHomSolver:
                     query,
                     instance,
                     lambda q, c: phom_connected_on_2wp(
-                        q, c, method="lineage" if self.prefer == "lineage" else "dp"
+                        q, c,
+                        method="lineage" if self.prefer == "lineage" else "dp",
+                        context=context,
                     ),
+                    context,
                 )
                 return self._result(
                     query, instance, probability, "connected-2wp", "Proposition 4.11 (+ Lemma 3.7)"
@@ -246,8 +337,11 @@ class PHomSolver:
                     query,
                     instance,
                     lambda q, c: phom_labeled_path_on_dwt(
-                        q, c, method="lineage" if self.prefer == "lineage" else "dp"
+                        q, c,
+                        method="lineage" if self.prefer == "lineage" else "dp",
+                        context=context,
                     ),
+                    context,
                 )
                 return self._result(
                     query, instance, probability, "labeled-dwt", "Proposition 4.10 (+ Lemma 3.7)"
@@ -255,7 +349,7 @@ class PHomSolver:
 
         if unlabeled and instance_union_dwt:
             probability = phom_unlabeled_on_union_dwt(
-                query, instance, method=self._polytree_method()
+                query, instance, method=self._polytree_method(), context=context
             )
             return self._result(
                 query, instance, probability, "graded-collapse", "Proposition 3.6"
@@ -267,7 +361,7 @@ class PHomSolver:
             and graph_in_class(query, GraphClass.UNION_DOWNWARD_TREE)
         ):
             method = "automaton" if self.prefer in ("automaton", "lineage") else "dp"
-            probability = self._union_polytree(query, instance, method)
+            probability = self._union_polytree(query, instance, method, context)
             return self._result(
                 query,
                 instance,
@@ -287,7 +381,7 @@ class PHomSolver:
             IntractableFallbackWarning,
             stacklevel=3,
         )
-        probability = brute_force_phom(query, instance)
+        probability = brute_force_phom(query, instance, context)
         return self._result(
             query, instance, probability, "brute-force-worlds", None,
             notes="#P-hard combination; exponential enumeration used",
@@ -300,7 +394,8 @@ def phom_probability(
     method: str = "auto",
     allow_brute_force: bool = True,
     prefer: str = "dp",
-) -> Fraction:
+    precision: PrecisionLike = "exact",
+) -> Number:
     """``Pr(query ⇝ instance)``: the one-call public API of the library.
 
     Parameters
@@ -320,6 +415,11 @@ def phom_probability(
         Evaluation flavour for tractable cases: ``"dp"`` (direct dynamic
         programs), ``"lineage"`` or ``"automaton"`` (the paper's
         constructions).
+    precision:
+        ``"exact"`` (default) for bit-exact :class:`~fractions.Fraction`
+        results; ``"float"`` for the fast double-precision backend.
     """
-    solver = PHomSolver(allow_brute_force=allow_brute_force, prefer=prefer)
+    solver = PHomSolver(
+        allow_brute_force=allow_brute_force, prefer=prefer, precision=precision
+    )
     return solver.probability(query, instance, method=method)

@@ -33,21 +33,26 @@ from repro.graphs.classes import (
     is_polytree,
 )
 from repro.graphs.digraph import DiGraph, Vertex
+from repro.numeric import EXACT, Number, NumericContext
 from repro.probability.prob_graph import ProbabilisticGraph
 
 
 # ----------------------------------------------------------------------
 # Proposition 5.4: the automaton route and the direct DP
 # ----------------------------------------------------------------------
-def _automaton_probability(path_length: int, instance: ProbabilisticGraph) -> Fraction:
+def _automaton_probability(
+    path_length: int, instance: ProbabilisticGraph, context: NumericContext = EXACT
+) -> Number:
     """Probability of a directed path of ``path_length`` edges, via d-DNNF compilation."""
     tree = encode_polytree(instance)
     automaton = build_longest_path_automaton(path_length)
     circuit = provenance_circuit(automaton, tree)
-    return circuit.probability(instance.probabilities())
+    return circuit.probability(context.instance_probabilities(instance), context=context)
 
 
-def _direct_dp_probability(path_length: int, instance: ProbabilisticGraph) -> Fraction:
+def _direct_dp_probability(
+    path_length: int, instance: ProbabilisticGraph, context: NumericContext = EXACT
+) -> Number:
     """Probability of a directed path of ``path_length`` edges, via message passing.
 
     The state distribution at a vertex ``v`` ranges over triples
@@ -61,23 +66,25 @@ def _direct_dp_probability(path_length: int, instance: ProbabilisticGraph) -> Fr
     graph = instance.graph
     root = min(graph.vertices, key=repr)
     children = _rooted_children(graph, root)
+    probabilities = context.instance_probabilities(instance)
+    zero = context.zero
 
     def cap(value: int) -> int:
         return min(m, value)
 
-    def distribution(vertex: Vertex) -> Dict[Tuple[int, int, int], Fraction]:
-        dist: Dict[Tuple[int, int, int], Fraction] = {(0, 0, 0): Fraction(1)}
+    def distribution(vertex: Vertex) -> Dict[Tuple[int, int, int], Number]:
+        dist: Dict[Tuple[int, int, int], Number] = {(0, 0, 0): context.one}
         for child, direction, edge in children[vertex]:
             child_dist = distribution(child)
-            probability = instance.probability(edge)
-            updated: Dict[Tuple[int, int, int], Fraction] = {}
+            probability = probabilities[edge]
+            updated: Dict[Tuple[int, int, int], Number] = {}
             for (up, down, best), mass in dist.items():
                 for (c_up, c_down, c_best), c_mass in child_dist.items():
                     weight = mass * c_mass
                     # Edge absent: only the child's internal best survives.
                     absent_state = (up, down, cap(max(best, c_best)))
                     updated[absent_state] = (
-                        updated.get(absent_state, Fraction(0)) + weight * (1 - probability)
+                        updated.get(absent_state, zero) + weight * (1 - probability)
                     )
                     # Edge present: extend paths through the current vertex.
                     if direction == LABEL_UP:
@@ -90,20 +97,23 @@ def _direct_dp_probability(path_length: int, instance: ProbabilisticGraph) -> Fr
                         new_best = cap(max(best, c_best, new_down, up + 1 + c_down))
                     present_state = (new_up, new_down, new_best)
                     updated[present_state] = (
-                        updated.get(present_state, Fraction(0)) + weight * probability
+                        updated.get(present_state, zero) + weight * probability
                     )
             dist = updated
         return dist
 
     final = distribution(root)
     return sum(
-        (mass for (_up, _down, best), mass in final.items() if best >= m), Fraction(0)
+        (mass for (_up, _down, best), mass in final.items() if best >= m), zero
     )
 
 
 def phom_unlabeled_path_on_polytree(
-    path_length: int, instance: ProbabilisticGraph, method: str = "automaton"
-) -> Fraction:
+    path_length: int,
+    instance: ProbabilisticGraph,
+    method: str = "automaton",
+    context: NumericContext = EXACT,
+) -> Number:
     """``Pr(→^m ⇝ instance)`` for an unlabeled path query of ``path_length`` edges on a polytree.
 
     Parameters
@@ -123,11 +133,11 @@ def phom_unlabeled_path_on_polytree(
     if path_length < 0:
         raise ValueError("the path length must be non-negative")
     if path_length == 0:
-        return Fraction(1)
+        return context.one
     if method == "automaton":
-        return _automaton_probability(path_length, instance)
+        return _automaton_probability(path_length, instance, context)
     if method == "dp":
-        return _direct_dp_probability(path_length, instance)
+        return _direct_dp_probability(path_length, instance, context)
     raise ValueError(f"unknown method {method!r}; expected 'automaton' or 'dp'")
 
 
@@ -150,12 +160,15 @@ def collapse_query_to_path_length(query: DiGraph) -> int:
 
 
 def phom_unlabeled_tree_query_on_polytree(
-    query: DiGraph, instance: ProbabilisticGraph, method: str = "automaton"
-) -> Fraction:
+    query: DiGraph,
+    instance: ProbabilisticGraph,
+    method: str = "automaton",
+    context: NumericContext = EXACT,
+) -> Number:
     """``Pr(query ⇝ instance)`` for an unlabeled ⊔DWT query on a polytree instance.
 
     Implements Proposition 5.5 by collapsing the query to the equivalent
     one-way path and delegating to Proposition 5.4.
     """
     length = collapse_query_to_path_length(query)
-    return phom_unlabeled_path_on_polytree(length, instance, method=method)
+    return phom_unlabeled_path_on_polytree(length, instance, method=method, context=context)

@@ -100,8 +100,14 @@ def _undirected_path_order(graph: DiGraph) -> Optional[List[Vertex]]:
     Returns a list of vertices ``a1 .. am`` such that consecutive vertices
     are joined by exactly one edge (in either direction) and no other edges
     exist, or ``None`` if the underlying undirected graph is not a simple
-    path.  A single vertex yields a one-element order.
+    path.  A single vertex yields a one-element order.  The order is
+    memoised on the graph, so every path recogniser after the first is a
+    dictionary lookup.
     """
+    return graph.cached("undirected_path_order", lambda: _compute_path_order(graph))
+
+
+def _compute_path_order(graph: DiGraph) -> Optional[List[Vertex]]:
     n = graph.num_vertices()
     if n == 0:
         return None
@@ -141,7 +147,7 @@ def two_way_path_order(graph: DiGraph) -> List[Vertex]:
     order = _undirected_path_order(graph)
     if order is None:
         raise ClassConstraintError("graph is not a two-way path")
-    return order
+    return list(order)
 
 
 def is_one_way_path(graph: DiGraph) -> bool:
@@ -162,9 +168,9 @@ def one_way_path_order(graph: DiGraph) -> List[Vertex]:
     if order is None:
         raise ClassConstraintError("graph is not a one-way path")
     if len(order) == 1:
-        return order
+        return list(order)
     if all(graph.has_edge(order[i], order[i + 1]) for i in range(len(order) - 1)):
-        return order
+        return list(order)
     if all(graph.has_edge(order[i + 1], order[i]) for i in range(len(order) - 1)):
         return list(reversed(order))
     raise ClassConstraintError("graph is not a one-way path")
@@ -215,11 +221,15 @@ def _components(graph: DiGraph) -> List[DiGraph]:
 
 
 def graph_in_class(graph: DiGraph, cls: GraphClass) -> bool:
-    """Whether ``graph`` belongs to the class ``cls``."""
+    """Whether ``graph`` belongs to the class ``cls`` (memoised per graph)."""
     if graph.num_vertices() == 0:
         return False
     if cls is GraphClass.ALL:
         return True
+    return graph.cached(("in_class", cls), lambda: _compute_in_class(graph, cls))
+
+
+def _compute_in_class(graph: DiGraph, cls: GraphClass) -> bool:
     if cls is GraphClass.CONNECTED:
         return is_connected_graph(graph)
     if cls is GraphClass.ONE_WAY_PATH:
@@ -265,11 +275,16 @@ def graph_class_of(graph: DiGraph) -> GraphClass:
 
     Ties between 2WP and DWT (both refine to neither) are broken in favour
     of 2WP; this only matters for reporting, never for correctness, because
-    the dispatcher re-checks membership of whichever class it needs.
+    the dispatcher re-checks membership of whichever class it needs.  The
+    lattice position is memoised on the graph.
     """
     if graph.num_vertices() == 0:
         raise GraphError("the empty graph belongs to no class")
-    for cls in _SPECIFICITY_ORDER:
-        if graph_in_class(graph, cls):
-            return cls
-    return GraphClass.ALL
+
+    def compute() -> GraphClass:
+        for cls in _SPECIFICITY_ORDER:
+            if graph_in_class(graph, cls):
+                return cls
+        return GraphClass.ALL
+
+    return graph.cached("class_of", compute)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import GraphError
 
@@ -27,13 +27,16 @@ UNLABELED = "_"
 Vertex = Hashable
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True)
 class Edge:
     """A directed labeled edge ``source --label--> target``.
 
     Edges are hashable and totally ordered, so they can directly serve as
     Boolean variables of lineage formulas and as dictionary keys of
-    probability assignments.
+    probability assignments.  The order is by the ``repr`` of the endpoints
+    (then the label), which is deterministic and — unlike the field-wise
+    dataclass order — well-defined even when different edges use vertices of
+    mutually incomparable types (e.g. ints and strings).
     """
 
     source: Vertex
@@ -45,9 +48,33 @@ class Edge:
         """The ``(source, target)`` pair identifying the edge."""
         return (self.source, self.target)
 
+    def sort_key(self) -> Tuple[str, str, str]:
+        """A type-safe total-order key (repr of endpoints, then label)."""
+        return (repr(self.source), repr(self.target), self.label)
+
     def reversed(self) -> "Edge":
         """The same edge with its orientation flipped (label preserved)."""
         return Edge(self.target, self.source, self.label)
+
+    def __lt__(self, other: "Edge") -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Edge") -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Edge") -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Edge") -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.source!r} -[{self.label}]-> {self.target!r}"
@@ -81,6 +108,10 @@ class DiGraph:
         self._edges: Dict[Tuple[Vertex, Vertex], Edge] = {}
         self._succ: Dict[Vertex, Set[Vertex]] = {}
         self._pred: Dict[Vertex, Set[Vertex]] = {}
+        #: Memoised derived data (sorted edge lists, components, class
+        #: recognition results, ...), cleared on every mutation.
+        self._cache: Dict[Hashable, Any] = {}
+        self._frozen: bool = False
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -94,11 +125,53 @@ class DiGraph:
                     self.add_edge(e[0], e[1], e[2])
 
     # ------------------------------------------------------------------
+    # freezing and memoisation
+    # ------------------------------------------------------------------
+    def freeze(self) -> "DiGraph":
+        """Mark the graph immutable and return it.
+
+        A frozen graph rejects further mutation with
+        :class:`~repro.exceptions.GraphError`, which makes its memoised
+        derived data (edge order, components, class recognition) safe to
+        share indefinitely.  To modify a frozen graph, take a :meth:`copy`
+        (copies are always mutable).
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the graph has been frozen against mutation."""
+        return self._frozen
+
+    def _invalidate(self) -> None:
+        """Reject mutation when frozen; otherwise drop memoised data."""
+        if self._frozen:
+            raise GraphError("graph is frozen; copy() it to obtain a mutable graph")
+        if self._cache:
+            self._cache.clear()
+
+    def cached(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Memoise ``compute()`` under ``key`` until the next mutation.
+
+        This is the hook the class recognisers and solvers use to attach
+        derived structural data (path orders, recognition verdicts) to the
+        graph without recomputing them on every query.
+        """
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = compute()
+            self._cache[key] = value
+            return value
+
+    # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_vertex(self, v: Vertex) -> None:
         """Add an isolated vertex (idempotent)."""
         if v not in self._vertices:
+            self._invalidate()
             self._vertices.add(v)
             self._succ[v] = set()
             self._pred[v] = set()
@@ -115,6 +188,7 @@ class DiGraph:
             raise GraphError(
                 f"edge ({source!r}, {target!r}) already exists; multi-edges are not allowed"
             )
+        self._invalidate()
         self.add_vertex(source)
         self.add_vertex(target)
         edge = Edge(source, target, label)
@@ -127,6 +201,7 @@ class DiGraph:
         """Remove the edge ``source -> target`` (vertices are kept)."""
         if (source, target) not in self._edges:
             raise GraphError(f"edge ({source!r}, {target!r}) does not exist")
+        self._invalidate()
         del self._edges[(source, target)]
         self._succ[source].discard(target)
         self._pred[target].discard(source)
@@ -144,8 +219,22 @@ class DiGraph:
         return frozenset(self._vertices)
 
     def edges(self) -> List[Edge]:
-        """All edges, in a deterministic (sorted by insertion-independent key) order."""
-        return sorted(self._edges.values(), key=lambda e: (repr(e.source), repr(e.target)))
+        """All edges, in a deterministic (sorted by insertion-independent key) order.
+
+        The sorted order is memoised until the next mutation; the returned
+        list is a fresh copy, so callers may reorder it freely.
+        """
+        return list(
+            self.cached(
+                "edges",
+                lambda: tuple(
+                    sorted(
+                        self._edges.values(),
+                        key=lambda e: (repr(e.source), repr(e.target)),
+                    )
+                ),
+            )
+        )
 
     def edge_set(self) -> FrozenSet[Edge]:
         """All edges as a frozen set."""
@@ -181,9 +270,11 @@ class DiGraph:
         """The label of the edge ``source -> target``."""
         return self.get_edge(source, target).label
 
-    def labels(self) -> Set[str]:
-        """The set of labels that actually appear on edges."""
-        return {e.label for e in self._edges.values()}
+    def labels(self) -> FrozenSet[str]:
+        """The set of labels that actually appear on edges (memoised)."""
+        return self.cached(
+            "labels", lambda: frozenset(e.label for e in self._edges.values())
+        )
 
     def is_unlabeled(self) -> bool:
         """Whether at most one distinct label appears (the ``|σ| = 1`` setting)."""
@@ -192,21 +283,61 @@ class DiGraph:
     # ------------------------------------------------------------------
     # neighbourhoods and degrees
     # ------------------------------------------------------------------
+    _EMPTY_SET: FrozenSet[Vertex] = frozenset()
+
     def successors(self, v: Vertex) -> Set[Vertex]:
-        """Vertices ``w`` such that ``v -> w`` is an edge."""
-        return set(self._succ.get(v, set()))
+        """Vertices ``w`` such that ``v -> w`` is an edge.
+
+        Returns a live read-only view of the internal adjacency set (no
+        defensive copy — this is on the hot path of every traversal).
+        Callers must not mutate it; to keep an independent snapshot, wrap it
+        in ``set(...)``.
+        """
+        return self._succ.get(v, self._EMPTY_SET)
 
     def predecessors(self, v: Vertex) -> Set[Vertex]:
-        """Vertices ``u`` such that ``u -> v`` is an edge."""
-        return set(self._pred.get(v, set()))
+        """Vertices ``u`` such that ``u -> v`` is an edge (read-only view)."""
+        return self._pred.get(v, self._EMPTY_SET)
 
     def out_edges(self, v: Vertex) -> List[Edge]:
-        """Edges leaving ``v``."""
-        return [self._edges[(v, w)] for w in sorted(self._succ.get(v, set()), key=repr)]
+        """Edges leaving ``v``, in a deterministic order (memoised).
+
+        The order is cached as a tuple and returned as a fresh list, so
+        caller mutation cannot poison the cache.
+        """
+        return list(
+            self.cached(
+                ("out_edges", v),
+                lambda: tuple(
+                    self._edges[(v, w)] for w in sorted(self._succ.get(v, ()), key=repr)
+                ),
+            )
+        )
 
     def in_edges(self, v: Vertex) -> List[Edge]:
-        """Edges entering ``v``."""
-        return [self._edges[(u, v)] for u in sorted(self._pred.get(v, set()), key=repr)]
+        """Edges entering ``v``, in a deterministic order (memoised, fresh list)."""
+        return list(
+            self.cached(
+                ("in_edges", v),
+                lambda: tuple(
+                    self._edges[(u, v)] for u in sorted(self._pred.get(v, ()), key=repr)
+                ),
+            )
+        )
+
+    def out_label_set(self, v: Vertex) -> FrozenSet[str]:
+        """Labels on edges leaving ``v`` (memoised; arc-consistency hot path)."""
+        return self.cached(
+            ("out_labels", v),
+            lambda: frozenset(self._edges[(v, w)].label for w in self._succ.get(v, ())),
+        )
+
+    def in_label_set(self, v: Vertex) -> FrozenSet[str]:
+        """Labels on edges entering ``v`` (memoised; arc-consistency hot path)."""
+        return self.cached(
+            ("in_labels", v),
+            lambda: frozenset(self._edges[(u, v)].label for u in self._pred.get(v, ())),
+        )
 
     def out_degree(self, v: Vertex) -> int:
         """Number of edges leaving ``v``."""
@@ -258,10 +389,13 @@ class DiGraph:
     # ------------------------------------------------------------------
     # connectivity
     # ------------------------------------------------------------------
-    def weakly_connected_components(self) -> List[Set[Vertex]]:
-        """Connected components of the underlying undirected graph."""
+    def weakly_connected_components(self) -> List[FrozenSet[Vertex]]:
+        """Connected components of the underlying undirected graph (memoised)."""
+        return list(self.cached("wcc", self._compute_components))
+
+    def _compute_components(self) -> Tuple[FrozenSet[Vertex], ...]:
         seen: Set[Vertex] = set()
-        components: List[Set[Vertex]] = []
+        components: List[FrozenSet[Vertex]] = []
         for start in sorted(self._vertices, key=repr):
             if start in seen:
                 continue
@@ -271,28 +405,70 @@ class DiGraph:
             while queue:
                 v = queue.popleft()
                 component.add(v)
-                for w in self.undirected_neighbours(v):
+                for w in self._succ[v]:
                     if w not in seen:
                         seen.add(w)
                         queue.append(w)
-            components.append(component)
-        return components
+                for w in self._pred[v]:
+                    if w not in seen:
+                        seen.add(w)
+                        queue.append(w)
+            components.append(frozenset(component))
+        return tuple(components)
 
     def is_weakly_connected(self) -> bool:
-        """Whether the underlying undirected graph is connected (and non-empty)."""
+        """Whether the underlying undirected graph is connected (and non-empty).
+
+        Runs a single BFS from an arbitrary vertex and early-exits, instead
+        of materialising every component; the verdict is memoised.
+        """
         if not self._vertices:
             return False
-        return len(self.weakly_connected_components()) == 1
+
+        def compute() -> bool:
+            if "wcc" in self._cache:
+                return len(self._cache["wcc"]) == 1
+            start = next(iter(self._vertices))
+            seen: Set[Vertex] = {start}
+            queue: deque = deque([start])
+            while queue:
+                v = queue.popleft()
+                for w in self._succ[v]:
+                    if w not in seen:
+                        seen.add(w)
+                        queue.append(w)
+                for w in self._pred[v]:
+                    if w not in seen:
+                        seen.add(w)
+                        queue.append(w)
+            return len(seen) == len(self._vertices)
+
+        return self.cached("is_wcc", compute)
 
     def connected_component_graphs(self) -> List["DiGraph"]:
-        """The graphs induced by each weakly connected component."""
-        return [self.induced_component(c) for c in self.weakly_connected_components()]
+        """The graphs induced by each weakly connected component (memoised).
+
+        The returned component graphs are shared between calls and are
+        frozen; :meth:`copy` one to mutate it.
+        """
+        return list(
+            self.cached(
+                "component_graphs",
+                lambda: tuple(
+                    self.induced_component(c).freeze()
+                    for c in self.weakly_connected_components()
+                ),
+            )
+        )
 
     # ------------------------------------------------------------------
     # structural tests used throughout the paper
     # ------------------------------------------------------------------
     def has_directed_cycle(self) -> bool:
-        """Whether the graph contains a directed cycle (including self-loops)."""
+        """Whether the graph contains a directed cycle (including self-loops; memoised)."""
+        return self.cached("has_directed_cycle", self._compute_has_directed_cycle)
+
+    def _compute_has_directed_cycle(self) -> bool:
         in_deg = {v: self.in_degree(v) for v in self._vertices}
         queue = deque(v for v, d in in_deg.items() if d == 0)
         seen = 0
@@ -312,15 +488,18 @@ class DiGraph:
         undirected cycle of length two, because the underlying undirected
         graph then has a multi-edge and is not a tree.
         """
-        # A forest has exactly |V| - (#components) undirected edges, where
-        # antiparallel pairs count twice (they already make a cycle).
-        undirected_pairs = set()
-        for (u, v) in self._edges:
-            if (v, u) in self._edges:
-                return True
-            undirected_pairs.add(frozenset((u, v)))
-        num_components = len(self.weakly_connected_components())
-        return len(undirected_pairs) > len(self._vertices) - num_components
+        def compute() -> bool:
+            # A forest has exactly |V| - (#components) undirected edges, where
+            # antiparallel pairs count twice (they already make a cycle).
+            undirected_pairs = set()
+            for (u, v) in self._edges:
+                if (v, u) in self._edges:
+                    return True
+                undirected_pairs.add(frozenset((u, v)))
+            num_components = len(self.weakly_connected_components())
+            return len(undirected_pairs) > len(self._vertices) - num_components
+
+        return self.cached("undirected_cycle", compute)
 
     def longest_directed_path_length(self) -> int:
         """Length (number of edges) of the longest directed *simple* path.
@@ -340,7 +519,10 @@ class DiGraph:
         return max(longest.values(), default=0)
 
     def topological_order(self) -> List[Vertex]:
-        """A topological order of the vertices (requires acyclicity)."""
+        """A topological order of the vertices (requires acyclicity; memoised)."""
+        return list(self.cached("topological_order", self._compute_topological_order))
+
+    def _compute_topological_order(self) -> Tuple[Vertex, ...]:
         in_deg = {v: self.in_degree(v) for v in self._vertices}
         queue = deque(sorted((v for v, d in in_deg.items() if d == 0), key=repr))
         order: List[Vertex] = []
@@ -353,7 +535,7 @@ class DiGraph:
                     queue.append(w)
         if len(order) != len(self._vertices):
             raise GraphError("graph has a directed cycle; no topological order exists")
-        return order
+        return tuple(order)
 
     # ------------------------------------------------------------------
     # combination

@@ -25,13 +25,13 @@ def _initial_domains(query: DiGraph, instance: DiGraph) -> Optional[Dict[Vertex,
     instance_vertices = list(instance.vertices)
     domains: Dict[Vertex, Set[Vertex]] = {}
     for u in query.vertices:
-        out_labels = {e.label for e in query.out_edges(u)}
-        in_labels = {e.label for e in query.in_edges(u)}
+        out_labels = query.out_label_set(u)
+        in_labels = query.in_label_set(u)
         candidates = set()
         for x in instance_vertices:
-            if not out_labels <= {e.label for e in instance.out_edges(x)}:
+            if not out_labels <= instance.out_label_set(x):
                 continue
-            if not in_labels <= {e.label for e in instance.in_edges(x)}:
+            if not in_labels <= instance.in_label_set(x):
                 continue
             candidates.add(x)
         if not candidates:

@@ -30,6 +30,7 @@ from itertools import product
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import LineageError
+from repro.numeric import EXACT, Number, NumericContext
 
 Variable = Hashable
 
@@ -194,31 +195,40 @@ class DDNNF:
                 values.append(any(values[c] for c in gate.children))
         return values[self.root]
 
-    def probability(self, probabilities: Mapping[Variable, Fraction]) -> Fraction:
+    def probability(
+        self,
+        probabilities: Mapping[Variable, Fraction],
+        context: NumericContext = EXACT,
+    ) -> Number:
         """The probability of the circuit under independent variables.
 
         AND gates multiply and OR gates add, which is only correct because
         of decomposability and determinism; callers constructing circuits by
         hand should validate them with :meth:`is_decomposable` and
-        :meth:`is_deterministic`.
+        :meth:`is_deterministic`.  ``context`` selects the numeric backend
+        (exact :class:`~fractions.Fraction` by default, floats via
+        :data:`repro.numeric.FAST`).
         """
-        values: List[Fraction] = []
+        convert = context.convert
+        one = context.one
+        zero = context.zero
+        values: List[Number] = []
         for gate in self._gates:
             if gate.kind is GateKind.VAR:
-                values.append(Fraction(probabilities[gate.variable]))
+                values.append(convert(probabilities[gate.variable]))
             elif gate.kind is GateKind.NOT:
-                values.append(1 - Fraction(probabilities[gate.variable]))
+                values.append(one - convert(probabilities[gate.variable]))
             elif gate.kind is GateKind.TRUE:
-                values.append(Fraction(1))
+                values.append(one)
             elif gate.kind is GateKind.FALSE:
-                values.append(Fraction(0))
+                values.append(zero)
             elif gate.kind is GateKind.AND:
-                term = Fraction(1)
+                term = one
                 for child in gate.children:
                     term *= values[child]
                 values.append(term)
             else:
-                total = Fraction(0)
+                total = zero
                 for child in gate.children:
                     total += values[child]
                 values.append(total)

@@ -25,6 +25,7 @@ from itertools import combinations, product
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import LineageError
+from repro.numeric import EXACT, Number, NumericContext
 from repro.lineage.hypergraph import (
     Hypergraph,
     beta_elimination_order,
@@ -145,8 +146,9 @@ class PositiveDNF:
         self,
         probabilities: Mapping[Variable, Fraction],
         order: Optional[Sequence[Variable]] = None,
-    ) -> Fraction:
-        """Exact probability by memoised Shannon expansion along an elimination order.
+        context: NumericContext = EXACT,
+    ) -> Number:
+        """Probability by memoised Shannon expansion along an elimination order.
 
         Parameters
         ----------
@@ -158,11 +160,13 @@ class PositiveDNF:
             the order under which the lineages of Props 4.10/4.11 produce
             polynomially many distinct sub-formulas), and a most-frequent-
             variable-first order otherwise.
+        context:
+            Numeric backend (exact :class:`~fractions.Fraction` by default).
         """
         if self.is_true():
-            return Fraction(1)
+            return context.one
         if self.is_false():
-            return Fraction(0)
+            return context.zero
         if order is None:
             elimination = self.beta_elimination_order()
             if elimination is not None:
@@ -178,19 +182,22 @@ class PositiveDNF:
         if missing:
             raise LineageError(f"branching order is missing variables: {missing!r}")
         position = {variable: index for index, variable in enumerate(order)}
-        cache: Dict[FrozenSet[Clause], Fraction] = {}
+        cache: Dict[FrozenSet[Clause], Number] = {}
+        convert = context.convert
+        one = context.one
+        zero = context.zero
 
-        def solve(clauses: FrozenSet[Clause]) -> Fraction:
+        def solve(clauses: FrozenSet[Clause]) -> Number:
             if not clauses:
-                return Fraction(0)
+                return zero
             if any(not clause for clause in clauses):
-                return Fraction(1)
+                return one
             if clauses in cache:
                 return cache[clauses]
             variable = min(
                 (v for clause in clauses for v in clause), key=lambda v: position[v]
             )
-            p = Fraction(probabilities[variable])
+            p = convert(probabilities[variable])
             positive = frozenset(clause - {variable} for clause in clauses)
             negative = frozenset(clause for clause in clauses if variable not in clause)
             result = p * solve(positive) + (1 - p) * solve(negative)

@@ -23,24 +23,28 @@ from typing import Dict, FrozenSet, List, Set
 
 from repro.graphs.digraph import DiGraph, Edge
 from repro.graphs.homomorphism import enumerate_homomorphisms, has_homomorphism
+from repro.numeric import EXACT, Number, NumericContext
 from repro.probability.prob_graph import ProbabilisticGraph
 
 
-def brute_force_phom(query: DiGraph, instance: ProbabilisticGraph) -> Fraction:
-    """Exact ``Pr(query ⇝ instance)`` by possible-world enumeration.
+def brute_force_phom(
+    query: DiGraph, instance: ProbabilisticGraph, context: NumericContext = EXACT
+) -> Number:
+    """``Pr(query ⇝ instance)`` by possible-world enumeration.
 
     Runs in time ``O(2^u · hom(query, world))`` where ``u`` is the number of
     uncertain edges; only usable on small instances, but unconditionally
-    correct.
+    correct.  World probabilities are accumulated in the requested numeric
+    backend (exact rationals by default).
     """
     if query.num_vertices() == 0:
-        return Fraction(0)
-    total = Fraction(0)
+        return context.zero
+    total = context.zero
     for world in instance.possible_worlds():
         if world.probability == 0:
             continue
         if has_homomorphism(query, world.graph):
-            total += world.probability
+            total += context.convert(world.probability)
     return total
 
 
@@ -63,8 +67,10 @@ def _minimal_match_edge_sets(query: DiGraph, instance: ProbabilisticGraph) -> Li
     return minimal
 
 
-def brute_force_phom_over_matches(query: DiGraph, instance: ProbabilisticGraph) -> Fraction:
-    """Exact ``Pr(query ⇝ instance)`` by inclusion–exclusion over match edge sets.
+def brute_force_phom_over_matches(
+    query: DiGraph, instance: ProbabilisticGraph, context: NumericContext = EXACT
+) -> Number:
+    """``Pr(query ⇝ instance)`` by inclusion–exclusion over match edge sets.
 
     The event ``query ⇝ world`` is the union, over matches ``M`` of the query
     in the instance, of the events "all edges of ``M`` are present".
@@ -72,19 +78,20 @@ def brute_force_phom_over_matches(query: DiGraph, instance: ProbabilisticGraph) 
     probability of the union.  Exponential in the number of matches.
     """
     if query.num_vertices() == 0:
-        return Fraction(0)
+        return context.zero
     matches = _minimal_match_edge_sets(query, instance)
     if not matches:
-        return Fraction(0)
-    probabilities: Dict[Edge, Fraction] = instance.probabilities()
-    total = Fraction(0)
+        return context.zero
+    probabilities = context.instance_probabilities(instance)
+    one = context.one
+    total = context.zero
     for size in range(1, len(matches) + 1):
-        sign = Fraction(1) if size % 2 == 1 else Fraction(-1)
+        sign = one if size % 2 == 1 else -one
         for subset in combinations(matches, size):
             union_edges: Set[Edge] = set()
             for match in subset:
                 union_edges |= match
-            term = Fraction(1)
+            term = one
             for edge in union_edges:
                 term *= probabilities[edge]
             total += sign * term

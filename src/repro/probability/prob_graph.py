@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 from itertools import product
+from types import MappingProxyType
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import GraphError, ProbabilityError
@@ -93,6 +94,17 @@ class ProbabilisticGraph:
             for key, value in probabilities.items():
                 edge = self._resolve_edge(key)
                 self._probabilities[edge] = as_probability(value)
+        # The instance graph never changes after construction; freezing it
+        # makes its memoised metadata (class recognition, components, edge
+        # order) shareable across every query answered on this instance.
+        self._graph.freeze()
+        self._view: Mapping[Edge, Fraction] = MappingProxyType(self._probabilities)
+        self._float_probabilities: Optional[Mapping[Edge, float]] = None
+        self._components: Optional[List["ProbabilisticGraph"]] = None
+        #: Set on components handed out by a parent's ``connected_components``
+        #: cache, so mutating a shared component detaches the parent's cache
+        #: instead of silently corrupting the parent's future answers.
+        self._component_owner: Optional["ProbabilisticGraph"] = None
 
     def _resolve_edge(self, key) -> Edge:
         if isinstance(key, Edge):
@@ -120,9 +132,37 @@ class ProbabilisticGraph:
         """A copy of the full probability assignment."""
         return dict(self._probabilities)
 
+    def probabilities_view(self) -> Mapping[Edge, Fraction]:
+        """A read-only *view* of the probability assignment (no copy).
+
+        This is what the solvers use on their hot paths; it reflects later
+        :meth:`set_probability` updates.  Use :meth:`probabilities` for an
+        independent snapshot.
+        """
+        return self._view
+
+    def float_probabilities(self) -> Mapping[Edge, float]:
+        """The probability assignment truncated to floats (memoised, read-only).
+
+        Backs the ``precision="float"`` fast path; the table is rebuilt
+        lazily after :meth:`set_probability`.
+        """
+        if self._float_probabilities is None:
+            self._float_probabilities = MappingProxyType(
+                {edge: float(p) for edge, p in self._probabilities.items()}
+            )
+        return self._float_probabilities
+
     def set_probability(self, edge, value: ProbabilityLike) -> None:
         """Update the probability of one edge."""
         self._probabilities[self._resolve_edge(edge)] = as_probability(value)
+        self._float_probabilities = None
+        self._components = None
+        if self._component_owner is not None:
+            # This instance was shared through a parent's component cache;
+            # detach so the parent rebuilds fresh components next time.
+            self._component_owner._components = None
+            self._component_owner = None
 
     def edges(self) -> List[Edge]:
         """All edges of the instance, in a deterministic order."""
@@ -198,18 +238,31 @@ class ProbabilisticGraph:
         instance into its connected components (Lemma 3.7).
         """
         component = self._graph.induced_component(vertices)
+        # Edges compare by value, so the component's edges index the parent's
+        # probability table directly — no per-edge get_edge round trip.
         probabilities = {
-            edge: self._probabilities[self._graph.get_edge(edge.source, edge.target)]
-            for edge in component.edge_set()
+            edge: self._probabilities[edge] for edge in component.edge_set()
         }
         return ProbabilisticGraph(component, probabilities)
 
     def connected_components(self) -> List["ProbabilisticGraph"]:
-        """The probabilistic graphs induced by each weakly connected component."""
-        return [
-            self.restrict_to_component(component)
-            for component in self._graph.weakly_connected_components()
-        ]
+        """The probabilistic graphs induced by each weakly connected component.
+
+        The split is memoised: repeated queries against the same instance
+        (for instance through :meth:`PHomSolver.solve_many`) share one set of
+        component instances instead of re-running the BFS and re-copying the
+        probability tables per query.  The cache is dropped on
+        :meth:`set_probability`.
+        """
+        if self._components is None:
+            components = [
+                self.restrict_to_component(component)
+                for component in self._graph.weakly_connected_components()
+            ]
+            for component in components:
+                component._component_owner = self
+            self._components = components
+        return list(self._components)
 
     # ------------------------------------------------------------------
     # convenience constructors

@@ -92,3 +92,33 @@ class TestSolveCommand:
         code, _out, err = run_cli(["solve", query_path, str(tmp_path / "missing.json")])
         assert code == 2
         assert "could not load" in err
+
+    def test_solve_float_precision(self, files):
+        query_path, instance_path = files
+        code, out, _err = run_cli(["solve", query_path, instance_path, "--precision", "float"])
+        assert code == 0
+        assert "probability = 0.125" in out
+
+
+class TestBenchCommand:
+    def test_bench_smoke_without_writing(self):
+        code, out, _err = run_cli(["bench", "--smoke", "--output", "-"])
+        assert code == 0
+        assert "hotpath benchmark" in out
+        assert "solve_many_float" in out
+        assert "report written" not in out
+
+    def test_bench_writes_report(self, tmp_path):
+        target = tmp_path / "bench.json"
+        code, out, _err = run_cli(["bench", "--smoke", "--output", str(target)])
+        assert code == 0
+        assert target.exists()
+        import json
+
+        report = json.loads(target.read_text())
+        assert report["benchmark"] == "hotpaths"
+        assert {w["name"] for w in report["workloads"]} == {
+            "labeled-dwt", "connected-2wp", "unlabeled-union-dwt"
+        }
+        for workload in report["workloads"]:
+            assert workload["float_max_abs_error"] <= 1e-9
