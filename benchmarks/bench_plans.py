@@ -1,0 +1,25 @@
+"""Compiled-plan benchmark script: plan reuse and incremental updates.
+
+Thin wrapper over :mod:`repro.bench_plans` so the benchmark can be run either
+as
+
+    python benchmarks/bench_plans.py [--smoke] [--output BENCH_plans.json]
+                                     [--min-reuse-speedup X]
+                                     [--min-incremental-speedup Y]
+
+or through the CLI as ``repro bench plans``.  The recorded artefact,
+``BENCH_plans.json``, is checked into the repository root and tracks the two
+serving-path numbers across PRs: re-evaluating compiled plans under drifting
+probabilities versus PR-1-style ``solve_many`` (float), and single-edge
+``plan.update`` versus a full re-solve.  The ``--min-*-speedup`` flags turn
+regressions into a non-zero exit code, which CI uses as a smoke gate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", "plans", *sys.argv[1:]]))

@@ -46,6 +46,7 @@ from repro.exceptions import (
     ClassConstraintError,
     ProbabilityError,
     LineageError,
+    PlanError,
     AutomatonError,
     IntractableFallbackWarning,
 )
@@ -67,8 +68,9 @@ from repro.graphs import (
 )
 from repro.numeric import EXACT, FAST, NumericContext, resolve_context
 from repro.probability import ProbabilisticGraph, brute_force_phom
-from repro.lineage import PositiveDNF, DDNNF, match_lineage
+from repro.lineage import PositiveDNF, DDNNF, CircuitEvaluator, match_lineage
 from repro.core import PHomSolver, PHomResult, phom_probability
+from repro.plan import CompiledPlan, PlanCache, canonical_query_key
 from repro.classification import classify_cell, Complexity, table1, table2, table3
 
 __version__ = "1.0.0"
@@ -79,6 +81,7 @@ __all__ = [
     "ClassConstraintError",
     "ProbabilityError",
     "LineageError",
+    "PlanError",
     "AutomatonError",
     "IntractableFallbackWarning",
     "DiGraph",
@@ -103,10 +106,14 @@ __all__ = [
     "brute_force_phom",
     "PositiveDNF",
     "DDNNF",
+    "CircuitEvaluator",
     "match_lineage",
     "PHomSolver",
     "PHomResult",
     "phom_probability",
+    "CompiledPlan",
+    "PlanCache",
+    "canonical_query_key",
     "classify_cell",
     "Complexity",
     "table1",

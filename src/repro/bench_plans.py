@@ -1,0 +1,374 @@
+"""Compiled-plan benchmark: re-evaluation and incremental-update workloads.
+
+The serving scenario behind :mod:`repro.plan` is a fleet answering the *same*
+queries against an instance whose probabilities drift between rounds (fresh
+observations, decaying confidences).  The pre-plan API pays the structural
+phase — interval matching, KMP skeletons, d-DNNF compilation — on every
+call; a compiled plan pays it once and then reruns only arithmetic.  This
+module measures exactly that, plus the incremental single-edge update path:
+
+* ``plan_reuse`` — per workload, ``R`` drift rounds each re-evaluating every
+  query: PR-1-style ``solve_many`` (float backend, plan cache disabled)
+  versus one ``compile`` followed by ``plan.evaluate`` per round;
+* ``incremental`` — a stream of single-edge probability updates answered by
+  ``plan.update`` (ancestor-only recomputation on the d-DNNF route) versus a
+  full re-solve per update.
+
+Every configuration is cross-checked: plan results must be *bit-identical*
+to the one-shot API in exact mode and within ``1e-9`` of exact in float
+mode.  Results are written to ``BENCH_plans.json``; run it with
+``repro bench plans`` or ``python benchmarks/bench_plans.py``.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Tuple
+
+# Seed, float contract, rng and report serialisation are shared with the
+# hot-path benchmark so the two recorded artefacts can never desynchronise.
+from repro.bench import BENCH_SEED, FLOAT_TOLERANCE, _rng, write_report
+from repro.core.solver import PHomSolver
+from repro.graphs.classes import GraphClass
+from repro.graphs.digraph import DiGraph, Edge
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.workloads.generators import attach_random_probabilities, make_instance, make_query
+from repro import __version__
+
+
+@dataclass
+class PlanWorkload:
+    """One re-evaluation workload: shared instance, repeated queries, a drift schedule."""
+
+    name: str
+    description: str
+    instance: ProbabilisticGraph
+    queries: List[DiGraph]
+    #: Solver keyword overrides (e.g. ``prefer="automaton"`` for the d-DNNF route).
+    solver_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+def build_plan_workloads(instance_size: int, num_queries: int) -> List[PlanWorkload]:
+    """Three drifting-probability workloads, one per structural phase kind."""
+    workloads: List[PlanWorkload] = []
+
+    # Labeled 1WP queries on a downward tree: KMP skeletons (Prop 4.10).
+    rng = _rng(1)
+    dwt = make_instance(GraphClass.DOWNWARD_TREE, True, instance_size, rng)
+    workloads.append(
+        PlanWorkload(
+            name="labeled-dwt",
+            description=f"labeled 1WP queries on a {instance_size}-vertex downward tree",
+            instance=attach_random_probabilities(dwt, rng),
+            queries=[
+                make_query(GraphClass.ONE_WAY_PATH, True, 3 + (i % 3), rng)
+                for i in range(num_queries)
+            ],
+        )
+    )
+
+    # Connected labeled queries on a two-way path: interval matching (Prop 4.11).
+    rng = _rng(2)
+    two_wp = make_instance(GraphClass.TWO_WAY_PATH, True, max(instance_size // 2, 4), rng)
+    workloads.append(
+        PlanWorkload(
+            name="connected-2wp",
+            description=(
+                f"connected labeled queries on a {max(instance_size // 2, 4)}-edge two-way path"
+            ),
+            instance=attach_random_probabilities(two_wp, rng),
+            queries=[
+                make_query(GraphClass.TWO_WAY_PATH, True, 2 + (i % 2), rng)
+                for i in range(num_queries)
+            ],
+        )
+    )
+
+    # Unlabeled tree queries on a polytree via the tree-automaton d-DNNF
+    # route (Prop 5.4/5.5): the compiled circuit is the structural phase.
+    rng = _rng(3)
+    polytree = make_instance(GraphClass.POLYTREE, False, max(instance_size // 2, 6), rng)
+    workloads.append(
+        PlanWorkload(
+            name="unlabeled-polytree-ddnnf",
+            description=(
+                f"unlabeled tree queries on a {max(instance_size // 2, 6) + 1}-vertex polytree, "
+                "automaton/d-DNNF route"
+            ),
+            instance=attach_random_probabilities(polytree, rng),
+            queries=[
+                make_query(GraphClass.DOWNWARD_TREE, False, 2 + (i % 3), rng)
+                for i in range(num_queries)
+            ],
+            solver_kwargs={"prefer": "automaton"},
+        )
+    )
+    return workloads
+
+
+def _drift_schedule(
+    instance: ProbabilisticGraph, rounds: int, rng, edges_per_round: int = 4
+) -> List[List[Tuple[Edge, Fraction]]]:
+    """Per round, a batch of edge-probability changes (deterministic from the rng)."""
+    edges = instance.edges()
+    schedule: List[List[Tuple[Edge, Fraction]]] = []
+    for _ in range(rounds):
+        changes = []
+        for _ in range(min(edges_per_round, len(edges))):
+            edge = rng.choice(edges)
+            changes.append((edge, Fraction(rng.randint(1, 15), 16)))
+        schedule.append(changes)
+    return schedule
+
+
+def _time(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_plan_workload(workload: PlanWorkload, rounds: int) -> Dict[str, object]:
+    """Time plan re-evaluation against PR-1-style ``solve_many`` under drift."""
+    instance = workload.instance
+    queries = workload.queries
+    baseline_solver = PHomSolver(plan_cache_size=0, **workload.solver_kwargs)
+    plan_solver = PHomSolver(**workload.solver_kwargs)
+    schedule = _drift_schedule(instance, rounds, _rng(99))
+
+    def apply_round(index: int) -> None:
+        for edge, probability in schedule[index]:
+            instance.set_probability(edge, probability)
+
+    # Structural phase: compile once per distinct query (through the cache).
+    compile_seconds = _time(
+        lambda: [plan_solver.compile(query, instance) for query in queries]
+    )
+    plans = [plan_solver.compile(query, instance) for query in queries]
+
+    # Correctness contract, checked on every drift round before timing:
+    # exact plan results bit-identical to the cache-less one-shot API, float
+    # plan results within FLOAT_TOLERANCE of exact.
+    for index in range(rounds):
+        apply_round(index)
+        for query, plan in zip(queries, plans):
+            exact = baseline_solver.solve(query, instance).probability
+            if plan.evaluate() != exact:
+                raise AssertionError(
+                    f"exact plan result diverged on workload {workload.name}"
+                )
+            drift = abs(float(exact) - plan.evaluate(precision="float"))
+            if drift > FLOAT_TOLERANCE:
+                raise AssertionError(
+                    f"float plan result diverged by {drift} on workload {workload.name}"
+                )
+
+    def baseline_run() -> None:
+        for index in range(rounds):
+            apply_round(index)
+            baseline_solver.solve_many(queries, instance, precision="float")
+
+    def plan_run() -> None:
+        for index in range(rounds):
+            apply_round(index)
+            for plan in plans:
+                plan.evaluate(precision="float")
+
+    baseline_seconds = _time(baseline_run)
+    plan_seconds = _time(plan_run)
+    evaluations = rounds * len(queries)
+    speedup = baseline_seconds / plan_seconds if plan_seconds > 0 else float("inf")
+    return {
+        "name": workload.name,
+        "description": workload.description,
+        "num_queries": len(queries),
+        "rounds": rounds,
+        "instance_vertices": instance.graph.num_vertices(),
+        "instance_edges": instance.graph.num_edges(),
+        "compile_seconds": round(compile_seconds, 6),
+        "modes": {
+            "solve_many_float": {
+                "seconds": round(baseline_seconds, 6),
+                "evals_per_sec": round(evaluations / baseline_seconds, 2)
+                if baseline_seconds > 0
+                else float("inf"),
+            },
+            "plan_evaluate_float": {
+                "seconds": round(plan_seconds, 6),
+                "evals_per_sec": round(evaluations / plan_seconds, 2)
+                if plan_seconds > 0
+                else float("inf"),
+            },
+        },
+        "plan_reuse_speedup": round(speedup, 2),
+    }
+
+
+def run_incremental_benchmark(instance_size: int, updates: int) -> Dict[str, object]:
+    """Single-edge updates: ``plan.update`` vs a full re-solve per change.
+
+    Uses the d-DNNF route (``prefer="automaton"``), where ``plan.update``
+    recomputes only the ancestors of the touched variable through the
+    circuit's reverse-wire index.
+    """
+    rng = _rng(7)
+    graph = make_instance(GraphClass.POLYTREE, False, max(instance_size, 6), rng)
+    instance = attach_random_probabilities(graph, rng)
+    query = make_query(GraphClass.DOWNWARD_TREE, False, 3, rng)
+
+    baseline_solver = PHomSolver(plan_cache_size=0, prefer="automaton")
+    plan_solver = PHomSolver(prefer="automaton")
+    plan = plan_solver.compile(query, instance)
+
+    edges = instance.edges()
+    schedule = [
+        (rng.choice(edges), Fraction(rng.randint(1, 15), 16)) for _ in range(updates)
+    ]
+
+    # Correctness: both paths agree on every update of a prefix of the stream.
+    check = max(1, updates // 10)
+    max_error = 0.0
+    for edge, probability in schedule[:check]:
+        instance.set_probability(edge, probability)
+        full = baseline_solver.solve(query, instance, precision="float").probability
+        incremental = plan.update(edge, probability, precision="float")
+        max_error = max(max_error, abs(full - incremental))
+    if max_error > FLOAT_TOLERANCE:
+        raise AssertionError(
+            f"incremental update diverged from full re-solve by {max_error}"
+        )
+    # Exact-mode spot check: a fresh serving table must reproduce the exact
+    # one-shot result bit-identically after the drift applied above.
+    if plan.evaluate() != baseline_solver.solve(query, instance).probability:
+        raise AssertionError("exact plan result diverged after incremental updates")
+
+    def full_run() -> None:
+        for edge, probability in schedule:
+            instance.set_probability(edge, probability)
+            baseline_solver.solve(query, instance, precision="float")
+
+    def incremental_run() -> None:
+        for edge, probability in schedule:
+            plan.update(edge, probability, precision="float")
+
+    full_seconds = _time(full_run)
+    incremental_seconds = _time(incremental_run)
+    speedup = (
+        full_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+    )
+    return {
+        "description": (
+            f"single-edge updates on a {graph.num_vertices()}-vertex polytree, "
+            "d-DNNF route"
+        ),
+        "updates": updates,
+        "instance_vertices": graph.num_vertices(),
+        "instance_edges": graph.num_edges(),
+        "modes": {
+            "full_resolve_float": {
+                "seconds": round(full_seconds, 6),
+                "updates_per_sec": round(updates / full_seconds, 2)
+                if full_seconds > 0
+                else float("inf"),
+            },
+            "plan_update_float": {
+                "seconds": round(incremental_seconds, 6),
+                "updates_per_sec": round(updates / incremental_seconds, 2)
+                if incremental_seconds > 0
+                else float("inf"),
+            },
+        },
+        "incremental_speedup": round(speedup, 2),
+        "float_max_abs_error": max_error,
+    }
+
+
+def run_plan_benchmarks(
+    instance_size: int = 60,
+    num_queries: int = 20,
+    rounds: int = 5,
+    updates: int = 200,
+) -> Dict[str, object]:
+    """Run every plan workload plus the incremental stream; return the report."""
+    workload_reports = [
+        run_plan_workload(workload, rounds)
+        for workload in build_plan_workloads(instance_size, num_queries)
+    ]
+    incremental = run_incremental_benchmark(max(instance_size // 2, 6), updates)
+    return {
+        "benchmark": "plans",
+        "version": __version__,
+        "python": platform.python_version(),
+        "config": {
+            "instance_size": instance_size,
+            "num_queries": num_queries,
+            "rounds": rounds,
+            "updates": updates,
+            "seed": BENCH_SEED,
+            "float_tolerance": FLOAT_TOLERANCE,
+        },
+        "workloads": workload_reports,
+        "incremental": incremental,
+        "summary": {
+            "min_plan_reuse_speedup": min(
+                w["plan_reuse_speedup"] for w in workload_reports
+            ),
+            "incremental_update_speedup": incremental["incremental_speedup"],
+            "contract": (
+                "exact plan results bit-identical to the one-shot API; "
+                f"float within {FLOAT_TOLERANCE}"
+            ),
+        },
+    }
+
+
+def check_plan_thresholds(
+    report: Dict[str, object],
+    min_reuse_speedup: float = 0.0,
+    min_incremental_speedup: float = 0.0,
+) -> None:
+    """Raise AssertionError when a recorded speedup falls below a threshold."""
+    summary = report["summary"]
+    reuse = summary["min_plan_reuse_speedup"]
+    if reuse < min_reuse_speedup:
+        raise AssertionError(
+            f"plan reuse speedup {reuse}x is below the required {min_reuse_speedup}x"
+        )
+    incremental = summary["incremental_update_speedup"]
+    if incremental < min_incremental_speedup:
+        raise AssertionError(
+            f"incremental update speedup {incremental}x is below the required "
+            f"{min_incremental_speedup}x"
+        )
+
+
+#: Serialise the report to disk — same format as the hot-path benchmark.
+write_plan_report = write_report
+
+
+def format_plan_report(report: Dict[str, object]) -> str:
+    """A terse human-readable rendering of the report."""
+    lines = [f"compiled-plan benchmark (seed {report['config']['seed']})"]
+    for workload in report["workloads"]:
+        lines.append(f"  {workload['name']}: {workload['description']}")
+        for name, numbers in workload["modes"].items():
+            lines.append(f"    {name:<22} {numbers['evals_per_sec']:>12.1f} evals/sec")
+        lines.append(
+            f"    plan reuse speedup     {workload['plan_reuse_speedup']}x "
+            f"(compile {workload['compile_seconds']}s, amortised)"
+        )
+    incremental = report["incremental"]
+    lines.append(f"  incremental: {incremental['description']}")
+    for name, numbers in incremental["modes"].items():
+        lines.append(f"    {name:<22} {numbers['updates_per_sec']:>12.1f} updates/sec")
+    lines.append(
+        f"    incremental speedup    {incremental['incremental_speedup']}x vs full re-solve"
+    )
+    summary = report["summary"]
+    lines.append(
+        f"  minimum plan reuse speedup vs solve_many(float): "
+        f"{summary['min_plan_reuse_speedup']}x"
+    )
+    return "\n".join(lines)

@@ -97,7 +97,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     bench = subparsers.add_parser(
-        "bench", help="run the hot-path benchmark and record BENCH_hotpaths.json"
+        "bench",
+        help=(
+            "run a benchmark suite: 'hotpaths' (default, records BENCH_hotpaths.json) "
+            "or 'plans' (compiled query plans, records BENCH_plans.json)"
+        ),
+    )
+    bench.add_argument(
+        "suite", nargs="?", choices=["hotpaths", "plans"], default="hotpaths",
+        help="which benchmark suite to run (default: hotpaths)",
     )
     bench.add_argument(
         "--instance-size", type=int, default=60,
@@ -109,11 +117,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--repeat", type=int, default=3,
-        help="number of timed repetitions per configuration",
+        help="hotpaths: number of timed repetitions per configuration",
     )
     bench.add_argument(
-        "--output", default="BENCH_hotpaths.json",
-        help="where to write the JSON report ('-' to skip writing)",
+        "--rounds", type=int, default=5,
+        help="plans: number of probability-drift rounds per workload",
+    )
+    bench.add_argument(
+        "--updates", type=int, default=200,
+        help="plans: number of single-edge updates in the incremental stream",
+    )
+    bench.add_argument(
+        "--min-reuse-speedup", type=float, default=0.0,
+        help="plans: fail when the recorded plan-reuse speedup drops below this",
+    )
+    bench.add_argument(
+        "--min-incremental-speedup", type=float, default=0.0,
+        help="plans: fail when the recorded incremental-update speedup drops below this",
+    )
+    bench.add_argument(
+        "--output", default=None,
+        help=(
+            "where to write the JSON report ('-' to skip writing; defaults to "
+            "BENCH_hotpaths.json / BENCH_plans.json per suite)"
+        ),
     )
     bench.add_argument(
         "--smoke", action="store_true",
@@ -173,6 +200,8 @@ def _run_solve(args, out, err) -> int:
 
 
 def _run_bench(args, out, err) -> int:
+    if args.suite == "plans":
+        return _run_bench_plans(args, out, err)
     from repro.bench import format_report, run_benchmarks, write_report
 
     if args.smoke:
@@ -187,9 +216,47 @@ def _run_bench(args, out, err) -> int:
         err.write(f"error: benchmark cross-check failed: {exc}\n")
         return 1
     out.write(format_report(report) + "\n")
-    if args.output != "-":
-        write_report(report, args.output)
-        out.write(f"report written to {args.output}\n")
+    output = args.output or "BENCH_hotpaths.json"
+    if output != "-":
+        write_report(report, output)
+        out.write(f"report written to {output}\n")
+    return 0
+
+
+def _run_bench_plans(args, out, err) -> int:
+    from repro.bench_plans import (
+        check_plan_thresholds,
+        format_plan_report,
+        run_plan_benchmarks,
+        write_plan_report,
+    )
+
+    if args.smoke:
+        instance_size, queries, rounds, updates = 12, 6, 2, 30
+    else:
+        instance_size, queries, rounds, updates = (
+            args.instance_size, args.queries, args.rounds, args.updates,
+        )
+    try:
+        report = run_plan_benchmarks(
+            instance_size=instance_size,
+            num_queries=queries,
+            rounds=rounds,
+            updates=updates,
+        )
+        check_plan_thresholds(
+            report,
+            min_reuse_speedup=args.min_reuse_speedup,
+            min_incremental_speedup=args.min_incremental_speedup,
+        )
+    except AssertionError as exc:
+        err.write(f"error: plan benchmark check failed: {exc}\n")
+        return 1
+    out.write(format_plan_report(report) + "\n")
+    output = args.output or "BENCH_plans.json"
+    if output != "-":
+        write_plan_report(report, output)
+        out.write(f"report written to {output}\n")
     return 0
 
 

@@ -95,7 +95,7 @@ def phom_unlabeled_on_union_dwt(
         raise ClassConstraintError(
             "Proposition 3.6 requires an instance whose components are downward trees"
         )
-    mapping = _cached_level_mapping(query)
+    mapping = cached_level_mapping(query)
     if mapping is None:
         return context.zero
     length = mapping.difference
@@ -109,8 +109,13 @@ def phom_unlabeled_on_union_dwt(
     return 1 - survival
 
 
-def _cached_level_mapping(query: DiGraph):
-    """Memoise the query's level mapping on the query graph itself."""
+def cached_level_mapping(query: DiGraph):
+    """The query's level mapping (Definition 3.5), memoised on the query graph.
+
+    Shared between the one-shot Proposition 3.6 route and the plan compiler
+    (:mod:`repro.plan`), both of which need the graded-DAG verdict and the
+    difference of levels.
+    """
     return query.cached("level_mapping", lambda: level_mapping(query))
 
 

@@ -25,6 +25,7 @@ arithmetic operations.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -136,23 +137,76 @@ def _interval_dp_probability(
     of the current run length of present edges restricted to the event "no
     matching interval has been completed yet"; the answer is one minus the
     surviving mass.
+
+    The run-length state is a flat list indexed by run length (the keys are
+    dense integers starting at 0), which replaces the previous dict-of-ints
+    state: no hashing, no ``dict.get`` on the inner loop, and the list never
+    grows past the completion threshold at the current position.
     """
     zero = context.zero
-    no_match: Dict[int, Number] = {0: context.one}
+    no_match: List[Number] = [context.one]  # index = current run length
     for position, edge in enumerate(edges, start=1):
         probability = probabilities[edge]
         threshold = shortest[position]
-        updated: Dict[int, Number] = {}
+        size = len(no_match) + 1
+        if threshold is not None and threshold < size:
+            size = threshold
+        updated: List[Number] = [zero] * max(size, 1)
         absent_mass = zero
-        for run_length, mass in no_match.items():
+        for run_length, mass in enumerate(no_match):
             absent_mass += (1 - probability) * mass
             extended = run_length + 1
             if threshold is not None and extended >= threshold:
                 continue  # a matching interval completes: leave the "no match" event
-            updated[extended] = updated.get(extended, zero) + probability * mass
-        updated[0] = updated.get(0, zero) + absent_mass
+            updated[extended] += probability * mass
+        updated[0] += absent_mass
         no_match = updated
-    return 1 - sum(no_match.values(), zero)
+    return 1 - sum(no_match, zero)
+
+
+# ----------------------------------------------------------------------
+# compile/evaluate halves (the structural vs arithmetic split)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TwoWayPathSkeleton:
+    """The probability-independent structure of Proposition 4.11's DP.
+
+    ``edges`` lists the instance edges along the path order and ``shortest``
+    holds, per 1-based edge position, the length of the shortest matching
+    subpath ending there (or ``None``).  Everything expensive — the path
+    order, the X-property homomorphism tests of the two-pointer sweep — is
+    paid once at compile time; :func:`evaluate_two_way_path_skeleton` is pure
+    arithmetic over the current edge probabilities.
+    """
+
+    edges: Tuple[Edge, ...]
+    shortest: Tuple[Optional[int], ...]
+
+
+def compile_connected_on_2wp(query: DiGraph, graph: DiGraph) -> TwoWayPathSkeleton:
+    """Compile the structural half of ``Pr(query ⇝ 2WP instance)``.
+
+    ``graph`` is the (connected, two-way-path) instance graph; probabilities
+    play no role here.  Raises :class:`~repro.exceptions.ClassConstraintError`
+    outside Proposition 4.11's classes, like the one-shot solver.
+    """
+    if not is_two_way_path(graph):
+        raise ClassConstraintError("Proposition 4.11 requires a two-way-path instance")
+    if not query.is_weakly_connected():
+        raise ClassConstraintError("Proposition 4.11 requires a connected query")
+    order = two_way_path_order(graph)
+    edges = tuple(_path_edges_in_order(graph, order))
+    shortest = tuple(_shortest_match_lengths(query, graph, order))
+    return TwoWayPathSkeleton(edges=edges, shortest=shortest)
+
+
+def evaluate_two_way_path_skeleton(
+    skeleton: TwoWayPathSkeleton,
+    probabilities: Mapping[Edge, Fraction],
+    context: NumericContext = EXACT,
+) -> Number:
+    """The arithmetic half: run the run-length DP over current probabilities."""
+    return _interval_dp_probability(skeleton.edges, probabilities, skeleton.shortest, context)
 
 
 def phom_connected_on_2wp(
@@ -183,16 +237,14 @@ def phom_connected_on_2wp(
         raise ClassConstraintError("Proposition 4.11 requires a connected query")
     if query.num_edges() == 0:
         return context.one
-    order = two_way_path_order(graph)
     if method == "lineage":
         lineage = two_way_path_lineage(query, instance)
         return lineage.probability(
             context.instance_probabilities(instance), context=context
         )
     if method == "dp":
-        edges = _path_edges_in_order(graph, order)
-        shortest = _shortest_match_lengths(query, graph, order)
-        return _interval_dp_probability(
-            edges, context.instance_probabilities(instance), shortest, context
+        skeleton = compile_connected_on_2wp(query, graph)
+        return evaluate_two_way_path_skeleton(
+            skeleton, context.instance_probabilities(instance), context
         )
     raise ValueError(f"unknown method {method!r}; expected 'dp' or 'lineage'")

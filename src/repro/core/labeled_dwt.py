@@ -20,8 +20,9 @@ bound as the paper's.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ClassConstraintError
 from repro.graphs.builders import path_query_labels
@@ -117,48 +118,100 @@ def kmp_transition_table(
     return table
 
 
-def _failure_probability_dp(
-    query_labels: Sequence[str],
-    instance: ProbabilisticGraph,
-    root: Vertex,
-    context: NumericContext = EXACT,
-) -> Number:
-    """Probability that *no* label-matching downward path of full length is present.
+# ----------------------------------------------------------------------
+# compile/evaluate halves (the structural vs arithmetic split)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DWTPathSkeleton:
+    """The probability-independent structure of Proposition 4.10's KMP DP.
 
-    ``f(v, q)`` is the probability, over the independent edges of the subtree
-    below ``v``, that no occurrence of the pattern is completed inside that
-    subtree, given that the run of present edges ending at ``v`` is in KMP
-    state ``q``.  Children are independent given the state at ``v``, so the
-    value is a product over child edges.
+    Every reachable ``(vertex, KMP state)`` pair of the recursion is
+    flattened into one node, listed children-before-parents, and each node
+    carries its *ops*: one ``(edge_index, absent_node, present_node)``
+    triple per child edge, where ``edge_index`` points into ``edges``,
+    ``absent_node`` is the index of ``(child, 0)`` and ``present_node`` the
+    index of ``(child, δ(state, label))`` — or ``None`` when the transition
+    completes the pattern.  Ops reference edges by dense index so the
+    arithmetic pass hashes each edge once (to look its probability up)
+    instead of once per ``(vertex, state)`` pair using it.  Compiling pays
+    for the KMP table and the reachability walk once; evaluation is a single
+    linear pass of products and sums over the current probabilities.
     """
-    graph = instance.graph
+
+    edges: Tuple[Edge, ...]
+    nodes: Tuple[Tuple[Tuple[int, int, Optional[int]], ...], ...]
+    root_index: int
+
+
+def compile_labeled_path_on_dwt(
+    query_labels: Sequence[str], graph: DiGraph
+) -> DWTPathSkeleton:
+    """Compile the structural half of the KMP dynamic program on a DWT."""
+    if not is_downward_tree(graph):
+        raise ClassConstraintError("Proposition 4.10 requires a downward-tree instance")
     pattern = list(query_labels)
     m = len(pattern)
     table = kmp_transition_table(pattern, sorted(graph.labels()))
-    probabilities = context.instance_probabilities(instance)
-    one = context.one
-    zero = context.zero
-    cache: Dict[Tuple[Vertex, int], Number] = {}
+    root = downward_tree_root(graph)
+    edges: List[Edge] = []
+    edge_index: Dict[Edge, int] = {}
+    index: Dict[Tuple[Vertex, int], int] = {}
+    nodes: List[Tuple[Tuple[int, int, Optional[int]], ...]] = []
 
-    def failure_probability(vertex: Vertex, state: int) -> Number:
+    def intern_edge(edge: Edge) -> int:
+        existing = edge_index.get(edge)
+        if existing is not None:
+            return existing
+        edge_index[edge] = len(edges)
+        edges.append(edge)
+        return edge_index[edge]
+
+    def build(vertex: Vertex, state: int) -> int:
         key = (vertex, state)
-        if key in cache:
-            return cache[key]
-        result = one
+        existing = index.get(key)
+        if existing is not None:
+            return existing
+        ops: List[Tuple[int, int, Optional[int]]] = []
         for edge in graph.out_edges(vertex):
-            probability = probabilities[edge]
             child = edge.target
-            absent = (1 - probability) * failure_probability(child, 0)
+            absent_node = build(child, 0)
             next_state = table[(state, edge.label)]
-            if next_state >= m:
-                present = zero
-            else:
-                present = probability * failure_probability(child, next_state)
-            result *= absent + present
-        cache[key] = result
-        return result
+            present_node = build(child, next_state) if next_state < m else None
+            ops.append((intern_edge(edge), absent_node, present_node))
+        node_index = len(nodes)
+        index[key] = node_index
+        nodes.append(tuple(ops))
+        return node_index
 
-    return failure_probability(root, 0)
+    root_index = build(root, 0)
+    return DWTPathSkeleton(edges=tuple(edges), nodes=tuple(nodes), root_index=root_index)
+
+
+def evaluate_dwt_path_skeleton(
+    skeleton: DWTPathSkeleton,
+    probabilities: Mapping[Edge, Fraction],
+    context: NumericContext = EXACT,
+) -> Number:
+    """The arithmetic half: ``Pr(some matching path present)`` over the skeleton.
+
+    Performs exactly the products and sums of the recursive DP, in the same
+    order, so exact-mode results are bit-identical to the one-shot route.
+    """
+    one = context.one
+    dense = [probabilities[edge] for edge in skeleton.edges]
+    complements = [1 - probability for probability in dense]
+    values: List[Number] = []
+    append = values.append
+    for ops in skeleton.nodes:
+        result = one
+        for edge_position, absent_node, present_node in ops:
+            absent = complements[edge_position] * values[absent_node]
+            if present_node is None:
+                result *= absent  # the 'present' branch completes the pattern: mass 0
+            else:
+                result *= absent + dense[edge_position] * values[present_node]
+        append(result)
+    return 1 - values[skeleton.root_index]
 
 
 # ----------------------------------------------------------------------
@@ -194,8 +247,10 @@ def phom_labeled_path_on_dwt(
     if not labels:
         return context.one
     if method == "dp":
-        root = downward_tree_root(graph)
-        return 1 - _failure_probability_dp(labels, instance, root, context)
+        skeleton = compile_labeled_path_on_dwt(labels, graph)
+        return evaluate_dwt_path_skeleton(
+            skeleton, context.instance_probabilities(instance), context
+        )
     if method == "lineage":
         lineage = dwt_path_lineage(labels, instance)
         return lineage.probability(

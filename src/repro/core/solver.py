@@ -16,7 +16,7 @@ regenerate the tables.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from fractions import Fraction
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -27,19 +27,38 @@ from repro.graphs.classes import (
     graph_in_class,
     is_one_way_path,
 )
-from repro.graphs.builders import unlabeled_path
+from repro.graphs.builders import path_query_labels, unlabeled_path
 from repro.graphs.digraph import DiGraph
 from repro.lineage.builders import match_lineage
 from repro.numeric import EXACT, Number, NumericContext, resolve_context
 from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
 from repro.probability.prob_graph import ProbabilisticGraph
-from repro.core.disconnected import phom_on_disconnected_instance, phom_unlabeled_on_union_dwt
-from repro.core.labeled_dwt import phom_labeled_path_on_dwt
-from repro.core.labeled_2wp import phom_connected_on_2wp
+from repro.core.disconnected import (
+    cached_level_mapping,
+    phom_on_disconnected_instance,
+    phom_unlabeled_on_union_dwt,
+)
+from repro.core.labeled_dwt import compile_labeled_path_on_dwt, phom_labeled_path_on_dwt
+from repro.core.labeled_2wp import compile_connected_on_2wp, phom_connected_on_2wp
 from repro.core.unlabeled_pt import (
     collapse_query_to_path_length,
+    compile_path_circuit_on_polytree,
+    compile_path_dp_on_polytree,
     phom_unlabeled_path_on_polytree,
     phom_unlabeled_tree_query_on_polytree,
+)
+from repro.plan import (
+    BRUTE_FORCE_FALLBACK_MESSAGE,
+    CompiledPlan,
+    ComponentPlan,
+    ConstantPlan,
+    FallbackPlan,
+    PlanCache,
+    canonical_query_key,
+    CircuitComponentEvaluator,
+    DWTPathEvaluator,
+    IntervalEvaluator,
+    PolytreeDPEvaluator,
 )
 
 PrecisionLike = Union[str, NumericContext, None]
@@ -78,12 +97,23 @@ class PHomSolver:
     prefer:
         ``"dp"`` (default) to evaluate the tractable cases with the direct
         dynamic programs, ``"lineage"`` / ``"automaton"`` to use the paper's
-        lineage- and automaton-based constructions.
+        lineage- and automaton-based constructions.  Under the plan-backed
+        automatic dispatch this selects the *compiled structure* of the
+        polytree routes (``"lineage"``/``"automaton"`` → the tree-automaton
+        d-DNNF circuit, which also enables incremental ``plan.update``);
+        the 2WP/DWT routes always compile their DP skeletons, whose exact
+        results are identical to the lineage constructions.  Explicit
+        ``method=`` names still run the lineage routes directly.
     precision:
         ``"exact"`` (default) computes with :class:`~fractions.Fraction` —
         results are bit-identical exact rationals.  ``"float"`` computes
         with native floats, which is much faster on large instances and
         agrees with exact mode to within double-precision rounding.
+    plan_cache_size:
+        Capacity of the solver's :class:`~repro.plan.PlanCache` (compiled
+        query plans keyed on canonical query form + instance identity).
+        ``0`` disables plan caching entirely: every ``solve`` recompiles the
+        structural phase, reproducing the pre-plan per-call behaviour.
     """
 
     def __init__(
@@ -91,12 +121,21 @@ class PHomSolver:
         allow_brute_force: bool = True,
         prefer: str = "dp",
         precision: PrecisionLike = "exact",
+        plan_cache_size: int = 128,
     ) -> None:
         if prefer not in ("dp", "lineage", "automaton"):
             raise ValueError("prefer must be one of 'dp', 'lineage', 'automaton'")
         self.allow_brute_force = allow_brute_force
         self.prefer = prefer
         self.context = resolve_context(precision)
+        self._plan_cache: Optional[PlanCache] = (
+            PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+        )
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        """The solver's compiled-plan cache (``None`` when disabled)."""
+        return self._plan_cache
 
     # ------------------------------------------------------------------
     # public entry points
@@ -151,6 +190,11 @@ class PHomSolver:
         tables) is performed once and shared across the whole batch, which
         is the intended entry point for serving many queries against the
         same probabilistic instance.
+
+        Structurally identical queries (equal canonical form, see
+        :func:`repro.plan.canonical_query_key`) are deduplicated: each
+        distinct form is compiled and evaluated once, and duplicates receive
+        copies of its result.
         """
         queries = list(queries)
         if queries:
@@ -168,10 +212,18 @@ class PHomSolver:
                     graph_in_class(graph, cls)
                 if not graph.is_weakly_connected():
                     instance.connected_components()
-        return [
-            self.solve(query, instance, method=method, precision=precision)
-            for query in queries
-        ]
+        solved: Dict[object, PHomResult] = {}
+        results: List[PHomResult] = []
+        for query in queries:
+            key = canonical_query_key(query)
+            cached = solved.get(key)
+            if cached is None:
+                cached = self.solve(query, instance, method=method, precision=precision)
+                solved[key] = cached
+                results.append(cached)
+            else:
+                results.append(replace(cached))
+        return results
 
     @classmethod
     def available_methods(cls) -> list:
@@ -291,25 +343,88 @@ class PHomSolver:
         )
 
     # ------------------------------------------------------------------
-    # automatic dispatch (the classification of Tables 1-3)
+    # automatic dispatch (the classification of Tables 1-3), plan-backed
     # ------------------------------------------------------------------
     def _solve_auto(
         self, query: DiGraph, instance: ProbabilisticGraph, context: NumericContext = EXACT
     ) -> PHomResult:
+        plan = self._plan_for(query, instance)
+        if isinstance(plan, FallbackPlan):
+            # Warn from here so the message is attributed to the caller of
+            # solve(), exactly as the pre-plan dispatcher did.
+            warnings.warn(
+                BRUTE_FORCE_FALLBACK_MESSAGE, IntractableFallbackWarning, stacklevel=3
+            )
+            probability = plan.evaluate(precision=context, _warn=False)
+        else:
+            probability = plan.evaluate(precision=context)
+        return self._plan_result(plan, probability)
+
+    @staticmethod
+    def _plan_result(plan: CompiledPlan, probability: Number) -> PHomResult:
+        return PHomResult(
+            probability=probability,
+            method=plan.method,
+            proposition=plan.proposition,
+            query_class=plan.query_class,
+            instance_class=plan.instance_class,
+            labeled=plan.labeled,
+            notes=plan.notes,
+        )
+
+    # ------------------------------------------------------------------
+    # plan compilation (the structural phase, done once per (query, instance))
+    # ------------------------------------------------------------------
+    def compile(self, query: DiGraph, instance: ProbabilisticGraph) -> CompiledPlan:
+        """Compile a reusable :class:`~repro.plan.CompiledPlan` for the pair.
+
+        The plan captures everything probability-independent — the dispatch
+        verdict and the structural skeleton of the chosen algorithm — and is
+        served from the solver's :class:`~repro.plan.PlanCache` when an
+        equivalent query was compiled against the same instance before.
+        ``plan.evaluate(...)`` then runs only arithmetic;
+        ``plan.update(edge, p)`` re-evaluates after a single-edge change.
+
+        Because equivalent compiles return the *same cached object*, the
+        serving table maintained by ``update`` is shared by everyone holding
+        that plan; callers needing an independent serving session should
+        ``reset_serving()`` the plan or use a solver with
+        ``plan_cache_size=0``.
+        """
+        self._validate_inputs(query, instance)
+        return self._plan_for(query, instance)
+
+    def _plan_for(self, query: DiGraph, instance: ProbabilisticGraph) -> CompiledPlan:
+        if self._plan_cache is None:
+            return self._compile_plan(query, instance)
+        key = canonical_query_key(query)
+        plan = self._plan_cache.lookup(key, instance)
+        if plan is None:
+            plan = self._compile_plan(query, instance)
+            self._plan_cache.store(key, instance, plan)
+        return plan
+
+    def _compile_plan(self, query: DiGraph, instance: ProbabilisticGraph) -> CompiledPlan:
         graph = instance.graph
         unlabeled = self._is_effectively_unlabeled(query, instance)
+        metadata = dict(
+            query=query,
+            instance=instance,
+            labeled=not unlabeled,
+            default_context=self.context,
+        )
 
         # Trivial cases first: edge-less queries always hold, and a query
         # using a label absent from the instance never does.
         if query.num_edges() == 0:
-            return self._result(
-                query, instance, context.one, "trivial-edgeless-query", None,
-                notes="a query without edges maps anywhere",
+            return ConstantPlan(
+                True, method="trivial-edgeless-query", proposition=None,
+                notes="a query without edges maps anywhere", **metadata,
             )
         if not query.labels() <= graph.labels():
-            return self._result(
-                query, instance, context.zero, "trivial-label-mismatch", None,
-                notes="some query label does not appear in the instance",
+            return ConstantPlan(
+                False, method="trivial-label-mismatch", proposition=None,
+                notes="some query label does not appear in the instance", **metadata,
             )
 
         query_connected = query.is_weakly_connected()
@@ -319,40 +434,53 @@ class PHomSolver:
 
         if query_connected:
             if instance_union_2wp:
-                probability = self._per_component(
-                    query,
-                    instance,
-                    lambda q, c: phom_connected_on_2wp(
-                        q, c,
-                        method="lineage" if self.prefer == "lineage" else "dp",
-                        context=context,
-                    ),
-                    context,
-                )
-                return self._result(
-                    query, instance, probability, "connected-2wp", "Proposition 4.11 (+ Lemma 3.7)"
+                components = self._instance_components(instance)
+                evaluators = [
+                    IntervalEvaluator(compile_connected_on_2wp(query, component.graph))
+                    for component in components
+                ]
+                return ComponentPlan(
+                    evaluators, always_combine=False,
+                    component_edges=[c.graph.edges() for c in components],
+                    method="connected-2wp",
+                    proposition="Proposition 4.11 (+ Lemma 3.7)", **metadata,
                 )
             if instance_union_dwt and is_one_way_path(query):
-                probability = self._per_component(
-                    query,
-                    instance,
-                    lambda q, c: phom_labeled_path_on_dwt(
-                        q, c,
-                        method="lineage" if self.prefer == "lineage" else "dp",
-                        context=context,
-                    ),
-                    context,
-                )
-                return self._result(
-                    query, instance, probability, "labeled-dwt", "Proposition 4.10 (+ Lemma 3.7)"
+                labels = path_query_labels(query)
+                components = self._instance_components(instance)
+                evaluators = [
+                    DWTPathEvaluator(compile_labeled_path_on_dwt(labels, component.graph))
+                    for component in components
+                ]
+                return ComponentPlan(
+                    evaluators, always_combine=False,
+                    component_edges=[c.graph.edges() for c in components],
+                    method="labeled-dwt",
+                    proposition="Proposition 4.10 (+ Lemma 3.7)", **metadata,
                 )
 
         if unlabeled and instance_union_dwt:
-            probability = phom_unlabeled_on_union_dwt(
-                query, instance, method=self._polytree_method(), context=context
+            mapping = cached_level_mapping(query)
+            if mapping is None:
+                return ConstantPlan(
+                    False, method="graded-collapse",
+                    proposition="Proposition 3.6", **metadata,
+                )
+            if mapping.difference == 0:
+                return ConstantPlan(
+                    True, method="graded-collapse",
+                    proposition="Proposition 3.6", **metadata,
+                )
+            # Proposition 3.6 always combines over components (even when the
+            # instance is connected), mirroring phom_unlabeled_on_union_dwt.
+            components = instance.connected_components()
+            evaluators = self._polytree_evaluators(
+                mapping.difference, components, self._polytree_method()
             )
-            return self._result(
-                query, instance, probability, "graded-collapse", "Proposition 3.6"
+            return ComponentPlan(
+                evaluators, always_combine=True,
+                component_edges=[c.graph.edges() for c in components],
+                method="graded-collapse", proposition="Proposition 3.6", **metadata,
             )
 
         if (
@@ -361,13 +489,14 @@ class PHomSolver:
             and graph_in_class(query, GraphClass.UNION_DOWNWARD_TREE)
         ):
             method = "automaton" if self.prefer in ("automaton", "lineage") else "dp"
-            probability = self._union_polytree(query, instance, method, context)
-            return self._result(
-                query,
-                instance,
-                probability,
-                "polytree-" + method,
-                "Propositions 5.4 / 5.5 (+ Lemma 3.7)",
+            length = collapse_query_to_path_length(query)
+            components = self._instance_components(instance)
+            evaluators = self._polytree_evaluators(length, components, method)
+            return ComponentPlan(
+                evaluators, always_combine=False,
+                component_edges=[c.graph.edges() for c in components],
+                method="polytree-" + method,
+                proposition="Propositions 5.4 / 5.5 (+ Lemma 3.7)", **metadata,
             )
 
         if not self.allow_brute_force:
@@ -375,17 +504,35 @@ class PHomSolver:
                 "no polynomial-time algorithm applies to this query/instance combination "
                 "(it is #P-hard by the classification of Tables 1-3) and brute force is disabled"
             )
-        warnings.warn(
-            "falling back to exponential brute-force enumeration: the query/instance "
-            "combination is #P-hard in combined complexity",
-            IntractableFallbackWarning,
-            stacklevel=3,
+        return FallbackPlan(
+            method="brute-force-worlds", proposition=None,
+            notes="#P-hard combination; exponential enumeration used", **metadata,
         )
-        probability = brute_force_phom(query, instance, context)
-        return self._result(
-            query, instance, probability, "brute-force-worlds", None,
-            notes="#P-hard combination; exponential enumeration used",
-        )
+
+    @staticmethod
+    def _instance_components(instance: ProbabilisticGraph) -> List[ProbabilisticGraph]:
+        """The Lemma 3.7 component split: the instance itself when connected."""
+        if instance.graph.is_weakly_connected():
+            return [instance]
+        return instance.connected_components()
+
+    @staticmethod
+    def _polytree_evaluators(
+        path_length: int, components: Sequence[ProbabilisticGraph], method: str
+    ) -> List:
+        if method == "automaton":
+            return [
+                CircuitComponentEvaluator(
+                    compile_path_circuit_on_polytree(path_length, component)
+                )
+                for component in components
+            ]
+        return [
+            PolytreeDPEvaluator(
+                compile_path_dp_on_polytree(path_length, component.graph)
+            )
+            for component in components
+        ]
 
 
 def phom_probability(

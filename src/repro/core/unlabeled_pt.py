@@ -19,8 +19,9 @@ original polytree are provided; they implement the same state space
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ClassConstraintError
 from repro.automata.binary_tree import LABEL_UP, _rooted_children, encode_polytree
@@ -32,50 +33,94 @@ from repro.graphs.classes import (
     is_one_way_path,
     is_polytree,
 )
-from repro.graphs.digraph import DiGraph, Vertex
+from repro.graphs.digraph import DiGraph, Edge, Vertex
+from repro.lineage.ddnnf import DDNNF
 from repro.numeric import EXACT, Number, NumericContext
 from repro.probability.prob_graph import ProbabilisticGraph
 
 
 # ----------------------------------------------------------------------
-# Proposition 5.4: the automaton route and the direct DP
+# Proposition 5.4: compile/evaluate halves of both routes
 # ----------------------------------------------------------------------
+def compile_path_circuit_on_polytree(
+    path_length: int, instance: ProbabilisticGraph
+) -> DDNNF:
+    """Compile the d-DNNF lineage of ``→^m ⇝ instance`` (structural half).
+
+    The circuit's shape depends only on the instance *graph* and the path
+    length — the tree encoding, the automaton and the provenance
+    construction never look at the edge probabilities — so one compiled
+    circuit serves every probability assignment of the same instance.
+    """
+    tree = encode_polytree(instance)
+    automaton = build_longest_path_automaton(path_length)
+    return provenance_circuit(automaton, tree)
+
+
 def _automaton_probability(
     path_length: int, instance: ProbabilisticGraph, context: NumericContext = EXACT
 ) -> Number:
     """Probability of a directed path of ``path_length`` edges, via d-DNNF compilation."""
-    tree = encode_polytree(instance)
-    automaton = build_longest_path_automaton(path_length)
-    circuit = provenance_circuit(automaton, tree)
+    circuit = compile_path_circuit_on_polytree(path_length, instance)
     return circuit.probability(context.instance_probabilities(instance), context=context)
 
 
-def _direct_dp_probability(
-    path_length: int, instance: ProbabilisticGraph, context: NumericContext = EXACT
-) -> Number:
-    """Probability of a directed path of ``path_length`` edges, via message passing.
+@dataclass(frozen=True)
+class PolytreeDPSkeleton:
+    """The probability-independent structure of Proposition 5.4's direct DP.
 
-    The state distribution at a vertex ``v`` ranges over triples
-    ``(up, down, best)`` capped at ``m`` describing the part of the world
-    inside the subtree of ``v`` (w.r.t. an arbitrary rooting of the underlying
-    undirected tree).  Children are folded in one at a time; the fold is
-    exactly the automaton transition of Proposition 5.4, applied to
-    distributions instead of single states.
+    ``order`` lists the vertices of the (arbitrarily rooted) underlying tree
+    children-before-parents; ``children`` gives each vertex's fold sequence
+    ``(child, direction, edge)`` exactly as the recursive DP visits it.  The
+    rooting BFS is paid at compile time; evaluation folds distributions in
+    the same order as the one-shot route, so exact results are bit-identical.
     """
-    m = path_length
-    graph = instance.graph
+
+    path_length: int
+    order: Tuple[Vertex, ...]
+    children: Mapping[Vertex, Tuple[Tuple[Vertex, str, Edge], ...]]
+
+
+def compile_path_dp_on_polytree(path_length: int, graph: DiGraph) -> PolytreeDPSkeleton:
+    """Compile the structural half of the message-passing DP on a polytree."""
+    if not is_polytree(graph):
+        raise ClassConstraintError("Proposition 5.4 requires a polytree instance")
     root = min(graph.vertices, key=repr)
     children = _rooted_children(graph, root)
-    probabilities = context.instance_probabilities(instance)
+    order: List[Vertex] = []
+    stack: List[Tuple[Vertex, bool]] = [(root, False)]
+    while stack:
+        vertex, expanded = stack.pop()
+        if expanded:
+            order.append(vertex)
+            continue
+        stack.append((vertex, True))
+        for child, _direction, _edge in reversed(children[vertex]):
+            stack.append((child, False))
+    return PolytreeDPSkeleton(
+        path_length=path_length,
+        order=tuple(order),
+        children={vertex: tuple(folds) for vertex, folds in children.items()},
+    )
+
+
+def evaluate_polytree_dp_skeleton(
+    skeleton: PolytreeDPSkeleton,
+    probabilities: Mapping[Edge, Fraction],
+    context: NumericContext = EXACT,
+) -> Number:
+    """The arithmetic half: fold ⟨up, down, best⟩ distributions bottom-up."""
+    m = skeleton.path_length
     zero = context.zero
 
     def cap(value: int) -> int:
         return min(m, value)
 
-    def distribution(vertex: Vertex) -> Dict[Tuple[int, int, int], Number]:
+    distributions: Dict[Vertex, Dict[Tuple[int, int, int], Number]] = {}
+    for vertex in skeleton.order:
         dist: Dict[Tuple[int, int, int], Number] = {(0, 0, 0): context.one}
-        for child, direction, edge in children[vertex]:
-            child_dist = distribution(child)
+        for child, direction, edge in skeleton.children[vertex]:
+            child_dist = distributions.pop(child)
             probability = probabilities[edge]
             updated: Dict[Tuple[int, int, int], Number] = {}
             for (up, down, best), mass in dist.items():
@@ -100,11 +145,30 @@ def _direct_dp_probability(
                         updated.get(present_state, zero) + weight * probability
                     )
             dist = updated
-        return dist
+        distributions[vertex] = dist
 
-    final = distribution(root)
+    final = distributions[skeleton.order[-1]]
     return sum(
         (mass for (_up, _down, best), mass in final.items() if best >= m), zero
+    )
+
+
+def _direct_dp_probability(
+    path_length: int, instance: ProbabilisticGraph, context: NumericContext = EXACT
+) -> Number:
+    """Probability of a directed path of ``path_length`` edges, via message passing.
+
+    The state distribution at a vertex ``v`` ranges over triples
+    ``(up, down, best)`` capped at ``m`` describing the part of the world
+    inside the subtree of ``v`` (w.r.t. an arbitrary rooting of the underlying
+    undirected tree).  Children are folded in one at a time; the fold is
+    exactly the automaton transition of Proposition 5.4, applied to
+    distributions instead of single states.  Implemented as compile +
+    evaluate over the rooted skeleton.
+    """
+    skeleton = compile_path_dp_on_polytree(path_length, instance.graph)
+    return evaluate_polytree_dp_skeleton(
+        skeleton, context.instance_probabilities(instance), context
     )
 
 

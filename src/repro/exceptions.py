@@ -34,6 +34,17 @@ class LineageError(ReproError):
     """Raised for malformed lineage formulas or circuits."""
 
 
+class PlanError(ReproError):
+    """Raised for invalid uses of compiled query plans.
+
+    Compiled plans (:mod:`repro.plan`) separate the probability-independent
+    structure of a query evaluation from its arithmetic.  Operations that a
+    particular plan kind cannot honour — e.g. incremental updates on a
+    brute-force fallback plan — raise this error instead of silently
+    recomputing from scratch.
+    """
+
+
 class AutomatonError(ReproError):
     """Raised for malformed tree automata or trees that an automaton cannot run on."""
 

@@ -30,7 +30,6 @@ from repro.lineage.hypergraph import (
     Hypergraph,
     beta_elimination_order,
     hypergraph_of_clauses,
-    is_beta_acyclic,
 )
 
 Variable = Hashable
@@ -47,9 +46,21 @@ class PositiveDNF:
 
     def __init__(self, clauses: Optional[Iterable[Iterable[Variable]]] = None) -> None:
         self._clauses: Set[Clause] = set()
+        #: Memoised structural data (clause hypergraph, β-elimination order,
+        #: default branching order) — the compile-time half of repeated
+        #: probability evaluations; cleared whenever a new clause appears.
+        self._structure_cache: Dict[str, object] = {}
         if clauses is not None:
             for clause in clauses:
                 self.add_clause(clause)
+
+    def _cached_structure(self, key: str, compute):
+        try:
+            return self._structure_cache[key]
+        except KeyError:
+            value = compute()
+            self._structure_cache[key] = value
+            return value
 
     # ------------------------------------------------------------------
     # construction and basic queries
@@ -57,7 +68,9 @@ class PositiveDNF:
     def add_clause(self, clause: Iterable[Variable]) -> Clause:
         """Add a clause (a set of variables whose conjunction is one disjunct)."""
         frozen = frozenset(clause)
-        self._clauses.add(frozen)
+        if frozen not in self._clauses:
+            self._structure_cache.clear()
+            self._clauses.add(frozen)
         return frozen
 
     @property
@@ -91,16 +104,40 @@ class PositiveDNF:
     # structure
     # ------------------------------------------------------------------
     def hypergraph(self) -> Hypergraph:
-        """The clause hypergraph ``H(φ)`` of Definition 4.8."""
-        return hypergraph_of_clauses([c for c in self._clauses if c])
+        """The clause hypergraph ``H(φ)`` of Definition 4.8 (memoised)."""
+        return self._cached_structure(
+            "hypergraph", lambda: hypergraph_of_clauses([c for c in self._clauses if c])
+        )
 
     def is_beta_acyclic(self) -> bool:
         """Whether the formula is β-acyclic (Definition 4.8)."""
-        return is_beta_acyclic(self.hypergraph())
+        return self.beta_elimination_order() is not None
 
     def beta_elimination_order(self) -> Optional[List[Variable]]:
-        """A β-elimination order of the clause hypergraph, or ``None``."""
-        return beta_elimination_order(self.hypergraph())
+        """A β-elimination order of the clause hypergraph, or ``None`` (memoised).
+
+        Finding the order is the expensive *structural* step of
+        :meth:`probability`; memoising it means repeated evaluations of the
+        same formula under drifting probabilities only pay for arithmetic.
+        """
+        order = self._cached_structure(
+            "beta_order", lambda: beta_elimination_order(self.hypergraph())
+        )
+        return None if order is None else list(order)
+
+    def _default_branching_order(self) -> List[Variable]:
+        """The branching order :meth:`probability` uses when none is given (memoised)."""
+        def compute() -> List[Variable]:
+            elimination = self.beta_elimination_order()
+            if elimination is not None:
+                return list(reversed(elimination))
+            frequency: Dict[Variable, int] = {}
+            for clause in self._clauses:
+                for variable in clause:
+                    frequency[variable] = frequency.get(variable, 0) + 1
+            return sorted(frequency, key=lambda v: (-frequency[v], repr(v)))
+
+        return list(self._cached_structure("default_order", compute))
 
     # ------------------------------------------------------------------
     # probability computation
@@ -168,15 +205,7 @@ class PositiveDNF:
         if self.is_false():
             return context.zero
         if order is None:
-            elimination = self.beta_elimination_order()
-            if elimination is not None:
-                order = list(reversed(elimination))
-            else:
-                frequency: Dict[Variable, int] = {}
-                for clause in self._clauses:
-                    for variable in clause:
-                        frequency[variable] = frequency.get(variable, 0) + 1
-                order = sorted(frequency, key=lambda v: (-frequency[v], repr(v)))
+            order = self._default_branching_order()
         order = list(order)
         missing = self.variables() - set(order)
         if missing:

@@ -1,0 +1,509 @@
+"""Compiled query plans: probability-independent structure, reusable arithmetic.
+
+Every tractable case of the paper shares one shape: an expensive *structural*
+phase — interval matching on two-way paths (Proposition 4.11), the KMP
+skeleton on downward trees (Proposition 4.10), the rooted fold order or the
+tree-automaton d-DNNF on polytrees (Propositions 5.4/5.5), the graded-DAG
+collapse (Proposition 3.6) — followed by cheap arithmetic over the edge
+probabilities.  A :class:`CompiledPlan` captures the structural phase once:
+
+* :meth:`CompiledPlan.evaluate` recomputes the probability with *only*
+  arithmetic, against the instance's live probabilities or a caller-supplied
+  override table;
+* :meth:`CompiledPlan.update` maintains a serving-side probability table and
+  re-evaluates after a single-edge change — incrementally, through the
+  reverse-wire indices of :class:`~repro.lineage.ddnnf.CircuitEvaluator`, on
+  d-DNNF-backed plans;
+* :class:`PlanCache` is a small LRU keyed on the *canonical query form* and
+  the (frozen) instance identity, wired into
+  :meth:`~repro.core.solver.PHomSolver.solve` /
+  :meth:`~repro.core.solver.PHomSolver.solve_many` so repeated and duplicate
+  queries compile once.
+
+Exact-mode plan evaluations are bit-identical to the one-shot API: the
+arithmetic halves perform the same operations in the same order as the
+functions they were split out of.
+
+Invalidation contract
+---------------------
+
+Plans capture *structure only*, so:
+
+* mutating a probability (``instance.set_probability``) does **not** stale a
+  plan — the next :meth:`~CompiledPlan.evaluate` reads the live table;
+* instance graphs are frozen, so their structure cannot change under a plan;
+* query graphs may be mutable — the cache keys on the canonical *content* of
+  the query (recomputed after any mutation), so an edited query simply maps
+  to a different cache entry;
+* a new instance object (even structurally equal) is a different cache key
+  and compiles fresh plans.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import IntractableFallbackWarning, PlanError
+from repro.graphs.classes import (
+    GraphClass,
+    graph_class_of,
+    is_two_way_path,
+    two_way_path_order,
+)
+from repro.graphs.digraph import DiGraph, Edge, Vertex
+from repro.lineage.ddnnf import CircuitEvaluator, DDNNF
+from repro.numeric import EXACT, Number, NumericContext, resolve_context
+from repro.probability.brute_force import brute_force_phom
+from repro.probability.prob_graph import ProbabilisticGraph, as_probability
+from repro.core.labeled_2wp import (
+    TwoWayPathSkeleton,
+    compile_connected_on_2wp,
+    evaluate_two_way_path_skeleton,
+)
+from repro.core.labeled_dwt import (
+    DWTPathSkeleton,
+    compile_labeled_path_on_dwt,
+    evaluate_dwt_path_skeleton,
+)
+from repro.core.unlabeled_pt import (
+    PolytreeDPSkeleton,
+    compile_path_circuit_on_polytree,
+    compile_path_dp_on_polytree,
+    evaluate_polytree_dp_skeleton,
+)
+
+PrecisionLike = Union[str, NumericContext, None]
+
+#: The warning text for #P-hard cells, shared with the solver dispatch so the
+#: message cannot drift between the two emission points.
+BRUTE_FORCE_FALLBACK_MESSAGE = (
+    "falling back to exponential brute-force enumeration: the query/instance "
+    "combination is #P-hard in combined complexity"
+)
+
+
+# ----------------------------------------------------------------------
+# canonical query forms
+# ----------------------------------------------------------------------
+def canonical_query_key(query: DiGraph) -> Hashable:
+    """A hashable canonical form of the query, memoised on the query graph.
+
+    Two-way-path queries (which include one-way paths, the most common
+    serving shape) canonicalise to the lexicographically smaller of their
+    two traversal direction/label sequences, so *isomorphic* path queries
+    share one key regardless of vertex names.  Other shapes canonicalise to
+    their exact content (vertex set + labeled edge set), which dedupes
+    equal-by-value duplicates.  The key is recomputed automatically after a
+    mutation of an unfrozen query graph (the graph cache is cleared).
+    """
+    return query.cached("canonical_query_key", lambda: _compute_canonical_key(query))
+
+
+def _compute_canonical_key(query: DiGraph) -> Hashable:
+    if is_two_way_path(query):
+        order = two_way_path_order(query)
+        forward: List[Tuple[str, str]] = []
+        for left, right in zip(order, order[1:]):
+            if query.has_edge(left, right):
+                forward.append((">", query.label_of(left, right)))
+            else:
+                forward.append(("<", query.label_of(right, left)))
+        backward = [(">" if d == "<" else "<", label) for d, label in reversed(forward)]
+        return ("2wp", min(tuple(forward), tuple(backward)))
+    # Key on the actual (hashable) vertex and edge values: graph semantics
+    # are equality-based, and going through repr() would collapse distinct
+    # vertices whose reprs collide into the same key.
+    return ("graph", query.vertices, query.edge_set())
+
+
+# ----------------------------------------------------------------------
+# per-component evaluators (the arithmetic half, one instance component each)
+# ----------------------------------------------------------------------
+class ComponentEvaluator:
+    """One component's arithmetic: evaluate against a probability table."""
+
+    #: Whether :meth:`update_edge` re-evaluates incrementally.
+    incremental = False
+
+    def evaluate(self, probabilities: Mapping[Edge, Number], context: NumericContext) -> Number:
+        raise NotImplementedError
+
+    def start_serving(
+        self, probabilities: Mapping[Edge, Number], context: NumericContext
+    ) -> Number:
+        """Full evaluation that may retain state for incremental updates."""
+        return self.evaluate(probabilities, context)
+
+    def update_edge(
+        self,
+        edge: Edge,
+        value: Number,
+        probabilities: Mapping[Edge, Number],
+        context: NumericContext,
+    ) -> Number:
+        """Re-evaluate after ``probabilities[edge]`` changed to ``value``."""
+        return self.evaluate(probabilities, context)
+
+
+class IntervalEvaluator(ComponentEvaluator):
+    """Proposition 4.11: run-length DP over a compiled interval skeleton."""
+
+    def __init__(self, skeleton: TwoWayPathSkeleton) -> None:
+        self.skeleton = skeleton
+
+    def evaluate(self, probabilities, context):
+        return evaluate_two_way_path_skeleton(self.skeleton, probabilities, context)
+
+
+class DWTPathEvaluator(ComponentEvaluator):
+    """Proposition 4.10: KMP DP over a compiled downward-tree skeleton."""
+
+    def __init__(self, skeleton: DWTPathSkeleton) -> None:
+        self.skeleton = skeleton
+
+    def evaluate(self, probabilities, context):
+        return evaluate_dwt_path_skeleton(self.skeleton, probabilities, context)
+
+
+class PolytreeDPEvaluator(ComponentEvaluator):
+    """Proposition 5.4 (direct route): distribution fold over a rooted skeleton."""
+
+    def __init__(self, skeleton: PolytreeDPSkeleton) -> None:
+        self.skeleton = skeleton
+
+    def evaluate(self, probabilities, context):
+        return evaluate_polytree_dp_skeleton(self.skeleton, probabilities, context)
+
+
+class CircuitComponentEvaluator(ComponentEvaluator):
+    """Proposition 5.4 (automaton route): a compiled d-DNNF lineage circuit.
+
+    Supports true incremental updates: after :meth:`start_serving`, a
+    single-edge change recomputes only the ancestors of the touched variable
+    through the circuit's reverse-wire index.
+    """
+
+    incremental = True
+
+    def __init__(self, circuit: DDNNF) -> None:
+        self.circuit = circuit
+        # Two evaluators so a stateless evaluate() between updates cannot
+        # clobber the gate values the serving-side incremental path relies on.
+        self._stateless: Optional[CircuitEvaluator] = None
+        self._serving: Optional[CircuitEvaluator] = None
+
+    def evaluate(self, probabilities, context):
+        if self._stateless is None:
+            self._stateless = CircuitEvaluator(self.circuit)
+        # probability() runs the precompiled slots without retaining the
+        # O(gates) value table the incremental path would need.
+        return self._stateless.probability(probabilities, context)
+
+    def start_serving(self, probabilities, context):
+        self._serving = CircuitEvaluator(self.circuit)
+        return self._serving.evaluate(probabilities, context)
+
+    def update_edge(self, edge, value, probabilities, context):
+        if self._serving is None:  # pragma: no cover - guarded by ComponentPlan
+            return self.start_serving(probabilities, context)
+        return self._serving.update(edge, value)
+
+
+# ----------------------------------------------------------------------
+# compiled plans
+# ----------------------------------------------------------------------
+class CompiledPlan:
+    """The reusable result of ``PHomSolver.compile(query, instance)``.
+
+    Carries the dispatch metadata (method name, backing proposition, class
+    verdicts) captured at compile time plus the structural skeletons, and
+    exposes the two probability-only entry points :meth:`evaluate` and
+    :meth:`update`.
+    """
+
+    def __init__(
+        self,
+        query: DiGraph,
+        instance: ProbabilisticGraph,
+        method: str,
+        proposition: Optional[str],
+        labeled: bool,
+        notes: str = "",
+        default_context: NumericContext = EXACT,
+    ) -> None:
+        self.query = query
+        self.instance = instance
+        self.method = method
+        self.proposition = proposition
+        self.query_class: GraphClass = graph_class_of(query)
+        self.instance_class: GraphClass = graph_class_of(instance.graph)
+        self.labeled = labeled
+        self.notes = notes
+        self._default_context = default_context
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(
+        self,
+        probabilities: Optional[Mapping] = None,
+        precision: PrecisionLike = None,
+    ) -> Number:
+        """Recompute the probability; arithmetic only, no structural work.
+
+        ``probabilities`` overrides the instance's live table (missing edges
+        keep their instance value); keys may be :class:`Edge` objects or
+        ``(source, target)`` pairs.  ``precision`` selects the numeric
+        backend, defaulting to the compiling solver's.
+        """
+        context = self._context(precision)
+        table = self._probability_table(probabilities, context)
+        return self._evaluate_with(table, context)
+
+    def update(
+        self,
+        edge,
+        probability,
+        precision: PrecisionLike = None,
+    ) -> Number:
+        """Set one edge's probability in the plan's serving table and re-evaluate.
+
+        The serving table is seeded from the instance on the first call and
+        lives *on the plan* — the instance is never mutated, and because
+        :meth:`PHomSolver.compile` serves cached plan objects, callers that
+        compiled the same canonical query against the same instance share
+        one serving table (use :meth:`ComponentPlan.reset_serving`, or a
+        solver with ``plan_cache_size=0``, for an independent session).
+        Switching ``precision`` mid-serving raises :class:`PlanError`
+        instead of silently discarding the accumulated updates.  d-DNNF-
+        backed plans recompute only the ancestors of the touched variable;
+        other plan kinds redo their (arithmetic-only) evaluation.  Returns
+        the new probability.
+        """
+        raise PlanError(f"{type(self).__name__} does not support update()")
+
+    def reset_serving(self) -> None:
+        """Drop any serving-side state; the next update() reseeds from the instance.
+
+        A no-op on plan kinds without serving state (constants, fallbacks).
+        """
+
+    # -- helpers -------------------------------------------------------
+    def _context(self, precision: PrecisionLike) -> NumericContext:
+        if precision is None:
+            return self._default_context
+        return resolve_context(precision)
+
+    def _resolve_edge(self, key) -> Edge:
+        if isinstance(key, Edge):
+            return self.instance.graph.get_edge(key.source, key.target)
+        if isinstance(key, tuple) and len(key) == 2:
+            return self.instance.graph.get_edge(key[0], key[1])
+        raise PlanError(f"cannot interpret {key!r} as an edge of the instance")
+
+    def _probability_table(
+        self, probabilities: Optional[Mapping], context: NumericContext
+    ) -> Mapping[Edge, Number]:
+        if probabilities is None:
+            return context.instance_probabilities(self.instance)
+        table: Dict[Edge, Number] = dict(context.instance_probabilities(self.instance))
+        for key, value in probabilities.items():
+            table[self._resolve_edge(key)] = context.convert(as_probability(value))
+        return table
+
+    def _evaluate_with(
+        self, table: Mapping[Edge, Number], context: NumericContext
+    ) -> Number:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(method={self.method!r}, "
+            f"query={self.query_class}, instance={self.instance_class})"
+        )
+
+
+class ConstantPlan(CompiledPlan):
+    """A trivial verdict: the probability is a backend constant (0 or 1)."""
+
+    def __init__(self, value_is_one: bool, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._value_is_one = value_is_one
+
+    def _evaluate_with(self, table, context):
+        return context.one if self._value_is_one else context.zero
+
+    def evaluate(self, probabilities=None, precision=None):
+        context = self._context(precision)
+        return context.one if self._value_is_one else context.zero
+
+    def update(self, edge, probability, precision=None):
+        # The verdict does not depend on any edge; resolve for validation only.
+        self._resolve_edge(edge)
+        return self.evaluate(precision=precision)
+
+
+class ComponentPlan(CompiledPlan):
+    """A tractable route: per-component evaluators combined through Lemma 3.7.
+
+    ``always_combine`` mirrors the one-shot code paths: Proposition 3.6
+    always runs the survival product over components, while the
+    ``_per_component`` routes skip it on connected instances.
+    """
+
+    def __init__(
+        self,
+        evaluators: Sequence[ComponentEvaluator],
+        always_combine: bool,
+        component_edges: Sequence[Sequence[Edge]],
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self._evaluators = list(evaluators)
+        self._always_combine = always_combine
+        self._edge_to_component: Dict[Edge, int] = {}
+        for index, edges in enumerate(component_edges):
+            for edge in edges:
+                self._edge_to_component[edge] = index
+        # Serving state for update(): (context, table, per-component values).
+        self._serving: Optional[
+            Tuple[NumericContext, Dict[Edge, Number], List[Number]]
+        ] = None
+
+    def _evaluate_with(self, table, context):
+        return self._combine(
+            [evaluator.evaluate(table, context) for evaluator in self._evaluators],
+            context,
+        )
+
+    def _combine(self, values: Sequence[Number], context: NumericContext) -> Number:
+        if len(values) == 1 and not self._always_combine:
+            return values[0]
+        survival = context.one
+        for value in values:
+            survival *= 1 - value
+        return 1 - survival
+
+    def update(self, edge, probability, precision=None):
+        context = self._context(precision)
+        edge = self._resolve_edge(edge)
+        value = context.convert(as_probability(probability))
+        if self._serving is not None and self._serving[0] is not context:
+            raise PlanError(
+                f"the serving table was built with precision "
+                f"{self._serving[0].name!r} but update() was called with "
+                f"{context.name!r}; call reset_serving() to switch backends"
+            )
+        if self._serving is None:
+            table = dict(context.instance_probabilities(self.instance))
+            values = [
+                evaluator.start_serving(table, context)
+                for evaluator in self._evaluators
+            ]
+            self._serving = (context, table, values)
+        _, table, values = self._serving
+        table[edge] = value
+        component = self._edge_to_component.get(edge)
+        if component is not None:
+            evaluator = self._evaluators[component]
+            values[component] = evaluator.update_edge(edge, value, table, context)
+        return self._combine(values, context)
+
+    def reset_serving(self) -> None:
+        """Drop the serving table; the next update() reseeds from the instance."""
+        self._serving = None
+
+
+class FallbackPlan(CompiledPlan):
+    """The #P-hard cells: no structure to reuse, brute force per evaluation.
+
+    Unlike the tractable plans (which capture skeletons and never look at
+    the query again), brute force re-reads the query graph at evaluation
+    time — so the plan snapshots a frozen copy at compile time, keeping a
+    cached plan correct even if the caller later mutates the original
+    (mutable) query graph.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        kwargs["query"] = kwargs["query"].copy().freeze()
+        super().__init__(**kwargs)
+
+    def evaluate(self, probabilities=None, precision=None, _warn=True):
+        if probabilities is not None:
+            raise PlanError(
+                "brute-force fallback plans cannot evaluate override tables; "
+                "update the instance probabilities instead"
+            )
+        context = self._context(precision)
+        if _warn:
+            warnings.warn(
+                BRUTE_FORCE_FALLBACK_MESSAGE, IntractableFallbackWarning, stacklevel=2
+            )
+        return brute_force_phom(self.query, self.instance, context)
+
+    def _evaluate_with(self, table, context):  # pragma: no cover - not reached
+        raise PlanError("brute-force fallback plans have no arithmetic half")
+
+
+# ----------------------------------------------------------------------
+# the plan cache
+# ----------------------------------------------------------------------
+class PlanCache:
+    """A small LRU of compiled plans.
+
+    Keys combine the canonical query form with the instance's object
+    identity.  Entries hold a strong reference to their instance (through
+    the plan), so an ``id()`` can never be recycled while its entry is
+    alive; eviction is least-recently-used.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize <= 0:
+            raise ValueError("PlanCache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[Hashable, int], CompiledPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+
+    def lookup(
+        self, query_key: Hashable, instance: ProbabilisticGraph
+    ) -> Optional[CompiledPlan]:
+        key = (query_key, id(instance))
+        plan = self._entries.get(key)
+        if plan is not None and plan.instance is instance:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+        self.misses += 1
+        return None
+
+    def store(
+        self, query_key: Hashable, instance: ProbabilisticGraph, plan: CompiledPlan
+    ) -> None:
+        key = (query_key, id(instance))
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        self.compiles += 1
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache counters: hits, misses, compiles, current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "size": len(self._entries),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlanCache(size={len(self._entries)}/{self.maxsize}, hits={self.hits}, misses={self.misses})"

@@ -302,3 +302,71 @@ class TestProbabilisticGraphCaches:
         assert component.probability(("c", "d")) == Fraction(3, 8)
         assert component.probability(("d", "e")) == Fraction(1, 2)
         assert component.graph.num_vertices() == 3
+
+
+class TestPlanCacheInvalidation:
+    """Compiled plans are structural; every probability-side change must be
+    reflected (plans re-read the live table) and every structural change must
+    bypass the cached plan (the cache keys on canonical query content)."""
+
+    def _instance(self):
+        graph = DiGraph(edges=[("a", "b"), ("c", "d")])
+        return ProbabilisticGraph(graph, default=Fraction(1, 2))
+
+    def test_probability_mutation_is_picked_up_by_cached_plan(self):
+        from repro.graphs.builders import unlabeled_path
+
+        instance = self._instance()
+        query = unlabeled_path(1)
+        solver = PHomSolver()
+        before = solver.solve(query, instance).probability
+        assert before == Fraction(3, 4)
+        instance.set_probability(("a", "b"), 0)
+        after = solver.solve(query, instance).probability
+        assert after == Fraction(1, 2)
+        # The structural plan was reused, not recompiled...
+        assert solver.plan_cache.stats["compiles"] == 1
+        # ...and matches a cache-less solver on the mutated instance.
+        cold = PHomSolver(plan_cache_size=0).solve(query, instance).probability
+        assert after == cold
+
+    def test_detaching_a_shared_component_does_not_corrupt_cached_plans(self):
+        from repro.graphs.builders import unlabeled_path
+
+        instance = self._instance()
+        query = unlabeled_path(1)
+        solver = PHomSolver()
+        before = solver.solve(query, instance).probability
+        # Mutating a component handed out by the parent's cache detaches it;
+        # the parent's cached plan must keep answering from the parent's own
+        # (unchanged) probabilities.
+        component = instance.connected_components()[0]
+        component.set_probability(component.graph.edges()[0].endpoints, 0)
+        assert solver.solve(query, instance).probability == before == Fraction(3, 4)
+
+    def test_unfrozen_query_edit_bypasses_the_cached_plan(self):
+        from repro.graphs.builders import unlabeled_path
+
+        instance = self._instance()
+        query = unlabeled_path(1)  # query graphs stay mutable
+        solver = PHomSolver()
+        first = solver.solve(query, instance)
+        assert first.probability == Fraction(3, 4)
+        # Editing the query graph changes its canonical form: the old plan
+        # must not be served for the new structure.
+        query.add_edge("v1", "v2")
+        second = solver.solve(query, instance)
+        assert solver.plan_cache.stats["compiles"] == 2
+        cold = PHomSolver(plan_cache_size=0).solve(query, instance)
+        assert second.probability == cold.probability
+
+    def test_new_instance_object_compiles_fresh_plans(self):
+        from repro.graphs.builders import unlabeled_path
+
+        instance = self._instance()
+        query = unlabeled_path(1)
+        solver = PHomSolver()
+        solver.solve(query, instance)
+        rebuilt = ProbabilisticGraph(instance.graph.copy(), instance.probabilities())
+        solver.solve(query, rebuilt)
+        assert solver.plan_cache.stats["compiles"] == 2
