@@ -37,6 +37,9 @@ subpackages contain the full machinery:
 * :mod:`repro.reductions` — the hardness reductions (#Bipartite-Edge-Cover,
   #PP2DNF) with brute-force counters;
 * :mod:`repro.classification` — Tables 1–3 as code;
+* :mod:`repro.approx` — seeded Monte Carlo estimators (naive possible-world
+  sampling, the Karp–Luby ``(ε, δ)`` importance sampler) for the #P-hard
+  cells;
 * :mod:`repro.workloads` — workload generators for the benchmark harness.
 """
 
@@ -65,6 +68,12 @@ from repro.graphs import (
     has_homomorphism,
     find_homomorphism,
     homomorphic_equivalent,
+)
+from repro.approx import (
+    ApproxEstimate,
+    ApproxParams,
+    karp_luby_probability,
+    naive_phom_estimate,
 )
 from repro.numeric import EXACT, FAST, NumericContext, resolve_context
 from repro.probability import ProbabilisticGraph, brute_force_phom
@@ -98,6 +107,10 @@ __all__ = [
     "has_homomorphism",
     "find_homomorphism",
     "homomorphic_equivalent",
+    "ApproxEstimate",
+    "ApproxParams",
+    "karp_luby_probability",
+    "naive_phom_estimate",
     "EXACT",
     "FAST",
     "NumericContext",

@@ -1,0 +1,40 @@
+"""Sampling-based approximation for the intractable PHom cells.
+
+The paper's dichotomy (Tables 1–3) leaves every query/instance combination
+outside the tractable classes #P-hard; exactly there the library used to
+offer only exponential possible-world enumeration.  This subsystem opens the
+intractable workload class with two seeded Monte Carlo estimators:
+
+* :func:`naive_phom_estimate` — direct possible-world sampling with an
+  additive ``(ε, δ)`` Hoeffding guarantee;
+* :func:`karp_luby_probability` — the Karp–Luby importance sampler over the
+  positive-DNF match lineage, with a *relative* ``(ε, δ)`` guarantee via a
+  stopping-rule pilot plus median-of-means (see
+  :mod:`repro.approx.karp_luby` for the analysis).
+
+Both plug into the dispatcher: ``PHomSolver(precision="approx",
+epsilon=…, delta=…, seed=…)`` routes #P-hard combinations to the Karp–Luby
+estimator instead of brute force, and compiled
+:class:`~repro.plan.FallbackPlan` objects expose the same path through
+``plan.estimate(...)``.
+"""
+
+from repro.approx.sampling import (
+    ApproxEstimate,
+    ApproxParams,
+    hoeffding_sample_count,
+    make_rng,
+    naive_phom_estimate,
+    sample_world_edges,
+)
+from repro.approx.karp_luby import karp_luby_probability
+
+__all__ = [
+    "ApproxEstimate",
+    "ApproxParams",
+    "hoeffding_sample_count",
+    "make_rng",
+    "naive_phom_estimate",
+    "sample_world_edges",
+    "karp_luby_probability",
+]

@@ -92,19 +92,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="evaluation flavour for the tractable cases",
     )
     solve.add_argument(
-        "--precision", choices=["exact", "float"], default="exact",
-        help="numeric backend: exact rationals (default) or fast floats",
+        "--precision", choices=["exact", "float", "approx"], default="exact",
+        help=(
+            "numeric backend: exact rationals (default), fast floats, or "
+            "'approx' to answer #P-hard combinations with the Karp-Luby "
+            "(epsilon, delta) sampler instead of exponential brute force"
+        ),
+    )
+    solve.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="approx: relative error bound of the sampler (default 0.05)",
+    )
+    solve.add_argument(
+        "--delta", type=float, default=0.01,
+        help="approx: failure probability of the error bound (default 0.01)",
+    )
+    solve.add_argument(
+        "--seed", type=int, default=None,
+        help="approx: RNG seed for reproducible estimates (default: fresh entropy)",
     )
 
     bench = subparsers.add_parser(
         "bench",
         help=(
-            "run a benchmark suite: 'hotpaths' (default, records BENCH_hotpaths.json) "
-            "or 'plans' (compiled query plans, records BENCH_plans.json)"
+            "run a benchmark suite: 'hotpaths' (default, records BENCH_hotpaths.json), "
+            "'plans' (compiled query plans, records BENCH_plans.json) or "
+            "'sampling' (Karp-Luby vs brute force, records BENCH_sampling.json)"
         ),
     )
     bench.add_argument(
-        "suite", nargs="?", choices=["hotpaths", "plans"], default="hotpaths",
+        "suite", nargs="?", choices=["hotpaths", "plans", "sampling"], default="hotpaths",
         help="which benchmark suite to run (default: hotpaths)",
     )
     bench.add_argument(
@@ -134,6 +151,20 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--min-incremental-speedup", type=float, default=0.0,
         help="plans: fail when the recorded incremental-update speedup drops below this",
+    )
+    bench.add_argument(
+        "--min-sampling-speedup", type=float, default=0.0,
+        help=(
+            "sampling: fail when the Karp-Luby speedup over brute force on the "
+            "largest instance drops below this"
+        ),
+    )
+    bench.add_argument(
+        "--max-epsilon-ratio", type=float, default=0.0,
+        help=(
+            "sampling: fail when |estimate - exact| / exact exceeds this multiple "
+            "of epsilon on any instance (1.0 = the (epsilon, delta) contract)"
+        ),
     )
     bench.add_argument(
         "--output", default=None,
@@ -177,12 +208,15 @@ def _run_solve(args, out, err) -> int:
     except (OSError, ValueError, ReproError) as exc:
         err.write(f"error: could not load inputs: {exc}\n")
         return 2
-    solver = PHomSolver(
-        allow_brute_force=not args.no_brute_force,
-        prefer=args.prefer,
-        precision=args.precision,
-    )
     try:
+        solver = PHomSolver(
+            allow_brute_force=not args.no_brute_force,
+            prefer=args.prefer,
+            precision=args.precision,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+        )
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always", IntractableFallbackWarning)
             result = solver.solve(query, instance, method=args.method)
@@ -194,6 +228,8 @@ def _run_solve(args, out, err) -> int:
     if result.proposition:
         out.write(f"backed by   = {result.proposition}\n")
     out.write(f"query class = {result.query_class}, instance class = {result.instance_class}\n")
+    if result.notes and result.method in PHomSolver.SAMPLING_METHODS:
+        out.write(f"note: sampled estimate — {result.notes}\n")
     if any(issubclass(w.category, IntractableFallbackWarning) for w in caught):
         out.write("note: this query/instance combination is #P-hard; brute force was used\n")
     return 0
@@ -202,6 +238,8 @@ def _run_solve(args, out, err) -> int:
 def _run_bench(args, out, err) -> int:
     if args.suite == "plans":
         return _run_bench_plans(args, out, err)
+    if args.suite == "sampling":
+        return _run_bench_sampling(args, out, err)
     from repro.bench import format_report, run_benchmarks, write_report
 
     if args.smoke:
@@ -256,6 +294,32 @@ def _run_bench_plans(args, out, err) -> int:
     output = args.output or "BENCH_plans.json"
     if output != "-":
         write_plan_report(report, output)
+        out.write(f"report written to {output}\n")
+    return 0
+
+
+def _run_bench_sampling(args, out, err) -> int:
+    from repro.bench_sampling import (
+        check_sampling_thresholds,
+        format_sampling_report,
+        run_sampling_benchmarks,
+        write_sampling_report,
+    )
+
+    try:
+        report = run_sampling_benchmarks(smoke=args.smoke)
+        check_sampling_thresholds(
+            report,
+            min_speedup=args.min_sampling_speedup,
+            max_epsilon_ratio=args.max_epsilon_ratio,
+        )
+    except AssertionError as exc:
+        err.write(f"error: sampling benchmark check failed: {exc}\n")
+        return 1
+    out.write(format_sampling_report(report) + "\n")
+    output = args.output or "BENCH_sampling.json"
+    if output != "-":
+        write_sampling_report(report, output)
         out.write(f"report written to {output}\n")
     return 0
 

@@ -18,8 +18,9 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, replace
 from fractions import Fraction
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.approx import ApproxParams, karp_luby_probability, naive_phom_estimate
 from repro.exceptions import ClassConstraintError, IntractableFallbackWarning, ReproError
 from repro.graphs.classes import (
     GraphClass,
@@ -30,7 +31,7 @@ from repro.graphs.classes import (
 from repro.graphs.builders import path_query_labels, unlabeled_path
 from repro.graphs.digraph import DiGraph
 from repro.lineage.builders import match_lineage
-from repro.numeric import EXACT, Number, NumericContext, resolve_context
+from repro.numeric import EXACT, FAST, Number, NumericContext, resolve_context
 from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
 from repro.probability.prob_graph import ProbabilisticGraph
 from repro.core.disconnected import (
@@ -62,6 +63,17 @@ from repro.plan import (
 )
 
 PrecisionLike = Union[str, NumericContext, None]
+
+#: The error for #P-hard cells when neither brute force nor sampling may run.
+_HARD_CELL_MESSAGE = (
+    "no polynomial-time algorithm applies to this query/instance combination "
+    "(it is #P-hard by the classification of Tables 1-3) and brute force is "
+    "disabled; use precision='approx' to sample it"
+)
+
+
+def _is_approx(precision: PrecisionLike) -> bool:
+    return isinstance(precision, str) and precision == "approx"
 
 
 @dataclass
@@ -109,11 +121,23 @@ class PHomSolver:
         results are bit-identical exact rationals.  ``"float"`` computes
         with native floats, which is much faster on large instances and
         agrees with exact mode to within double-precision rounding.
+        ``"approx"`` keeps the tractable cells on the (exact-answer) float
+        dynamic programs but routes the #P-hard combinations to the
+        Karp–Luby ``(ε, δ)`` sampler of :mod:`repro.approx` instead of
+        exponential brute force.
     plan_cache_size:
         Capacity of the solver's :class:`~repro.plan.PlanCache` (compiled
         query plans keyed on canonical query form + instance identity).
         ``0`` disables plan caching entirely: every ``solve`` recompiles the
         structural phase, reproducing the pre-plan per-call behaviour.
+    epsilon / delta:
+        The sampling accuracy contract: relative error at most ``epsilon``
+        with probability at least ``1 − delta`` (Karp–Luby; the bound is
+        additive for the explicit ``monte-carlo-worlds`` method).  Only
+        consulted when sampling actually runs.
+    seed:
+        Seed for the sampling RNG.  ``None`` (default) draws fresh entropy
+        per estimate; pass an integer for bit-reproducible estimates.
     """
 
     def __init__(
@@ -122,12 +146,17 @@ class PHomSolver:
         prefer: str = "dp",
         precision: PrecisionLike = "exact",
         plan_cache_size: int = 128,
+        epsilon: float = 0.05,
+        delta: float = 0.01,
+        seed: Optional[int] = None,
     ) -> None:
         if prefer not in ("dp", "lineage", "automaton"):
             raise ValueError("prefer must be one of 'dp', 'lineage', 'automaton'")
         self.allow_brute_force = allow_brute_force
         self.prefer = prefer
-        self.context = resolve_context(precision)
+        self.approx_params = ApproxParams(epsilon=epsilon, delta=delta, seed=seed)
+        self.approximate = _is_approx(precision)
+        self.context = FAST if self.approximate else resolve_context(precision)
         self._plan_cache: Optional[PlanCache] = (
             PlanCache(plan_cache_size) if plan_cache_size > 0 else None
         )
@@ -161,16 +190,28 @@ class PHomSolver:
 
         ``method`` is ``"auto"`` (recommended) or one of the explicit
         algorithm names listed in :meth:`available_methods`.  ``precision``
-        overrides the solver's numeric backend for this call.
+        overrides the solver's numeric backend for this call (including
+        ``"approx"``, which samples the #P-hard cells with the solver's
+        ``epsilon`` / ``delta`` / ``seed``).
         """
-        context = self.context if precision is None else resolve_context(precision)
+        context, approx = self._resolve_precision(precision)
         self._validate_inputs(query, instance)
         if method == "auto":
-            return self._solve_auto(query, instance, context)
+            return self._solve_auto(query, instance, context, approx)
+        if method in self.SAMPLING_METHODS:
+            # The samplers always run on floats (a precision override is
+            # meaningless for an estimate); report their provenance — sample
+            # count, (ε, δ), seed — just like the auto-dispatch approx path.
+            estimate = self._sample(method, query, instance)
+            return self._result(
+                query, instance, estimate.value, method,
+                proposition=None, notes=estimate.describe(),
+            )
         dispatch = self._explicit_methods(context)
         if method not in dispatch:
+            known = sorted(dispatch) + list(self.SAMPLING_METHODS)
             raise ValueError(
-                f"unknown method {method!r}; expected 'auto' or one of {sorted(dispatch)}"
+                f"unknown method {method!r}; expected 'auto' or one of {sorted(known)}"
             )
         probability = dispatch[method](query, instance)
         return self._result(query, instance, probability, method, proposition=None)
@@ -225,14 +266,29 @@ class PHomSolver:
                 results.append(replace(cached))
         return results
 
+    #: Explicit method names answered by the samplers (float estimates with
+    #: (ε, δ) provenance in ``result.notes``) rather than by an exact
+    #: algorithm.  Public: the CLI keys its "sampled estimate" note on it.
+    SAMPLING_METHODS = ("karp-luby", "monte-carlo-worlds")
+
     @classmethod
     def available_methods(cls) -> list:
         """The explicit method names accepted by :meth:`solve`."""
-        return sorted(cls()._explicit_methods())
+        return sorted(list(cls()._explicit_methods()) + list(cls.SAMPLING_METHODS))
 
     # ------------------------------------------------------------------
     # validation and bookkeeping
     # ------------------------------------------------------------------
+    def _resolve_precision(
+        self, precision: PrecisionLike
+    ) -> Tuple[NumericContext, Optional[ApproxParams]]:
+        """The numeric context and, in approx mode, the sampling contract."""
+        if precision is None:
+            return self.context, (self.approx_params if self.approximate else None)
+        if _is_approx(precision):
+            return FAST, self.approx_params
+        return resolve_context(precision), None
+
     @staticmethod
     def _validate_inputs(query: DiGraph, instance: ProbabilisticGraph) -> None:
         if query.num_vertices() == 0:
@@ -298,6 +354,24 @@ class PHomSolver:
             "polytree-dp": lambda q, i: self._union_polytree(q, i, "dp", context),
         }
 
+    def _sample(self, method: str, query: DiGraph, instance: ProbabilisticGraph):
+        """Run one of the explicit samplers under the solver's (ε, δ, seed)."""
+        if method == "karp-luby":
+            # Go through the plan cache: repeated estimates against the same
+            # pair reuse the memoised match lineage instead of re-running the
+            # homomorphism enumeration per call.
+            plan = self._plan_for(query, instance, allow_fallback=True)
+            if isinstance(plan, FallbackPlan):
+                return plan.estimate(params=self.approx_params)
+            # Tractable (or trivial) combination sampled on explicit request:
+            # build the lineage directly, outside the plan machinery.
+            return karp_luby_probability(
+                match_lineage(query, instance),
+                FAST.instance_probabilities(instance),
+                self.approx_params,
+            )
+        return naive_phom_estimate(query, instance, self.approx_params)
+
     @staticmethod
     def _generic_lineage(
         query: DiGraph, instance: ProbabilisticGraph, context: NumericContext = EXACT
@@ -346,10 +420,29 @@ class PHomSolver:
     # automatic dispatch (the classification of Tables 1-3), plan-backed
     # ------------------------------------------------------------------
     def _solve_auto(
-        self, query: DiGraph, instance: ProbabilisticGraph, context: NumericContext = EXACT
+        self,
+        query: DiGraph,
+        instance: ProbabilisticGraph,
+        context: NumericContext = EXACT,
+        approx: Optional[ApproxParams] = None,
     ) -> PHomResult:
-        plan = self._plan_for(query, instance)
+        plan = self._plan_for(
+            query, instance, allow_fallback=True if approx is not None else None
+        )
         if isinstance(plan, FallbackPlan):
+            if approx is not None:
+                # Approx mode: the #P-hard cell is answered by the Karp–Luby
+                # sampler over the plan's match lineage, not by enumeration.
+                estimate = plan.estimate(params=approx)
+                result = self._plan_result(plan, estimate.value)
+                result.method = "karp-luby"
+                result.notes = estimate.describe()
+                return result
+            if not self.allow_brute_force:
+                # Reached on approx-mode solvers answering an exact per-call
+                # precision override; cached-plan cross-talk is already
+                # handled inside _plan_for.
+                raise ClassConstraintError(_HARD_CELL_MESSAGE)
             # Warn from here so the message is attributed to the caller of
             # solve(), exactly as the pre-plan dispatcher did.
             warnings.warn(
@@ -394,17 +487,32 @@ class PHomSolver:
         self._validate_inputs(query, instance)
         return self._plan_for(query, instance)
 
-    def _plan_for(self, query: DiGraph, instance: ProbabilisticGraph) -> CompiledPlan:
+    def _plan_for(
+        self,
+        query: DiGraph,
+        instance: ProbabilisticGraph,
+        allow_fallback: Optional[bool] = None,
+    ) -> CompiledPlan:
+        if allow_fallback is None:
+            # Approx-mode solvers never brute-force, but they do need the
+            # fallback plan (it carries the lineage the sampler runs on).
+            allow_fallback = self.allow_brute_force or self.approximate
         if self._plan_cache is None:
-            return self._compile_plan(query, instance)
+            return self._compile_plan(query, instance, allow_fallback)
         key = canonical_query_key(query)
         plan = self._plan_cache.lookup(key, instance)
         if plan is None:
-            plan = self._compile_plan(query, instance)
+            plan = self._compile_plan(query, instance, allow_fallback)
             self._plan_cache.store(key, instance, plan)
+        elif isinstance(plan, FallbackPlan) and not allow_fallback:
+            # A FallbackPlan cached by an approx call must not change what a
+            # non-sampling caller observes: same error as on a cold cache.
+            raise ClassConstraintError(_HARD_CELL_MESSAGE)
         return plan
 
-    def _compile_plan(self, query: DiGraph, instance: ProbabilisticGraph) -> CompiledPlan:
+    def _compile_plan(
+        self, query: DiGraph, instance: ProbabilisticGraph, allow_fallback: bool = True
+    ) -> CompiledPlan:
         graph = instance.graph
         unlabeled = self._is_effectively_unlabeled(query, instance)
         metadata = dict(
@@ -499,12 +607,10 @@ class PHomSolver:
                 proposition="Propositions 5.4 / 5.5 (+ Lemma 3.7)", **metadata,
             )
 
-        if not self.allow_brute_force:
-            raise ClassConstraintError(
-                "no polynomial-time algorithm applies to this query/instance combination "
-                "(it is #P-hard by the classification of Tables 1-3) and brute force is disabled"
-            )
+        if not allow_fallback:
+            raise ClassConstraintError(_HARD_CELL_MESSAGE)
         return FallbackPlan(
+            allow_brute_force=self.allow_brute_force,
             method="brute-force-worlds", proposition=None,
             notes="#P-hard combination; exponential enumeration used", **metadata,
         )
@@ -542,6 +648,9 @@ def phom_probability(
     allow_brute_force: bool = True,
     prefer: str = "dp",
     precision: PrecisionLike = "exact",
+    epsilon: float = 0.05,
+    delta: float = 0.01,
+    seed: Optional[int] = None,
 ) -> Number:
     """``Pr(query ⇝ instance)``: the one-call public API of the library.
 
@@ -564,9 +673,20 @@ def phom_probability(
         constructions).
     precision:
         ``"exact"`` (default) for bit-exact :class:`~fractions.Fraction`
-        results; ``"float"`` for the fast double-precision backend.
+        results; ``"float"`` for the fast double-precision backend;
+        ``"approx"`` to answer #P-hard combinations with the Karp–Luby
+        ``(ε, δ)`` sampler instead of exponential brute force.
+    epsilon / delta / seed:
+        The sampling contract and RNG seed, consulted only when sampling
+        runs (``precision="approx"`` or one of the explicit sampling
+        methods ``"karp-luby"`` / ``"monte-carlo-worlds"``).
     """
     solver = PHomSolver(
-        allow_brute_force=allow_brute_force, prefer=prefer, precision=precision
+        allow_brute_force=allow_brute_force,
+        prefer=prefer,
+        precision=precision,
+        epsilon=epsilon,
+        delta=delta,
+        seed=seed,
     )
     return solver.probability(query, instance, method=method)

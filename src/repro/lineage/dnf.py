@@ -125,6 +125,30 @@ class PositiveDNF:
         )
         return None if order is None else list(order)
 
+    def indexed_clauses(self) -> Tuple[Tuple[Variable, ...], Tuple[Tuple[int, ...], ...]]:
+        """A deterministic indexed form of the formula (memoised).
+
+        Returns ``(variables, clauses)``: the variables sorted by ``repr``
+        and each non-empty clause as a tuple of variable *positions*, the
+        clauses sorted lexicographically by their variables' reprs.  This is
+        probability-independent structure — the Karp–Luby sampler builds its
+        per-evaluation weight tables on top of it, so repeated estimates of
+        the same formula only pay arithmetic, like the other memoised
+        structural data here.
+        """
+        def compute() -> Tuple[Tuple[Variable, ...], Tuple[Tuple[int, ...], ...]]:
+            variables = tuple(sorted(self.variables(), key=repr))
+            index = {variable: position for position, variable in enumerate(variables)}
+            ordered = sorted(
+                (tuple(sorted(clause, key=repr)) for clause in self._clauses if clause),
+                key=lambda clause: [repr(variable) for variable in clause],
+            )
+            return variables, tuple(
+                tuple(index[variable] for variable in clause) for clause in ordered
+            )
+
+        return self._cached_structure("indexed_clauses", compute)
+
     def _default_branching_order(self) -> List[Variable]:
         """The branching order :meth:`probability` uses when none is given (memoised)."""
         def compute() -> List[Variable]:

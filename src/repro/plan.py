@@ -45,7 +45,8 @@ import warnings
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import IntractableFallbackWarning, PlanError
+from repro.approx import ApproxEstimate, ApproxParams, karp_luby_probability
+from repro.exceptions import ClassConstraintError, IntractableFallbackWarning, PlanError
 from repro.graphs.classes import (
     GraphClass,
     graph_class_of,
@@ -53,8 +54,10 @@ from repro.graphs.classes import (
     two_way_path_order,
 )
 from repro.graphs.digraph import DiGraph, Edge, Vertex
+from repro.lineage.builders import match_lineage
 from repro.lineage.ddnnf import CircuitEvaluator, DDNNF
-from repro.numeric import EXACT, Number, NumericContext, resolve_context
+from repro.lineage.dnf import PositiveDNF
+from repro.numeric import EXACT, FAST, Number, NumericContext, resolve_context
 from repro.probability.brute_force import brute_force_phom
 from repro.probability.prob_graph import ProbabilisticGraph, as_probability
 from repro.core.labeled_2wp import (
@@ -335,11 +338,21 @@ class ConstantPlan(CompiledPlan):
 
     def evaluate(self, probabilities=None, precision=None):
         context = self._context(precision)
+        if probabilities is not None:
+            # The verdict ignores the table, but a bad override must fail
+            # here exactly as it would on any other plan kind; validate just
+            # the supplied entries instead of materialising the full table.
+            for key, value in probabilities.items():
+                self._resolve_edge(key)
+                as_probability(value)
         return context.one if self._value_is_one else context.zero
 
     def update(self, edge, probability, precision=None):
-        # The verdict does not depend on any edge; resolve for validation only.
+        # The verdict does not depend on any edge; resolve the edge and
+        # validate the probability anyway, so a bad update fails here with a
+        # clear error rather than silently succeeding on constant plans only.
         self._resolve_edge(edge)
+        as_probability(probability)
         return self.evaluate(precision=precision)
 
 
@@ -415,23 +428,69 @@ class ComponentPlan(CompiledPlan):
 
 
 class FallbackPlan(CompiledPlan):
-    """The #P-hard cells: no structure to reuse, brute force per evaluation.
+    """The #P-hard cells: exponential brute force, or Karp–Luby sampling.
 
     Unlike the tractable plans (which capture skeletons and never look at
     the query again), brute force re-reads the query graph at evaluation
     time — so the plan snapshots a frozen copy at compile time, keeping a
     cached plan correct even if the caller later mutates the original
     (mutable) query graph.
+
+    Since PR 3 the intractable cells are no longer a dead end: the plan's
+    structural half is the positive-DNF *match lineage* (Definition 4.6),
+    compiled lazily and memoised, and :meth:`estimate` runs the Karp–Luby
+    ``(ε, δ)`` importance sampler of :mod:`repro.approx` over it — so a
+    compiled plan covers intractable queries at serving time too, paying the
+    homomorphism enumeration once and only sampling per evaluation.
     """
 
-    def __init__(self, **kwargs) -> None:
+    def __init__(self, allow_brute_force: bool = True, **kwargs) -> None:
         kwargs["query"] = kwargs["query"].copy().freeze()
         super().__init__(**kwargs)
+        #: Carried over from the compiling solver: approx-mode solvers with
+        #: brute force disabled still compile this plan (they sample it),
+        #: but its exact evaluate() must keep refusing to enumerate.
+        self._allow_brute_force = allow_brute_force
+        self._lineage: Optional[PositiveDNF] = None
 
-    def evaluate(self, probabilities=None, precision=None, _warn=True):
+    def lineage(self) -> PositiveDNF:
+        """The match lineage of the pair (memoised; the sampling structure)."""
+        if self._lineage is None:
+            self._lineage = match_lineage(self.query, self.instance)
+        return self._lineage
+
+    def estimate(
+        self,
+        probabilities: Optional[Mapping] = None,
+        params: Optional[ApproxParams] = None,
+        num_samples: Optional[int] = None,
+    ) -> ApproxEstimate:
+        """A Karp–Luby ``(ε, δ)`` estimate of the probability.
+
+        ``probabilities`` overrides the instance's live table exactly as in
+        :meth:`CompiledPlan.evaluate` (sampling always runs on the float
+        backend); ``params`` carries the accuracy contract and the RNG seed;
+        ``num_samples`` forces a fixed-budget run without the guarantee.
+        """
+        params = params if params is not None else ApproxParams()
+        table = self._probability_table(probabilities, FAST)
+        return karp_luby_probability(
+            self.lineage(), table, params, num_samples=num_samples
+        )
+
+    def evaluate(self, probabilities=None, precision=None, approx=None, _warn=True):
+        if approx is not None:
+            return self.estimate(probabilities, params=approx).value
+        if not self._allow_brute_force:
+            raise ClassConstraintError(
+                "this plan was compiled by a solver with brute force disabled; "
+                "use plan.estimate(...) (or evaluate(approx=ApproxParams(...))) "
+                "to sample it instead of enumerating possible worlds"
+            )
         if probabilities is not None:
             raise PlanError(
-                "brute-force fallback plans cannot evaluate override tables; "
+                "brute-force fallback plans cannot evaluate override tables "
+                "exactly; pass approx=ApproxParams(...) to sample them, or "
                 "update the instance probabilities instead"
             )
         context = self._context(precision)

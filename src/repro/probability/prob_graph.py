@@ -18,6 +18,7 @@ rather than with numerical tolerances.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from itertools import product
@@ -45,9 +46,14 @@ def as_probability(value: ProbabilityLike) -> Fraction:
     elif isinstance(value, int):
         probability = Fraction(value)
     elif isinstance(value, float):
+        if not math.isfinite(value):
+            raise ProbabilityError(f"probability must be finite, got {value!r}")
         probability = Fraction(str(value))
     elif isinstance(value, str):
-        probability = Fraction(value)
+        try:
+            probability = Fraction(value)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ProbabilityError(f"cannot interpret {value!r} as a probability: {exc}") from None
     else:
         raise ProbabilityError(f"cannot interpret {value!r} as a probability")
     if probability < 0 or probability > 1:

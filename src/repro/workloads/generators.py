@@ -15,7 +15,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional, Sequence, Union
 
+from repro.approx import make_rng
 from repro.exceptions import ReproError
+from repro.graphs.builders import one_way_path
 from repro.graphs.classes import GraphClass, graph_in_class
 from repro.graphs.digraph import DiGraph, UNLABELED
 from repro.graphs.generators import (
@@ -34,10 +36,8 @@ from repro.probability.prob_graph import ProbabilisticGraph
 RandomLike = Union[random.Random, int, None]
 
 
-def _rng(source: RandomLike) -> random.Random:
-    if isinstance(source, random.Random):
-        return source
-    return random.Random(source)
+# Shared with the sampling subsystem so seeding semantics cannot diverge.
+_rng = make_rng
 
 
 @dataclass(frozen=True)
@@ -123,6 +123,104 @@ def make_instance(
 ) -> DiGraph:
     """A random instance graph of the requested class (same size conventions as queries)."""
     return make_query(instance_class, labeled, size, rng)
+
+
+def intractable_instance(
+    num_uncertain_edges: int,
+    rng: RandomLike = None,
+    denominator: int = 16,
+    max_numerator: Optional[int] = None,
+) -> ProbabilisticGraph:
+    """A random instance on which even a 1WP query is #P-hard to answer.
+
+    The instance is a three-layer labeled DAG ``a_i -R-> b_j -S-> c_k`` with
+    every edge uncertain.  By construction some middle vertex has at least
+    two incoming ``R`` edges, so the graph is neither a union of two-way
+    paths nor of downward trees — for a labeled path query the dispatcher
+    has no tractable route (the ``(1WP, ALL)`` cell of Table 2 is #P-hard)
+    and must fall back to enumeration or sampling.  The match lineage of the
+    ``R·S`` path query is the PP2DNF-shaped DNF
+    ``∨_{a→b→c} (R_{ab} ∧ S_{bc})``, whose clauses share variables through
+    the middle layer, so the probability does not factorise.
+
+    ``num_uncertain_edges`` (≥ 6) is hit exactly, which makes the brute
+    force cost exactly ``2^num_uncertain_edges`` worlds — the knob the
+    sampling benchmark turns.
+    """
+    if num_uncertain_edges < 6:
+        raise ReproError(
+            f"need at least 6 uncertain edges for a layered intractable "
+            f"instance, got {num_uncertain_edges}"
+        )
+    r = _rng(rng)
+    num_r = num_uncertain_edges // 2
+    num_s = num_uncertain_edges - num_r
+    # Fewer middle vertices than R edges: pigeonhole forces a double parent.
+    mid = max(2, min(num_uncertain_edges // 5, num_r - 1, num_s - 1))
+    left = max(2, (num_r + mid - 1) // mid + 1)
+    right = max(2, (num_s + mid - 1) // mid + 1)
+
+    def pick_pairs(count: int, sources: int, targets: int, cover_sources: bool) -> list:
+        # Cover every vertex on the middle-layer side once (targets for the
+        # R layer, sources for the S layer), then fill randomly up to count.
+        if cover_sources:
+            chosen = {(i, r.randrange(targets)) for i in range(sources)}
+        else:
+            chosen = {(r.randrange(sources), j) for j in range(targets)}
+        candidates = [(i, j) for i in range(sources) for j in range(targets)]
+        r.shuffle(candidates)
+        for pair in candidates:
+            if len(chosen) >= count:
+                break
+            chosen.add(pair)
+        return sorted(chosen)
+
+    graph = DiGraph()
+    for i, j in pick_pairs(num_r, left, mid, cover_sources=False):
+        graph.add_edge(f"a{i}", f"b{j}", "R")
+    for j, k in pick_pairs(num_s, mid, right, cover_sources=True):
+        graph.add_edge(f"b{j}", f"c{k}", "S")
+    top = max_numerator if max_numerator is not None else denominator - 1
+    if not (1 <= top <= denominator - 1):
+        raise ReproError(f"max_numerator must lie in [1, {denominator - 1}], got {top}")
+    probabilities = {
+        edge: Fraction(r.randint(1, top), denominator) for edge in graph.edges()
+    }
+    instance = ProbabilisticGraph(graph, probabilities)
+    if len(instance.uncertain_edges()) != num_uncertain_edges:
+        raise ReproError(
+            "layered instance generator produced the wrong number of edges"
+        )  # pragma: no cover - construction invariant
+    return instance
+
+
+def intractable_workload(
+    num_uncertain_edges: int,
+    rng: RandomLike = None,
+    denominator: int = 16,
+    max_numerator: Optional[int] = None,
+) -> Workload:
+    """The ``R·S`` path query on a layered instance: a guaranteed #P-hard cell.
+
+    This is what the sampling benchmark and the randomized suites draw from
+    when they need workloads where the dispatcher has no tractable route but
+    a ground truth is still computable (by brute force, at ``2^m`` cost).
+    ``max_numerator`` caps the edge probabilities at
+    ``max_numerator/denominator``, producing rare-event instances on which
+    relative-error guarantees separate the Karp–Luby sampler from naive
+    world sampling.
+    """
+    r = _rng(rng)
+    instance = intractable_instance(
+        num_uncertain_edges, r, denominator=denominator, max_numerator=max_numerator
+    )
+    return Workload(
+        query=one_way_path(["R", "S"], prefix="q"),
+        instance=instance,
+        query_class=GraphClass.ONE_WAY_PATH,
+        instance_class=GraphClass.ALL,
+        labeled=True,
+    )
 
 
 def workload_for_cell(

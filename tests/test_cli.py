@@ -122,3 +122,85 @@ class TestBenchCommand:
         }
         for workload in report["workloads"]:
             assert workload["float_max_abs_error"] <= 1e-9
+
+
+class TestApproxSolve:
+    @pytest.fixture
+    def hard_files(self, tmp_path):
+        from repro.workloads.generators import intractable_workload
+
+        workload = intractable_workload(8, rng=19)
+        query_path = tmp_path / "query.json"
+        instance_path = tmp_path / "instance.json"
+        save_graph(workload.query, str(query_path))
+        save_graph(workload.instance, str(instance_path))
+        return workload, str(query_path), str(instance_path)
+
+    def test_approx_solve_samples_the_hard_cell(self, hard_files):
+        import warnings
+
+        from repro.core.solver import phom_probability
+
+        workload, query_path, instance_path = hard_files
+        code, out, _err = run_cli(
+            ["solve", query_path, instance_path, "--precision", "approx",
+             "--epsilon", "0.1", "--delta", "0.05", "--seed", "20170514"]
+        )
+        assert code == 0
+        assert "karp-luby" in out
+        assert "sampled estimate" in out and "seed=20170514" in out
+        # Brute force was NOT used.
+        assert "brute force was used" not in out
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            exact = float(phom_probability(workload.query, workload.instance, precision="float"))
+        reported = float(out.splitlines()[0].split("(")[1].rstrip(")"))
+        assert abs(reported - exact) <= 0.1 * exact
+
+    def test_approx_solve_is_seed_reproducible(self, hard_files):
+        _workload, query_path, instance_path = hard_files
+        args = ["solve", query_path, instance_path, "--precision", "approx",
+                "--epsilon", "0.2", "--delta", "0.2", "--seed", "7"]
+        code_a, out_a, _ = run_cli(args)
+        code_b, out_b, _ = run_cli(args)
+        assert code_a == code_b == 0
+        assert out_a == out_b
+
+    def test_bad_epsilon_fails_cleanly(self, hard_files):
+        _workload, query_path, instance_path = hard_files
+        code, _out, err = run_cli(
+            ["solve", query_path, instance_path, "--precision", "approx", "--epsilon", "1.5"]
+        )
+        assert code == 1
+        assert "epsilon" in err
+
+
+class TestBenchSamplingCommand:
+    def test_bench_sampling_smoke_without_writing(self):
+        code, out, _err = run_cli(
+            ["bench", "sampling", "--smoke", "--output", "-",
+             "--min-sampling-speedup", "1.5", "--max-epsilon-ratio", "1"]
+        )
+        assert code == 0
+        assert "sampling benchmark" in out
+        assert "accuracy curve" in out
+        assert "report written" not in out
+
+    def test_bench_sampling_writes_report(self, tmp_path):
+        target = tmp_path / "sampling.json"
+        code, _out, _err = run_cli(["bench", "sampling", "--smoke", "--output", str(target)])
+        assert code == 0
+        import json
+
+        report = json.loads(target.read_text())
+        assert report["suite"] == "sampling"
+        assert all(row["within_epsilon"] for row in report["speedup"])
+        assert report["accuracy_curve"]["points"]
+
+    def test_bench_sampling_threshold_failure(self):
+        code, _out, err = run_cli(
+            ["bench", "sampling", "--smoke", "--output", "-",
+             "--min-sampling-speedup", "1e9"]
+        )
+        assert code == 1
+        assert "speedup" in err
