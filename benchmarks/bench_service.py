@@ -1,0 +1,27 @@
+"""Serving-layer benchmark script: QueryService vs single-process solve_many.
+
+Thin wrapper over :mod:`repro.bench_service` so the benchmark can be run
+either as
+
+    python benchmarks/bench_service.py [--smoke] [--output BENCH_service.json]
+                                       [--min-service-speedup X]
+
+or through the CLI as ``repro bench service``.  The recorded artefact,
+``BENCH_service.json``, is checked into the repository root and tracks the
+serving numbers across PRs: throughput versus worker count on a Zipf-skewed
+traffic trace, the request-coalescing hit rate, and the speedup of the
+4-worker service over a persistent single-process ``solve_many`` loop —
+with exact answers asserted bit-identical and pinned-seed approx estimates
+asserted identical at every worker count on every run.  The
+``--min-service-speedup`` flag turns regressions into a non-zero exit code,
+which CI uses as a smoke gate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", "service", *sys.argv[1:]]))

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Print the paper's complexity classification (Tables 1, 2 and 3).
 
+Paper concept: the combined-complexity dichotomy — Tables 1-3 derived from
+the border-case propositions over the class lattice of Figure 2.
+
 The tables are not hard-coded: every cell is derived from the border-case
 propositions via the inclusion lattice of Figure 2, exactly as in the paper.
 The script prints the three tables, the border cases they are derived from,

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Hardness in action: counting edge covers through PHom (Proposition 3.3).
 
+Paper concept: Proposition 3.3 — #P-hardness of PHom for disconnected labeled
+path queries, by reduction from #Bipartite-Edge-Cover.
+
 The #P-hardness of PHom for disconnected labeled path queries is shown by
 reduction from #Bipartite-Edge-Cover.  This example runs the reduction
 "forwards" as an (admittedly exotic) application: it counts the edge covers

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Path queries over an uncertain XML-style document tree (Proposition 4.10).
 
+Paper concept: Proposition 4.10 — labeled path queries on downward-tree
+instances in polynomial time (the probabilistic-XML setting).
+
 The paper points out that its richest tractable setting — labeled one-way
 path queries on labeled downward-tree instances — is reminiscent of
 probabilistic XML: the instance is a document tree whose edges (element

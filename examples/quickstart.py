@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: the paper's running example (Figure 1 / Example 2.2).
 
+Paper concept: the PHom problem itself — Figure 1 / Example 2.2, computed by
+possible worlds, inclusion-exclusion over matches, and the dispatcher.
+
 Builds a small probabilistic graph over the labels {R, S}, asks for the
 probability that the conjunctive query ∃xyzt R(x,y) ∧ S(y,z) ∧ S(t,z) holds
 (i.e. that the query graph -R-> -S-> <-S- has a homomorphism to the surviving

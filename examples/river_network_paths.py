@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Long-path probabilities in an uncertain river / drainage network (Propositions 5.4 & 5.5).
 
+Paper concept: Propositions 5.4 & 5.5 — unlabeled path/tree queries on
+polytree instances via tree automata, provenance circuits and the direct DP.
+
 A drainage network is naturally a polytree: the underlying undirected graph
 of channels is (essentially) a tree, but flow directions vary and individual
 channels may be dry in any given season.  A classic question is "what is the

@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Pattern queries over an uncertain event sequence (Proposition 4.11).
 
+Paper concept: Proposition 4.11 — any connected query on two-way-path
+instances in polynomial time, via windows, the X-property and beta-acyclic
+lineage.
+
 A two-way-path instance is just a labeled word whose letters (edges) may be
 uncertain — for instance an event log reconstructed from noisy sensors, where
 each transition between consecutive timestamps is annotated with the kind of

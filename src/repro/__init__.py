@@ -40,6 +40,8 @@ subpackages contain the full machinery:
 * :mod:`repro.approx` — seeded Monte Carlo estimators (naive possible-world
   sampling, the Karp–Luby ``(ε, δ)`` importance sampler) for the #P-hard
   cells;
+* :mod:`repro.service` — the parallel serving layer: a sharded worker pool
+  with request coalescing, result caching and per-request mixed precision;
 * :mod:`repro.workloads` — workload generators for the benchmark harness.
 """
 
@@ -51,6 +53,7 @@ from repro.exceptions import (
     LineageError,
     PlanError,
     AutomatonError,
+    ServiceError,
     IntractableFallbackWarning,
 )
 from repro.graphs import (
@@ -80,6 +83,7 @@ from repro.probability import ProbabilisticGraph, brute_force_phom
 from repro.lineage import PositiveDNF, DDNNF, CircuitEvaluator, match_lineage
 from repro.core import PHomSolver, PHomResult, phom_probability
 from repro.plan import CompiledPlan, PlanCache, canonical_query_key
+from repro.service import QueryService, ServiceRequest, ServiceResult, ServiceStats
 from repro.classification import classify_cell, Complexity, table1, table2, table3
 
 __version__ = "1.0.0"
@@ -92,6 +96,7 @@ __all__ = [
     "LineageError",
     "PlanError",
     "AutomatonError",
+    "ServiceError",
     "IntractableFallbackWarning",
     "DiGraph",
     "Edge",
@@ -127,6 +132,10 @@ __all__ = [
     "CompiledPlan",
     "PlanCache",
     "canonical_query_key",
+    "QueryService",
+    "ServiceRequest",
+    "ServiceResult",
+    "ServiceStats",
     "classify_cell",
     "Complexity",
     "table1",

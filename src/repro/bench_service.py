@@ -1,0 +1,414 @@
+"""Serving-layer benchmark: the parallel :class:`~repro.service.QueryService`
+against single-process ``solve_many`` on Zipf-skewed query traffic.
+
+The serving scenario: several probabilistic instances receive a stream of
+query requests whose popularity follows a Zipf law (a few hot queries, a
+long tail), arriving in micro-batches ("ticks") with occasional probability
+updates in between.  The benchmark replays the *same* trace through
+
+* ``solve_many`` — one persistent single-process solver, per tick grouping
+  the requests by (instance, precision) and batch-solving each group (the
+  PR-1/PR-2 serving story: plan cache + within-batch dedupe); and
+* ``service`` — a :class:`~repro.service.QueryService` at several worker
+  counts: instance-affinity sharding, cross-instance request coalescing
+  before dispatch, and worker-side result caches that answer repeats across
+  ticks without re-running even the arithmetic.
+
+Correctness is asserted on every run: exact answers from every service
+configuration must be *bit-identical* to the single-process baseline, and a
+pinned-seed approx request on a ``#P``-hard pair must reproduce the same
+estimate at every worker count (sampling is seeded per request, not per
+worker).  The recorded speedup therefore measures architecture, not luck:
+coalescing plus result caching removes duplicate arithmetic (the dominant
+effect on skewed traffic at any core count), and sharding adds parallelism
+on multi-core machines.
+
+Results are written to ``BENCH_service.json``; run it with ``repro bench
+service`` or ``python benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench import BENCH_SEED, _rng, write_report
+from repro.core.solver import PHomSolver
+from repro.graphs.classes import GraphClass
+from repro.graphs.digraph import DiGraph
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.service import QueryService, ServiceRequest
+from repro.workloads.generators import (
+    attach_random_probabilities,
+    intractable_workload,
+    make_instance,
+    query_traffic_trace,
+)
+from repro import __version__
+
+#: Worker counts replayed by the service side of the benchmark.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Fraction of trace requests answered on the float backend (the rest exact).
+FLOAT_REQUEST_SHARE = 0.2
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One replayable request: a query against an instance at a precision."""
+
+    instance_id: str
+    query: DiGraph
+    precision: str
+
+
+@dataclass(frozen=True)
+class ServiceTrace:
+    """The full benchmark workload: instances, ticks and update points."""
+
+    instances: Dict[str, ProbabilisticGraph]
+    ticks: List[List[TraceRequest]]
+    #: ``tick index -> (instance_id, edge endpoints, probability string)``
+    updates: Dict[int, Tuple[str, Tuple, str]]
+    distinct: int
+
+    def num_requests(self) -> int:
+        return sum(len(tick) for tick in self.ticks)
+
+
+def build_service_trace(
+    num_instances: int,
+    pool_size: int,
+    requests_per_instance: int,
+    tick_size: int,
+    skew: float,
+    size_factor: float = 1.0,
+) -> ServiceTrace:
+    """A mixed-class, Zipf-skewed serving trace with mid-stream updates.
+
+    Instances rotate over the three tractable shapes (labeled ⊔DWT with 1WP
+    queries, labeled ⊔2WP with connected 2WP queries, unlabeled polytree
+    with DWT queries), so the trace exercises every compiled-plan kind and
+    the affinity sharding distributes real work.  The per-shape instance
+    sizes put every shape's exact re-evaluation cost in the same
+    serving-relevant band (milliseconds); ``size_factor`` scales them for
+    smoke runs.
+    """
+    shapes = (
+        (GraphClass.UNION_DOWNWARD_TREE, True, GraphClass.ONE_WAY_PATH, 3, 140),
+        (GraphClass.UNION_TWO_WAY_PATH, True, GraphClass.TWO_WAY_PATH, 3, 80),
+        (GraphClass.POLYTREE, False, GraphClass.DOWNWARD_TREE, 4, 80),
+    )
+    instances: Dict[str, ProbabilisticGraph] = {}
+    streams: List[List[TraceRequest]] = []
+    distinct = 0
+    for index in range(num_instances):
+        instance_class, labeled, query_class, query_size, instance_size = shapes[
+            index % len(shapes)
+        ]
+        rng = _rng(100 + index)
+        graph = make_instance(
+            instance_class, labeled, max(12, int(instance_size * size_factor)), rng
+        )
+        instance = attach_random_probabilities(graph, rng, certain_fraction=0.2)
+        instance_id = f"instance-{index}"
+        instances[instance_id] = instance
+        trace = query_traffic_trace(
+            requests_per_instance,
+            pool_size,
+            skew=skew,
+            query_class=query_class,
+            labeled=labeled,
+            query_size=query_size,
+            rng=rng,
+        )
+        distinct += len(set(trace.requests))
+        stream = []
+        for position, query in enumerate(trace.queries()):
+            precision = (
+                "float"
+                if (position % int(1 / FLOAT_REQUEST_SHARE)) == 0
+                else "exact"
+            )
+            stream.append(TraceRequest(instance_id, query, precision))
+        streams.append(stream)
+
+    # Interleave the per-instance streams round-robin into arrival order,
+    # then chop into ticks.
+    arrival: List[TraceRequest] = []
+    cursors = [0] * len(streams)
+    while any(cursors[i] < len(streams[i]) for i in range(len(streams))):
+        for i, stream in enumerate(streams):
+            if cursors[i] < len(stream):
+                arrival.append(stream[cursors[i]])
+                cursors[i] += 1
+    ticks = [
+        arrival[start : start + tick_size]
+        for start in range(0, len(arrival), tick_size)
+    ]
+
+    # Schedule one probability update at each third of the trace, rotating
+    # over the instances.
+    updates: Dict[int, Tuple[str, Tuple, str]] = {}
+    update_rng = _rng(999)
+    for mark, instance_id in zip(
+        (len(ticks) // 3, (2 * len(ticks)) // 3), sorted(instances)
+    ):
+        uncertain = instances[instance_id].uncertain_edges()
+        if not uncertain or mark == 0:
+            continue
+        edge = uncertain[update_rng.randrange(len(uncertain))]
+        updates[mark] = (
+            instance_id,
+            (edge.source, edge.target),
+            f"{update_rng.randint(1, 7)}/8",
+        )
+    return ServiceTrace(
+        instances=instances, ticks=ticks, updates=updates, distinct=distinct
+    )
+
+
+def _fresh_instances(trace: ServiceTrace) -> Dict[str, ProbabilisticGraph]:
+    """Every replay starts from an identical copy of the instances."""
+    return pickle.loads(pickle.dumps(trace.instances))
+
+
+def replay_solve_many(trace: ServiceTrace) -> Tuple[float, List]:
+    """The single-process baseline: one persistent solver, per-tick batches."""
+    instances = _fresh_instances(trace)
+    solver = PHomSolver()
+    answers: List = []
+    start = time.perf_counter()
+    for tick_index, tick in enumerate(trace.ticks):
+        update = trace.updates.get(tick_index)
+        if update is not None:
+            instance_id, endpoints, probability = update
+            instances[instance_id].set_probability(endpoints, probability)
+        groups: Dict[Tuple[str, str], List[Tuple[int, DiGraph]]] = {}
+        for offset, request in enumerate(tick):
+            groups.setdefault((request.instance_id, request.precision), []).append(
+                (offset, request.query)
+            )
+        tick_answers: List = [None] * len(tick)
+        for (instance_id, precision), members in groups.items():
+            results = solver.solve_many(
+                [query for _, query in members],
+                instances[instance_id],
+                precision=precision,
+            )
+            for (offset, _), result in zip(members, results):
+                tick_answers[offset] = result.probability
+        answers.extend(tick_answers)
+    return time.perf_counter() - start, answers
+
+
+def replay_service(trace: ServiceTrace, num_workers: int) -> Tuple[float, List, Dict]:
+    """Replay the trace through a :class:`QueryService` at one worker count.
+
+    The timed region covers the serving work only — worker start-up and
+    instance registration are one-time deployment costs, exactly as plan
+    compilation is excluded nowhere (both sides compile inside the timed
+    replay, starting cold).
+    """
+    instances = _fresh_instances(trace)
+    answers: List = []
+    with QueryService(num_workers=num_workers) as service:
+        for instance_id in sorted(instances):
+            service.register_instance(instances[instance_id], instance_id)
+        start = time.perf_counter()
+        for tick_index, tick in enumerate(trace.ticks):
+            update = trace.updates.get(tick_index)
+            if update is not None:
+                instance_id, endpoints, probability = update
+                service.update_probability(instance_id, endpoints, probability)
+            results = service.submit_many(
+                [
+                    ServiceRequest(
+                        query=request.query,
+                        instance_id=request.instance_id,
+                        precision=request.precision,
+                    )
+                    for request in tick
+                ]
+            )
+            answers.extend(result.probability for result in results)
+        elapsed = time.perf_counter() - start
+        stats = service.stats()
+    return elapsed, answers, {
+        "dedupe_hit_rate": stats.dedupe_hit_rate(),
+        "coalesced": stats.coalesced,
+        "dispatched": stats.dispatched,
+        "result_cache_hits": stats.result_cache_hits(),
+        "plan_cache": [worker.get("plan_cache") for worker in stats.workers],
+    }
+
+
+def check_approx_reproducibility(
+    worker_counts: Sequence[int], num_uncertain_edges: int = 10
+) -> Dict[str, object]:
+    """A pinned-seed approx request must not depend on the worker count."""
+    workload = intractable_workload(num_uncertain_edges, rng=_rng(7))
+    estimates: List[float] = []
+    for workers in worker_counts:
+        with QueryService(num_workers=workers) as service:
+            instance_id = service.register_instance(
+                pickle.loads(pickle.dumps(workload.instance)), "hard"
+            )
+            first = service.submit(
+                workload.query, instance_id,
+                precision="approx", epsilon=0.1, delta=0.05, seed=BENCH_SEED,
+            )
+            again = service.submit(
+                workload.query, instance_id,
+                precision="approx", epsilon=0.1, delta=0.05, seed=BENCH_SEED,
+            )
+        assert float(first) == float(again), (
+            "pinned-seed approx estimate changed between submissions"
+        )
+        estimates.append(float(first))
+    assert len(set(estimates)) == 1, (
+        f"pinned-seed approx estimates differ across worker counts: {estimates}"
+    )
+    return {
+        "estimate": estimates[0],
+        "seed": BENCH_SEED,
+        "worker_counts": list(worker_counts),
+        "reproducible": True,
+    }
+
+
+def run_service_benchmarks(
+    smoke: bool = False,
+    worker_counts: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Run the full suite and return the report dictionary."""
+    if worker_counts is None:
+        worker_counts = WORKER_COUNTS
+    if smoke:
+        num_instances, pool_size, per_instance, tick_size, skew = 2, 10, 150, 12, 1.1
+        size_factor = 0.75
+    else:
+        num_instances, pool_size, per_instance, tick_size, skew = 4, 16, 250, 16, 1.1
+        size_factor = 1.0
+    trace = build_service_trace(
+        num_instances, pool_size, per_instance, tick_size, skew,
+        size_factor=size_factor,
+    )
+
+    baseline_seconds, baseline_answers = replay_solve_many(trace)
+    num_requests = trace.num_requests()
+    modes: Dict[str, Dict[str, object]] = {
+        "solve_many_single_process": {
+            "seconds": round(baseline_seconds, 4),
+            "requests_per_sec": round(num_requests / baseline_seconds, 1),
+        }
+    }
+
+    service_stats: Dict[int, Dict] = {}
+    speedups: Dict[int, float] = {}
+    for workers in worker_counts:
+        elapsed, answers, stats = replay_service(trace, workers)
+        if answers != baseline_answers:
+            raise AssertionError(
+                f"service answers at {workers} worker(s) are not bit-identical "
+                "to the single-process baseline"
+            )
+        speedups[workers] = baseline_seconds / elapsed
+        service_stats[workers] = stats
+        modes[f"service_{workers}_workers"] = {
+            "seconds": round(elapsed, 4),
+            "requests_per_sec": round(num_requests / elapsed, 1),
+            "speedup_vs_solve_many": round(speedups[workers], 2),
+            **{k: (round(v, 4) if isinstance(v, float) else v) for k, v in stats.items()},
+        }
+
+    approx = check_approx_reproducibility(worker_counts)
+    max_workers = max(worker_counts)
+    return {
+        "benchmark": "service",
+        "config": {
+            "seed": BENCH_SEED,
+            "smoke": smoke,
+            "num_instances": num_instances,
+            "distinct_queries": trace.distinct,
+            "requests": num_requests,
+            "tick_size": tick_size,
+            "zipf_skew": skew,
+            "updates": len(trace.updates),
+            "worker_counts": list(worker_counts),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "version": __version__,
+        },
+        "modes": modes,
+        "approx_reproducibility": approx,
+        "summary": {
+            "speedup_at_max_workers": round(speedups[max_workers], 2),
+            "max_workers": max_workers,
+            "dedupe_hit_rate": round(
+                service_stats[max_workers]["dedupe_hit_rate"], 4
+            ),
+            "result_cache_hits": service_stats[max_workers]["result_cache_hits"],
+            "exact_bit_identical": True,
+            "approx_seed_reproducible": True,
+            "contract": (
+                "service answers bit-identical to single-process solve_many; "
+                "pinned-seed approx estimates identical at every worker count"
+            ),
+        },
+    }
+
+
+def check_service_thresholds(
+    report: Dict[str, object], min_speedup: float = 0.0
+) -> None:
+    """Raise AssertionError when the recorded serving speedup regresses."""
+    summary = report["summary"]
+    if not summary["exact_bit_identical"]:
+        raise AssertionError("service exact answers diverged from the baseline")
+    if not summary["approx_seed_reproducible"]:
+        raise AssertionError("pinned-seed approx estimates were not reproducible")
+    speedup = summary["speedup_at_max_workers"]
+    if speedup < min_speedup:
+        raise AssertionError(
+            f"service speedup {speedup}x at {summary['max_workers']} workers is "
+            f"below the required {min_speedup}x"
+        )
+
+
+#: Serialise the report to disk — same format as the other benchmarks.
+write_service_report = write_report
+
+
+def format_service_report(report: Dict[str, object]) -> str:
+    """A terse human-readable rendering of the report."""
+    config = report["config"]
+    lines = [
+        f"service benchmark (seed {config['seed']}): {config['requests']} requests, "
+        f"{config['distinct_queries']} distinct queries, Zipf skew {config['zipf_skew']}, "
+        f"{config['num_instances']} instances, {config['updates']} mid-stream updates"
+    ]
+    for name, numbers in report["modes"].items():
+        line = f"  {name:<28} {numbers['requests_per_sec']:>10.1f} req/sec"
+        if "speedup_vs_solve_many" in numbers:
+            line += f"   ({numbers['speedup_vs_solve_many']}x vs solve_many)"
+        lines.append(line)
+    summary = report["summary"]
+    lines.append(
+        f"  dedupe hit rate {summary['dedupe_hit_rate']:.0%}, "
+        f"{summary['result_cache_hits']} result-cache hits at "
+        f"{summary['max_workers']} workers"
+    )
+    approx = report["approx_reproducibility"]
+    lines.append(
+        f"  pinned-seed approx estimate {approx['estimate']:.6f} identical across "
+        f"worker counts {approx['worker_counts']}"
+    )
+    lines.append(
+        f"  speedup at {summary['max_workers']} workers: "
+        f"{summary['speedup_at_max_workers']}x (exact answers bit-identical)"
+    )
+    return "\n".join(lines)

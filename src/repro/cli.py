@@ -1,6 +1,6 @@
 """Command-line interface for the library.
 
-Three subcommands mirror the three things a user typically wants:
+The subcommands mirror what a user typically wants:
 
 * ``repro tables`` — print the paper's complexity classification
   (Tables 1–3), derived from the border-case propositions;
@@ -8,7 +8,12 @@ Three subcommands mirror the three things a user typically wants:
   — look up one cell of the classification;
 * ``repro solve QUERY.json INSTANCE.json`` — compute ``Pr(G ⇝ H)`` for a
   query and a probabilistic instance stored in the JSON format of
-  :mod:`repro.graphs.serialization`, reporting the algorithm used.
+  :mod:`repro.graphs.serialization`, reporting the algorithm used;
+* ``repro serve --batch REQUESTS.jsonl`` — drive the parallel serving layer
+  (:mod:`repro.service`) from a JSONL request stream, streaming JSONL
+  results (``-`` reads stdin);
+* ``repro bench [hotpaths|plans|sampling|service]`` — run a benchmark suite
+  and record its ``BENCH_*.json`` report.
 
 The module is also importable: :func:`main` takes an ``argv`` list and
 returns an exit code, which is how the test suite exercises it.
@@ -112,16 +117,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="approx: RNG seed for reproducible estimates (default: fresh entropy)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "serve a JSONL request stream through the parallel QueryService "
+            "(register/solve/update ops in, JSONL results out)"
+        ),
+    )
+    serve.add_argument(
+        "--batch", required=True, metavar="REQUESTS",
+        help="path to a JSONL request file, or '-' to read stdin",
+    )
+    serve.add_argument(
+        "--output", default="-",
+        help="where to stream the JSONL results (default: stdout)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "worker processes for instance-affinity sharding "
+            "(default: min(4, cpu count); 0 serves inline in-process)"
+        ),
+    )
+    serve.add_argument(
+        "--precision", choices=["exact", "float", "approx"], default="exact",
+        help="default precision for requests that do not choose one",
+    )
+    serve.add_argument(
+        "--no-brute-force", action="store_true",
+        help="fail #P-hard exact requests instead of enumerating worlds",
+    )
+    serve.add_argument(
+        "--prefer", choices=["dp", "lineage", "automaton"], default="dp",
+        help="evaluation flavour for the tractable cases",
+    )
+    serve.add_argument(
+        "--plan-cache-size", type=int, default=128,
+        help="per-worker compiled-plan cache capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--result-cache-size", type=int, default=1024,
+        help="per-worker result cache capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="print serving statistics to stderr when the stream ends",
+    )
+
     bench = subparsers.add_parser(
         "bench",
         help=(
             "run a benchmark suite: 'hotpaths' (default, records BENCH_hotpaths.json), "
-            "'plans' (compiled query plans, records BENCH_plans.json) or "
-            "'sampling' (Karp-Luby vs brute force, records BENCH_sampling.json)"
+            "'plans' (compiled query plans, records BENCH_plans.json), "
+            "'sampling' (Karp-Luby vs brute force, records BENCH_sampling.json) or "
+            "'service' (parallel serving layer, records BENCH_service.json)"
         ),
     )
     bench.add_argument(
-        "suite", nargs="?", choices=["hotpaths", "plans", "sampling"], default="hotpaths",
+        "suite", nargs="?", choices=["hotpaths", "plans", "sampling", "service"],
+        default="hotpaths",
         help="which benchmark suite to run (default: hotpaths)",
     )
     bench.add_argument(
@@ -157,6 +211,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "sampling: fail when the Karp-Luby speedup over brute force on the "
             "largest instance drops below this"
+        ),
+    )
+    bench.add_argument(
+        "--min-service-speedup", type=float, default=0.0,
+        help=(
+            "service: fail when the 4-worker throughput speedup over "
+            "single-process solve_many drops below this"
         ),
     )
     bench.add_argument(
@@ -235,11 +296,60 @@ def _run_solve(args, out, err) -> int:
     return 0
 
 
+def _run_serve(args, out, err) -> int:
+    from repro.service import QueryService, run_jsonl_session
+
+    try:
+        if args.batch == "-":
+            lines = sys.stdin
+            close_input = None
+        else:
+            close_input = open(args.batch, "r", encoding="utf-8")
+            lines = close_input
+    except OSError as exc:
+        err.write(f"error: could not open request stream: {exc}\n")
+        return 2
+    try:
+        output = out if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    except OSError as exc:
+        if close_input is not None:
+            close_input.close()
+        err.write(f"error: could not open output stream: {exc}\n")
+        return 2
+    try:
+        with QueryService(
+            num_workers=args.workers,
+            default_precision=args.precision,
+            allow_brute_force=not args.no_brute_force,
+            prefer=args.prefer,
+            plan_cache_size=args.plan_cache_size,
+            result_cache_size=args.result_cache_size,
+        ) as service:
+            code = run_jsonl_session(lines, output, service)
+            if args.stats:
+                stats = service.stats()
+                err.write(
+                    f"served {stats.requests} request(s) in {stats.batches} "
+                    f"batch(es): {stats.coalesced} coalesced "
+                    f"({stats.dedupe_hit_rate():.0%}), "
+                    f"{stats.result_cache_hits()} result-cache hit(s), "
+                    f"{stats.updates} update(s)\n"
+                )
+            return code
+    finally:
+        if close_input is not None:
+            close_input.close()
+        if output is not out:
+            output.close()
+
+
 def _run_bench(args, out, err) -> int:
     if args.suite == "plans":
         return _run_bench_plans(args, out, err)
     if args.suite == "sampling":
         return _run_bench_sampling(args, out, err)
+    if args.suite == "service":
+        return _run_bench_service(args, out, err)
     from repro.bench import format_report, run_benchmarks, write_report
 
     if args.smoke:
@@ -324,6 +434,28 @@ def _run_bench_sampling(args, out, err) -> int:
     return 0
 
 
+def _run_bench_service(args, out, err) -> int:
+    from repro.bench_service import (
+        check_service_thresholds,
+        format_service_report,
+        run_service_benchmarks,
+        write_service_report,
+    )
+
+    try:
+        report = run_service_benchmarks(smoke=args.smoke)
+        check_service_thresholds(report, min_speedup=args.min_service_speedup)
+    except AssertionError as exc:
+        err.write(f"error: service benchmark check failed: {exc}\n")
+        return 1
+    out.write(format_service_report(report) + "\n")
+    output = args.output or "BENCH_service.json"
+    if output != "-":
+        write_service_report(report, output)
+        out.write(f"report written to {output}\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -336,6 +468,8 @@ def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
         return _run_classify(args, out)
     if args.command == "solve":
         return _run_solve(args, out, err)
+    if args.command == "serve":
+        return _run_serve(args, out, err)
     if args.command == "bench":
         return _run_bench(args, out, err)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

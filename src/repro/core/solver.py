@@ -166,6 +166,25 @@ class PHomSolver:
         """The solver's compiled-plan cache (``None`` when disabled)."""
         return self._plan_cache
 
+    def __getstate__(self) -> dict:
+        """Pickle the configuration, not the cache contents.
+
+        Plan-cache entries are keyed on instance object *identity*, which
+        does not survive a process boundary, so an unpickled solver starts
+        with an empty cache of the same capacity.  This is what lets the
+        :mod:`repro.service` workers be configured by shipping one solver
+        prototype instead of a bag of keyword arguments.
+        """
+        state = self.__dict__.copy()
+        cache = state.pop("_plan_cache")
+        state["_plan_cache_size"] = cache.maxsize if cache is not None else 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        size = state.pop("_plan_cache_size")
+        self.__dict__.update(state)
+        self._plan_cache = PlanCache(size) if size > 0 else None
+
     # ------------------------------------------------------------------
     # public entry points
     # ------------------------------------------------------------------

@@ -49,6 +49,15 @@ class AutomatonError(ReproError):
     """Raised for malformed tree automata or trees that an automaton cannot run on."""
 
 
+class ServiceError(ReproError):
+    """Raised for failures of the parallel serving layer (:mod:`repro.service`).
+
+    Covers protocol misuse (unknown instance ids, submitting after
+    ``close()``), request failures reported back by a worker process, and
+    worker-pool breakdowns (a worker dying or timing out).
+    """
+
+
 class IntractableFallbackWarning(UserWarning):
     """Warning emitted when the dispatcher falls back to exponential brute force.
 

@@ -165,6 +165,21 @@ class DiGraph:
             self._cache[key] = value
             return value
 
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle without the memoised cache (recomputed on demand).
+
+        Cache entries can hold arbitrarily large derived structures (compiled
+        skeletons, component graphs); dropping them keeps pickles small and
+        lets a receiving process warm its own caches, which is what the
+        instance-affinity sharding of :mod:`repro.service` relies on.
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------

@@ -197,6 +197,13 @@ class CircuitComponentEvaluator(ComponentEvaluator):
         self._stateless: Optional[CircuitEvaluator] = None
         self._serving: Optional[CircuitEvaluator] = None
 
+    def __getstate__(self):
+        """Pickle the circuit only; evaluators are per-process scratch state."""
+        state = self.__dict__.copy()
+        state["_stateless"] = None
+        state["_serving"] = None
+        return state
+
     def evaluate(self, probabilities, context):
         if self._stateless is None:
             self._stateless = CircuitEvaluator(self.circuit)
@@ -426,6 +433,17 @@ class ComponentPlan(CompiledPlan):
         """Drop the serving table; the next update() reseeds from the instance."""
         self._serving = None
 
+    def __getstate__(self):
+        """Pickle the structure only; the serving table is process-local state.
+
+        An unpickled plan starts a fresh serving session (its first
+        ``update`` reseeds from the shipped instance copy), which is the
+        contract the :mod:`repro.service` workers rely on.
+        """
+        state = self.__dict__.copy()
+        state["_serving"] = None
+        return state
+
 
 class FallbackPlan(CompiledPlan):
     """The #P-hard cells: exponential brute force, or Karp–Luby sampling.
@@ -514,20 +532,29 @@ class PlanCache:
     identity.  Entries hold a strong reference to their instance (through
     the plan), so an ``id()`` can never be recycled while its entry is
     alive; eviction is least-recently-used.
+
+    ``on_evict``, when given, is called as ``on_evict(key, plan)`` for every
+    entry dropped by the LRU policy (not for :meth:`clear`); the serving
+    workers of :mod:`repro.service` use it to account evicted structure in
+    their per-worker statistics.  The hook runs synchronously inside
+    :meth:`store` and must not mutate the cache.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(self, maxsize: int = 128, on_evict=None) -> None:
         if maxsize <= 0:
             raise ValueError("PlanCache maxsize must be positive")
         self.maxsize = maxsize
+        self.on_evict = on_evict
         self._entries: "OrderedDict[Tuple[Hashable, int], CompiledPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.compiles = 0
+        self.evictions = 0
 
     def lookup(
         self, query_key: Hashable, instance: ProbabilisticGraph
     ) -> Optional[CompiledPlan]:
+        """The cached plan for ``(query_key, instance)``, or ``None`` (counted)."""
         key = (query_key, id(instance))
         plan = self._entries.get(key)
         if plan is not None and plan.instance is instance:
@@ -540,12 +567,16 @@ class PlanCache:
     def store(
         self, query_key: Hashable, instance: ProbabilisticGraph, plan: CompiledPlan
     ) -> None:
+        """Insert a freshly compiled plan, evicting LRU entries over capacity."""
         key = (query_key, id(instance))
         self._entries[key] = plan
         self._entries.move_to_end(key)
         self.compiles += 1
         while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            evicted_key, evicted_plan = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted_plan)
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
@@ -553,12 +584,14 @@ class PlanCache:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Cache counters: hits, misses, compiles, current size."""
+        """Cache counters: hits, misses, compiles, evictions, size, maxsize."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "compiles": self.compiles,
+            "evictions": self.evictions,
             "size": len(self._entries),
+            "maxsize": self.maxsize,
         }
 
     def __len__(self) -> int:

@@ -112,6 +112,25 @@ class ProbabilisticGraph:
         #: instead of silently corrupting the parent's future answers.
         self._component_owner: Optional["ProbabilisticGraph"] = None
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the graph and the exact probability table.
+
+        The read-only views (``mappingproxy`` objects cannot be pickled), the
+        memoised float table and the component split are all rebuilt lazily
+        on the receiving side, and the component-owner backlink is dropped —
+        an unpickled instance is an independent copy, not a live component of
+        its original parent.
+        """
+        return {"_graph": self._graph, "_probabilities": self._probabilities}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._graph = state["_graph"]
+        self._probabilities = state["_probabilities"]
+        self._view = MappingProxyType(self._probabilities)
+        self._float_probabilities = None
+        self._components = None
+        self._component_owner = None
+
     def _resolve_edge(self, key) -> Edge:
         if isinstance(key, Edge):
             candidate = self._graph.get_edge(key.source, key.target)

@@ -1,0 +1,33 @@
+"""The parallel query-serving layer.
+
+This package turns the solving stack into a servable system: a
+:class:`~repro.service.service.QueryService` shards registered instances
+across a multi-process worker pool (instance affinity keeps each worker's
+frozen graphs and compiled-plan caches warm), coalesces duplicate requests
+through the canonical query form before dispatch, supports per-request
+mixed precision (exact / float / seeded approx), and applies live
+single-edge probability updates without recompiling plans.
+
+See :mod:`repro.service.service` for the architecture notes,
+:mod:`repro.service.requests` for the request/result types, and
+:mod:`repro.service.jsonl` for the ``repro serve --batch`` wire format.
+"""
+
+from repro.service.requests import (
+    ServiceRequest,
+    ServiceResult,
+    request_from_json_dict,
+    result_to_json_dict,
+)
+from repro.service.service import QueryService, ServiceStats
+from repro.service.jsonl import run_jsonl_session
+
+__all__ = [
+    "QueryService",
+    "ServiceRequest",
+    "ServiceResult",
+    "ServiceStats",
+    "request_from_json_dict",
+    "result_to_json_dict",
+    "run_jsonl_session",
+]

@@ -1,0 +1,126 @@
+"""The ``repro serve --batch`` protocol: JSONL requests in, JSONL results out.
+
+Each input line is one JSON object with an ``"op"`` field:
+
+``register``
+    ``{"op": "register", "id": "inst1", "instance": {...}}`` installs a
+    probabilistic instance (graph-dictionary format of
+    :mod:`repro.graphs.serialization`); ``{"path": "instance.json"}`` loads
+    it from a file instead.
+``solve``
+    ``{"op": "solve", "id": "r1", "instance": "inst1", "query": {...},
+    "precision": "float", ...}`` — see
+    :func:`repro.service.requests.request_from_json_dict` for every field.
+``update``
+    ``{"op": "update", "instance": "inst1", "edge": ["a", "b"],
+    "probability": "1/3"}`` applies a single-edge probability change.
+
+Consecutive ``solve`` lines form one micro-batch: they are submitted
+together (so duplicates coalesce and distinct requests parallelise) and
+their results stream out in input order, one JSON object per line, before
+the next non-``solve`` op executes.  ``register`` and ``update`` emit an
+acknowledgement line.  A line that fails emits ``{"error": ...}`` (with the
+request id when there is one) and processing continues; the session's exit
+code reports whether any line failed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+from repro.exceptions import ReproError, ServiceError
+from repro.graphs.serialization import load_instance, probabilistic_graph_from_dict
+from repro.service.requests import (
+    ServiceRequest,
+    request_from_json_dict,
+    result_to_json_dict,
+)
+from repro.service.service import QueryService
+
+
+def _emit(out: TextIO, payload: Dict[str, Any]) -> None:
+    out.write(json.dumps(payload, sort_keys=True) + "\n")
+    out.flush()
+
+
+def _flush_batch(
+    service: QueryService, batch: List[ServiceRequest], out: TextIO
+) -> int:
+    """Submit the pending solve micro-batch; returns the number of failures.
+
+    Failed requests stream an ``{"error": ...}`` line; the healthy requests
+    of the same micro-batch keep their (already computed) results — nothing
+    is re-submitted.
+    """
+    if not batch:
+        return 0
+    failures = 0
+    for request, outcome in zip(batch, service.submit_many(batch, on_error="return")):
+        if outcome.error is not None:
+            failures += 1
+            _emit(out, {"id": request.request_id, "error": outcome.error})
+        else:
+            _emit(out, result_to_json_dict(outcome))
+    batch.clear()
+    return failures
+
+
+def run_jsonl_session(
+    lines: Iterable[str], out: TextIO, service: QueryService
+) -> int:
+    """Drive a service from JSONL input lines; returns a process exit code."""
+    failures = 0
+    batch: List[ServiceRequest] = []
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            failures += _flush_batch(service, batch, out)
+            failures += 1
+            _emit(out, {"error": f"line {line_number}: invalid JSON: {exc}"})
+            continue
+        op = data.get("op", "solve")
+        try:
+            if op == "solve":
+                batch.append(request_from_json_dict(data))
+                continue
+            failures += _flush_batch(service, batch, out)
+            if op == "register":
+                instance_id = _handle_register(service, data)
+                _emit(out, {"ok": True, "op": "register", "instance": instance_id})
+            elif op == "update":
+                _handle_update(service, data)
+                _emit(out, {"ok": True, "op": "update", "instance": data["instance"]})
+            else:
+                raise ServiceError(f"unknown op {op!r}")
+        except (ReproError, ValueError, OSError, KeyError) as exc:
+            failures += 1
+            _emit(out, {"error": f"line {line_number}: {exc}"})
+    failures += _flush_batch(service, batch, out)
+    return 1 if failures else 0
+
+
+def _handle_register(service: QueryService, data: Dict[str, Any]) -> str:
+    instance_id: Optional[str] = data.get("id")
+    if "instance" in data:
+        instance = probabilistic_graph_from_dict(data["instance"])
+    elif "path" in data:
+        instance = load_instance(str(data["path"]))
+    else:
+        raise ServiceError("register op needs an 'instance' object or a 'path'")
+    return service.register_instance(instance, instance_id)
+
+
+def _handle_update(service: QueryService, data: Dict[str, Any]) -> None:
+    if "instance" not in data or "edge" not in data or "probability" not in data:
+        raise ServiceError("update op needs 'instance', 'edge' and 'probability'")
+    edge = data["edge"]
+    if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+        raise ServiceError(f"update edge must be a [source, target] pair, got {edge!r}")
+    service.update_probability(
+        str(data["instance"]), (str(edge[0]), str(edge[1])), data["probability"]
+    )

@@ -1,0 +1,224 @@
+"""Request and result types of the serving layer, plus their JSONL encoding.
+
+A :class:`ServiceRequest` is one question a client asks the service: a query
+graph against a registered instance, with per-request method / precision /
+sampling options.  A :class:`ServiceResult` is the answer, wrapping the
+solver's :class:`~repro.core.solver.PHomResult` with serving provenance
+(which worker answered, whether the answer came from the worker's result
+cache).
+
+Two requests are *coalescible* when answering one answers the other: same
+instance, same canonical query form (:func:`repro.plan.canonical_query_key`,
+so isomorphic path queries coalesce), and same method / precision / sampling
+contract.  Sampling requests without a pinned seed are never coalesced
+across batches or cached — each one is entitled to fresh entropy — but
+duplicates *within* one batch share a single estimate, mirroring
+:meth:`~repro.core.solver.PHomSolver.solve_many` deduplication.
+
+The module also defines the JSONL wire format used by ``repro serve
+--batch``: one JSON object per line, see :func:`request_from_json_dict` and
+:func:`result_to_json_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.core.solver import PHomResult, PHomSolver
+from repro.exceptions import ServiceError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.serialization import graph_from_dict
+from repro.plan import canonical_query_key
+
+#: Precision names accepted on a request (``None`` defers to the service).
+PRECISIONS = ("exact", "float", "approx")
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One serving request: a query against a registered instance.
+
+    Attributes
+    ----------
+    query:
+        The conjunctive query, as a directed edge-labeled graph.
+    instance_id:
+        The id under which the target instance was registered with
+        :meth:`~repro.service.service.QueryService.register_instance`.
+    method:
+        ``"auto"`` (default) or an explicit solver method name.
+    precision:
+        ``"exact"`` / ``"float"`` / ``"approx"``, or ``None`` to use the
+        service's default precision.
+    epsilon / delta / seed:
+        The sampling contract, consulted only when sampling runs.  ``None``
+        (the default) inherits the service's configured value — including
+        the seed, so a service constructed with a pinned seed answers
+        unseeded requests reproducibly.  A pinned effective seed makes the
+        estimate reproducible (and therefore cacheable); an effective seed
+        of ``None`` draws fresh entropy per estimate.
+    request_id:
+        Optional caller-supplied correlation id, echoed on the result.
+    """
+
+    query: DiGraph
+    instance_id: str
+    method: str = "auto"
+    precision: Optional[str] = None
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    seed: Optional[int] = None
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.precision is not None and self.precision not in PRECISIONS:
+            raise ServiceError(
+                f"unknown precision {self.precision!r}; expected one of {PRECISIONS}"
+            )
+
+    def resolved_precision(self, default: str) -> str:
+        """The effective precision once the service default is applied."""
+        return self.precision if self.precision is not None else default
+
+    def may_sample(self, default_precision: str) -> bool:
+        """Whether this request can be answered by a sampler."""
+        return (
+            self.resolved_precision(default_precision) == "approx"
+            or self.method in PHomSolver.SAMPLING_METHODS
+        )
+
+    def coalesce_key(self, default_precision: str) -> Tuple[Hashable, ...]:
+        """The dedupe key: requests with equal keys share one computation.
+
+        The key folds in everything that affects the answer — instance,
+        canonical query form, method, resolved precision, and (for requests
+        that may sample) the full ``(ε, δ, seed)`` contract.
+        """
+        precision = self.resolved_precision(default_precision)
+        key: Tuple[Hashable, ...] = (
+            self.instance_id,
+            canonical_query_key(self.query),
+            self.method,
+            precision,
+        )
+        if self.may_sample(default_precision):
+            key += (self.epsilon, self.delta, self.seed)
+        return key
+
+    def cacheable(self, default_precision: str) -> bool:
+        """Whether the answer may be served from a worker's result cache.
+
+        Exact and float answers are pure functions of the (live) instance
+        table and always cacheable; sampled answers are cacheable only under
+        a pinned seed, where the estimate is reproducible by contract.
+        """
+        if not self.may_sample(default_precision):
+            return True
+        return self.seed is not None
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One serving answer: the solver result plus serving provenance.
+
+    ``result`` is ``None`` (and ``error`` holds the message) only for
+    failed requests surfaced by ``submit_many(..., on_error="return")``;
+    the default raising mode never hands out error results.
+    """
+
+    result: Optional[PHomResult]
+    request_id: Optional[str] = None
+    worker: int = 0
+    cached: bool = False
+    coalesced: bool = False
+    error: Optional[str] = None
+
+    @property
+    def probability(self):
+        """The probability (``Fraction`` in exact mode, ``float`` otherwise)."""
+        return self._solved().probability
+
+    @property
+    def method(self) -> str:
+        """The algorithm that answered the request."""
+        return self._solved().method
+
+    @property
+    def notes(self) -> str:
+        """Provenance notes (sampling contract, fallback markers)."""
+        return self._solved().notes
+
+    def _solved(self) -> PHomResult:
+        if self.result is None:
+            raise ServiceError(f"request {self.request_id!r} failed: {self.error}")
+        return self.result
+
+    def __float__(self) -> float:
+        return float(self.probability)
+
+
+# ----------------------------------------------------------------------
+# JSONL wire format (repro serve --batch)
+# ----------------------------------------------------------------------
+def request_from_json_dict(data: Dict[str, Any]) -> ServiceRequest:
+    """Build a :class:`ServiceRequest` from one parsed ``solve`` JSONL line.
+
+    Expected shape::
+
+        {"op": "solve", "id": "r1", "instance": "inst1",
+         "query": {"vertices": [...], "edges": [[s, t, label], ...]},
+         "method": "auto", "precision": "float",
+         "epsilon": 0.05, "delta": 0.01, "seed": 42}
+
+    ``id``, ``method``, ``precision``, ``epsilon``, ``delta`` and ``seed``
+    are optional; ``instance`` names a previously registered instance and
+    ``query`` uses the graph dictionary format of
+    :mod:`repro.graphs.serialization`.
+    """
+    if "instance" not in data:
+        raise ServiceError("solve request must name an 'instance' id")
+    if "query" not in data:
+        raise ServiceError("solve request must carry a 'query' graph")
+    seed = data.get("seed")
+    epsilon = data.get("epsilon")
+    delta = data.get("delta")
+    return ServiceRequest(
+        query=graph_from_dict(data["query"]),
+        instance_id=str(data["instance"]),
+        method=str(data.get("method", "auto")),
+        precision=data.get("precision"),
+        epsilon=float(epsilon) if epsilon is not None else None,
+        delta=float(delta) if delta is not None else None,
+        seed=int(seed) if seed is not None else None,
+        request_id=str(data["id"]) if "id" in data else None,
+    )
+
+
+def result_to_json_dict(outcome: ServiceResult) -> Dict[str, Any]:
+    """Encode a :class:`ServiceResult` as one JSONL output object.
+
+    Exact probabilities are carried as fraction strings (lossless) and every
+    result also reports the ``float`` value for convenience.
+    """
+    result = outcome.result
+    probability = result.probability
+    encoded = (
+        str(probability) if isinstance(probability, Fraction) else float(probability)
+    )
+    payload: Dict[str, Any] = {
+        "id": outcome.request_id,
+        "probability": encoded,
+        "float": float(probability),
+        "method": result.method,
+        "proposition": result.proposition,
+        "query_class": str(result.query_class),
+        "instance_class": str(result.instance_class),
+        "worker": outcome.worker,
+        "cached": outcome.cached,
+        "coalesced": outcome.coalesced,
+    }
+    if result.notes:
+        payload["notes"] = result.notes
+    return payload

@@ -1,0 +1,600 @@
+"""The parallel query-serving layer: :class:`QueryService`.
+
+``QueryService`` turns the single-process solving stack — batch solving
+(:meth:`~repro.core.solver.PHomSolver.solve_many`), compiled plans
+(:mod:`repro.plan`) and the ``(ε, δ)`` samplers (:mod:`repro.approx`) — into
+one servable system:
+
+* **Instance-affinity sharding.**  Every registered instance is owned by
+  exactly one worker process (stable hash of its id), so that worker's
+  frozen instance graph, memoised metadata and compiled-plan cache stay warm
+  across the whole request stream instead of being rebuilt per batch.
+* **Request coalescing.**  Duplicate requests — same instance, same
+  canonical query form (:func:`repro.plan.canonical_query_key`), same
+  options — are detected *before* dispatch; each distinct computation runs
+  once per batch and its duplicates receive copies, extending the
+  ``solve_many`` dedupe across instances and worker boundaries.  Worker-side
+  result caches additionally answer repeats across batches without
+  re-running even the arithmetic (until an update invalidates them).
+* **Mixed precision per request.**  Every request chooses ``exact`` /
+  ``float`` / ``approx`` independently; sampled answers carry their
+  ``(ε, δ, seed)`` contract, and a pinned seed reproduces the estimate bit
+  for bit no matter which worker runs it.
+* **Live updates.**  :meth:`QueryService.update_probability` applies a
+  single-edge probability change on the owning worker (and on the caller's
+  registered instance object, keeping both views consistent); compiled plans
+  survive — they capture structure only — while stale cached results are
+  dropped.
+
+``num_workers=0`` runs the identical serving logic inline (no processes),
+which is the zero-overhead mode for tests, small workloads and single-core
+machines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.solver import PHomSolver
+from repro.exceptions import ServiceError
+from repro.graphs.digraph import DiGraph, Edge
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.service.requests import ServiceRequest, ServiceResult
+from repro.service.worker import WorkerState, handle_message, worker_loop
+
+RequestLike = Union[ServiceRequest, Tuple[DiGraph, Any]]
+
+
+@dataclass
+class ServiceStats:
+    """A snapshot of serving statistics.
+
+    ``requests`` counts every request submitted; ``dispatched`` counts the
+    distinct computations actually sent to workers after coalescing, so
+    ``coalesced == requests - dispatched`` duplicates never crossed the
+    dispatch boundary.  ``workers`` holds one per-worker dictionary with the
+    worker's serving counters and its plan-cache statistics (hits, misses,
+    compiles, evictions — see :attr:`repro.plan.PlanCache.stats`).
+    """
+
+    requests: int = 0
+    dispatched: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    updates: int = 0
+    workers: List[Dict[str, Any]] = field(default_factory=list)
+
+    def dedupe_hit_rate(self) -> float:
+        """Fraction of submitted requests answered by coalescing alone."""
+        if self.requests == 0:
+            return 0.0
+        return self.coalesced / self.requests
+
+    def result_cache_hits(self) -> int:
+        """Total worker-side result-cache hits across the pool."""
+        return sum(w.get("result_cache_hits", 0) for w in self.workers)
+
+
+class QueryService:
+    """A parallel, deduplicating front end over the PHom solving stack.
+
+    Parameters
+    ----------
+    num_workers:
+        Size of the worker-process pool.  ``0`` serves inline in the calling
+        process (no subprocesses, same semantics); ``None`` picks
+        ``min(4, cpu_count)``.
+    default_precision:
+        Precision applied to requests that do not choose one
+        (``"exact"`` / ``"float"`` / ``"approx"``).
+    allow_brute_force / prefer / plan_cache_size / epsilon / delta / seed:
+        Forwarded to each worker's :class:`~repro.core.solver.PHomSolver`.
+    result_cache_size:
+        Capacity of each worker's result cache (``0`` disables result
+        caching; coalescing within a batch still applies).
+    start_method:
+        Multiprocessing start method (``"fork"`` / ``"spawn"`` / ...);
+        ``None`` picks ``fork`` where available, else the platform default.
+    timeout:
+        Seconds to wait for a worker reply before declaring the pool broken.
+    """
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        *,
+        default_precision: str = "exact",
+        allow_brute_force: bool = True,
+        prefer: str = "dp",
+        plan_cache_size: int = 128,
+        result_cache_size: int = 1024,
+        epsilon: float = 0.05,
+        delta: float = 0.01,
+        seed: Optional[int] = None,
+        start_method: Optional[str] = None,
+        timeout: float = 300.0,
+    ) -> None:
+        if default_precision not in ("exact", "float", "approx"):
+            raise ServiceError(
+                f"unknown default precision {default_precision!r}"
+            )
+        if num_workers is None:
+            num_workers = min(4, os.cpu_count() or 1)
+        if num_workers < 0:
+            raise ServiceError(f"num_workers must be >= 0, got {num_workers}")
+        self.num_workers = num_workers
+        self.default_precision = default_precision
+        #: The service-level sampling contract, inherited by requests that
+        #: leave epsilon / delta / seed unset.
+        self.default_epsilon = epsilon
+        self.default_delta = delta
+        self.default_seed = seed
+        self.timeout = timeout
+        self._closed = False
+        self._instances: Dict[str, ProbabilisticGraph] = {}
+        self._ids_by_identity: Dict[int, str] = {}
+        self._next_instance = itertools.count()
+        self._next_op = itertools.count()
+        self._stats_requests = 0
+        self._stats_dispatched = 0
+        self._stats_batches = 0
+        self._stats_updates = 0
+
+        def make_solver() -> PHomSolver:
+            return PHomSolver(
+                allow_brute_force=allow_brute_force,
+                prefer=prefer,
+                precision=default_precision,
+                plan_cache_size=plan_cache_size,
+                epsilon=epsilon,
+                delta=delta,
+                seed=seed,
+            )
+
+        if num_workers == 0:
+            self._inline: Optional[WorkerState] = WorkerState(
+                0, make_solver(), default_precision, result_cache_size
+            )
+            self._processes: List = []
+            self._queues: List = []
+            self._results = None
+            return
+        self._inline = None
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self._results = context.Queue()
+        self._queues = [context.Queue() for _ in range(num_workers)]
+        self._processes = []
+        for index in range(num_workers):
+            process = context.Process(
+                target=worker_loop,
+                args=(
+                    index,
+                    self._queues[index],
+                    self._results,
+                    make_solver(),
+                    default_precision,
+                    result_cache_size,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        self._replies: Dict[int, Tuple[int, Tuple[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker_queue in self._queues:
+            try:
+                worker_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive teardown
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the service has been closed")
+
+    # ------------------------------------------------------------------
+    # instance management
+    # ------------------------------------------------------------------
+    def register_instance(
+        self, instance: ProbabilisticGraph, instance_id: Optional[str] = None
+    ) -> str:
+        """Register an instance with its owning worker; returns its id.
+
+        Registering the same *object* again returns the existing id;
+        registering a different object under an existing id replaces it (on
+        the same worker — ownership is a pure function of the id).
+        """
+        self._check_open()
+        if not isinstance(instance, ProbabilisticGraph):
+            raise ServiceError(
+                f"expected a ProbabilisticGraph, got {type(instance).__name__}"
+            )
+        known = self._ids_by_identity.get(id(instance))
+        if (
+            known is not None
+            # Guard against id() recycling: the mapping only counts if this
+            # object really is the one registered under that id.
+            and self._instances.get(known) is instance
+            and instance_id in (None, known)
+        ):
+            return known
+        if instance_id is None:
+            instance_id = f"instance-{next(self._next_instance)}"
+        replaced = self._instances.get(instance_id)
+        if replaced is not None:
+            self._ids_by_identity.pop(id(replaced), None)
+        self._instances[instance_id] = instance
+        self._ids_by_identity[id(instance)] = instance_id
+        shipped = instance
+        if self._inline is not None:
+            # Mirror the process-boundary copy semantics in inline mode: the
+            # worker must hold its own instance, so a direct mutation of the
+            # caller's object cannot desynchronise the worker's result cache
+            # (go through update_probability, as with a real pool).
+            shipped = pickle.loads(pickle.dumps(instance))
+        self._call(self._worker_for(instance_id), "register", (instance_id, shipped))
+        return instance_id
+
+    def _worker_for(self, instance_id: str) -> int:
+        """Stable instance-affinity shard: id bytes -> worker index."""
+        if self.num_workers == 0:
+            return 0
+        return zlib.crc32(instance_id.encode("utf-8")) % self.num_workers
+
+    def _resolve_instance_id(self, instance: Union[str, ProbabilisticGraph]) -> str:
+        if isinstance(instance, str):
+            if instance not in self._instances:
+                raise ServiceError(f"instance {instance!r} is not registered")
+            return instance
+        if isinstance(instance, ProbabilisticGraph):
+            return self.register_instance(instance)
+        raise ServiceError(
+            f"cannot interpret {type(instance).__name__} as an instance or id"
+        )
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: DiGraph,
+        instance: Union[str, ProbabilisticGraph],
+        *,
+        method: str = "auto",
+        precision: Optional[str] = None,
+        epsilon: Optional[float] = None,
+        delta: Optional[float] = None,
+        seed: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> ServiceResult:
+        """Answer one request (a convenience wrapper over :meth:`submit_many`)."""
+        request = ServiceRequest(
+            query=query,
+            instance_id=self._resolve_instance_id(instance),
+            method=method,
+            precision=precision,
+            epsilon=epsilon,
+            delta=delta,
+            seed=seed,
+            request_id=request_id,
+        )
+        return self.submit_many([request])[0]
+
+    def submit_many(
+        self, requests: Sequence[RequestLike], *, on_error: str = "raise"
+    ) -> List[ServiceResult]:
+        """Answer a batch of requests; results come back in request order.
+
+        Entries are :class:`ServiceRequest` objects or ``(query, instance)``
+        pairs (the instance given as a registered id or the instance object
+        itself, which is auto-registered).  Duplicates — equal coalesce keys
+        — are computed once and fanned back out; distinct computations are
+        sharded to their instances' owning workers and run in parallel.
+
+        ``on_error="raise"`` (default) raises :class:`ServiceError` naming
+        the failed request(s); ``on_error="return"`` instead returns a
+        :class:`ServiceResult` with ``error`` set for the failed positions,
+        keeping the successfully computed answers of the rest of the batch.
+        """
+        if on_error not in ("raise", "return"):
+            raise ServiceError(f"unknown on_error mode {on_error!r}")
+        self._check_open()
+        normalized: List[Optional[ServiceRequest]] = []
+        answered: Dict[int, Tuple[ServiceResult, str]] = {}
+        for position, entry in enumerate(requests):
+            try:
+                normalized.append(self._normalize(entry))
+            except ServiceError as exc:
+                if on_error == "raise":
+                    raise
+                # A request that cannot even be normalised (unknown instance,
+                # bad entry shape) becomes an error outcome in place.
+                normalized.append(None)
+                request_id = (
+                    entry.request_id if isinstance(entry, ServiceRequest) else None
+                )
+                answered[position] = (
+                    ServiceResult(result=None, request_id=request_id, error=str(exc)),
+                    str(exc),
+                )
+        self._stats_requests += len(normalized)
+        self._stats_batches += 1
+        if not normalized:
+            return []
+
+        # Coalesce duplicates before dispatch.
+        representative: Dict[Hashable, int] = {}
+        unique_indices: List[int] = []
+        source_of: List[int] = []
+        for position, request in enumerate(normalized):
+            if request is None:
+                source_of.append(position)
+                continue
+            key = request.coalesce_key(self.default_precision)
+            first = representative.get(key)
+            if first is None:
+                representative[key] = position
+                unique_indices.append(position)
+                source_of.append(position)
+            else:
+                source_of.append(first)
+        self._stats_dispatched += len(unique_indices)
+
+        # Shard the distinct requests by instance affinity.
+        by_worker: Dict[int, List[int]] = {}
+        for position in unique_indices:
+            worker = self._worker_for(normalized[position].instance_id)
+            by_worker.setdefault(worker, []).append(position)
+
+        op_ids: Dict[int, int] = {}
+        for worker, positions in by_worker.items():
+            payload = [normalized[p] for p in positions]
+            if self._inline is not None:
+                reply = handle_message(self._inline, "solve", payload)
+                self._consume_solve(reply, worker, positions, normalized, answered)
+            else:
+                op_ids[self._send(worker, "solve", payload)] = worker
+        if op_ids:
+            for op_id, (worker, reply) in self._await(set(op_ids)).items():
+                positions = by_worker[op_ids[op_id]]
+                self._consume_solve(reply, worker, positions, normalized, answered)
+
+        failures = [
+            (answered[p][0].request_id or f"#{p}", message)
+            for p, (_, message) in sorted(answered.items())
+            if message
+        ]
+        if failures and on_error == "raise":
+            details = "; ".join(f"{rid}: {msg}" for rid, msg in failures[:5])
+            raise ServiceError(
+                f"{len(failures)} request(s) failed: {details}"
+            )
+
+        results: List[ServiceResult] = []
+        for position, source in enumerate(source_of):
+            base, message = answered[source]
+            request = normalized[position]
+            request_id = request.request_id if request is not None else base.request_id
+            if message or source == position:
+                results.append(replace(base, request_id=request_id))
+            else:
+                results.append(
+                    replace(
+                        base,
+                        result=replace(base.result),
+                        request_id=request_id,
+                        coalesced=True,
+                    )
+                )
+        return results
+
+    def _normalize(self, entry: RequestLike) -> ServiceRequest:
+        if isinstance(entry, ServiceRequest):
+            if entry.instance_id not in self._instances:
+                raise ServiceError(
+                    f"instance {entry.instance_id!r} is not registered"
+                )
+            request = entry
+        elif isinstance(entry, tuple) and len(entry) == 2:
+            query, instance = entry
+            request = ServiceRequest(
+                query=query, instance_id=self._resolve_instance_id(instance)
+            )
+        else:
+            raise ServiceError(
+                "submit_many entries must be ServiceRequest objects or "
+                "(query, instance) pairs"
+            )
+        # Resolve the service-level sampling defaults into the request, so
+        # coalesce keys, cacheability and the worker all see one concrete
+        # (ε, δ, seed) contract.
+        if request.epsilon is None or request.delta is None or request.seed is None:
+            request = replace(
+                request,
+                epsilon=(
+                    request.epsilon if request.epsilon is not None
+                    else self.default_epsilon
+                ),
+                delta=request.delta if request.delta is not None else self.default_delta,
+                seed=request.seed if request.seed is not None else self.default_seed,
+            )
+        return request
+
+    def _consume_solve(
+        self,
+        reply: Tuple[str, Any],
+        worker: int,
+        positions: List[int],
+        normalized: List[ServiceRequest],
+        answered: Dict[int, Tuple[ServiceResult, str]],
+    ) -> None:
+        status, value = reply
+        if status != "ok":
+            raise ServiceError(f"worker {worker} failed a solve batch: {value}")
+        if len(value) != len(positions):  # pragma: no cover - protocol guard
+            raise ServiceError(
+                f"worker {worker} answered {len(value)} of {len(positions)} requests"
+            )
+        for position, outcome in zip(positions, value):
+            if outcome[0] == "ok":
+                _, result, cached = outcome
+                answered[position] = (
+                    ServiceResult(
+                        result=result,
+                        request_id=normalized[position].request_id,
+                        worker=worker,
+                        cached=cached,
+                    ),
+                    "",
+                )
+            else:
+                answered[position] = (
+                    ServiceResult(
+                        result=None,
+                        request_id=normalized[position].request_id,
+                        worker=worker,
+                        error=outcome[1],
+                    ),
+                    outcome[1],
+                )
+
+    # ------------------------------------------------------------------
+    # updates and stats
+    # ------------------------------------------------------------------
+    def update_probability(
+        self,
+        instance: Union[str, ProbabilisticGraph],
+        edge,
+        probability,
+    ) -> None:
+        """Set one edge's probability on the owning worker's shard.
+
+        The caller's registered instance object is updated too, so the local
+        and worker-side views stay numerically identical; compiled plans on
+        the worker survive (they read the live table) while its cached
+        results for this instance are invalidated.
+        """
+        self._check_open()
+        instance_id = self._resolve_instance_id(instance)
+        local = self._instances[instance_id]
+        if isinstance(edge, Edge):
+            endpoints = (edge.source, edge.target)
+        elif isinstance(edge, tuple) and len(edge) == 2:
+            endpoints = edge
+        else:
+            raise ServiceError(f"cannot interpret {edge!r} as an edge")
+        # Validate (and normalise) locally first: a bad update must fail
+        # without desynchronising the worker copy.
+        local.set_probability(endpoints, probability)
+        self._stats_updates += 1
+        self._call(
+            self._worker_for(instance_id),
+            "update",
+            (instance_id, endpoints, probability),
+        )
+
+    def stats(self) -> ServiceStats:
+        """Service-level coalescing counters plus per-worker statistics."""
+        self._check_open()
+        if self._inline is not None:
+            workers = [self._inline.stats()]
+        else:
+            op_ids = {
+                self._send(worker, "stats", None): worker
+                for worker in range(self.num_workers)
+            }
+            replies = self._await(set(op_ids))
+            ordered: Dict[int, Dict[str, Any]] = {}
+            for op_id, (worker, reply) in replies.items():
+                status, value = reply
+                if status != "ok":  # pragma: no cover - protocol guard
+                    raise ServiceError(f"worker {worker} failed stats: {value}")
+                ordered[op_ids[op_id]] = value
+            workers = [ordered[index] for index in sorted(ordered)]
+        return ServiceStats(
+            requests=self._stats_requests,
+            dispatched=self._stats_dispatched,
+            coalesced=self._stats_requests - self._stats_dispatched,
+            batches=self._stats_batches,
+            updates=self._stats_updates,
+            workers=workers,
+        )
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+    def _send(self, worker: int, op: str, payload: Any) -> int:
+        op_id = next(self._next_op)
+        self._queues[worker].put((op_id, op, payload))
+        return op_id
+
+    def _call(self, worker: int, op: str, payload: Any) -> Any:
+        """Send one op and wait for its reply (inline mode short-circuits)."""
+        if self._inline is not None:
+            status, value = handle_message(self._inline, op, payload)
+            if status != "ok":
+                raise ServiceError(f"{op} failed: {value}")
+            return value
+        op_id = self._send(worker, op, payload)
+        _, (status, value) = self._await({op_id})[op_id]
+        if status != "ok":
+            raise ServiceError(f"{op} failed on worker {worker}: {value}")
+        return value
+
+    def _await(self, op_ids: set) -> Dict[int, Tuple[int, Tuple[str, Any]]]:
+        """Collect the replies for ``op_ids`` (tolerating interleaving)."""
+        collected: Dict[int, Tuple[int, Tuple[str, Any]]] = {}
+        pending = set(op_ids)
+        for op_id in list(pending):
+            if op_id in self._replies:
+                collected[op_id] = self._replies.pop(op_id)
+                pending.discard(op_id)
+        while pending:
+            try:
+                worker, op_id, reply = self._results.get(timeout=self.timeout)
+            except queue_module.Empty:
+                dead = [p.pid for p in self._processes if not p.is_alive()]
+                raise ServiceError(
+                    "timed out waiting for worker replies"
+                    + (f"; dead worker pids: {dead}" if dead else "")
+                ) from None
+            if op_id in pending:
+                collected[op_id] = (worker, reply)
+                pending.discard(op_id)
+            else:  # pragma: no cover - interleaved caller patterns
+                self._replies[op_id] = (worker, reply)
+        return collected

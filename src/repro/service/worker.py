@@ -1,0 +1,245 @@
+"""Worker-side execution of the serving layer.
+
+A :class:`WorkerState` owns everything one shard of the service needs to
+answer requests fast:
+
+* the registered instances of its shard (shipped once, kept warm — the
+  frozen instance graph accumulates memoised metadata, and the solver's
+  :class:`~repro.plan.PlanCache` accumulates compiled plans);
+* one :class:`~repro.core.solver.PHomSolver` configured like the service;
+* a small LRU *result cache* keyed on the request coalesce key, so repeated
+  identical requests across batches skip even the arithmetic (invalidated
+  per instance on ``update_probability``).
+
+The same class backs both deployment shapes: :func:`worker_loop` drives it
+from a child process over multiprocessing queues, and the service's inline
+mode (``num_workers=0``) calls it directly in-process.  Messages are
+``(op_id, op, payload)`` tuples; every message gets exactly one reply
+``(worker_index, op_id, reply)`` where ``reply`` is ``("ok", value)`` or
+``("error", message)``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.approx import ApproxParams
+from repro.core.solver import PHomResult, PHomSolver
+from repro.exceptions import ServiceError
+from repro.probability.prob_graph import ProbabilisticGraph
+from repro.service.requests import ServiceRequest
+
+
+class WorkerState:
+    """The per-shard serving state (instances, solver, result cache)."""
+
+    def __init__(
+        self,
+        worker_index: int,
+        solver: PHomSolver,
+        default_precision: str,
+        result_cache_size: int = 1024,
+    ) -> None:
+        self.worker_index = worker_index
+        self.solver = solver
+        self.default_precision = default_precision
+        self.result_cache_size = result_cache_size
+        self.instances: Dict[str, ProbabilisticGraph] = {}
+        self._result_cache: "OrderedDict[Hashable, PHomResult]" = OrderedDict()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "solved": 0,
+            "result_cache_hits": 0,
+            "updates": 0,
+        }
+        if self.solver.plan_cache is not None:
+            # Eviction hook: evicted structure is re-compilable, but knowing
+            # how often it happens tells the operator the cache is undersized.
+            self.solver.plan_cache.on_evict = self._on_plan_evict
+        self._plans_evicted_by_instance: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def register(self, instance_id: str, instance: ProbabilisticGraph) -> int:
+        """Install (or replace) an instance; returns its edge count."""
+        self.instances[instance_id] = instance
+        self._invalidate_results(instance_id)
+        return instance.graph.num_edges()
+
+    def update(self, instance_id: str, endpoints: Tuple, probability) -> None:
+        """Apply one probability update and drop the instance's cached results."""
+        instance = self._instance(instance_id)
+        instance.set_probability(endpoints, probability)
+        self.counters["updates"] += 1
+        self._invalidate_results(instance_id)
+
+    def solve_batch(
+        self, requests: List[ServiceRequest]
+    ) -> List[Tuple[str, Any]]:
+        """Answer a batch of (already coalesced) requests.
+
+        Returns one outcome per request, in order: ``("ok", result, cached)``
+        or ``("error", message)`` — a failing request never poisons the rest
+        of the batch.
+        """
+        outcomes: List[Tuple[str, Any]] = []
+        for request in requests:
+            self.counters["requests"] += 1
+            try:
+                result, cached = self._solve_one(request)
+                outcomes.append(("ok", result, cached))
+            except Exception as exc:  # noqa: BLE001 - a bad request (wrong
+                # types included) must fail *that request*, never the batch
+                # or the worker process.
+                outcomes.append(("error", f"{type(exc).__name__}: {exc}"))
+        return outcomes
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters plus the per-worker plan-cache statistics."""
+        plan_stats = (
+            dict(self.solver.plan_cache.stats)
+            if self.solver.plan_cache is not None
+            else None
+        )
+        return {
+            "worker": self.worker_index,
+            "instances": sorted(self.instances),
+            "plan_cache": plan_stats,
+            "plan_evictions_by_instance": dict(self._plans_evicted_by_instance),
+            "result_cache_size": len(self._result_cache),
+            "result_cache_capacity": self.result_cache_size,
+            **self.counters,
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _instance(self, instance_id: str) -> ProbabilisticGraph:
+        try:
+            return self.instances[instance_id]
+        except KeyError:
+            raise ServiceError(
+                f"instance {instance_id!r} is not registered on worker "
+                f"{self.worker_index}"
+            ) from None
+
+    def _solve_one(self, request: ServiceRequest) -> Tuple[PHomResult, bool]:
+        instance = self._instance(request.instance_id)
+        cacheable = (
+            self.result_cache_size > 0 and request.cacheable(self.default_precision)
+        )
+        key = request.coalesce_key(self.default_precision) if cacheable else None
+        if key is not None:
+            hit = self._result_cache.get(key)
+            if hit is not None:
+                self._result_cache.move_to_end(key)
+                self.counters["result_cache_hits"] += 1
+                # Hand out a copy so callers mutating a result cannot poison
+                # the cache (PHomResult is a mutable dataclass).
+                return replace(hit), True
+        result = self._dispatch(request, instance)
+        self.counters["solved"] += 1
+        if key is not None:
+            self._result_cache[key] = replace(result)
+            while len(self._result_cache) > self.result_cache_size:
+                self._result_cache.popitem(last=False)
+        return result, False
+
+    def _dispatch(
+        self, request: ServiceRequest, instance: ProbabilisticGraph
+    ) -> PHomResult:
+        solver = self.solver
+        needs_params = request.may_sample(self.default_precision)
+        saved = solver.approx_params
+        if needs_params:
+            # Per-request sampling fields override the service-level contract
+            # (carried here by the solver prototype); unset fields inherit it.
+            solver.approx_params = ApproxParams(
+                epsilon=request.epsilon if request.epsilon is not None else saved.epsilon,
+                delta=request.delta if request.delta is not None else saved.delta,
+                seed=request.seed if request.seed is not None else saved.seed,
+            )
+        try:
+            with warnings.catch_warnings():
+                # Brute-force fallbacks are a per-request property; the
+                # result's notes field already records them, so the warning
+                # must not leak to the service process's stderr per request.
+                warnings.simplefilter("ignore")
+                return solver.solve(
+                    request.query,
+                    instance,
+                    method=request.method,
+                    precision=request.resolved_precision(self.default_precision),
+                )
+        finally:
+            if needs_params:
+                solver.approx_params = saved
+
+    def _invalidate_results(self, instance_id: str) -> None:
+        stale = [key for key in self._result_cache if key[0] == instance_id]
+        for key in stale:
+            del self._result_cache[key]
+
+    def _on_plan_evict(self, key, plan) -> None:
+        # The cache key pairs the canonical query form with id(instance);
+        # resolve the id back to the registered name when possible.
+        for name, instance in self.instances.items():
+            if instance is plan.instance:
+                self._plans_evicted_by_instance[name] = (
+                    self._plans_evicted_by_instance.get(name, 0) + 1
+                )
+                return
+
+
+def handle_message(state: WorkerState, op: str, payload: Any) -> Tuple[str, Any]:
+    """Dispatch one protocol message against a worker state."""
+    try:
+        if op == "solve":
+            return ("ok", state.solve_batch(payload))
+        if op == "register":
+            instance_id, instance = payload
+            return ("ok", state.register(instance_id, instance))
+        if op == "update":
+            instance_id, endpoints, probability = payload
+            state.update(instance_id, endpoints, probability)
+            return ("ok", None)
+        if op == "stats":
+            return ("ok", state.stats())
+        return ("error", f"unknown service op {op!r}")
+    except Exception as exc:  # noqa: BLE001 - malformed payloads must come
+        # back as protocol errors, not kill the worker.
+        return ("error", f"{type(exc).__name__}: {exc}")
+
+
+def worker_loop(
+    worker_index: int,
+    request_queue,
+    result_queue,
+    solver: PHomSolver,
+    default_precision: str,
+    result_cache_size: int,
+) -> None:
+    """Entry point of a worker process: serve messages until ``None`` arrives.
+
+    The solver arrives through the pickling contract of
+    :class:`~repro.core.solver.PHomSolver` (configuration only, fresh plan
+    cache), so every worker starts cold and warms its own shard.
+    """
+    state = WorkerState(
+        worker_index, solver, default_precision, result_cache_size=result_cache_size
+    )
+    while True:
+        message = request_queue.get()
+        if message is None:
+            break
+        op_id, op, payload = message
+        try:
+            reply = handle_message(state, op, payload)
+        except Exception as exc:  # noqa: BLE001 - the process must survive
+            # and reply, or the client blocks for its full timeout.
+            reply = ("error", f"{type(exc).__name__}: {exc}")
+        result_queue.put((worker_index, op_id, reply))

@@ -2,16 +2,26 @@
 
 from repro.workloads.generators import (
     attach_random_probabilities,
+    intractable_instance,
+    intractable_workload,
     make_query,
     make_instance,
+    query_traffic_trace,
     workload_for_cell,
+    zipf_ranks,
+    TrafficTrace,
     Workload,
 )
 
 __all__ = [
     "attach_random_probabilities",
+    "intractable_instance",
+    "intractable_workload",
     "make_query",
     "make_instance",
+    "query_traffic_trace",
     "workload_for_cell",
+    "zipf_ranks",
+    "TrafficTrace",
     "Workload",
 ]

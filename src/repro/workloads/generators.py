@@ -11,6 +11,7 @@ tests and benchmarks share identical workloads.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional, Sequence, Union
@@ -221,6 +222,84 @@ def intractable_workload(
         instance_class=GraphClass.ALL,
         labeled=True,
     )
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A serving-style request stream with Zipf-skewed query popularity.
+
+    ``pool`` holds the distinct query graphs; ``requests`` is the trace
+    itself, a sequence of indices into the pool (so duplicate requests are
+    *the same* query object, exactly as a serving layer receives them).
+    ``skew`` records the Zipf exponent the trace was drawn with.
+    """
+
+    pool: Sequence[DiGraph]
+    requests: Sequence[int]
+    skew: float
+
+    def queries(self) -> list:
+        """The trace as a list of query graphs (duplicates share objects)."""
+        return [self.pool[index] for index in self.requests]
+
+    def distinct_fraction(self) -> float:
+        """Fraction of the trace that is a first occurrence of its query."""
+        if not self.requests:
+            return 0.0
+        return len(set(self.requests)) / len(self.requests)
+
+
+def zipf_ranks(num_requests: int, pool_size: int, skew: float, rng: RandomLike = None) -> list:
+    """Draw ``num_requests`` pool ranks from a Zipf(``skew``) popularity law.
+
+    Rank ``r`` (0-based) is drawn with probability proportional to
+    ``1 / (r + 1) ** skew``; ``skew=0`` degenerates to the uniform law.  The
+    draw is performed with one cumulative table and ``rng.random()`` per
+    request, so a pinned seed reproduces the trace exactly.
+    """
+    if num_requests < 0:
+        raise ReproError(f"num_requests must be non-negative, got {num_requests}")
+    if pool_size <= 0:
+        raise ReproError(f"pool_size must be positive, got {pool_size}")
+    if skew < 0:
+        raise ReproError(f"the Zipf skew must be non-negative, got {skew}")
+    r = _rng(rng)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(pool_size)]
+    cumulative = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+    return [
+        min(bisect_left(cumulative, r.random() * total), pool_size - 1)
+        for _ in range(num_requests)
+    ]
+
+
+def query_traffic_trace(
+    num_requests: int,
+    pool_size: int,
+    skew: float = 1.1,
+    query_class: GraphClass = GraphClass.ONE_WAY_PATH,
+    labeled: bool = True,
+    query_size: int = 3,
+    rng: RandomLike = None,
+) -> TrafficTrace:
+    """A Zipf-skewed query traffic trace, the serving benchmark's workload.
+
+    Draws a pool of ``pool_size`` random queries of ``query_class`` (each a
+    fresh draw, so the pool mixes shapes and labels) and a request stream of
+    ``num_requests`` pool indices whose popularity follows a Zipf law with
+    exponent ``skew`` — the classic model of real query traffic, where a few
+    hot queries dominate and a long tail of cold ones follows.  High skew
+    means high duplication, which is what the request-coalescing layer of
+    :mod:`repro.service` exploits; ``skew=0`` gives uniform traffic as the
+    adversarial baseline.  Deterministic under a pinned ``rng``.
+    """
+    r = _rng(rng)
+    pool = [make_query(query_class, labeled, query_size, r) for _ in range(pool_size)]
+    requests = zipf_ranks(num_requests, pool_size, skew, r)
+    return TrafficTrace(pool=tuple(pool), requests=tuple(requests), skew=skew)
 
 
 def workload_for_cell(

@@ -12,6 +12,15 @@ from repro.graphs.digraph import DiGraph
 from repro.probability.prob_graph import ProbabilisticGraph
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "tier2: slower end-to-end checks (example-script subprocesses); "
+        "CI runs them once in the docs job and excludes them from the "
+        'matrix tier-1 step with -m "not tier2"',
+    )
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministic random generator for reproducible tests."""

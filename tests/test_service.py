@@ -1,0 +1,468 @@
+"""Tests for the parallel serving layer (:mod:`repro.service`).
+
+The inline mode (``num_workers=0``) runs the exact worker logic in-process,
+so most semantics are tested there; a smaller set of tests exercises the
+real multi-process pool (sharding, cross-process updates, pinned-seed
+reproducibility across worker counts).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.solver import PHomSolver
+from repro.exceptions import ServiceError
+from repro.graphs.builders import one_way_path
+from repro.graphs.classes import GraphClass
+from repro.graphs.digraph import DiGraph
+from repro.graphs.serialization import probabilistic_graph_to_dict, graph_to_dict
+from repro.plan import PlanCache
+from repro.service import (
+    QueryService,
+    ServiceRequest,
+    run_jsonl_session,
+)
+from repro.workloads.generators import (
+    attach_random_probabilities,
+    intractable_workload,
+    make_instance,
+    query_traffic_trace,
+)
+
+
+def build_instance(seed: int, instance_class=GraphClass.UNION_DOWNWARD_TREE, labeled=True):
+    graph = make_instance(instance_class, labeled, 16, seed)
+    return attach_random_probabilities(graph, seed)
+
+
+def trace_queries(seed: int, count: int = 20):
+    trace = query_traffic_trace(
+        count, 6, skew=1.2, query_class=GraphClass.ONE_WAY_PATH, rng=seed
+    )
+    return trace.queries()
+
+
+@pytest.fixture
+def inline_service():
+    with QueryService(num_workers=0) as service:
+        yield service
+
+
+class TestInlineService:
+    def test_submit_matches_solver_exactly(self, inline_service):
+        instance = build_instance(1)
+        solver = PHomSolver()
+        for seed in (3, 4):
+            for query in trace_queries(seed, 6):
+                expected = solver.solve(query, instance)
+                got = inline_service.submit(query, instance)
+                assert got.probability == expected.probability
+                assert got.method == expected.method
+
+    def test_mixed_precision_in_one_batch(self, inline_service):
+        instance = build_instance(2)
+        instance_id = inline_service.register_instance(instance)
+        query = trace_queries(5, 1)[0]
+        exact, floaty = inline_service.submit_many(
+            [
+                ServiceRequest(query, instance_id, precision="exact"),
+                ServiceRequest(query, instance_id, precision="float"),
+            ]
+        )
+        solver = PHomSolver()
+        assert exact.probability == solver.solve(query, instance).probability
+        assert floaty.probability == solver.solve(
+            query, instance, precision="float"
+        ).probability
+        assert isinstance(floaty.probability, float)
+        # Different precisions must not coalesce into one computation.
+        assert not floaty.coalesced
+
+    def test_duplicates_coalesce_before_dispatch(self, inline_service):
+        instance = build_instance(3)
+        instance_id = inline_service.register_instance(instance)
+        query = trace_queries(7, 1)[0]
+        results = inline_service.submit_many([(query, instance_id)] * 5)
+        assert len(results) == 5
+        assert len({str(r.probability) for r in results}) == 1
+        assert [r.coalesced for r in results] == [False, True, True, True, True]
+        stats = inline_service.stats()
+        assert stats.requests == 5
+        assert stats.dispatched == 1
+        assert stats.coalesced == 4
+        assert stats.dedupe_hit_rate() == pytest.approx(0.8)
+
+    def test_isomorphic_path_queries_coalesce(self, inline_service):
+        instance = build_instance(4)
+        instance_id = inline_service.register_instance(instance)
+        one = one_way_path(["R", "S"], prefix="a")
+        other = one_way_path(["R", "S"], prefix="b")
+        first, second = inline_service.submit_many(
+            [(one, instance_id), (other, instance_id)]
+        )
+        assert second.coalesced
+        assert second.probability == first.probability
+
+    def test_result_cache_hits_across_batches(self, inline_service):
+        instance = build_instance(5)
+        instance_id = inline_service.register_instance(instance)
+        query = trace_queries(9, 1)[0]
+        cold = inline_service.submit(query, instance_id)
+        warm = inline_service.submit(query, instance_id)
+        assert not cold.cached and warm.cached
+        assert warm.probability == cold.probability
+        assert inline_service.stats().result_cache_hits() == 1
+
+    def test_update_probability_invalidates_results(self, inline_service):
+        instance = build_instance(6)
+        instance_id = inline_service.register_instance(instance)
+        query = trace_queries(11, 1)[0]
+        before = inline_service.submit(query, instance_id)
+        edge = instance.uncertain_edges()[0]
+        inline_service.update_probability(instance_id, edge, "1/2")
+        # The caller-side registered object is updated too.
+        assert str(instance.probability(edge)) == "1/2"
+        after = inline_service.submit(query, instance_id)
+        assert not after.cached
+        assert after.probability == PHomSolver().solve(query, instance).probability
+
+    def test_bad_update_is_rejected_atomically(self, inline_service):
+        instance = build_instance(7)
+        instance_id = inline_service.register_instance(instance)
+        edge = instance.uncertain_edges()[0]
+        with pytest.raises(Exception):
+            inline_service.update_probability(instance_id, edge, "7/2")
+        # Neither side applied the bad value.
+        assert instance.probability(edge) <= 1
+
+    def test_unregistered_instance_id_raises(self, inline_service):
+        query = trace_queries(13, 1)[0]
+        with pytest.raises(ServiceError, match="not registered"):
+            inline_service.submit(query, "nope")
+        with pytest.raises(ServiceError, match="not registered"):
+            inline_service.submit_many([ServiceRequest(query, "nope")])
+
+    def test_failing_request_reports_its_id(self, inline_service):
+        instance = build_instance(8)
+        instance_id = inline_service.register_instance(instance)
+        empty = DiGraph()
+        empty.add_vertex("lonely")  # edge-less is fine; zero vertices is not
+        bad = DiGraph()
+        with pytest.raises(ServiceError, match="r-bad"):
+            inline_service.submit_many(
+                [
+                    ServiceRequest(bad, instance_id, request_id="r-bad"),
+                    ServiceRequest(empty, instance_id, request_id="r-good"),
+                ]
+            )
+
+    def test_pinned_seed_approx_is_reproducible_and_cached(self, inline_service):
+        workload = intractable_workload(8, rng=21)
+        instance_id = inline_service.register_instance(workload.instance)
+        kwargs = dict(precision="approx", epsilon=0.2, delta=0.1, seed=99)
+        first = inline_service.submit(workload.query, instance_id, **kwargs)
+        second = inline_service.submit(workload.query, instance_id, **kwargs)
+        assert first.method == "karp-luby"
+        assert float(first) == float(second)
+        assert second.cached
+
+    def test_service_level_sampling_contract_is_inherited(self):
+        workload = intractable_workload(8, rng=23)
+        with QueryService(
+            num_workers=0, default_precision="approx",
+            epsilon=0.2, delta=0.1, seed=13,
+        ) as service:
+            instance_id = service.register_instance(workload.instance)
+            # No per-request sampling args: the service's (ε, δ, seed) apply.
+            first = service.submit(workload.query, instance_id)
+            second = service.submit(workload.query, instance_id)
+            assert first.method == "karp-luby"
+            assert "seed=13" in first.notes
+            assert float(first) == float(second)
+            assert second.cached  # the inherited pinned seed makes it cacheable
+
+    def test_partial_failures_can_be_returned_instead_of_raised(self, inline_service):
+        instance = build_instance(91)
+        instance_id = inline_service.register_instance(instance)
+        good_query = trace_queries(93, 1)[0]
+        results = inline_service.submit_many(
+            [
+                ServiceRequest(good_query, instance_id, request_id="ok"),
+                ServiceRequest(DiGraph(), instance_id, request_id="bad"),
+            ],
+            on_error="return",
+        )
+        assert results[0].error is None
+        assert results[0].probability == PHomSolver().solve(good_query, instance).probability
+        assert results[1].error is not None and results[1].result is None
+        with pytest.raises(ServiceError, match="bad"):
+            results[1].probability
+
+    def test_unseeded_approx_is_never_cached(self, inline_service):
+        workload = intractable_workload(8, rng=22)
+        instance_id = inline_service.register_instance(workload.instance)
+        kwargs = dict(precision="approx", epsilon=0.2, delta=0.1)
+        first = inline_service.submit(workload.query, instance_id, **kwargs)
+        second = inline_service.submit(workload.query, instance_id, **kwargs)
+        assert not first.cached and not second.cached
+
+    def test_stats_expose_per_worker_plan_cache(self, inline_service):
+        instance = build_instance(9)
+        inline_service.submit(trace_queries(15, 1)[0], instance)
+        stats = inline_service.stats()
+        (worker,) = stats.workers
+        assert worker["plan_cache"]["compiles"] >= 1
+        assert "evictions" in worker["plan_cache"]
+        assert worker["instances"] == ["instance-0"]
+
+    def test_replacing_an_instance_id_serves_the_new_instance(self, inline_service):
+        first = build_instance(81)
+        second = build_instance(82)
+        query = trace_queries(83, 1)[0]
+        inline_service.register_instance(first, "shared")
+        before = inline_service.submit(query, "shared")
+        inline_service.register_instance(second, "shared")
+        after = inline_service.submit(query, "shared")
+        assert not after.cached
+        assert after.probability == PHomSolver().solve(query, second).probability
+        # The displaced object is no longer known by identity: submitting it
+        # registers it fresh under a new id instead of answering from "shared".
+        again = inline_service.submit(query, first)
+        assert again.probability == before.probability
+
+    def test_inline_worker_holds_its_own_copy(self, inline_service):
+        instance = build_instance(85)
+        instance_id = inline_service.register_instance(instance)
+        query = trace_queries(87, 1)[0]
+        baseline = inline_service.submit(query, instance_id)
+        # A direct mutation of the caller's object must not leak into the
+        # worker shard (same semantics as a process pool): answers only
+        # change through update_probability.
+        edge = instance.uncertain_edges()[0]
+        original = instance.probability(edge)
+        instance.set_probability(edge, "1/16" if str(original) != "1/16" else "1/8")
+        unchanged = inline_service.submit(query, instance_id)
+        assert unchanged.probability == baseline.probability
+        inline_service.update_probability(instance_id, edge, instance.probability(edge))
+        updated = inline_service.submit(query, instance_id)
+        assert updated.probability == PHomSolver().solve(query, instance).probability
+
+    def test_closed_service_rejects_work(self):
+        service = QueryService(num_workers=0)
+        service.close()
+        with pytest.raises(ServiceError, match="closed"):
+            service.register_instance(build_instance(10))
+
+
+class TestMultiprocessService:
+    def test_exact_answers_bit_identical_to_solve_many(self):
+        instances = [build_instance(s) for s in (31, 32, 33)]
+        queries = trace_queries(35, 15)
+        solver = PHomSolver()
+        with QueryService(num_workers=2) as service:
+            ids = [service.register_instance(inst) for inst in instances]
+            requests = [
+                (query, ids[position % 3]) for position, query in enumerate(queries)
+            ]
+            results = service.submit_many(requests)
+            for position, query in enumerate(queries):
+                expected = solver.solve(query, instances[position % 3])
+                assert results[position].probability == expected.probability
+
+    def test_affinity_is_stable_and_spreads_instances(self):
+        with QueryService(num_workers=2) as service:
+            owners = {
+                name: service._worker_for(name)
+                for name in ("instance-0", "instance-1", "instance-2", "instance-3")
+            }
+            assert all(0 <= worker < 2 for worker in owners.values())
+            assert owners == {
+                name: service._worker_for(name) for name in owners
+            }
+
+    def test_update_reaches_the_owning_worker(self):
+        instance = build_instance(41)
+        query = trace_queries(43, 1)[0]
+        with QueryService(num_workers=2) as service:
+            instance_id = service.register_instance(instance)
+            service.submit(query, instance_id)
+            edge = instance.uncertain_edges()[0]
+            service.update_probability(instance_id, edge, "1/3")
+            got = service.submit(query, instance_id)
+            assert got.probability == PHomSolver().solve(query, instance).probability
+
+    def test_pinned_seed_estimate_identical_across_worker_counts(self):
+        workload = intractable_workload(8, rng=45)
+        values = []
+        for workers in (0, 2):
+            with QueryService(num_workers=workers) as service:
+                instance = pickle.loads(pickle.dumps(workload.instance))
+                instance_id = service.register_instance(instance)
+                result = service.submit(
+                    workload.query, instance_id,
+                    precision="approx", epsilon=0.2, delta=0.1, seed=7,
+                )
+                values.append(float(result))
+        assert values[0] == values[1]
+
+
+class TestJsonlProtocol:
+    def make_lines(self, instance, query, extra=()):
+        lines = [
+            json.dumps(
+                {
+                    "op": "register",
+                    "id": "inst",
+                    "instance": probabilistic_graph_to_dict(instance),
+                }
+            ),
+            json.dumps(
+                {
+                    "op": "solve",
+                    "id": "r1",
+                    "instance": "inst",
+                    "query": graph_to_dict(query),
+                }
+            ),
+            json.dumps(
+                {
+                    "op": "solve",
+                    "id": "r2",
+                    "instance": "inst",
+                    "query": graph_to_dict(query),
+                    "precision": "float",
+                }
+            ),
+        ]
+        lines.extend(extra)
+        return lines
+
+    def test_session_round_trip(self):
+        instance = build_instance(51)
+        query = trace_queries(53, 1)[0]
+        edge = instance.uncertain_edges()[0]
+        update = json.dumps(
+            {
+                "op": "update",
+                "instance": "inst",
+                "edge": [str(edge.source), str(edge.target)],
+                "probability": "1/2",
+            }
+        )
+        out = io.StringIO()
+        with QueryService(num_workers=0) as service:
+            code = run_jsonl_session(
+                self.make_lines(instance, query, extra=[update]), out, service
+            )
+        assert code == 0
+        lines = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert lines[0] == {"ok": True, "op": "register", "instance": "inst"}
+        by_id = {line.get("id"): line for line in lines if "id" in line}
+        assert by_id["r1"]["method"] == by_id["r2"]["method"]
+        assert by_id["r1"]["float"] == pytest.approx(by_id["r2"]["float"], abs=1e-9)
+        assert "/" in by_id["r1"]["probability"] or by_id["r1"]["probability"] in "01"
+        assert lines[-1] == {"ok": True, "op": "update", "instance": "inst"}
+
+    def test_bad_lines_keep_the_session_alive(self):
+        instance = build_instance(55)
+        query = trace_queries(57, 1)[0]
+        lines = self.make_lines(instance, query)
+        lines.insert(1, "not json at all")
+        lines.append(json.dumps({"op": "solve", "instance": "ghost", "query": graph_to_dict(query), "id": "r3"}))
+        out = io.StringIO()
+        with QueryService(num_workers=0) as service:
+            code = run_jsonl_session(lines, out, service)
+        assert code == 1
+        parsed = [json.loads(line) for line in out.getvalue().splitlines()]
+        errors = [line for line in parsed if "error" in line]
+        assert len(errors) == 2
+        solved = [line for line in parsed if line.get("id") in ("r1", "r2")]
+        assert len(solved) == 2
+
+    def test_cli_serve_batch(self, tmp_path):
+        instance = build_instance(59)
+        query = trace_queries(61, 1)[0]
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join(self.make_lines(instance, query)) + "\n")
+        out, err = io.StringIO(), io.StringIO()
+        code = cli_main(
+            ["serve", "--batch", str(requests), "--workers", "0", "--stats"],
+            out=out, err=err,
+        )
+        assert code == 0
+        assert len(out.getvalue().splitlines()) == 3
+        assert "served 2 request(s)" in err.getvalue()
+
+
+class TestPicklableArtifacts:
+    CELLS = [
+        (GraphClass.TWO_WAY_PATH, GraphClass.UNION_TWO_WAY_PATH, True, "dp"),
+        (GraphClass.ONE_WAY_PATH, GraphClass.UNION_DOWNWARD_TREE, True, "dp"),
+        (GraphClass.DOWNWARD_TREE, GraphClass.POLYTREE, False, "dp"),
+        (GraphClass.DOWNWARD_TREE, GraphClass.POLYTREE, False, "automaton"),
+    ]
+
+    @pytest.mark.parametrize("query_class,instance_class,labeled,prefer", CELLS)
+    def test_plans_survive_pickling(self, query_class, instance_class, labeled, prefer):
+        from repro.workloads.generators import workload_for_cell
+
+        workload = workload_for_cell(query_class, instance_class, labeled, 3, 10, rng=63)
+        solver = PHomSolver(prefer=prefer)
+        plan = solver.compile(workload.query, workload.instance)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.evaluate() == plan.evaluate()
+        assert clone.method == plan.method
+
+    def test_fallback_plan_estimate_reproducible_after_pickling(self):
+        from repro.approx import ApproxParams
+
+        workload = intractable_workload(8, rng=65)
+        plan = PHomSolver().compile(workload.query, workload.instance)
+        clone = pickle.loads(pickle.dumps(plan))
+        params = ApproxParams(epsilon=0.2, delta=0.1, seed=5)
+        assert plan.estimate(params=params).value == clone.estimate(params=params).value
+
+    def test_solver_pickle_keeps_config_drops_cache(self):
+        solver = PHomSolver(
+            allow_brute_force=False, prefer="automaton", precision="float",
+            plan_cache_size=7,
+        )
+        instance = build_instance(67)
+        solver.solve(trace_queries(69, 1)[0], instance)
+        clone = pickle.loads(pickle.dumps(solver))
+        assert clone.allow_brute_force is False
+        assert clone.prefer == "automaton"
+        assert clone.plan_cache.maxsize == 7
+        assert clone.plan_cache.stats["size"] == 0
+
+    def test_instance_pickle_is_independent(self):
+        instance = build_instance(71)
+        clone = pickle.loads(pickle.dumps(instance))
+        edge = instance.uncertain_edges()[0]
+        clone.set_probability(edge, "1/2")
+        assert instance.probability(edge) != clone.probability(edge) or str(
+            instance.probability(edge)
+        ) == "1/2"
+        assert clone.graph.frozen
+
+
+class TestPlanCacheEvictions:
+    def test_eviction_counter_and_hook(self):
+        evicted = []
+        cache = PlanCache(maxsize=1, on_evict=lambda key, plan: evicted.append(key))
+        instance = build_instance(73)
+        solver = PHomSolver()
+        solver._plan_cache = cache
+        solver.solve(one_way_path(["R"]), instance)
+        solver.solve(one_way_path(["S"]), instance)
+        stats = cache.stats
+        assert stats["compiles"] == 2
+        assert stats["evictions"] == 1
+        assert len(evicted) == 1
+        assert stats["size"] == 1
+        assert stats["maxsize"] == 1

@@ -9,7 +9,13 @@ import pytest
 from repro.exceptions import ReproError
 from repro.graphs.classes import GraphClass, graph_in_class
 from repro.graphs.builders import one_way_path
-from repro.workloads import attach_random_probabilities, make_query, workload_for_cell
+from repro.workloads import (
+    attach_random_probabilities,
+    make_query,
+    query_traffic_trace,
+    workload_for_cell,
+    zipf_ranks,
+)
 
 
 class TestAttachRandomProbabilities:
@@ -71,3 +77,47 @@ class TestWorkloadForCell:
         assert first.query == second.query
         assert first.instance.graph == second.instance.graph
         assert first.instance.probabilities() == second.instance.probabilities()
+
+
+class TestZipfTraffic:
+    def test_ranks_are_in_range_and_reproducible(self):
+        first = zipf_ranks(200, 10, 1.1, rng=5)
+        second = zipf_ranks(200, 10, 1.1, rng=5)
+        assert first == second
+        assert all(0 <= rank < 10 for rank in first)
+
+    def test_skew_concentrates_traffic_on_the_head(self):
+        skewed = zipf_ranks(2000, 20, 1.5, rng=9)
+        uniform = zipf_ranks(2000, 20, 0.0, rng=9)
+        head_share = skewed.count(0) / len(skewed)
+        uniform_share = uniform.count(0) / len(uniform)
+        assert head_share > 2 * uniform_share
+        assert uniform_share == pytest.approx(1 / 20, abs=0.03)
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ReproError):
+            zipf_ranks(-1, 10, 1.0)
+        with pytest.raises(ReproError):
+            zipf_ranks(10, 0, 1.0)
+        with pytest.raises(ReproError):
+            zipf_ranks(10, 10, -0.5)
+
+    def test_trace_queries_share_pool_objects(self):
+        trace = query_traffic_trace(50, 5, skew=1.2, rng=13)
+        queries = trace.queries()
+        assert len(queries) == 50
+        assert len(trace.pool) == 5
+        assert all(any(q is p for p in trace.pool) for q in queries)
+        assert 0 < trace.distinct_fraction() <= 0.1 + 5 / 50
+
+    def test_trace_is_reproducible_and_class_constrained(self):
+        first = query_traffic_trace(
+            30, 4, skew=1.0, query_class=GraphClass.TWO_WAY_PATH, rng=17
+        )
+        second = query_traffic_trace(
+            30, 4, skew=1.0, query_class=GraphClass.TWO_WAY_PATH, rng=17
+        )
+        assert first.requests == second.requests
+        assert [q.edge_set() for q in first.pool] == [q.edge_set() for q in second.pool]
+        for query in first.pool:
+            assert graph_in_class(query, GraphClass.TWO_WAY_PATH)
