@@ -32,6 +32,9 @@ subpackages contain the full machinery:
 * :mod:`repro.lineage` — DNF lineages, β-acyclicity, d-DNNF circuits;
 * :mod:`repro.automata` — tree automata and provenance circuits (Prop 5.4);
 * :mod:`repro.csp` — the X-property homomorphism algorithm (Theorem 4.13);
+* :mod:`repro.query` — the conjunctive-query language frontend
+  (``"R(x, y), S(y, z)"``), Chandra–Merlin core minimization and the
+  class-aware ``normalize`` pass;
 * :mod:`repro.core` — the tractable solvers and the dispatching
   :class:`~repro.core.solver.PHomSolver`;
 * :mod:`repro.reductions` — the hardness reductions (#Bipartite-Edge-Cover,
@@ -48,6 +51,7 @@ subpackages contain the full machinery:
 from repro.exceptions import (
     ReproError,
     GraphError,
+    QueryParseError,
     ClassConstraintError,
     ProbabilityError,
     LineageError,
@@ -83,6 +87,17 @@ from repro.probability import ProbabilisticGraph, brute_force_phom
 from repro.lineage import PositiveDNF, DDNNF, CircuitEvaluator, match_lineage
 from repro.core import PHomSolver, PHomResult, phom_probability
 from repro.plan import CompiledPlan, PlanCache, canonical_query_key
+from repro.query import (
+    Atom,
+    NormalizedQuery,
+    QueryIR,
+    explain_query,
+    format_query,
+    normalize as normalize_query,
+    parse_query,
+    parse_query_graph,
+    query_core,
+)
 from repro.service import QueryService, ServiceRequest, ServiceResult, ServiceStats
 from repro.classification import classify_cell, Complexity, table1, table2, table3
 
@@ -91,6 +106,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ReproError",
     "GraphError",
+    "QueryParseError",
     "ClassConstraintError",
     "ProbabilityError",
     "LineageError",
@@ -132,6 +148,15 @@ __all__ = [
     "CompiledPlan",
     "PlanCache",
     "canonical_query_key",
+    "Atom",
+    "QueryIR",
+    "parse_query",
+    "parse_query_graph",
+    "format_query",
+    "query_core",
+    "normalize_query",
+    "NormalizedQuery",
+    "explain_query",
     "QueryService",
     "ServiceRequest",
     "ServiceResult",

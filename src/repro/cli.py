@@ -6,14 +6,18 @@ The subcommands mirror what a user typically wants:
   (Tables 1–3), derived from the border-case propositions;
 * ``repro classify --query-class 1WP --instance-class DWT --setting labeled``
   — look up one cell of the classification;
-* ``repro solve QUERY.json INSTANCE.json`` — compute ``Pr(G ⇝ H)`` for a
-  query and a probabilistic instance stored in the JSON format of
-  :mod:`repro.graphs.serialization`, reporting the algorithm used;
+* ``repro solve QUERY INSTANCE.json`` — compute ``Pr(G ⇝ H)`` for a query
+  (a JSON file in the format of :mod:`repro.graphs.serialization`, or a
+  query-language string such as ``"R(x, y), S(y, z)"``) and a probabilistic
+  instance JSON file, reporting the algorithm used;
+* ``repro parse "R(x, y), S(y, z), S(t, z)" --explain`` — print the parsed
+  IR, its homomorphic core, and the resulting (class, cell, method)
+  classification, showing when minimization changes the complexity cell;
 * ``repro serve --batch REQUESTS.jsonl`` — drive the parallel serving layer
   (:mod:`repro.service`) from a JSONL request stream, streaming JSONL
   results (``-`` reads stdin);
-* ``repro bench [hotpaths|plans|sampling|service]`` — run a benchmark suite
-  and record its ``BENCH_*.json`` report.
+* ``repro bench [hotpaths|plans|sampling|service|query]`` — run a benchmark
+  suite and record its ``BENCH_*.json`` report.
 
 The module is also importable: :func:`main` takes an ``argv`` list and
 returns an exit code, which is how the test suite exercises it.
@@ -81,9 +85,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="labeled (|σ|>1) or unlabeled (|σ|=1) setting",
     )
 
-    solve = subparsers.add_parser("solve", help="compute Pr(query ⇝ instance) from JSON files")
-    solve.add_argument("query", help="path to the query graph JSON file")
+    solve = subparsers.add_parser(
+        "solve",
+        help="compute Pr(query ⇝ instance) from JSON files or a query string",
+    )
+    solve.add_argument(
+        "query",
+        help=(
+            "path to the query graph JSON file, or a query-language string "
+            "such as 'R(x, y), S(y, z)' (anything that is not an existing file)"
+        ),
+    )
     solve.add_argument("instance", help="path to the probabilistic instance JSON file")
+    solve.add_argument(
+        "--no-minimize", action="store_true",
+        help="classify the query exactly as written instead of minimizing it "
+        "to its homomorphic core first",
+    )
     solve.add_argument(
         "--method", default="auto",
         help="algorithm to use ('auto' or one of PHomSolver.available_methods())",
@@ -115,6 +133,28 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--seed", type=int, default=None,
         help="approx: RNG seed for reproducible estimates (default: fresh entropy)",
+    )
+
+    parse = subparsers.add_parser(
+        "parse",
+        help=(
+            "parse a query-language string, print its IR and homomorphic "
+            "core, and (--explain) the classification cell and dispatch route"
+        ),
+    )
+    parse.add_argument("query", help="the query string, e.g. 'R(x, y), S(y, z), S(t, z)'")
+    parse.add_argument(
+        "--explain", action="store_true",
+        help="additionally print the (class, cell, method) classification "
+        "before and after minimization",
+    )
+    parse.add_argument(
+        "--instance-class", type=_parse_class, default=GraphClass.ALL,
+        help="instance class to classify against (default: all)",
+    )
+    parse.add_argument(
+        "--setting", choices=["auto", "labeled", "unlabeled"], default="auto",
+        help="labeled/unlabeled setting (default: inferred from the query's labels)",
     )
 
     serve = subparsers.add_parser(
@@ -169,12 +209,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "run a benchmark suite: 'hotpaths' (default, records BENCH_hotpaths.json), "
             "'plans' (compiled query plans, records BENCH_plans.json), "
-            "'sampling' (Karp-Luby vs brute force, records BENCH_sampling.json) or "
-            "'service' (parallel serving layer, records BENCH_service.json)"
+            "'sampling' (Karp-Luby vs brute force, records BENCH_sampling.json), "
+            "'service' (parallel serving layer, records BENCH_service.json) or "
+            "'query' (core minimization, records BENCH_query.json)"
         ),
     )
     bench.add_argument(
-        "suite", nargs="?", choices=["hotpaths", "plans", "sampling", "service"],
+        "suite", nargs="?",
+        choices=["hotpaths", "plans", "sampling", "service", "query"],
         default="hotpaths",
         help="which benchmark suite to run (default: hotpaths)",
     )
@@ -221,6 +263,13 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.add_argument(
+        "--min-minimization-speedup", type=float, default=0.0,
+        help=(
+            "query: fail when the minimized-dispatch speedup over unminimized "
+            "solving on the redundant-core workload drops below this"
+        ),
+    )
+    bench.add_argument(
         "--max-epsilon-ratio", type=float, default=0.0,
         help=(
             "sampling: fail when |estimate - exact| / exact exceeds this multiple "
@@ -262,9 +311,32 @@ def _run_classify(args, out) -> int:
     return 0
 
 
+def _load_query_argument(value: str):
+    """A query CLI argument: an existing JSON file path, or a query string."""
+    import os
+
+    from repro.query import parse_query_graph
+
+    if os.path.exists(value):
+        return load_query(value)
+    if value.lstrip().startswith("{"):
+        # Looks like inline JSON, which `solve` does not accept — say so
+        # instead of producing a confusing parse-error caret.
+        raise ReproError(
+            f"query argument {value!r} looks like JSON but is not an existing "
+            f"file; pass a path to a query JSON file or a query-language "
+            f"string such as 'R(x, y), S(y, z)'"
+        )
+    if "/" in value or "\\" in value or value.endswith(".json"):
+        # Path-shaped (and never valid query syntax): a mistyped file path
+        # deserves a file error, not a parse-error caret under the filename.
+        raise ReproError(f"query file {value!r} does not exist")
+    return parse_query_graph(value)
+
+
 def _run_solve(args, out, err) -> int:
     try:
-        query = load_query(args.query)
+        query = _load_query_argument(args.query)
         instance = load_instance(args.instance)
     except (OSError, ValueError, ReproError) as exc:
         err.write(f"error: could not load inputs: {exc}\n")
@@ -277,6 +349,7 @@ def _run_solve(args, out, err) -> int:
             epsilon=args.epsilon,
             delta=args.delta,
             seed=args.seed,
+            minimize_queries=not args.no_minimize,
         )
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always", IntractableFallbackWarning)
@@ -291,8 +364,69 @@ def _run_solve(args, out, err) -> int:
     out.write(f"query class = {result.query_class}, instance class = {result.instance_class}\n")
     if result.notes and result.method in PHomSolver.SAMPLING_METHODS:
         out.write(f"note: sampled estimate — {result.notes}\n")
+    elif "query minimized" in result.notes:
+        out.write(f"note: {result.notes[result.notes.index('query minimized'):]}\n")
     if any(issubclass(w.category, IntractableFallbackWarning) for w in caught):
         out.write("note: this query/instance combination is #P-hard; brute force was used\n")
+    return 0
+
+
+def _run_parse(args, out, err) -> int:
+    from repro.classification.tables import Setting
+    from repro.query import explain_query, format_query, parse_query
+
+    try:
+        ir = parse_query(args.query)
+        setting = {
+            "auto": None,
+            "labeled": Setting.LABELED,
+            "unlabeled": Setting.UNLABELED,
+        }[args.setting]
+        explanation = explain_query(
+            ir, instance_class=args.instance_class, setting=setting
+        )
+    except ReproError as exc:
+        err.write(f"error: {exc}\n")
+        return 1
+    normalized = explanation.normalized
+    out.write(f"query       = {format_query(ir)}\n")
+    out.write(
+        f"atoms       = {len(ir.atoms)} atom(s) over "
+        f"{len(ir.variables())} variable(s)\n"
+    )
+    out.write(f"query class = {normalized.original_class}\n")
+    if normalized.changed:
+        out.write(f"core        = {explanation.format_core()}\n")
+        out.write(
+            f"core class  = {normalized.core_class} "
+            f"(folded {normalized.folded_vertices} variable(s), "
+            f"{normalized.folded_edges} atom(s))\n"
+        )
+    else:
+        out.write("core        = (the query is already minimal)\n")
+    if args.explain:
+        label = "L" if explanation.setting is Setting.LABELED else "#L"
+        out.write(
+            f"cell        = PHom_{label}({normalized.original_class}, "
+            f"{explanation.instance_class}) is "
+            f"{explanation.original_cell.complexity} "
+            f"[{explanation.original_cell.proposition}]\n"
+        )
+        if normalized.changed:
+            out.write(
+                f"core cell   = PHom_{label}({normalized.core_class}, "
+                f"{explanation.instance_class}) is "
+                f"{explanation.core_cell.complexity} "
+                f"[{explanation.core_cell.proposition}]\n"
+            )
+            if explanation.unlocked:
+                out.write(
+                    "note: minimization moves this query into a polynomial "
+                    "dispatch cell\n"
+                )
+        out.write(f"method      = {explanation.method}\n")
+        if explanation.proposition:
+            out.write(f"backed by   = {explanation.proposition}\n")
     return 0
 
 
@@ -350,6 +484,8 @@ def _run_bench(args, out, err) -> int:
         return _run_bench_sampling(args, out, err)
     if args.suite == "service":
         return _run_bench_service(args, out, err)
+    if args.suite == "query":
+        return _run_bench_query(args, out, err)
     from repro.bench import format_report, run_benchmarks, write_report
 
     if args.smoke:
@@ -456,6 +592,30 @@ def _run_bench_service(args, out, err) -> int:
     return 0
 
 
+def _run_bench_query(args, out, err) -> int:
+    from repro.bench_query import (
+        check_query_thresholds,
+        format_query_report,
+        run_query_benchmarks,
+        write_query_report,
+    )
+
+    try:
+        report = run_query_benchmarks(smoke=args.smoke)
+        check_query_thresholds(
+            report, min_minimization_speedup=args.min_minimization_speedup
+        )
+    except AssertionError as exc:
+        err.write(f"error: query benchmark check failed: {exc}\n")
+        return 1
+    out.write(format_query_report(report) + "\n")
+    output = args.output or "BENCH_query.json"
+    if output != "-":
+        write_query_report(report, output)
+        out.write(f"report written to {output}\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -468,6 +628,8 @@ def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
         return _run_classify(args, out)
     if args.command == "solve":
         return _run_solve(args, out, err)
+    if args.command == "parse":
+        return _run_parse(args, out, err)
     if args.command == "serve":
         return _run_serve(args, out, err)
     if args.command == "bench":

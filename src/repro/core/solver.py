@@ -34,6 +34,12 @@ from repro.lineage.builders import match_lineage
 from repro.numeric import EXACT, FAST, Number, NumericContext, resolve_context
 from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
 from repro.probability.prob_graph import ProbabilisticGraph
+from repro.query.minimize import (
+    normalize as normalize_query,
+    query_core,
+    validate_query_graph,
+)
+from repro.query.parser import as_query_graph
 from repro.core.disconnected import (
     cached_level_mapping,
     phom_on_disconnected_instance,
@@ -63,6 +69,49 @@ from repro.plan import (
 )
 
 PrecisionLike = Union[str, NumericContext, None]
+
+#: Queries may be given as graphs or as query-language strings
+#: (``"R(x, y), S(y, z)"``, parsed by :mod:`repro.query`).
+QueryLike = Union[DiGraph, str]
+
+#: Marker prefix of the minimization provenance in ``PHomResult.notes``
+#: (produced by :meth:`repro.query.NormalizedQuery.describe`).
+MINIMIZATION_NOTE_PREFIX = "query minimized to its homomorphic core"
+
+
+def requalify_result(
+    result: "PHomResult", query: DiGraph, minimize: bool = True
+) -> "PHomResult":
+    """Re-describe a (possibly shared) result for the query actually asked.
+
+    Core-keyed deduplication — :meth:`PHomSolver.solve_many`, the plan
+    cache, and the serving layer's coalescing and result caches — lets one
+    computation answer several *equivalent* queries.  The probability,
+    method and proposition are shared by construction, but the reported
+    ``query_class`` and the minimization provenance belong to the
+    individual spelling: this strips any previous spelling's minimization
+    note, restores ``query_class`` to the class of ``query`` as written,
+    and (when ``minimize``) appends ``query``'s own fold provenance.
+    Mutates and returns ``result``.
+    """
+    notes = result.notes
+    index = notes.find(MINIMIZATION_NOTE_PREFIX)
+    if index != -1:
+        notes = notes[:index].rstrip().rstrip(";")
+    result.query_class = graph_class_of(query)
+    if minimize:
+        try:
+            info = normalize_query(query)
+        except ClassConstraintError:
+            # Degenerate (self-loop-only) queries answered by an explicit
+            # enumeration/sampling method carry no minimization provenance.
+            info = None
+        if info is not None and info.changed:
+            note = info.describe()
+            notes = f"{notes}; {note}" if notes else note
+    result.notes = notes
+    return result
+
 
 #: The error for #P-hard cells when neither brute force nor sampling may run.
 _HARD_CELL_MESSAGE = (
@@ -138,6 +187,16 @@ class PHomSolver:
     seed:
         Seed for the sampling RNG.  ``None`` (default) draws fresh entropy
         per estimate; pass an integer for bit-reproducible estimates.
+    minimize_queries:
+        Whether the automatic dispatch minimizes queries to their
+        homomorphic core (:func:`repro.query.query_core`) before
+        classification (default ``True``).  Minimization never changes the
+        answer (the core is an equivalent query), but it can move a query
+        written with redundant atoms from a #P-hard cell into a polynomial
+        dispatch route, and it makes the plan cache and the serving layer
+        coalesce syntactically distinct queries with equal cores.  ``False``
+        classifies every query exactly as written (the pre-minimization
+        behaviour, kept for benchmarking and differential testing).
     """
 
     def __init__(
@@ -149,11 +208,13 @@ class PHomSolver:
         epsilon: float = 0.05,
         delta: float = 0.01,
         seed: Optional[int] = None,
+        minimize_queries: bool = True,
     ) -> None:
         if prefer not in ("dp", "lineage", "automaton"):
             raise ValueError("prefer must be one of 'dp', 'lineage', 'automaton'")
         self.allow_brute_force = allow_brute_force
         self.prefer = prefer
+        self.minimize_queries = minimize_queries
         self.approx_params = ApproxParams(epsilon=epsilon, delta=delta, seed=seed)
         self.approximate = _is_approx(precision)
         self.context = FAST if self.approximate else resolve_context(precision)
@@ -190,7 +251,7 @@ class PHomSolver:
     # ------------------------------------------------------------------
     def probability(
         self,
-        query: DiGraph,
+        query: QueryLike,
         instance: ProbabilisticGraph,
         method: str = "auto",
         precision: PrecisionLike = None,
@@ -200,22 +261,35 @@ class PHomSolver:
 
     def solve(
         self,
-        query: DiGraph,
+        query: QueryLike,
         instance: ProbabilisticGraph,
         method: str = "auto",
         precision: PrecisionLike = None,
     ) -> PHomResult:
         """Compute ``Pr(query ⇝ instance)`` and report the algorithm used.
 
-        ``method`` is ``"auto"`` (recommended) or one of the explicit
-        algorithm names listed in :meth:`available_methods`.  ``precision``
-        overrides the solver's numeric backend for this call (including
-        ``"approx"``, which samples the #P-hard cells with the solver's
-        ``epsilon`` / ``delta`` / ``seed``).
+        ``query`` is a :class:`~repro.graphs.digraph.DiGraph` or a
+        query-language string such as ``"R(x, y), S(y, z)"`` (see
+        :mod:`repro.query`).  ``method`` is ``"auto"`` (recommended) or one
+        of the explicit algorithm names listed in :meth:`available_methods`
+        — the automatic dispatch minimizes the query to its homomorphic
+        core first (unless the solver was built with
+        ``minimize_queries=False``), while explicit methods run on the
+        query exactly as written.  ``precision`` overrides the solver's
+        numeric backend for this call (including ``"approx"``, which
+        samples the #P-hard cells with the solver's ``epsilon`` / ``delta``
+        / ``seed``).
         """
+        query = as_query_graph(query)
         context, approx = self._resolve_precision(precision)
         self._validate_inputs(query, instance)
         if method == "auto":
+            # Self-loop-only degenerate queries belong to no class of
+            # Figure 2, so the classifying dispatch rejects them up front
+            # with a clear error (PR 5 contract); the explicit
+            # enumeration/sampling methods below need no class recognition
+            # and still accept them.
+            validate_query_graph(query)
             return self._solve_auto(query, instance, context, approx)
         if method in self.SAMPLING_METHODS:
             # The samplers always run on floats (a precision override is
@@ -237,7 +311,7 @@ class PHomSolver:
 
     def solve_many(
         self,
-        queries: Iterable[DiGraph],
+        queries: Iterable[QueryLike],
         instance: ProbabilisticGraph,
         method: str = "auto",
         precision: PrecisionLike = None,
@@ -251,12 +325,14 @@ class PHomSolver:
         is the intended entry point for serving many queries against the
         same probabilistic instance.
 
-        Structurally identical queries (equal canonical form, see
-        :func:`repro.plan.canonical_query_key`) are deduplicated: each
-        distinct form is compiled and evaluated once, and duplicates receive
-        copies of its result.
+        Equivalent queries (equal canonical form, see
+        :func:`repro.plan.canonical_query_key` — under the default
+        ``minimize_queries=True`` this compares homomorphic *cores*, so
+        syntactically distinct but equivalent queries dedupe too) are
+        deduplicated: each distinct form is compiled and evaluated once, and
+        duplicates receive copies of its result.
         """
-        queries = list(queries)
+        queries = [as_query_graph(query) for query in queries]
         if queries:
             # Warm the shared instance-side caches once, outside the loop,
             # so the first query does not pay for them alone (the values are
@@ -274,15 +350,24 @@ class PHomSolver:
                     instance.connected_components()
         solved: Dict[object, PHomResult] = {}
         results: List[PHomResult] = []
+        # Explicit (non-auto) methods dispatch on the query exactly as
+        # written, so equivalent-but-distinct spellings must not share a
+        # result there — only the minimizing auto route may dedupe on cores.
+        dedupe_on_cores = self.minimize_queries and method == "auto"
         for query in queries:
-            key = canonical_query_key(query)
+            key = canonical_query_key(query, minimize=dedupe_on_cores)
             cached = solved.get(key)
             if cached is None:
                 cached = self.solve(query, instance, method=method, precision=precision)
                 solved[key] = cached
                 results.append(cached)
             else:
-                results.append(replace(cached))
+                # A copy of the shared computation, re-described for *this*
+                # spelling (its own query class and, on the minimizing auto
+                # route only, its own minimization provenance).
+                results.append(
+                    requalify_result(replace(cached), query, dedupe_on_cores)
+                )
         return results
 
     #: Explicit method names answered by the samplers (float estimates with
@@ -456,7 +541,7 @@ class PHomSolver:
                 result = self._plan_result(plan, estimate.value)
                 result.method = "karp-luby"
                 result.notes = estimate.describe()
-                return result
+                return self._annotate_minimization(result, query)
             if not self.allow_brute_force:
                 # Reached on approx-mode solvers answering an exact per-call
                 # precision override; cached-plan cross-talk is already
@@ -470,7 +555,19 @@ class PHomSolver:
             probability = plan.evaluate(precision=context, _warn=False)
         else:
             probability = plan.evaluate(precision=context)
-        return self._plan_result(plan, probability)
+        return self._annotate_minimization(self._plan_result(plan, probability), query)
+
+    def _annotate_minimization(self, result: PHomResult, query: DiGraph) -> PHomResult:
+        """Report a minimized solve against the *original* query.
+
+        The plan (and therefore ``result``) describes the homomorphic core
+        the dispatcher actually ran on; when minimization changed the query,
+        the result's ``query_class`` is restored to the class of the query
+        as written and the fold provenance is appended to ``notes``.
+        """
+        if not self.minimize_queries:
+            return result
+        return requalify_result(result, query, minimize=True)
 
     @staticmethod
     def _plan_result(plan: CompiledPlan, probability: Number) -> PHomResult:
@@ -487,15 +584,19 @@ class PHomSolver:
     # ------------------------------------------------------------------
     # plan compilation (the structural phase, done once per (query, instance))
     # ------------------------------------------------------------------
-    def compile(self, query: DiGraph, instance: ProbabilisticGraph) -> CompiledPlan:
+    def compile(self, query: QueryLike, instance: ProbabilisticGraph) -> CompiledPlan:
         """Compile a reusable :class:`~repro.plan.CompiledPlan` for the pair.
 
         The plan captures everything probability-independent — the dispatch
         verdict and the structural skeleton of the chosen algorithm — and is
         served from the solver's :class:`~repro.plan.PlanCache` when an
         equivalent query was compiled against the same instance before.
-        ``plan.evaluate(...)`` then runs only arithmetic;
-        ``plan.update(edge, p)`` re-evaluates after a single-edge change.
+        Under the default ``minimize_queries=True`` the plan is compiled for
+        the query's homomorphic core (an equivalent query with the same
+        probability on every instance), so ``plan.query`` may be smaller
+        than the query passed in.  ``plan.evaluate(...)`` then runs only
+        arithmetic; ``plan.update(edge, p)`` re-evaluates after a
+        single-edge change.
 
         Because equivalent compiles return the *same cached object*, the
         serving table maintained by ``update`` is shared by everyone holding
@@ -503,7 +604,9 @@ class PHomSolver:
         ``reset_serving()`` the plan or use a solver with
         ``plan_cache_size=0``.
         """
+        query = as_query_graph(query)
         self._validate_inputs(query, instance)
+        validate_query_graph(query)
         return self._plan_for(query, instance)
 
     def _plan_for(
@@ -516,9 +619,16 @@ class PHomSolver:
             # Approx-mode solvers never brute-force, but they do need the
             # fallback plan (it carries the lineage the sampler runs on).
             allow_fallback = self.allow_brute_force or self.approximate
+        if self.minimize_queries:
+            # The class-aware rewriting pass: classification and compilation
+            # run on the homomorphic core, an equivalent (often smaller, and
+            # sometimes polynomially dispatchable) query.  query_core (not
+            # normalize) so the explicit sampling path, which validates
+            # nothing, keeps accepting degenerate queries it can answer.
+            query = query_core(query)
         if self._plan_cache is None:
             return self._compile_plan(query, instance, allow_fallback)
-        key = canonical_query_key(query)
+        key = canonical_query_key(query, minimize=self.minimize_queries)
         plan = self._plan_cache.lookup(key, instance)
         if plan is None:
             plan = self._compile_plan(query, instance, allow_fallback)
@@ -661,7 +771,7 @@ class PHomSolver:
 
 
 def phom_probability(
-    query: DiGraph,
+    query: QueryLike,
     instance: ProbabilisticGraph,
     method: str = "auto",
     allow_brute_force: bool = True,
@@ -670,13 +780,16 @@ def phom_probability(
     epsilon: float = 0.05,
     delta: float = 0.01,
     seed: Optional[int] = None,
+    minimize_queries: bool = True,
 ) -> Number:
     """``Pr(query ⇝ instance)``: the one-call public API of the library.
 
     Parameters
     ----------
     query:
-        The conjunctive query, as a directed edge-labeled graph.
+        The conjunctive query, as a directed edge-labeled graph or as a
+        query-language string such as ``"R(x, y), S(y, z)"`` (see
+        :mod:`repro.query`).
     instance:
         The tuple-independent probabilistic instance.
     method:
@@ -699,6 +812,10 @@ def phom_probability(
         The sampling contract and RNG seed, consulted only when sampling
         runs (``precision="approx"`` or one of the explicit sampling
         methods ``"karp-luby"`` / ``"monte-carlo-worlds"``).
+    minimize_queries:
+        Whether the automatic dispatch minimizes the query to its
+        homomorphic core before classification (default ``True``; see
+        :class:`PHomSolver`).
     """
     solver = PHomSolver(
         allow_brute_force=allow_brute_force,
@@ -707,5 +824,6 @@ def phom_probability(
         epsilon=epsilon,
         delta=delta,
         seed=seed,
+        minimize_queries=minimize_queries,
     )
     return solver.probability(query, instance, method=method)

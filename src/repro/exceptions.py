@@ -16,6 +16,41 @@ class GraphError(ReproError):
     """Raised for malformed graphs (unknown vertices, duplicate edges, ...)."""
 
 
+class QueryParseError(ReproError):
+    """Raised for malformed query-language strings (:mod:`repro.query`).
+
+    Carries the offending source text and the character offset of the
+    failure, and renders them as a caret diagnostic::
+
+        R(x, y), S(y z)
+                     ^
+        expected ',' between the arguments of 'S'
+
+    ``message`` is the bare description; ``str(error)`` includes the source
+    excerpt.  ``position`` is ``None`` for errors without a single location
+    (e.g. a vertex name that cannot be written in the query language).
+    """
+
+    def __init__(self, message: str, text: str = "", position: "int | None" = None):
+        super().__init__(message)
+        self.message = message
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:
+        if not self.text or self.position is None:
+            return self.message
+        # Locate the offending line and column for the caret rendering.
+        prefix = self.text[: self.position]
+        line_start = prefix.rfind("\n") + 1
+        line_end = self.text.find("\n", self.position)
+        if line_end < 0:
+            line_end = len(self.text)
+        column = self.position - line_start
+        line = self.text[line_start:line_end]
+        return f"{self.message}\n  {line}\n  {' ' * column}^"
+
+
 class ClassConstraintError(ReproError):
     """Raised when a graph does not belong to the graph class an algorithm requires.
 

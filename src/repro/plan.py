@@ -60,6 +60,7 @@ from repro.lineage.dnf import PositiveDNF
 from repro.numeric import EXACT, FAST, Number, NumericContext, resolve_context
 from repro.probability.brute_force import brute_force_phom
 from repro.probability.prob_graph import ProbabilisticGraph, as_probability
+from repro.query.minimize import query_core
 from repro.core.labeled_2wp import (
     TwoWayPathSkeleton,
     compile_connected_on_2wp,
@@ -90,18 +91,32 @@ BRUTE_FORCE_FALLBACK_MESSAGE = (
 # ----------------------------------------------------------------------
 # canonical query forms
 # ----------------------------------------------------------------------
-def canonical_query_key(query: DiGraph) -> Hashable:
+def canonical_query_key(query: DiGraph, minimize: bool = True) -> Hashable:
     """A hashable canonical form of the query, memoised on the query graph.
 
-    Two-way-path queries (which include one-way paths, the most common
-    serving shape) canonicalise to the lexicographically smaller of their
-    two traversal direction/label sequences, so *isomorphic* path queries
-    share one key regardless of vertex names.  Other shapes canonicalise to
-    their exact content (vertex set + labeled edge set), which dedupes
+    The key is computed on the query's homomorphic core
+    (:func:`repro.query.query_core`), so *syntactically distinct but
+    equivalent* queries — e.g. a query with redundant foldable atoms and its
+    minimized form — share one key, which strictly increases plan-cache and
+    service-coalescing hits.  Pass ``minimize=False`` to key on the query
+    exactly as written (the pre-minimization behaviour, used by solvers
+    constructed with ``minimize_queries=False``).
+
+    Two-way-path cores (which include one-way paths, the most common serving
+    shape) canonicalise to the lexicographically smaller of their two
+    traversal direction/label sequences, so *isomorphic* path queries share
+    one key regardless of vertex names.  Other shapes canonicalise to their
+    exact content (vertex set + labeled edge set), which dedupes
     equal-by-value duplicates.  The key is recomputed automatically after a
     mutation of an unfrozen query graph (the graph cache is cleared).
     """
-    return query.cached("canonical_query_key", lambda: _compute_canonical_key(query))
+    if not minimize:
+        return query.cached(
+            "canonical_query_key_raw", lambda: _compute_canonical_key(query)
+        )
+    return query.cached(
+        "canonical_query_key", lambda: _compute_canonical_key(query_core(query))
+    )
 
 
 def _compute_canonical_key(query: DiGraph) -> Hashable:

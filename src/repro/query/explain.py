@@ -1,0 +1,135 @@
+"""Explain how a query will be classified and dispatched.
+
+``repro parse --explain`` (and the tests behind it) need to answer, without
+touching a concrete instance: *given this query and an instance class, which
+cell of Tables 1–3 applies, and which algorithm will the dispatcher run?*
+:func:`explain_query` packages the answer — the parsed query, its core, the
+classification cell before and after minimization, and the dispatch route —
+by mirroring the branch order of
+:meth:`repro.core.solver.PHomSolver._compile_plan` at the class level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.classification.tables import CellResult, Setting, classify_cell
+from repro.graphs.classes import (
+    GraphClass,
+    class_includes,
+    graph_class_of,
+    is_one_way_path,
+)
+from repro.graphs.digraph import DiGraph, UNLABELED
+from repro.query.ir import QueryIR, format_query, ir_from_graph
+from repro.query.minimize import NormalizedQuery, normalize
+from repro.query.parser import parse_query
+
+
+def dispatch_preview(
+    query: DiGraph, instance_class: GraphClass, labeled: bool
+) -> Tuple[str, Optional[str]]:
+    """The ``(method, proposition)`` the dispatcher would pick for the pair.
+
+    Mirrors the route order of the solver's plan compiler for a query graph
+    against *any* instance of ``instance_class`` (trivial label-mismatch
+    verdicts need a concrete instance and are not predicted here).
+    """
+    if query.num_edges() == 0:
+        return ("trivial-edgeless-query", None)
+    instance_2wp = class_includes(instance_class, GraphClass.UNION_TWO_WAY_PATH)
+    instance_dwt = class_includes(instance_class, GraphClass.UNION_DOWNWARD_TREE)
+    instance_pt = class_includes(instance_class, GraphClass.UNION_POLYTREE)
+    if query.is_weakly_connected():
+        if instance_2wp:
+            return ("connected-2wp", "Proposition 4.11 (+ Lemma 3.7)")
+        if instance_dwt and is_one_way_path(query):
+            return ("labeled-dwt", "Proposition 4.10 (+ Lemma 3.7)")
+    if not labeled and instance_dwt:
+        return ("graded-collapse", "Proposition 3.6")
+    if (
+        not labeled
+        and instance_pt
+        and class_includes(graph_class_of(query), GraphClass.UNION_DOWNWARD_TREE)
+    ):
+        return ("polytree-dp", "Propositions 5.4 / 5.5 (+ Lemma 3.7)")
+    return ("brute-force-worlds (or karp-luby under precision='approx')", None)
+
+
+@dataclass(frozen=True)
+class QueryExplanation:
+    """Everything ``repro parse --explain`` reports about one query.
+
+    ``original_cell`` / ``core_cell`` are the Tables 1–3 verdicts for the
+    query as written and for its core against ``instance_class``;
+    ``method`` / ``proposition`` preview the dispatch route of the *core*
+    (the solver minimizes before classifying).
+    """
+
+    ir: QueryIR
+    normalized: NormalizedQuery
+    instance_class: GraphClass
+    setting: Setting
+    original_cell: CellResult
+    core_cell: CellResult
+    method: str
+    proposition: Optional[str]
+
+    @property
+    def unlocked(self) -> bool:
+        """Whether minimization moved the query into a cheaper complexity cell."""
+        return (
+            self.original_cell.complexity is not self.core_cell.complexity
+        )
+
+    def format_core(self) -> str:
+        """The minimized query in surface syntax."""
+        return format_query(self.normalized.graph)
+
+
+def explain_query(
+    query: Union[str, QueryIR, DiGraph],
+    instance_class: GraphClass = GraphClass.ALL,
+    setting: Optional[Setting] = None,
+) -> QueryExplanation:
+    """Parse, minimize and classify a query against an instance class.
+
+    ``setting`` defaults to the query's own alphabet: unlabeled when the
+    only label is ``_``, labeled otherwise (a conservative choice — a
+    labeled query on an effectively unlabeled instance can only be easier).
+    """
+    if isinstance(query, QueryIR):
+        ir = query
+        graph = ir.to_graph()
+    elif isinstance(query, str):
+        ir = parse_query(query)
+        graph = ir.to_graph()
+    else:
+        graph = query
+        ir = ir_from_graph(graph)
+    normalized = normalize(graph)
+    if setting is None:
+        setting = (
+            Setting.UNLABELED
+            if graph.labels() <= {UNLABELED}
+            else Setting.LABELED
+        )
+    labeled = setting is Setting.LABELED
+    original_cell = classify_cell(
+        normalized.original_class, instance_class, setting
+    )
+    core_cell = classify_cell(normalized.core_class, instance_class, setting)
+    method, proposition = dispatch_preview(
+        normalized.graph, instance_class, labeled
+    )
+    return QueryExplanation(
+        ir=ir,
+        normalized=normalized,
+        instance_class=instance_class,
+        setting=setting,
+        original_cell=original_cell,
+        core_cell=core_cell,
+        method=method,
+        proposition=proposition,
+    )

@@ -1,0 +1,188 @@
+"""Chandra–Merlin core minimization and the class-aware ``normalize`` pass.
+
+Two conjunctive queries are equivalent exactly when they are homomorphically
+equivalent (Section 2 of the paper, after Chandra & Merlin 1977), and every
+query is equivalent to its *homomorphic core* — the unique (up to
+isomorphism) minimal retract onto which the query folds.  Minimization
+matters here because the paper's whole complexity classification is driven
+by the *shape* of the query graph: a query written with redundant atoms may
+sit in a #P-hard cell of Tables 1–3 as written, while its core is a one-way
+path that the dispatcher answers in polynomial time.  :func:`normalize`
+packages this as a pre-classification pass: validate, minimize, and report
+which class the core lands in.
+
+The fold search is exponential in the query size in the worst case (core
+computation is NP-hard), which is the right trade-off for conjunctive
+queries: they are small, and a successful fold can turn an exponential
+*instance-side* computation into a polynomial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ClassConstraintError
+from repro.graphs.classes import GraphClass, graph_class_of, is_one_way_path
+from repro.graphs.digraph import DiGraph
+from repro.graphs.homomorphism import find_homomorphism
+
+
+def validate_query_graph(query: DiGraph) -> DiGraph:
+    """Reject degenerate query graphs before they reach class recognition.
+
+    A query whose every edge is a self-loop (``R(x, x)`` atoms only) belongs
+    to no class of Figure 2 and degenerates the core machinery — its core is
+    a single self-loop, which no path/tree recogniser accepts.  Such queries
+    are rejected here with a clear :class:`~repro.exceptions.ClassConstraintError`
+    instead of failing deep inside class recognition; mixed queries (a
+    self-loop atom alongside ordinary atoms) remain valid and are answered
+    through the general routes.  Returns the query unchanged when valid.
+    """
+    edges = query.edges()
+    if edges and all(edge.source == edge.target for edge in edges):
+        loops = ", ".join(
+            f"{edge.label}({edge.source}, {edge.source})" for edge in edges[:3]
+        )
+        raise ClassConstraintError(
+            f"the query consists only of self-loop atoms ({loops}{', ...' if len(edges) > 3 else ''}); "
+            f"self-loop-only queries are degenerate — they belong to no class "
+            f"of Figure 2 and are rejected at validation"
+        )
+    return query
+
+
+def _image_graph(query: DiGraph, mapping) -> DiGraph:
+    """The image subgraph of an endomorphism: ``(h(V), h(E))``."""
+    image = DiGraph(vertices={mapping[v] for v in query.vertices})
+    for edge in query.edges():
+        source, target = mapping[edge.source], mapping[edge.target]
+        if not image.has_edge(source, target):
+            image.add_edge(source, target, edge.label)
+    return image
+
+
+def _fold_once(query: DiGraph) -> Optional[DiGraph]:
+    """One fold step: a proper retract of ``query``, or ``None`` if it is a core.
+
+    Tries, for each vertex ``u``, to map the whole query homomorphically
+    into the subgraph induced by ``V \\ {u}``; the image of the first such
+    homomorphism is an equivalent strictly smaller query.
+    """
+    if query.num_vertices() <= 1:
+        return None
+    for u in sorted(query.vertices, key=repr):
+        candidate = query.induced_component(v for v in query.vertices if v != u)
+        mapping = find_homomorphism(query, candidate)
+        if mapping is not None:
+            return _image_graph(query, mapping)
+    return None
+
+
+def query_core(query: DiGraph) -> DiGraph:
+    """The homomorphic core of a query graph (Chandra–Merlin minimization).
+
+    Repeatedly folds the query onto proper retracts until no vertex can be
+    dropped; the result is an equivalent query (``core(Q) ≡ Q`` in the
+    homomorphic-equivalence sense of Section 2) of minimum size, with vertex
+    names drawn from the original query.  Minimization is idempotent:
+    ``query_core(query_core(Q))`` equals ``query_core(Q)``.
+
+    The result is memoised on the query graph (recomputed after mutation);
+    when the query already is a core, the *same graph object* is returned,
+    so plans and caches keyed on object identity are unaffected.
+    """
+    return query.cached("query_core", lambda: _compute_core(query))
+
+
+def _compute_core(query: DiGraph) -> DiGraph:
+    # Fast path for the most common serving shape: a one-way path is always
+    # its own core — every walk inside a simple directed path is a subpath,
+    # so the path cannot map into any proper induced subgraph of itself.
+    # This matters operationally: serving workers receive freshly unpickled
+    # query objects (no shared memo), and without the shortcut every request
+    # would pay the quadratic fold search.
+    if is_one_way_path(query):
+        return query
+    current = query
+    while True:
+        folded = _fold_once(current)
+        if folded is None:
+            break
+        current = folded
+    if current is not query:
+        # Fresh core graphs are frozen (their memoised metadata is shared by
+        # every cache keyed on them) and pre-seeded as their own core, so
+        # ``query_core(query_core(q))`` never re-runs the fold search.
+        current.freeze()
+        current.cached("query_core", lambda: current)
+    return current
+
+
+@dataclass(frozen=True)
+class NormalizedQuery:
+    """The result of the class-aware :func:`normalize` pass.
+
+    Attributes
+    ----------
+    original:
+        The query as given (after validation).
+    graph:
+        The minimized query — the homomorphic core of ``original``.
+    original_class / core_class:
+        The Figure 2 class of each; minimization can only move a query
+        *down* the lattice or keep it in place, never up.
+    folded_vertices / folded_edges:
+        How much the fold search removed; both zero when the query already
+        was a core (then ``graph is original``).
+    """
+
+    original: DiGraph
+    graph: DiGraph
+    original_class: GraphClass
+    core_class: GraphClass
+    folded_vertices: int
+    folded_edges: int
+
+    @property
+    def changed(self) -> bool:
+        """Whether minimization actually shrank the query."""
+        return self.folded_vertices > 0 or self.folded_edges > 0
+
+    def describe(self) -> str:
+        """A one-line provenance note, empty when nothing changed."""
+        if not self.changed:
+            return ""
+        return (
+            f"query minimized to its homomorphic core: "
+            f"folded {self.folded_vertices} variable(s) and "
+            f"{self.folded_edges} atom(s); class {self.original_class} -> "
+            f"{self.core_class}"
+        )
+
+
+def normalize(query: DiGraph) -> NormalizedQuery:
+    """Validate and minimize a query, reporting the class movement.
+
+    This is the pass :class:`~repro.core.solver.PHomSolver` runs before
+    classification: redundant atoms are collapsed by the graph
+    representation itself, two-way atoms were oriented at parse time, and
+    the Chandra–Merlin fold search computes the core — so a query whose
+    core is a 1WP/DWT/PT reaches the polynomial dispatch routes even when
+    the query *as written* sits in a #P-hard cell.  The verdict is memoised
+    on the query graph.
+    """
+    validate_query_graph(query)
+    return query.cached("normalized_query", lambda: _compute_normalized(query))
+
+
+def _compute_normalized(query: DiGraph) -> NormalizedQuery:
+    core = query_core(query)
+    return NormalizedQuery(
+        original=query,
+        graph=core,
+        original_class=graph_class_of(query) if query.num_vertices() else GraphClass.ALL,
+        core_class=graph_class_of(core),
+        folded_vertices=query.num_vertices() - core.num_vertices(),
+        folded_edges=query.num_edges() - core.num_edges(),
+    )

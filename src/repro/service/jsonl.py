@@ -11,6 +11,9 @@ Each input line is one JSON object with an ``"op"`` field:
     ``{"op": "solve", "id": "r1", "instance": "inst1", "query": {...},
     "precision": "float", ...}`` — see
     :func:`repro.service.requests.request_from_json_dict` for every field.
+    ``query`` is a graph object or a query-language string
+    (``"query": "R(x, y), S(y, z)"``); ambiguous payloads (a string that
+    looks like encoded JSON) are rejected with an ``{"error": ...}`` line.
 ``update``
     ``{"op": "update", "instance": "inst1", "edge": ["a", "b"],
     "probability": "1/3"}`` applies a single-edge probability change.

@@ -24,13 +24,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple, Union
 
 from repro.core.solver import PHomResult, PHomSolver
 from repro.exceptions import ServiceError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.serialization import graph_from_dict
 from repro.plan import canonical_query_key
+from repro.query.parser import as_query_graph
 
 #: Precision names accepted on a request (``None`` defers to the service).
 PRECISIONS = ("exact", "float", "approx")
@@ -43,7 +44,10 @@ class ServiceRequest:
     Attributes
     ----------
     query:
-        The conjunctive query, as a directed edge-labeled graph.
+        The conjunctive query, as a directed edge-labeled graph or a
+        query-language string (``"R(x, y), S(y, z)"``, see
+        :mod:`repro.query`); strings are parsed at construction time, so
+        ``request.query`` is always a graph afterwards.
     instance_id:
         The id under which the target instance was registered with
         :meth:`~repro.service.service.QueryService.register_instance`.
@@ -73,6 +77,10 @@ class ServiceRequest:
     request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.query, str):
+            # Frozen dataclass: parse the query-language string in place so
+            # every consumer (coalescing, sharding, the workers) sees a graph.
+            object.__setattr__(self, "query", as_query_graph(self.query))
         if self.precision is not None and self.precision not in PRECISIONS:
             raise ServiceError(
                 f"unknown precision {self.precision!r}; expected one of {PRECISIONS}"
@@ -94,12 +102,16 @@ class ServiceRequest:
 
         The key folds in everything that affects the answer — instance,
         canonical query form, method, resolved precision, and (for requests
-        that may sample) the full ``(ε, δ, seed)`` contract.
+        that may sample) the full ``(ε, δ, seed)`` contract.  Only ``auto``
+        requests key on the minimized core (the auto route is the one that
+        minimizes); explicit methods dispatch on the query exactly as
+        written, so their keys stay spelling-sensitive — a redundant
+        spelling must not inherit another spelling's result or error.
         """
         precision = self.resolved_precision(default_precision)
         key: Tuple[Hashable, ...] = (
             self.instance_id,
-            canonical_query_key(self.query),
+            canonical_query_key(self.query, minimize=self.method == "auto"),
             self.method,
             precision,
         )
@@ -162,6 +174,34 @@ class ServiceResult:
 # ----------------------------------------------------------------------
 # JSONL wire format (repro serve --batch)
 # ----------------------------------------------------------------------
+def _query_from_payload(payload: Any) -> Union[DiGraph, str]:
+    """Interpret the ``query`` field of a ``solve`` line.
+
+    Accepted forms are a JSON graph object (the dictionary format of
+    :mod:`repro.graphs.serialization`) or a query-language string
+    (``"R(x, y), S(y, z)"``).  Anything else — including a *string that
+    itself looks like JSON*, where the caller's intent is ambiguous between
+    "a serialized graph someone forgot to decode" and "query-language text"
+    — is rejected with a typed :class:`~repro.exceptions.ServiceError`,
+    which the JSONL session surfaces as an ``{"error": ...}`` line.
+    """
+    if isinstance(payload, dict):
+        return graph_from_dict(payload)
+    if isinstance(payload, str):
+        if payload.lstrip().startswith(("{", "[")):
+            raise ServiceError(
+                "ambiguous query payload: the string starts with "
+                f"{payload.lstrip()[0]!r}, which looks like an encoded JSON "
+                "graph; pass the graph as a JSON object, or a query-language "
+                "string such as 'R(x, y), S(y, z)'"
+            )
+        return payload  # parsed by ServiceRequest.__post_init__
+    raise ServiceError(
+        f"query payload must be a JSON graph object or a query-language "
+        f"string, got {type(payload).__name__}"
+    )
+
+
 def request_from_json_dict(data: Dict[str, Any]) -> ServiceRequest:
     """Build a :class:`ServiceRequest` from one parsed ``solve`` JSONL line.
 
@@ -174,18 +214,20 @@ def request_from_json_dict(data: Dict[str, Any]) -> ServiceRequest:
 
     ``id``, ``method``, ``precision``, ``epsilon``, ``delta`` and ``seed``
     are optional; ``instance`` names a previously registered instance and
-    ``query`` uses the graph dictionary format of
-    :mod:`repro.graphs.serialization`.
+    ``query`` is either a graph dictionary in the format of
+    :mod:`repro.graphs.serialization` or a query-language string
+    (``"query": "R(x, y), S(y, z)"``); see :func:`_query_from_payload` for
+    the ambiguity rules.
     """
     if "instance" not in data:
         raise ServiceError("solve request must name an 'instance' id")
     if "query" not in data:
-        raise ServiceError("solve request must carry a 'query' graph")
+        raise ServiceError("solve request must carry a 'query' graph or string")
     seed = data.get("seed")
     epsilon = data.get("epsilon")
     delta = data.get("delta")
     return ServiceRequest(
-        query=graph_from_dict(data["query"]),
+        query=_query_from_payload(data["query"]),
         instance_id=str(data["instance"]),
         method=str(data.get("method", "auto")),
         precision=data.get("precision"),

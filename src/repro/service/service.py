@@ -42,7 +42,7 @@ import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.solver import PHomSolver
+from repro.core.solver import PHomSolver, requalify_result
 from repro.exceptions import ServiceError
 from repro.graphs.digraph import DiGraph, Edge
 from repro.probability.prob_graph import ProbabilisticGraph
@@ -291,7 +291,7 @@ class QueryService:
     # ------------------------------------------------------------------
     def submit(
         self,
-        query: DiGraph,
+        query: Union[DiGraph, str],
         instance: Union[str, ProbabilisticGraph],
         *,
         method: str = "auto",
@@ -301,7 +301,11 @@ class QueryService:
         seed: Optional[int] = None,
         request_id: Optional[str] = None,
     ) -> ServiceResult:
-        """Answer one request (a convenience wrapper over :meth:`submit_many`)."""
+        """Answer one request (a convenience wrapper over :meth:`submit_many`).
+
+        ``query`` is a graph or a query-language string such as
+        ``"R(x, y), S(y, z)"`` (parsed by :mod:`repro.query`).
+        """
         request = ServiceRequest(
             query=query,
             instance_id=self._resolve_instance_id(instance),
@@ -412,10 +416,19 @@ class QueryService:
             if message or source == position:
                 results.append(replace(base, request_id=request_id))
             else:
+                # The coalesced duplicate shares the computation but gets
+                # its own spelling's query class / minimization provenance
+                # (provenance only for auto requests — explicit methods
+                # never minimize and their keys never merge spellings).
+                copied = replace(base.result)
+                if request is not None:
+                    copied = requalify_result(
+                        copied, request.query, minimize=request.method == "auto"
+                    )
                 results.append(
                     replace(
                         base,
-                        result=replace(base.result),
+                        result=copied,
                         request_id=request_id,
                         coalesced=True,
                     )

@@ -27,7 +27,7 @@ from dataclasses import replace
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.approx import ApproxParams
-from repro.core.solver import PHomResult, PHomSolver
+from repro.core.solver import PHomResult, PHomSolver, requalify_result
 from repro.exceptions import ServiceError
 from repro.probability.prob_graph import ProbabilisticGraph
 from repro.service.requests import ServiceRequest
@@ -139,8 +139,21 @@ class WorkerState:
                 self._result_cache.move_to_end(key)
                 self.counters["result_cache_hits"] += 1
                 # Hand out a copy so callers mutating a result cannot poison
-                # the cache (PHomResult is a mutable dataclass).
-                return replace(hit), True
+                # the cache (PHomResult is a mutable dataclass), re-described
+                # for this request's spelling (the cache key is the query
+                # *core*, so the hit may come from an equivalent query with
+                # a different class and minimization provenance).
+                return (
+                    requalify_result(
+                        replace(hit),
+                        request.query,
+                        # only auto requests ran the minimizing route (and
+                        # only their cache keys merge spellings), so only
+                        # they may carry minimization provenance
+                        self.solver.minimize_queries and request.method == "auto",
+                    ),
+                    True,
+                )
         result = self._dispatch(request, instance)
         self.counters["solved"] += 1
         if key is not None:

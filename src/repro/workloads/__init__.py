@@ -1,12 +1,14 @@
 """Workload generators for the benchmark harness (one workload family per table cell)."""
 
 from repro.workloads.generators import (
+    add_redundant_atoms,
     attach_random_probabilities,
     intractable_instance,
     intractable_workload,
     make_query,
     make_instance,
     query_traffic_trace,
+    redundant_query_workload,
     workload_for_cell,
     zipf_ranks,
     TrafficTrace,
@@ -14,12 +16,14 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "add_redundant_atoms",
     "attach_random_probabilities",
     "intractable_instance",
     "intractable_workload",
     "make_query",
     "make_instance",
     "query_traffic_trace",
+    "redundant_query_workload",
     "workload_for_cell",
     "zipf_ranks",
     "TrafficTrace",

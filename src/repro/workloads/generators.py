@@ -224,6 +224,83 @@ def intractable_workload(
     )
 
 
+def add_redundant_atoms(
+    query: DiGraph, redundancy: int, rng: RandomLike = None
+) -> DiGraph:
+    """A query equivalent to ``query`` with ``redundancy`` extra foldable atoms.
+
+    Each added atom duplicates an existing edge through a fresh variable —
+    for an edge ``u -[R]-> v``, either ``fresh -[R]-> v`` or
+    ``u -[R]-> fresh`` — so the fresh variable always folds back onto the
+    duplicated endpoint and the homomorphic core of the result equals the
+    core of ``query``.  This is how real-world redundancy arises (a query
+    writer restating a join they already have), and it is exactly what the
+    Chandra–Merlin minimizer removes.
+    """
+    if query.num_edges() == 0:
+        raise ReproError("cannot add redundant atoms to an edgeless query")
+    r = _rng(rng)
+    redundant = query.copy()
+    fresh = 0
+    for _ in range(max(0, redundancy)):
+        base = query.edges()[r.randrange(query.num_edges())]
+        fresh += 1
+        name = f"r{fresh}"
+        while redundant.has_vertex(name):
+            fresh += 1
+            name = f"r{fresh}"
+        if r.random() < 0.5:
+            redundant.add_edge(name, base.target, base.label)
+        else:
+            redundant.add_edge(base.source, name, base.label)
+    return redundant
+
+
+def redundant_query_workload(
+    core_class: GraphClass = GraphClass.ONE_WAY_PATH,
+    core_size: int = 2,
+    redundancy: int = 3,
+    instance_class: GraphClass = GraphClass.DOWNWARD_TREE,
+    instance_size: int = 8,
+    labeled: bool = True,
+    rng: RandomLike = None,
+    certain_fraction: float = 0.3,
+) -> Workload:
+    """A workload whose query carries foldable redundant atoms over a tractable core.
+
+    Draws a core query of ``core_class`` (the class knob) with ``core_size``
+    edges, inflates it with ``redundancy`` foldable atoms
+    (:func:`add_redundant_atoms`, the redundancy-factor knob), and pairs it
+    with a random instance of ``instance_class``.  By construction the
+    query *as written* is no longer in ``core_class`` (the extra branches
+    leave the path/tree classes), so a non-minimizing dispatcher lands in a
+    #P-hard cell and must enumerate or sample — while the minimizing
+    dispatcher folds the query back to its ``core_class`` core and answers
+    through the polynomial route.  This is the workload behind
+    ``repro bench query`` and the minimization differential tests.
+
+    The returned :class:`Workload` reports the class of the query as
+    written (via :func:`repro.graphs.classes.graph_class_of`), not
+    ``core_class``.
+    """
+    from repro.graphs.classes import graph_class_of
+
+    r = _rng(rng)
+    core = make_query(core_class, labeled, max(core_size, 1), r)
+    query = add_redundant_atoms(core, redundancy, r)
+    instance_graph = make_instance(instance_class, labeled, instance_size, r)
+    instance = attach_random_probabilities(
+        instance_graph, r, certain_fraction=certain_fraction
+    )
+    return Workload(
+        query=query,
+        instance=instance,
+        query_class=graph_class_of(query),
+        instance_class=instance_class,
+        labeled=labeled,
+    )
+
+
 @dataclass(frozen=True)
 class TrafficTrace:
     """A serving-style request stream with Zipf-skewed query popularity.

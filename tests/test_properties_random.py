@@ -41,6 +41,7 @@ from repro.workloads.generators import (
     intractable_workload,
     make_instance,
     make_query,
+    redundant_query_workload,
     workload_for_cell,
 )
 
@@ -178,6 +179,54 @@ class TestComplementConsistency:
             if not has_homomorphism(workload.query, world.graph):
                 no_hom += world.probability
         assert answer + no_hom == 1
+
+
+class TestMinimizationDifferential:
+    """Minimized-vs-unminimized differential route (PR 5, query frontend).
+
+    The Chandra–Merlin minimizer rewrites a query before classification;
+    equivalence of the rewrite means the exact answer must be *identical* to
+    the non-minimizing dispatcher on every instance — including redundant
+    queries purpose-built so that the two dispatchers take different routes.
+    """
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_minimized_equals_unminimized_on_random_workloads(self, index):
+        workload = next(random_workloads(1, seed_offset=500 + index))
+        minimized = solve_exact(workload.query, workload.instance)
+        unminimized = solve_exact(
+            workload.query, workload.instance, minimize_queries=False
+        )
+        assert minimized.probability == unminimized.probability
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_minimized_equals_unminimized_on_redundant_queries(self, index):
+        rng = random.Random(SEED + 600 + index)
+        core_class = [
+            GraphClass.ONE_WAY_PATH,
+            GraphClass.TWO_WAY_PATH,
+            GraphClass.DOWNWARD_TREE,
+        ][index % 3]
+        workload = redundant_query_workload(
+            core_class=core_class,
+            core_size=rng.randint(1, 2),
+            redundancy=rng.randint(1, 3),
+            instance_class=GraphClass.DOWNWARD_TREE,
+            instance_size=rng.randint(4, 7),
+            labeled=index % 2 == 0,
+            rng=rng,
+        )
+        minimized = solve_exact(workload.query, workload.instance)
+        unminimized = solve_exact(
+            workload.query, workload.instance, minimize_queries=False
+        )
+        assert minimized.probability == unminimized.probability
+        # both agree with the possible-world oracle, closing the triangle
+        from repro.probability.brute_force import brute_force_phom
+
+        assert minimized.probability == brute_force_phom(
+            workload.query, workload.instance
+        )
 
 
 class TestDifferentialAgreement:

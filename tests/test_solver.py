@@ -64,7 +64,23 @@ class TestDispatchRouting:
     def test_unlabeled_query_on_dwt_uses_prop_36(self):
         instance = ProbabilisticGraph.with_uniform_probability(star_tree(3), "1/2")
         query = disjoint_union([unlabeled_path(1), unlabeled_path(1)], prefix="q")
+        # As written (minimization off) the union query takes Prop 3.6.
+        unminimized = PHomSolver(minimize_queries=False).solve(query, instance)
+        assert unminimized.method == "graded-collapse"
+        assert "3.6" in unminimized.proposition
+        # The default solver folds the two identical components into one
+        # edge, a 1WP, which the DWT path route answers directly.
         result = PHomSolver().solve(query, instance)
+        assert result.method == "labeled-dwt"
+        assert "minimized" in result.notes
+        assert result.probability == unminimized.probability
+
+    def test_graded_collapse_route_still_reached_on_core_queries(self):
+        # A query that *is* its own core (components of different lengths
+        # cannot fold into each other upward) keeps the Prop 3.6 route.
+        instance = ProbabilisticGraph.with_uniform_probability(star_tree(3), "1/2")
+        query = disjoint_union([unlabeled_path(2), unlabeled_path(2)], prefix="q")
+        result = PHomSolver(minimize_queries=False).solve(query, instance)
         assert result.method == "graded-collapse"
         assert "3.6" in result.proposition
 
