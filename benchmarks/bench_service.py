@@ -5,6 +5,7 @@ either as
 
     python benchmarks/bench_service.py [--smoke] [--output BENCH_service.json]
                                        [--min-service-speedup X]
+                                       [--faults] [--max-recovery-ms MS]
 
 or through the CLI as ``repro bench service``.  The recorded artefact,
 ``BENCH_service.json``, is checked into the repository root and tracks the
@@ -15,6 +16,12 @@ with exact answers asserted bit-identical and pinned-seed approx estimates
 asserted identical at every worker count on every run.  The
 ``--min-service-speedup`` flag turns regressions into a non-zero exit code,
 which CI uses as a smoke gate.
+
+``--faults`` additionally runs the chaos scenario — a seeded
+:class:`~repro.service.faults.FaultPlan` kills one worker mid-trace — and
+records a ``service_recovery`` section (restart latency, retried-request
+overhead, degraded-answer accuracy); ``--max-recovery-ms`` gates on the
+recorded worst-case restart latency.
 """
 
 from __future__ import annotations

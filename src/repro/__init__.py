@@ -58,6 +58,8 @@ from repro.exceptions import (
     PlanError,
     AutomatonError,
     ServiceError,
+    ServiceUnavailableError,
+    DeadlineExceededError,
     IntractableFallbackWarning,
 )
 from repro.graphs import (
@@ -98,7 +100,16 @@ from repro.query import (
     parse_query_graph,
     query_core,
 )
-from repro.service import QueryService, ServiceRequest, ServiceResult, ServiceStats
+from repro.service import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    QueryService,
+    ServiceRequest,
+    ServiceResult,
+    ServiceStats,
+    epsilon_for_budget,
+)
 from repro.classification import classify_cell, Complexity, table1, table2, table3
 
 __version__ = "1.0.0"
@@ -113,6 +124,8 @@ __all__ = [
     "PlanError",
     "AutomatonError",
     "ServiceError",
+    "ServiceUnavailableError",
+    "DeadlineExceededError",
     "IntractableFallbackWarning",
     "DiGraph",
     "Edge",
@@ -161,6 +174,10 @@ __all__ = [
     "ServiceRequest",
     "ServiceResult",
     "ServiceStats",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "epsilon_for_budget",
     "classify_cell",
     "Complexity",
     "table1",

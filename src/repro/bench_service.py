@@ -32,6 +32,8 @@ from __future__ import annotations
 import pickle
 import platform
 import time
+import warnings
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,7 +42,13 @@ from repro.core.solver import PHomSolver
 from repro.graphs.classes import GraphClass
 from repro.graphs.digraph import DiGraph
 from repro.probability.prob_graph import ProbabilisticGraph
-from repro.service import QueryService, ServiceRequest
+from repro.service import (
+    Fault,
+    FaultPlan,
+    QueryService,
+    ServiceRequest,
+    epsilon_for_budget,
+)
 from repro.workloads.generators import (
     attach_random_probabilities,
     intractable_workload,
@@ -205,17 +213,31 @@ def replay_solve_many(trace: ServiceTrace) -> Tuple[float, List]:
     return time.perf_counter() - start, answers
 
 
-def replay_service(trace: ServiceTrace, num_workers: int) -> Tuple[float, List, Dict]:
+def replay_service(
+    trace: ServiceTrace,
+    num_workers: int,
+    fault_plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
+) -> Tuple[float, List, Dict]:
     """Replay the trace through a :class:`QueryService` at one worker count.
 
     The timed region covers the serving work only — worker start-up and
     instance registration are one-time deployment costs, exactly as plan
     compilation is excluded nowhere (both sides compile inside the timed
     replay, starting cold).
+
+    With a ``fault_plan`` the replay doubles as the chaos scenario: the
+    returned stats gain the supervision counters and the restart log, so
+    the caller can assert zero lost requests and measure recovery cost.
     """
     instances = _fresh_instances(trace)
     answers: List = []
-    with QueryService(num_workers=num_workers) as service:
+    kwargs: Dict[str, object] = {}
+    if fault_plan is not None:
+        kwargs["fault_plan"] = fault_plan
+    if timeout is not None:
+        kwargs["timeout"] = timeout
+    with QueryService(num_workers=num_workers, **kwargs) as service:
         for instance_id in sorted(instances):
             service.register_instance(instances[instance_id], instance_id)
         start = time.perf_counter()
@@ -237,12 +259,16 @@ def replay_service(trace: ServiceTrace, num_workers: int) -> Tuple[float, List, 
             answers.extend(result.probability for result in results)
         elapsed = time.perf_counter() - start
         stats = service.stats()
+        restart_log = [dict(entry) for entry in service.restart_log]
     return elapsed, answers, {
         "dedupe_hit_rate": stats.dedupe_hit_rate(),
         "coalesced": stats.coalesced,
         "dispatched": stats.dispatched,
         "result_cache_hits": stats.result_cache_hits(),
         "plan_cache": [worker.get("plan_cache") for worker in stats.workers],
+        "restarts": stats.restarts,
+        "retries": stats.retries,
+        "restart_log": restart_log,
     }
 
 
@@ -280,9 +306,121 @@ def check_approx_reproducibility(
     }
 
 
+def run_chaos_scenario(
+    trace: ServiceTrace,
+    num_workers: int,
+    fault_free_seconds: float,
+    baseline_answers: List,
+) -> Dict[str, object]:
+    """Replay the trace while a :class:`FaultPlan` kills one worker mid-trace.
+
+    The contract asserted here is the tentpole of the fault-tolerance layer:
+    the kill loses *zero* requests, exact answers stay bit-identical to the
+    fault-free baseline (journal replay reconstructed the shard exactly),
+    and the recovery cost — restart latency, retried dispatches, wall-clock
+    overhead versus the fault-free run — is recorded for regression gating.
+    """
+    # Kill the worker that owns the first instance, a few batches in.
+    target = zlib.crc32(b"instance-0") % num_workers
+    fault = Fault(kind="kill", worker=target, after_messages=8)
+    plan = FaultPlan(faults=(fault,), seed=BENCH_SEED)
+    elapsed, answers, stats = replay_service(
+        trace, num_workers, fault_plan=plan, timeout=30.0
+    )
+    lost = len(baseline_answers) - len(answers)
+    bit_identical = answers == baseline_answers
+    if lost != 0:
+        raise AssertionError(f"chaos replay lost {lost} request(s)")
+    if not bit_identical:
+        raise AssertionError(
+            "chaos replay answers are not bit-identical to the fault-free run"
+        )
+    if stats["restarts"] < 1:
+        raise AssertionError("the injected kill did not trigger a worker restart")
+    restart_log = stats["restart_log"]
+    recovery_ms = max(entry["duration_s"] for entry in restart_log) * 1000.0
+    return {
+        "workers": num_workers,
+        "fault": {
+            "kind": fault.kind,
+            "worker": fault.worker,
+            "after_messages": fault.after_messages,
+        },
+        "restarts": stats["restarts"],
+        "retries": stats["retries"],
+        "recovery_ms": round(recovery_ms, 2),
+        "instances_replayed": sum(e["instances_replayed"] for e in restart_log),
+        "lost_requests": lost,
+        "exact_bit_identical": bit_identical,
+        "chaos_seconds": round(elapsed, 4),
+        "fault_free_seconds": round(fault_free_seconds, 4),
+        "retry_overhead_ratio": round(elapsed / fault_free_seconds, 3),
+    }
+
+
+def check_degraded_accuracy(
+    deadline_ms: float = 50.0, num_uncertain_edges: int = 10
+) -> Dict[str, object]:
+    """A deadline-degraded answer must satisfy its budget-derived (ε, δ) bound.
+
+    An injected delay makes a ``#P``-hard request miss its deadline; under
+    ``on_deadline="degrade"`` the service re-answers it through the
+    Karp–Luby tier with ``epsilon_for_budget(deadline_ms)``.  The pinned
+    seed makes the estimate reproducible, and the relative error against
+    the brute-force exact probability is recorded (and asserted within ε).
+    """
+    workload = intractable_workload(num_uncertain_edges, rng=_rng(7))
+    with warnings.catch_warnings():
+        # The reference value is exponential by design; the fallback
+        # warning is expected here, not actionable.
+        warnings.simplefilter("ignore")
+        exact = float(
+            PHomSolver(allow_brute_force=True).solve(
+                workload.query, workload.instance, precision="exact"
+            ).probability
+        )
+    epsilon = epsilon_for_budget(deadline_ms)
+    plan = FaultPlan(
+        faults=(Fault(kind="delay", seconds=0.15, after_messages=1),),
+        seed=BENCH_SEED,
+    )
+    with QueryService(num_workers=0, seed=BENCH_SEED, fault_plan=plan) as service:
+        instance_id = service.register_instance(
+            pickle.loads(pickle.dumps(workload.instance)), "hard"
+        )
+        outcome = service.submit(
+            workload.query,
+            instance_id,
+            deadline_ms=deadline_ms,
+            on_deadline="degrade",
+            seed=BENCH_SEED,
+        )
+        degraded_count = service.stats().degraded
+    if not outcome.degraded:
+        raise AssertionError("the delayed request was not degraded")
+    estimate = float(outcome)
+    relative_error = abs(estimate - exact) / exact if exact else abs(estimate)
+    if relative_error > epsilon:
+        raise AssertionError(
+            f"degraded estimate {estimate:.6f} misses exact {exact:.6f} by "
+            f"{relative_error:.3f} > epsilon {epsilon}"
+        )
+    return {
+        "deadline_ms": deadline_ms,
+        "epsilon": epsilon,
+        "seed": BENCH_SEED,
+        "exact": exact,
+        "estimate": estimate,
+        "relative_error": round(relative_error, 6),
+        "within_epsilon": True,
+        "degraded_answers": degraded_count,
+    }
+
+
 def run_service_benchmarks(
     smoke: bool = False,
     worker_counts: Optional[Sequence[int]] = None,
+    faults: bool = False,
 ) -> Dict[str, object]:
     """Run the full suite and return the report dictionary."""
     if worker_counts is None:
@@ -327,7 +465,19 @@ def run_service_benchmarks(
 
     approx = check_approx_reproducibility(worker_counts)
     max_workers = max(worker_counts)
-    return {
+    recovery: Optional[Dict[str, object]] = None
+    if faults:
+        chaos_workers = max(2, max_workers)
+        fault_free = (
+            modes[f"service_{chaos_workers}_workers"]["seconds"]
+            if chaos_workers in worker_counts
+            else replay_service(trace, chaos_workers)[0]
+        )
+        recovery = run_chaos_scenario(
+            trace, chaos_workers, float(fault_free), baseline_answers
+        )
+        recovery["degraded"] = check_degraded_accuracy()
+    report: Dict[str, object] = {
         "benchmark": "service",
         "config": {
             "seed": BENCH_SEED,
@@ -360,12 +510,17 @@ def run_service_benchmarks(
             ),
         },
     }
+    if recovery is not None:
+        report["service_recovery"] = recovery
+    return report
 
 
 def check_service_thresholds(
-    report: Dict[str, object], min_speedup: float = 0.0
+    report: Dict[str, object],
+    min_speedup: float = 0.0,
+    max_recovery_ms: float = 0.0,
 ) -> None:
-    """Raise AssertionError when the recorded serving speedup regresses."""
+    """Raise AssertionError when a serving or reliability metric regresses."""
     summary = report["summary"]
     if not summary["exact_bit_identical"]:
         raise AssertionError("service exact answers diverged from the baseline")
@@ -376,6 +531,25 @@ def check_service_thresholds(
         raise AssertionError(
             f"service speedup {speedup}x at {summary['max_workers']} workers is "
             f"below the required {min_speedup}x"
+        )
+    recovery = report.get("service_recovery")
+    if recovery is not None:
+        if recovery["lost_requests"] != 0:
+            raise AssertionError(
+                f"chaos run lost {recovery['lost_requests']} request(s)"
+            )
+        if not recovery["exact_bit_identical"]:
+            raise AssertionError("chaos-run answers diverged from the baseline")
+        if not recovery["degraded"]["within_epsilon"]:
+            raise AssertionError("degraded answer violated its epsilon bound")
+        if max_recovery_ms > 0 and recovery["recovery_ms"] > max_recovery_ms:
+            raise AssertionError(
+                f"worker recovery took {recovery['recovery_ms']} ms, above the "
+                f"required {max_recovery_ms} ms"
+            )
+    elif max_recovery_ms > 0:
+        raise AssertionError(
+            "--max-recovery-ms requires the chaos scenario (run with --faults)"
         )
 
 
@@ -411,4 +585,21 @@ def format_service_report(report: Dict[str, object]) -> str:
         f"  speedup at {summary['max_workers']} workers: "
         f"{summary['speedup_at_max_workers']}x (exact answers bit-identical)"
     )
+    recovery = report.get("service_recovery")
+    if recovery is not None:
+        fault = recovery["fault"]
+        lines.append(
+            f"  chaos: {fault['kind']} worker {fault['worker']} after "
+            f"{fault['after_messages']} messages -> {recovery['restarts']} "
+            f"restart(s) in {recovery['recovery_ms']} ms, "
+            f"{recovery['retries']} retried dispatch(es), "
+            f"{recovery['lost_requests']} lost, "
+            f"{recovery['retry_overhead_ratio']}x wall-clock overhead"
+        )
+        degraded = recovery["degraded"]
+        lines.append(
+            f"  degraded answer at deadline {degraded['deadline_ms']} ms: "
+            f"relative error {degraded['relative_error']:.4f} <= "
+            f"epsilon {degraded['epsilon']}"
+        )
     return "\n".join(lines)

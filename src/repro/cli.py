@@ -277,6 +277,20 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.add_argument(
+        "--faults", action="store_true",
+        help=(
+            "service: also run the chaos scenario (a FaultPlan kills one "
+            "worker mid-trace) and record a service_recovery section"
+        ),
+    )
+    bench.add_argument(
+        "--max-recovery-ms", type=float, default=0.0,
+        help=(
+            "service: with --faults, fail when the worst worker restart "
+            "(detect + respawn + journal replay) exceeds this many ms"
+        ),
+    )
+    bench.add_argument(
         "--output", default=None,
         help=(
             "where to write the JSON report ('-' to skip writing; defaults to "
@@ -469,6 +483,12 @@ def _run_serve(args, out, err) -> int:
                     f"{stats.result_cache_hits()} result-cache hit(s), "
                     f"{stats.updates} update(s)\n"
                 )
+                err.write(
+                    f"reliability: {stats.restarts} worker restart(s), "
+                    f"{stats.retries} retried dispatch(es), "
+                    f"{stats.deadline_hits} deadline hit(s), "
+                    f"{stats.degraded} degraded answer(s)\n"
+                )
             return code
     finally:
         if close_input is not None:
@@ -579,8 +599,12 @@ def _run_bench_service(args, out, err) -> int:
     )
 
     try:
-        report = run_service_benchmarks(smoke=args.smoke)
-        check_service_thresholds(report, min_speedup=args.min_service_speedup)
+        report = run_service_benchmarks(smoke=args.smoke, faults=args.faults)
+        check_service_thresholds(
+            report,
+            min_speedup=args.min_service_speedup,
+            max_recovery_ms=args.max_recovery_ms,
+        )
     except AssertionError as exc:
         err.write(f"error: service benchmark check failed: {exc}\n")
         return 1

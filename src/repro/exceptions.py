@@ -93,6 +93,42 @@ class ServiceError(ReproError):
     """
 
 
+class ServiceUnavailableError(ServiceError):
+    """Raised when a request exhausts its retry budget on the serving layer.
+
+    The supervision loop of :class:`~repro.service.QueryService` restarts
+    dead or unresponsive workers and retries the in-flight requests on the
+    fresh incarnation (with capped exponential backoff).  A request that
+    still cannot be answered after ``max_retries`` re-dispatches fails with
+    this error instead of a silent hang.
+
+    ``notes`` carries the attempt provenance — one line per failed attempt,
+    naming the worker, the attempt number and the failure reason — so an
+    operator can reconstruct what the supervisor saw.
+    """
+
+    def __init__(self, message: str, notes: "tuple | list" = ()):
+        super().__init__(message)
+        self.message = message
+        self.notes = tuple(notes)
+
+    def __str__(self) -> str:
+        if not self.notes:
+            return self.message
+        return self.message + "\n  " + "\n  ".join(self.notes)
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request misses its deadline under ``on_deadline="error"``.
+
+    Requests may carry a ``deadline_ms`` budget and an ``on_deadline``
+    policy (see :class:`~repro.service.ServiceRequest`).  Under the default
+    ``"error"`` policy a missed deadline raises this error; the
+    ``"degrade"`` policy re-answers through the approximate route instead,
+    and ``"partial"`` surfaces a typed timeout result without raising.
+    """
+
+
 class IntractableFallbackWarning(UserWarning):
     """Warning emitted when the dispatcher falls back to exponential brute force.
 

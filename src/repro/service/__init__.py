@@ -8,6 +8,12 @@ through the canonical query form before dispatch, supports per-request
 mixed precision (exact / float / seeded approx), and applies live
 single-edge probability updates without recompiling plans.
 
+The layer is fault tolerant: the coordinator supervises its workers
+(restarting dead or hung processes and replaying their shard state from a
+journal), requests may carry deadlines with graceful degradation through
+the ``(ε, δ)`` sampler, and :mod:`repro.service.faults` provides a seeded
+fault-injection harness for chaos testing all of it.
+
 See :mod:`repro.service.service` for the architecture notes,
 :mod:`repro.service.requests` for the request/result types, and
 :mod:`repro.service.jsonl` for the ``repro serve --batch`` wire format.
@@ -20,6 +26,12 @@ from repro.service.requests import (
     result_to_json_dict,
 )
 from repro.service.service import QueryService, ServiceStats
+from repro.service.faults import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    epsilon_for_budget,
+)
 from repro.service.jsonl import run_jsonl_session
 
 __all__ = [
@@ -27,6 +39,10 @@ __all__ = [
     "ServiceRequest",
     "ServiceResult",
     "ServiceStats",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "epsilon_for_budget",
     "request_from_json_dict",
     "result_to_json_dict",
     "run_jsonl_session",

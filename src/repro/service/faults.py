@@ -1,0 +1,203 @@
+"""Fault injection for the serving layer: :class:`FaultPlan`.
+
+The supervision, retry and degradation machinery of
+:class:`~repro.service.QueryService` only earns trust when it can be
+exercised deterministically.  This module provides that harness: a seeded,
+picklable :class:`FaultPlan` describes *when* and *how* workers misbehave,
+workers honour it in test and benchmark builds (the plan ships to every
+worker incarnation at spawn time), and pinned seeds make every chaos run
+reproducible.
+
+Fault kinds
+-----------
+
+``kill``
+    The worker process exits hard (``os._exit``) *before* handling the
+    triggering message — the message is lost, exactly like a segfault or an
+    OOM kill.  The coordinator detects the dead process, restarts it,
+    replays the shard journal and retries the lost requests.
+``delay``
+    The worker sleeps ``seconds`` before handling the message — a stand-in
+    for a slow computation or a stalled host.  Used to trigger deadline
+    policies and (past the service ``timeout``) unresponsiveness recovery.
+``drop``
+    The worker handles the message but never replies — a lost response.
+    The coordinator's per-attempt timeout declares the worker unresponsive,
+    restarts it and retries.
+``solver-error``
+    One request of the next solve batch fails with an injected exception —
+    a deterministic stand-in for a bug in a solver route.  Surfaces as a
+    per-request error (never retried: the failure is not transient).
+``corrupt``
+    The reply to the triggering message is replaced by garbage bytes drawn
+    from the plan's seeded RNG — a corrupted pickle / protocol frame.  The
+    coordinator rejects the malformed reply, restarts the worker and
+    retries.
+
+``kill``, ``drop`` and ``corrupt`` are process-level faults and are ignored
+by the inline (``num_workers=0``) service; ``delay`` and ``solver-error``
+fire in both deployment shapes.
+
+Triggering is message-based, not time-based, so plans are reproducible:
+``after_messages=K`` fires on the ``K+1``-th protocol message (register /
+update / solve / stats all count) handled by the targeted worker.  A fault
+fires once per arming; ``repeat=True`` re-arms it for every respawned
+incarnation of the worker, which is how retry exhaustion is simulated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ServiceError
+
+#: The recognised fault kinds.
+FAULT_KINDS = ("kill", "delay", "drop", "solver-error", "corrupt")
+
+#: Fault kinds honoured by the inline (``num_workers=0``) service.
+INLINE_FAULT_KINDS = ("delay", "solver-error")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: what goes wrong, on which worker, and when.
+
+    ``worker`` is the targeted worker index (``None`` targets every
+    worker); ``after_messages`` is the number of protocol messages the
+    worker handles before the fault fires; ``seconds`` is the sleep length
+    for ``kind="delay"``; ``repeat`` re-arms the fault on every respawned
+    incarnation of the worker instead of only the first.
+    """
+
+    kind: str
+    worker: Optional[int] = None
+    after_messages: int = 0
+    seconds: float = 0.0
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ServiceError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.after_messages < 0:
+            raise ServiceError(
+                f"after_messages must be >= 0, got {self.after_messages}"
+            )
+        if self.seconds < 0:
+            raise ServiceError(f"a delay cannot be negative, got {self.seconds}")
+        if self.kind == "delay" and self.seconds == 0.0:
+            raise ServiceError("a 'delay' fault needs seconds > 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable chaos schedule honoured by service workers.
+
+    The plan is immutable and ships to every worker (and every respawned
+    incarnation) at spawn time; each worker derives its own
+    :class:`FaultInjector` with :meth:`for_worker`.  ``seed`` drives any
+    randomized fault payloads (the ``corrupt`` garbage bytes), so two runs
+    with the same plan misbehave identically.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of faults but store a hashable tuple.
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def for_worker(self, worker_index: int, incarnation: int = 0) -> "FaultInjector":
+        """The injector for one worker incarnation (deterministic per plan)."""
+        return FaultInjector(self, worker_index, incarnation)
+
+    def targets(self, worker_index: int, incarnation: int = 0) -> Tuple[Fault, ...]:
+        """The faults armed for one worker incarnation."""
+        return tuple(
+            fault
+            for fault in self.faults
+            if (fault.worker is None or fault.worker == worker_index)
+            and (fault.repeat or incarnation == 0)
+        )
+
+
+class FaultInjector:
+    """Worker-side fault state: counts messages, fires armed faults.
+
+    Created from a :class:`FaultPlan` via :meth:`FaultPlan.for_worker`;
+    the worker loop calls :meth:`on_message` once per protocol message and
+    applies the returned process-level faults (kill / delay / drop /
+    corrupt), while ``solver-error`` faults are consumed per request inside
+    the solve batch via :meth:`take_solver_error`.
+    """
+
+    def __init__(self, plan: FaultPlan, worker_index: int, incarnation: int = 0):
+        self.worker_index = worker_index
+        self.incarnation = incarnation
+        self.handled = 0
+        self._armed: List[Fault] = list(plan.targets(worker_index, incarnation))
+        self._solver_errors = 0
+        # Deterministic per (plan seed, worker, incarnation): integer tuple
+        # hashes do not depend on PYTHONHASHSEED, so corrupt payloads are
+        # reproducible across processes.
+        self._rng = random.Random(hash((plan.seed, worker_index, incarnation)))
+
+    def on_message(self) -> List[Fault]:
+        """Advance the message counter; return the faults firing now.
+
+        ``solver-error`` faults are not returned — they are armed
+        internally and consumed per request by :meth:`take_solver_error`.
+        """
+        self.handled += 1
+        firing = [f for f in self._armed if f.after_messages < self.handled]
+        for fault in firing:
+            self._armed.remove(fault)
+        actions: List[Fault] = []
+        for fault in firing:
+            if fault.kind == "solver-error":
+                self._solver_errors += 1
+            else:
+                actions.append(fault)
+        return actions
+
+    def take_solver_error(self) -> bool:
+        """Consume one pending injected solver exception, if any."""
+        if self._solver_errors > 0:
+            self._solver_errors -= 1
+            return True
+        return False
+
+    def corrupt_bytes(self, length: int = 24) -> bytes:
+        """Seeded garbage standing in for a corrupted reply frame."""
+        return bytes(self._rng.randrange(256) for _ in range(length))
+
+
+def epsilon_for_budget(budget_ms: Optional[float], floor: float = 0.05) -> float:
+    """Pick a Karp–Luby ``epsilon`` from a latency budget in milliseconds.
+
+    The graceful-degradation tier answers a deadline-missed request with an
+    ``(ε, δ)`` estimate instead of an error; the smaller the budget, the
+    looser the guarantee it promises (fewer samples fit).  The ladder is a
+    deterministic function of the budget — not of measured time — so a
+    degraded answer's contract is reproducible:
+
+    >>> epsilon_for_budget(10)
+    0.5
+    >>> epsilon_for_budget(100)
+    0.25
+    >>> epsilon_for_budget(500)
+    0.1
+    >>> epsilon_for_budget(5000)
+    0.05
+    >>> epsilon_for_budget(5000, floor=0.2)  # never tighter than the request
+    0.2
+    """
+    if budget_ms is None:
+        return floor
+    for threshold, epsilon in ((50.0, 0.5), (250.0, 0.25), (1000.0, 0.1)):
+        if budget_ms < threshold:
+            return max(epsilon, floor)
+    return floor

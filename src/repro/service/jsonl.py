@@ -10,10 +10,11 @@ Each input line is one JSON object with an ``"op"`` field:
 ``solve``
     ``{"op": "solve", "id": "r1", "instance": "inst1", "query": {...},
     "precision": "float", ...}`` — see
-    :func:`repro.service.requests.request_from_json_dict` for every field.
+    :func:`repro.service.requests.request_from_json_dict` for every field,
+    including the ``deadline_ms`` / ``on_deadline`` latency policy.
     ``query`` is a graph object or a query-language string
     (``"query": "R(x, y), S(y, z)"``); ambiguous payloads (a string that
-    looks like encoded JSON) are rejected with an ``{"error": ...}`` line.
+    looks like encoded JSON) are rejected with a failure record.
 ``update``
     ``{"op": "update", "instance": "inst1", "edge": ["a", "b"],
     "probability": "1/3"}`` applies a single-edge probability change.
@@ -22,17 +23,30 @@ Consecutive ``solve`` lines form one micro-batch: they are submitted
 together (so duplicates coalesce and distinct requests parallelise) and
 their results stream out in input order, one JSON object per line, before
 the next non-``solve`` op executes.  ``register`` and ``update`` emit an
-acknowledgement line.  A line that fails emits ``{"error": ...}`` (with the
-request id when there is one) and processing continues; the session's exit
-code reports whether any line failed.
+acknowledgement line.
+
+The stream is resilient: a malformed or failing line never aborts the
+session.  It emits a typed **failure record** instead and processing
+continues with the next line::
+
+    {"error": "<message>", "error_class": "<ExceptionType>",
+     "line": <input line number>, "retryable": <bool>, "id": <request id>}
+
+``error_class`` is the exception type that rejected the line
+(``ServiceError``, ``QueryParseError``, ``JSONDecodeError``, ...);
+``retryable`` is true exactly for transient serving failures
+(``ServiceUnavailableError``, ``DeadlineExceededError``) where re-sending
+the same line later could succeed, and false for deterministic errors.
+``id`` is present when the line carried one.  The session's exit code
+reports whether any line failed.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, TextIO
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Tuple
 
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import ServiceError
 from repro.graphs.serialization import load_instance, probabilistic_graph_from_dict
 from repro.service.requests import (
     ServiceRequest,
@@ -41,28 +55,72 @@ from repro.service.requests import (
 )
 from repro.service.service import QueryService
 
+#: Error classes worth re-sending the same line for (transient failures).
+RETRYABLE_ERROR_CLASSES = ("ServiceUnavailableError", "DeadlineExceededError")
+
 
 def _emit(out: TextIO, payload: Dict[str, Any]) -> None:
     out.write(json.dumps(payload, sort_keys=True) + "\n")
     out.flush()
 
 
+def failure_record(
+    message: str,
+    error_class: Optional[str],
+    line_number: int,
+    request_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The typed per-line failure record of the JSONL protocol."""
+    record: Dict[str, Any] = {
+        "error": message,
+        "error_class": error_class,
+        "line": line_number,
+        "retryable": error_class in RETRYABLE_ERROR_CLASSES,
+    }
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
 def _flush_batch(
-    service: QueryService, batch: List[ServiceRequest], out: TextIO
+    service: QueryService, batch: List[Tuple[int, ServiceRequest]], out: TextIO
 ) -> int:
     """Submit the pending solve micro-batch; returns the number of failures.
 
-    Failed requests stream an ``{"error": ...}`` line; the healthy requests
-    of the same micro-batch keep their (already computed) results — nothing
-    is re-submitted.
+    Failed requests stream a failure record; the healthy requests of the
+    same micro-batch keep their (already computed) results — nothing is
+    re-submitted.
     """
     if not batch:
         return 0
     failures = 0
-    for request, outcome in zip(batch, service.submit_many(batch, on_error="return")):
+    requests = [request for _, request in batch]
+    try:
+        outcomes = service.submit_many(requests, on_error="return")
+    except Exception as exc:  # noqa: BLE001 - a coordinator-level failure
+        # must fail the *batch's lines*, not tear the whole session down.
+        for line_number, request in batch:
+            failures += 1
+            _emit(
+                out,
+                failure_record(
+                    str(exc), type(exc).__name__, line_number, request.request_id
+                ),
+            )
+        batch.clear()
+        return failures
+    for (line_number, request), outcome in zip(batch, outcomes):
         if outcome.error is not None:
             failures += 1
-            _emit(out, {"id": request.request_id, "error": outcome.error})
+            _emit(
+                out,
+                failure_record(
+                    outcome.error,
+                    outcome.error_class,
+                    line_number,
+                    request.request_id,
+                ),
+            )
         else:
             _emit(out, result_to_json_dict(outcome))
     batch.clear()
@@ -74,7 +132,7 @@ def run_jsonl_session(
 ) -> int:
     """Drive a service from JSONL input lines; returns a process exit code."""
     failures = 0
-    batch: List[ServiceRequest] = []
+    batch: List[Tuple[int, ServiceRequest]] = []
     for line_number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -84,12 +142,16 @@ def run_jsonl_session(
         except json.JSONDecodeError as exc:
             failures += _flush_batch(service, batch, out)
             failures += 1
-            _emit(out, {"error": f"line {line_number}: invalid JSON: {exc}"})
+            _emit(
+                out,
+                failure_record(f"invalid JSON: {exc}", "JSONDecodeError", line_number),
+            )
             continue
         op = data.get("op", "solve")
+        request_id = str(data["id"]) if "id" in data else None
         try:
             if op == "solve":
-                batch.append(request_from_json_dict(data))
+                batch.append((line_number, request_from_json_dict(data)))
                 continue
             failures += _flush_batch(service, batch, out)
             if op == "register":
@@ -100,9 +162,13 @@ def run_jsonl_session(
                 _emit(out, {"ok": True, "op": "update", "instance": data["instance"]})
             else:
                 raise ServiceError(f"unknown op {op!r}")
-        except (ReproError, ValueError, OSError, KeyError) as exc:
+        except Exception as exc:  # noqa: BLE001 - one bad line must never
+            # abort the stream; it becomes a typed failure record.
             failures += 1
-            _emit(out, {"error": f"line {line_number}: {exc}"})
+            _emit(
+                out,
+                failure_record(str(exc), type(exc).__name__, line_number, request_id),
+            )
     failures += _flush_batch(service, batch, out)
     return 1 if failures else 0
 

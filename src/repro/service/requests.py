@@ -36,6 +36,9 @@ from repro.query.parser import as_query_graph
 #: Precision names accepted on a request (``None`` defers to the service).
 PRECISIONS = ("exact", "float", "approx")
 
+#: Deadline policies accepted on a request carrying ``deadline_ms``.
+DEADLINE_POLICIES = ("error", "degrade", "partial")
+
 
 @dataclass(frozen=True)
 class ServiceRequest:
@@ -65,6 +68,19 @@ class ServiceRequest:
         of ``None`` draws fresh entropy per estimate.
     request_id:
         Optional caller-supplied correlation id, echoed on the result.
+    deadline_ms:
+        Optional latency budget in milliseconds.  ``None`` (the default)
+        means the request waits as long as the service-level ``timeout``
+        allows.  A finite deadline is enforced by the coordinator without
+        blocking unrelated requests that share the worker.
+    on_deadline:
+        What a missed deadline means — ``"error"`` (default) raises
+        :class:`~repro.exceptions.DeadlineExceededError`; ``"degrade"``
+        re-answers through the approximate route with an epsilon chosen
+        from the budget (:func:`~repro.service.faults.epsilon_for_budget`),
+        recording ``degraded=True`` and the original method in the result
+        notes; ``"partial"`` (for ``submit_many``) returns a typed timeout
+        result (``timed_out=True``, ``result=None``) without raising.
     """
 
     query: DiGraph
@@ -75,6 +91,8 @@ class ServiceRequest:
     delta: Optional[float] = None
     seed: Optional[int] = None
     request_id: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    on_deadline: str = "error"
 
     def __post_init__(self) -> None:
         if isinstance(self.query, str):
@@ -84,6 +102,15 @@ class ServiceRequest:
         if self.precision is not None and self.precision not in PRECISIONS:
             raise ServiceError(
                 f"unknown precision {self.precision!r}; expected one of {PRECISIONS}"
+            )
+        if self.on_deadline not in DEADLINE_POLICIES:
+            raise ServiceError(
+                f"unknown deadline policy {self.on_deadline!r}; expected one "
+                f"of {DEADLINE_POLICIES}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ServiceError(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
             )
 
     def resolved_precision(self, default: str) -> str:
@@ -117,6 +144,12 @@ class ServiceRequest:
         )
         if self.may_sample(default_precision):
             key += (self.epsilon, self.delta, self.seed)
+        if self.deadline_ms is not None:
+            # Deadline-carrying requests dispatch individually (so they can
+            # be abandoned per request) and their answer depends on the
+            # policy; never merge them with unconstrained duplicates or with
+            # requests under a different budget.
+            key += (self.deadline_ms, self.on_deadline)
         return key
 
     def cacheable(self, default_precision: str) -> bool:
@@ -135,9 +168,16 @@ class ServiceRequest:
 class ServiceResult:
     """One serving answer: the solver result plus serving provenance.
 
-    ``result`` is ``None`` (and ``error`` holds the message) only for
-    failed requests surfaced by ``submit_many(..., on_error="return")``;
+    ``result`` is ``None`` (and ``error`` holds the message) only for failed
+    requests surfaced by ``submit_many(..., on_error="return")`` and for
+    deadline timeouts under the ``"partial"`` policy (``timed_out=True``);
     the default raising mode never hands out error results.
+
+    ``attempts`` counts dispatches including supervision retries (1 for a
+    first-try answer); ``degraded`` marks answers re-routed through the
+    approximate tier after a missed deadline; ``error_class`` names the
+    exception type behind ``error`` so callers can branch without string
+    matching (see :attr:`retryable`).
     """
 
     result: Optional[PHomResult]
@@ -146,6 +186,20 @@ class ServiceResult:
     cached: bool = False
     coalesced: bool = False
     error: Optional[str] = None
+    error_class: Optional[str] = None
+    attempts: int = 1
+    degraded: bool = False
+    timed_out: bool = False
+
+    @property
+    def retryable(self) -> bool:
+        """Whether resubmitting the same request could plausibly succeed.
+
+        True for transient serving failures (retry exhaustion, missed
+        deadlines); false for deterministic request errors (unknown
+        instance, malformed query) and for successful answers.
+        """
+        return self.error_class in ("ServiceUnavailableError", "DeadlineExceededError")
 
     @property
     def probability(self):
@@ -210,9 +264,11 @@ def request_from_json_dict(data: Dict[str, Any]) -> ServiceRequest:
         {"op": "solve", "id": "r1", "instance": "inst1",
          "query": {"vertices": [...], "edges": [[s, t, label], ...]},
          "method": "auto", "precision": "float",
-         "epsilon": 0.05, "delta": 0.01, "seed": 42}
+         "epsilon": 0.05, "delta": 0.01, "seed": 42,
+         "deadline_ms": 250, "on_deadline": "degrade"}
 
-    ``id``, ``method``, ``precision``, ``epsilon``, ``delta`` and ``seed``
+    ``id``, ``method``, ``precision``, ``epsilon``, ``delta``, ``seed``,
+    ``deadline_ms`` and ``on_deadline``
     are optional; ``instance`` names a previously registered instance and
     ``query`` is either a graph dictionary in the format of
     :mod:`repro.graphs.serialization` or a query-language string
@@ -226,6 +282,7 @@ def request_from_json_dict(data: Dict[str, Any]) -> ServiceRequest:
     seed = data.get("seed")
     epsilon = data.get("epsilon")
     delta = data.get("delta")
+    deadline_ms = data.get("deadline_ms")
     return ServiceRequest(
         query=_query_from_payload(data["query"]),
         instance_id=str(data["instance"]),
@@ -235,6 +292,8 @@ def request_from_json_dict(data: Dict[str, Any]) -> ServiceRequest:
         delta=float(delta) if delta is not None else None,
         seed=int(seed) if seed is not None else None,
         request_id=str(data["id"]) if "id" in data else None,
+        deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
+        on_deadline=str(data.get("on_deadline", "error")),
     )
 
 
@@ -261,6 +320,10 @@ def result_to_json_dict(outcome: ServiceResult) -> Dict[str, Any]:
         "cached": outcome.cached,
         "coalesced": outcome.coalesced,
     }
+    if outcome.attempts > 1:
+        payload["attempts"] = outcome.attempts
+    if outcome.degraded:
+        payload["degraded"] = True
     if result.notes:
         payload["notes"] = result.notes
     return payload

@@ -35,17 +35,27 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
-import queue as queue_module
+import random
+import time
+import warnings
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.solver import PHomSolver, requalify_result
-from repro.exceptions import ServiceError
+from repro.approx import ApproxParams
+from repro.core.solver import PHomResult, PHomSolver, requalify_result
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.graphs.digraph import DiGraph, Edge
 from repro.probability.prob_graph import ProbabilisticGraph
+from repro.service.faults import FaultPlan, epsilon_for_budget
 from repro.service.requests import ServiceRequest, ServiceResult
 from repro.service.worker import WorkerState, handle_message, worker_loop
 
@@ -62,6 +72,12 @@ class ServiceStats:
     dispatch boundary.  ``workers`` holds one per-worker dictionary with the
     worker's serving counters and its plan-cache statistics (hits, misses,
     compiles, evictions — see :attr:`repro.plan.PlanCache.stats`).
+
+    The reliability counters record supervision activity: ``restarts``
+    (worker processes respawned after a crash or hang), ``retries``
+    (request re-dispatches onto a fresh incarnation), ``deadline_hits``
+    (requests that missed their ``deadline_ms``) and ``degraded``
+    (deadline misses answered through the approximate tier).
     """
 
     requests: int = 0
@@ -69,6 +85,10 @@ class ServiceStats:
     coalesced: int = 0
     batches: int = 0
     updates: int = 0
+    restarts: int = 0
+    retries: int = 0
+    deadline_hits: int = 0
+    degraded: int = 0
     workers: List[Dict[str, Any]] = field(default_factory=list)
 
     def dedupe_hit_rate(self) -> float:
@@ -80,6 +100,46 @@ class ServiceStats:
     def result_cache_hits(self) -> int:
         """Total worker-side result-cache hits across the pool."""
         return sum(w.get("result_cache_hits", 0) for w in self.workers)
+
+
+@dataclass
+class _InstanceJournal:
+    """Coordinator-side record of one shard instance, for worker replay.
+
+    ``snapshot`` is the instance pickled at registration time;
+    ``updates`` is the compacted (last-write-wins) sequence of probability
+    updates applied since.  Replaying ``snapshot + updates`` reconstructs
+    the worker-side state exactly — including its isolation from direct
+    mutations of the caller's instance object.  ``version`` changes on
+    every state change, so degraded-answer reconstructions can be memoised.
+    """
+
+    snapshot: bytes
+    updates: "OrderedDict[Tuple, Any]" = field(default_factory=OrderedDict)
+    version: int = 0
+
+
+@dataclass
+class _PendingOp:
+    """One in-flight worker op tracked by the supervision loop.
+
+    ``attempts`` counts dispatches so far (1 = first try); ``retry_at`` is
+    the monotonic instant a backed-off retry becomes due (``None`` while the
+    op is genuinely in flight); ``deadline`` is the monotonic instant the
+    op's request budget expires; ``history`` accumulates one line per failed
+    attempt for :class:`~repro.exceptions.ServiceUnavailableError` notes.
+    """
+
+    op_id: int
+    worker: int
+    op: str
+    payload: Any
+    created_at: float
+    sent_at: float
+    attempts: int = 1
+    retry_at: Optional[float] = None
+    deadline: Optional[float] = None
+    history: List[str] = field(default_factory=list)
 
 
 class QueryService:
@@ -103,7 +163,24 @@ class QueryService:
         Multiprocessing start method (``"fork"`` / ``"spawn"`` / ...);
         ``None`` picks ``fork`` where available, else the platform default.
     timeout:
-        Seconds to wait for a worker reply before declaring the pool broken.
+        Seconds without a reply before a worker is declared unresponsive.
+        An unresponsive (or dead) worker is restarted, its shard state is
+        replayed from the coordinator journal, and its in-flight requests
+        are retried on the fresh incarnation.
+    max_retries:
+        Re-dispatches allowed per request after a worker failure before the
+        request fails with :class:`~repro.exceptions.ServiceUnavailableError`
+        (so a request is attempted at most ``1 + max_retries`` times).
+    backoff_base / backoff_cap:
+        Capped exponential backoff between retry dispatches, in seconds:
+        attempt ``k`` waits ``min(cap, base * 2**(k-1))`` scaled by a seeded
+        jitter factor in ``[0.5, 1.0)``.
+    poll_interval:
+        Granularity (seconds) of the supervision loop's liveness, deadline
+        and backoff checks while waiting for replies.
+    fault_plan:
+        Optional :class:`~repro.service.faults.FaultPlan` shipped to every
+        worker incarnation — the chaos-testing hook; ``None`` in production.
     """
 
     def __init__(
@@ -120,6 +197,11 @@ class QueryService:
         seed: Optional[int] = None,
         start_method: Optional[str] = None,
         timeout: float = 300.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        poll_interval: float = 0.05,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if default_precision not in ("exact", "float", "approx"):
             raise ServiceError(
@@ -137,15 +219,41 @@ class QueryService:
         self.default_delta = delta
         self.default_seed = seed
         self.timeout = timeout
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.poll_interval = poll_interval
+        self.fault_plan = fault_plan
         self._closed = False
         self._instances: Dict[str, ProbabilisticGraph] = {}
         self._ids_by_identity: Dict[int, str] = {}
+        self._journal: Dict[str, _InstanceJournal] = {}
+        self._degrade_memo: Dict[str, Tuple[int, ProbabilisticGraph]] = {}
+        self._degrade_solver: Optional[PHomSolver] = None
         self._next_instance = itertools.count()
         self._next_op = itertools.count()
         self._stats_requests = 0
         self._stats_dispatched = 0
         self._stats_batches = 0
         self._stats_updates = 0
+        self._stats_restarts = 0
+        self._stats_retries = 0
+        self._stats_deadline_hits = 0
+        self._stats_degraded = 0
+        #: One dict per worker restart (worker, incarnation, reason,
+        #: duration_s, instances_replayed) — the raw data behind the
+        #: ``service_recovery`` benchmark section.
+        self.restart_log: List[Dict[str, Any]] = []
+        # Reply bookkeeping: op_ids whose reply must be discarded on arrival
+        # (deadline-abandoned requests / fire-and-forget journal replays),
+        # mapped to the worker they were sent to so restarts can prune them.
+        self._abandoned: Dict[int, int] = {}
+        self._background: Dict[int, int] = {}
+        # Seeded jitter so chaos runs back off identically run to run.
+        self._backoff_rng = random.Random(seed if seed is not None else 0)
+        self._result_cache_size = result_cache_size
 
         def make_solver() -> PHomSolver:
             return PHomSolver(
@@ -158,38 +266,63 @@ class QueryService:
                 seed=seed,
             )
 
+        self._make_solver = make_solver
         if num_workers == 0:
             self._inline: Optional[WorkerState] = WorkerState(
-                0, make_solver(), default_precision, result_cache_size
+                0,
+                make_solver(),
+                default_precision,
+                result_cache_size,
+                fault_injector=(
+                    fault_plan.for_worker(0, 0) if fault_plan is not None else None
+                ),
             )
             self._processes: List = []
             self._queues: List = []
-            self._results = None
+            self._readers: List = []
+            self._incarnations: List[int] = []
             return
         self._inline = None
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
-        context = multiprocessing.get_context(start_method)
-        self._results = context.Queue()
-        self._queues = [context.Queue() for _ in range(num_workers)]
+        self._context = multiprocessing.get_context(start_method)
+        self._queues = [self._context.Queue() for _ in range(num_workers)]
+        # One reply pipe per worker incarnation, never shared: a worker
+        # terminated mid-send can wedge only its own channel (discarded on
+        # restart), unlike a shared result queue whose write lock would die
+        # held and deadlock every surviving worker.
+        self._readers: List[Optional[Any]] = [None] * num_workers
         self._processes = []
+        self._incarnations = [0] * num_workers
         for index in range(num_workers):
-            process = context.Process(
-                target=worker_loop,
-                args=(
-                    index,
-                    self._queues[index],
-                    self._results,
-                    make_solver(),
-                    default_precision,
-                    result_cache_size,
-                ),
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
-        self._replies: Dict[int, Tuple[int, Tuple[str, Any]]] = {}
+            self._processes.append(self._spawn_worker(index))
+
+    def _spawn_worker(self, index: int):
+        """Start one worker process for the current incarnation of ``index``.
+
+        Each incarnation gets a fresh reply pipe; the parent drops its copy
+        of the write end so a dead worker reads as EOF, not as silence.
+        """
+        reader, writer = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=worker_loop,
+            args=(
+                index,
+                self._queues[index],
+                writer,
+                self._make_solver(),
+                self.default_precision,
+                self._result_cache_size,
+                self.fault_plan,
+                self._incarnations[index],
+            ),
+            daemon=True,
+        )
+        process.start()
+        writer.close()
+        self._readers[index] = reader
+        return process
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -201,20 +334,46 @@ class QueryService:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent, safe with dead workers).
+
+        Workers that already died — crashed, SIGKILLed, or hung — must not
+        make ``close()`` hang or raise: the sentinel is sent best-effort,
+        joins are bounded and escalate ``terminate`` → ``kill``, every
+        request queue's feeder thread is detached so interpreter shutdown
+        cannot block on a pipe nobody reads, and the reply pipes are closed
+        unconditionally.
+        """
         if self._closed:
             return
         self._closed = True
         for worker_queue in self._queues:
             try:
-                worker_queue.put(None)
-            except (OSError, ValueError):  # pragma: no cover - teardown race
+                worker_queue.put_nowait(None)
+            except Exception:  # pragma: no cover - teardown race
                 pass
         for process in self._processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive teardown
-                process.terminate()
-                process.join(timeout=5.0)
+            try:
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+                if process.is_alive():  # pragma: no cover - defensive teardown
+                    process.kill()
+                    process.join(timeout=2.0)
+            except Exception:  # pragma: no cover - teardown race
+                pass
+        for q in self._queues:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - teardown race
+                pass
+        for reader in self._readers:
+            try:
+                if reader is not None:
+                    reader.close()
+            except Exception:  # pragma: no cover - teardown race
+                pass
 
     def __del__(self) -> None:  # pragma: no cover - GC-order dependent
         try:
@@ -259,14 +418,23 @@ class QueryService:
             self._ids_by_identity.pop(id(replaced), None)
         self._instances[instance_id] = instance
         self._ids_by_identity[id(instance)] = instance_id
+        snapshot = pickle.dumps(instance)
         shipped = instance
         if self._inline is not None:
             # Mirror the process-boundary copy semantics in inline mode: the
             # worker must hold its own instance, so a direct mutation of the
             # caller's object cannot desynchronise the worker's result cache
             # (go through update_probability, as with a real pool).
-            shipped = pickle.loads(pickle.dumps(instance))
+            shipped = pickle.loads(snapshot)
         self._call(self._worker_for(instance_id), "register", (instance_id, shipped))
+        # Journal the acknowledged registration: the snapshot is the state
+        # the worker holds *now*, so replaying it (plus later journaled
+        # updates) reconstructs the shard exactly on a respawned worker.
+        previous = self._journal.get(instance_id)
+        self._journal[instance_id] = _InstanceJournal(
+            snapshot=snapshot,
+            version=(previous.version + 1) if previous is not None else 0,
+        )
         return instance_id
 
     def _worker_for(self, instance_id: str) -> int:
@@ -300,6 +468,8 @@ class QueryService:
         delta: Optional[float] = None,
         seed: Optional[int] = None,
         request_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        on_deadline: str = "error",
     ) -> ServiceResult:
         """Answer one request (a convenience wrapper over :meth:`submit_many`).
 
@@ -315,6 +485,8 @@ class QueryService:
             delta=delta,
             seed=seed,
             request_id=request_id,
+            deadline_ms=deadline_ms,
+            on_deadline=on_deadline,
         )
         return self.submit_many([request])[0]
 
@@ -352,7 +524,12 @@ class QueryService:
                     entry.request_id if isinstance(entry, ServiceRequest) else None
                 )
                 answered[position] = (
-                    ServiceResult(result=None, request_id=request_id, error=str(exc)),
+                    ServiceResult(
+                        result=None,
+                        request_id=request_id,
+                        error=str(exc),
+                        error_class=type(exc).__name__,
+                    ),
                     str(exc),
                 )
         self._stats_requests += len(normalized)
@@ -378,42 +555,92 @@ class QueryService:
                 source_of.append(first)
         self._stats_dispatched += len(unique_indices)
 
-        # Shard the distinct requests by instance affinity.
+        # Shard the distinct requests by instance affinity.  Requests with a
+        # deadline dispatch as single-request ops so each can be abandoned
+        # (and degraded) on its own; unconstrained requests batch per worker.
         by_worker: Dict[int, List[int]] = {}
+        solo: List[int] = []
         for position in unique_indices:
-            worker = self._worker_for(normalized[position].instance_id)
-            by_worker.setdefault(worker, []).append(position)
+            request = normalized[position]
+            if request.deadline_ms is not None:
+                solo.append(position)
+            else:
+                worker = self._worker_for(request.instance_id)
+                by_worker.setdefault(worker, []).append(position)
 
-        op_ids: Dict[int, int] = {}
-        for worker, positions in by_worker.items():
-            payload = [normalized[p] for p in positions]
-            if self._inline is not None:
+        histories: Dict[int, Tuple[str, ...]] = {}
+        if self._inline is not None:
+            for worker, positions in by_worker.items():
+                payload = [normalized[p] for p in positions]
+                self._inline_fire()
                 reply = handle_message(self._inline, "solve", payload)
                 self._consume_solve(reply, worker, positions, normalized, answered)
-            else:
-                op_ids[self._send(worker, "solve", payload)] = worker
-        if op_ids:
-            for op_id, (worker, reply) in self._await(set(op_ids)).items():
-                positions = by_worker[op_ids[op_id]]
-                self._consume_solve(reply, worker, positions, normalized, answered)
+            for position in solo:
+                self._solve_inline_solo(position, normalized, answered)
+        else:
+            ops: Dict[int, _PendingOp] = {}
+            op_positions: Dict[int, List[int]] = {}
+            for worker, positions in by_worker.items():
+                op = self._make_op(worker, "solve", [normalized[p] for p in positions])
+                ops[op.op_id] = op
+                op_positions[op.op_id] = positions
+            start = time.monotonic()
+            for position in solo:
+                request = normalized[position]
+                op = self._make_op(
+                    self._worker_for(request.instance_id),
+                    "solve",
+                    [request],
+                    deadline=start + request.deadline_ms / 1000.0,
+                )
+                ops[op.op_id] = op
+                op_positions[op.op_id] = [position]
+            for op_id, outcome in self._supervise(ops).items():
+                positions = op_positions[op_id]
+                if outcome[0] == "reply":
+                    _, worker, reply, attempts = outcome
+                    self._consume_solve(
+                        reply, worker, positions, normalized, answered, attempts
+                    )
+                elif outcome[0] == "timeout":
+                    _, elapsed_ms, attempts = outcome
+                    (position,) = positions
+                    self._apply_deadline(
+                        position, normalized[position], elapsed_ms, attempts, answered
+                    )
+                else:  # "unavailable"
+                    _, history = outcome
+                    message = (
+                        f"request could not be answered after "
+                        f"{len(history)} attempt(s)"
+                    )
+                    for position in positions:
+                        histories[position] = tuple(history)
+                        answered[position] = (
+                            ServiceResult(
+                                result=None,
+                                request_id=normalized[position].request_id,
+                                error=message,
+                                error_class="ServiceUnavailableError",
+                                attempts=len(history),
+                            ),
+                            message,
+                        )
 
         failures = [
-            (answered[p][0].request_id or f"#{p}", message)
+            (p, answered[p][0], message)
             for p, (_, message) in sorted(answered.items())
             if message
         ]
         if failures and on_error == "raise":
-            details = "; ".join(f"{rid}: {msg}" for rid, msg in failures[:5])
-            raise ServiceError(
-                f"{len(failures)} request(s) failed: {details}"
-            )
+            self._raise_failures(failures, histories)
 
         results: List[ServiceResult] = []
         for position, source in enumerate(source_of):
             base, message = answered[source]
             request = normalized[position]
             request_id = request.request_id if request is not None else base.request_id
-            if message or source == position:
+            if base.result is None or source == position:
                 results.append(replace(base, request_id=request_id))
             else:
                 # The coalesced duplicate shares the computation but gets
@@ -474,6 +701,7 @@ class QueryService:
         positions: List[int],
         normalized: List[ServiceRequest],
         answered: Dict[int, Tuple[ServiceResult, str]],
+        attempts: int = 1,
     ) -> None:
         status, value = reply
         if status != "ok":
@@ -491,19 +719,188 @@ class QueryService:
                         request_id=normalized[position].request_id,
                         worker=worker,
                         cached=cached,
+                        attempts=attempts,
                     ),
                     "",
                 )
             else:
+                message = outcome[1]
+                # Worker errors are formatted "ExceptionType: detail".
+                error_class = message.split(":", 1)[0] if ":" in message else None
                 answered[position] = (
                     ServiceResult(
                         result=None,
                         request_id=normalized[position].request_id,
                         worker=worker,
-                        error=outcome[1],
+                        error=message,
+                        error_class=error_class,
+                        attempts=attempts,
                     ),
-                    outcome[1],
+                    message,
                 )
+
+    def _raise_failures(
+        self,
+        failures: List[Tuple[int, ServiceResult, str]],
+        histories: Dict[int, Tuple[str, ...]],
+    ) -> None:
+        """Raise the most specific error for a failed batch.
+
+        Retry exhaustion outranks deadline misses outranks per-request
+        errors, so callers catching the typed exceptions see the systemic
+        problem first.  ``"partial"``-policy timeouts never reach here —
+        they are recorded with an empty failure message by design.
+        """
+        for position, result, message in failures:
+            if result.error_class == "ServiceUnavailableError":
+                rid = result.request_id or f"#{position}"
+                raise ServiceUnavailableError(
+                    f"request {rid} unavailable: {message}",
+                    notes=histories.get(position, ()),
+                )
+        for position, result, message in failures:
+            if result.error_class == "DeadlineExceededError":
+                rid = result.request_id or f"#{position}"
+                raise DeadlineExceededError(f"request {rid}: {message}")
+        details = "; ".join(
+            f"{result.request_id or f'#{position}'}: {message}"
+            for position, result, message in failures[:5]
+        )
+        raise ServiceError(f"{len(failures)} request(s) failed: {details}")
+
+    def _apply_deadline(
+        self,
+        position: int,
+        request: ServiceRequest,
+        elapsed_ms: float,
+        attempts: int,
+        answered: Dict[int, Tuple[ServiceResult, str]],
+    ) -> None:
+        """Record the outcome of a missed deadline under the request policy."""
+        self._stats_deadline_hits += 1
+        if request.on_deadline == "degrade":
+            result = self._degrade_request(request)
+            self._stats_degraded += 1
+            answered[position] = (
+                ServiceResult(
+                    result=result,
+                    request_id=request.request_id,
+                    worker=-1,  # answered by the coordinator's degrade tier
+                    attempts=attempts,
+                    degraded=True,
+                ),
+                "",
+            )
+            return
+        message = (
+            f"deadline of {request.deadline_ms:g} ms exceeded "
+            f"after {elapsed_ms:.0f} ms"
+        )
+        outcome = ServiceResult(
+            result=None,
+            request_id=request.request_id,
+            error=message,
+            error_class="DeadlineExceededError",
+            attempts=attempts,
+            timed_out=True,
+        )
+        if request.on_deadline == "partial":
+            # Typed timeout in place, never raising: the batch's completed
+            # answers stay usable (the empty message opts out of raising).
+            answered[position] = (outcome, "")
+        else:
+            answered[position] = (outcome, message)
+
+    def _degrade_request(self, request: ServiceRequest) -> PHomResult:
+        """Answer a deadline-missed request through the approximate tier.
+
+        Runs coordinator-side on the journal-reconstructed instance (the
+        stuck worker may be wedged), with an epsilon chosen from the
+        request's budget by :func:`~repro.service.faults.epsilon_for_budget`
+        and the request's ``(δ, seed)`` contract, so a pinned seed keeps
+        even the degraded answer reproducible.
+        """
+        instance = self._journal_instance(request.instance_id)
+        if self._degrade_solver is None:
+            self._degrade_solver = self._make_solver()
+        solver = self._degrade_solver
+        eps = epsilon_for_budget(request.deadline_ms)
+        saved = solver.approx_params
+        solver.approx_params = ApproxParams(
+            epsilon=eps,
+            delta=request.delta if request.delta is not None else saved.delta,
+            seed=request.seed if request.seed is not None else saved.seed,
+        )
+        method = (
+            request.method
+            if request.method in PHomSolver.SAMPLING_METHODS
+            else "auto"
+        )
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                result = solver.solve(
+                    request.query, instance, method=method, precision="approx"
+                )
+        finally:
+            solver.approx_params = saved
+        provenance = (
+            f"degraded=True; original_method={request.method}; "
+            f"deadline_ms={request.deadline_ms:g}; epsilon={eps:g}"
+        )
+        result.notes = (
+            f"{result.notes}; {provenance}" if result.notes else provenance
+        )
+        return result
+
+    def _journal_instance(self, instance_id: str) -> ProbabilisticGraph:
+        """The worker-view instance, rebuilt from the journal (memoised)."""
+        journal = self._journal.get(instance_id)
+        if journal is None:
+            raise ServiceError(f"instance {instance_id!r} has no journal entry")
+        memo = self._degrade_memo.get(instance_id)
+        if memo is not None and memo[0] == journal.version:
+            return memo[1]
+        instance = pickle.loads(journal.snapshot)
+        for endpoints, probability in journal.updates.items():
+            instance.set_probability(endpoints, probability)
+        self._degrade_memo[instance_id] = (journal.version, instance)
+        return instance
+
+    def _solve_inline_solo(
+        self,
+        position: int,
+        normalized: List[ServiceRequest],
+        answered: Dict[int, Tuple[ServiceResult, str]],
+    ) -> None:
+        """Inline-mode deadline handling: solve, then apply the policy.
+
+        Without a worker process there is nothing to preempt, so the
+        deadline is enforced *post hoc* — the answer is computed, its
+        elapsed time measured, and a miss is handled exactly like the pool
+        would (error / degrade / partial), keeping the two deployment
+        shapes semantically identical.
+        """
+        request = normalized[position]
+        start = time.monotonic()
+        self._inline_fire()
+        reply = handle_message(self._inline, "solve", [request])
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        if elapsed_ms > request.deadline_ms:
+            self._apply_deadline(position, request, elapsed_ms, 1, answered)
+        else:
+            self._consume_solve(reply, 0, [position], normalized, answered)
+
+    def _inline_fire(self) -> None:
+        """Apply inline-honoured faults (delay) before an inline message."""
+        injector = self._inline.fault_injector
+        if injector is None:
+            return
+        for fault in injector.on_message():
+            if fault.kind == "delay":
+                time.sleep(fault.seconds)
+            # kill / drop / corrupt are process-boundary faults with no
+            # inline analogue; solver-error is consumed inside solve_batch.
 
     # ------------------------------------------------------------------
     # updates and stats
@@ -539,6 +936,14 @@ class QueryService:
             "update",
             (instance_id, endpoints, probability),
         )
+        journal = self._journal.get(instance_id)
+        if journal is not None:
+            # Last-write-wins compaction: replay order only matters per
+            # edge, so re-updating an edge moves it to the tail instead of
+            # growing the journal without bound.
+            journal.updates[endpoints] = probability
+            journal.updates.move_to_end(endpoints)
+            journal.version += 1
 
     def stats(self) -> ServiceStats:
         """Service-level coalescing counters plus per-worker statistics."""
@@ -546,17 +951,24 @@ class QueryService:
         if self._inline is not None:
             workers = [self._inline.stats()]
         else:
-            op_ids = {
-                self._send(worker, "stats", None): worker
-                for worker in range(self.num_workers)
-            }
-            replies = self._await(set(op_ids))
+            ops: Dict[int, _PendingOp] = {}
+            op_worker: Dict[int, int] = {}
+            for worker in range(self.num_workers):
+                op = self._make_op(worker, "stats", None)
+                ops[op.op_id] = op
+                op_worker[op.op_id] = worker
             ordered: Dict[int, Dict[str, Any]] = {}
-            for op_id, (worker, reply) in replies.items():
-                status, value = reply
+            for op_id, outcome in self._supervise(ops).items():
+                worker = op_worker[op_id]
+                if outcome[0] == "unavailable":
+                    raise ServiceUnavailableError(
+                        f"stats on worker {worker} exhausted its retry budget",
+                        notes=outcome[1],
+                    )
+                _, _, (status, value), _ = outcome
                 if status != "ok":  # pragma: no cover - protocol guard
                     raise ServiceError(f"worker {worker} failed stats: {value}")
-                ordered[op_ids[op_id]] = value
+                ordered[worker] = value
             workers = [ordered[index] for index in sorted(ordered)]
         return ServiceStats(
             requests=self._stats_requests,
@@ -564,50 +976,271 @@ class QueryService:
             coalesced=self._stats_requests - self._stats_dispatched,
             batches=self._stats_batches,
             updates=self._stats_updates,
+            restarts=self._stats_restarts,
+            retries=self._stats_retries,
+            deadline_hits=self._stats_deadline_hits,
+            degraded=self._stats_degraded,
             workers=workers,
         )
 
     # ------------------------------------------------------------------
-    # message plumbing
+    # message plumbing and supervision
     # ------------------------------------------------------------------
     def _send(self, worker: int, op: str, payload: Any) -> int:
         op_id = next(self._next_op)
         self._queues[worker].put((op_id, op, payload))
         return op_id
 
+    def _make_op(
+        self, worker: int, op: str, payload: Any, deadline: Optional[float] = None
+    ) -> _PendingOp:
+        """Dispatch one op and return its supervision record."""
+        now = time.monotonic()
+        return _PendingOp(
+            op_id=self._send(worker, op, payload),
+            worker=worker,
+            op=op,
+            payload=payload,
+            created_at=now,
+            sent_at=now,
+            deadline=deadline,
+        )
+
     def _call(self, worker: int, op: str, payload: Any) -> Any:
-        """Send one op and wait for its reply (inline mode short-circuits)."""
+        """Send one op and wait for its reply (inline mode short-circuits).
+
+        Pool-mode calls run under full supervision: a worker dying or
+        hanging mid-call is restarted and the op retried like any request.
+        """
         if self._inline is not None:
+            self._inline_fire()
             status, value = handle_message(self._inline, op, payload)
             if status != "ok":
                 raise ServiceError(f"{op} failed: {value}")
             return value
-        op_id = self._send(worker, op, payload)
-        _, (status, value) = self._await({op_id})[op_id]
+        pending_op = self._make_op(worker, op, payload)
+        outcome = self._supervise({pending_op.op_id: pending_op})[pending_op.op_id]
+        if outcome[0] == "unavailable":
+            raise ServiceUnavailableError(
+                f"{op} on worker {worker} exhausted its retry budget",
+                notes=outcome[1],
+            )
+        _, _, (status, value), _ = outcome
         if status != "ok":
             raise ServiceError(f"{op} failed on worker {worker}: {value}")
         return value
 
-    def _await(self, op_ids: set) -> Dict[int, Tuple[int, Tuple[str, Any]]]:
-        """Collect the replies for ``op_ids`` (tolerating interleaving)."""
-        collected: Dict[int, Tuple[int, Tuple[str, Any]]] = {}
-        pending = set(op_ids)
-        for op_id in list(pending):
-            if op_id in self._replies:
-                collected[op_id] = self._replies.pop(op_id)
-                pending.discard(op_id)
+    def _supervise(
+        self, pending: Dict[int, _PendingOp]
+    ) -> Dict[int, Tuple[Any, ...]]:
+        """Await every pending op under supervision; never hangs, never loses one.
+
+        The loop interleaves four duties until the pending set drains:
+        resend ops whose retry backoff expired, collect (and validate)
+        replies, expire per-op deadlines, and detect dead or unresponsive
+        workers — restarting them, replaying their journal, and scheduling
+        their in-flight ops for retry.
+
+        Outcomes, one per op:
+
+        * ``("reply", worker, reply, attempts)`` — a well-formed reply;
+        * ``("timeout", elapsed_ms, attempts)`` — the op's deadline expired
+          (the op is abandoned; a late reply is discarded on arrival);
+        * ``("unavailable", history)`` — the retry budget is exhausted,
+          with one history line per failed attempt.
+        """
+        outcomes: Dict[int, Tuple[Any, ...]] = {}
         while pending:
+            now = time.monotonic()
+            for op in pending.values():
+                if op.retry_at is not None and now >= op.retry_at:
+                    # The worker was restarted (and its journal replayed)
+                    # when the failure was detected; the queue is FIFO, so
+                    # this resend lands after the replay ops.
+                    op.retry_at = None
+                    op.sent_at = now
+                    self._queues[op.worker].put((op.op_id, op.op, op.payload))
+            for message in self._drain(self.poll_interval):
+                if not (isinstance(message, tuple) and len(message) == 3):
+                    continue  # pragma: no cover - unattributable corruption
+                worker, op_id, reply = message
+                if not isinstance(op_id, int):
+                    continue  # pragma: no cover - unattributable corruption
+                if op_id in self._abandoned:
+                    self._abandoned.pop(op_id, None)
+                    continue
+                if op_id in self._background:
+                    self._background.pop(op_id, None)
+                    continue
+                op = pending.get(op_id)
+                if op is None or op.retry_at is not None:
+                    # A stale duplicate from a superseded attempt (or an op
+                    # already failed over); the accepted answer stands.
+                    continue
+                if not self._valid_reply(reply):
+                    self._fail_worker(
+                        op.worker,
+                        f"malformed reply frame ({type(reply).__name__})",
+                        pending,
+                        outcomes,
+                    )
+                    continue
+                outcomes[op_id] = ("reply", worker, reply, op.attempts)
+                del pending[op_id]
+            now = time.monotonic()
+            for op in list(pending.values()):
+                if op.deadline is not None and now >= op.deadline:
+                    if op.retry_at is None:
+                        # Still in flight: the worker may answer later;
+                        # remember to discard that late reply.
+                        self._abandoned[op.op_id] = op.worker
+                    outcomes[op.op_id] = (
+                        "timeout",
+                        (now - op.created_at) * 1000.0,
+                        op.attempts,
+                    )
+                    del pending[op.op_id]
+            broken: Dict[int, str] = {}
+            for op in pending.values():
+                if op.retry_at is not None:
+                    continue
+                process = self._processes[op.worker]
+                if not process.is_alive():
+                    broken[op.worker] = (
+                        f"worker process died (exit code {process.exitcode})"
+                    )
+                elif now - op.sent_at > self.timeout:
+                    broken.setdefault(
+                        op.worker,
+                        f"worker unresponsive ({now - op.sent_at:.2f}s without "
+                        f"a reply, timeout {self.timeout:g}s)",
+                    )
+            for worker, reason in broken.items():
+                self._fail_worker(worker, reason, pending, outcomes)
+        return outcomes
+
+    def _drain(self, wait: float) -> List[Any]:
+        """One poll slice over the reply pipes, then a greedy drain.
+
+        A pipe that hits EOF or breaks mid-frame (its worker died, possibly
+        terminated mid-send) is closed and parked until the restart path
+        replaces it; the in-flight reply it may have swallowed is exactly
+        the one supervision retries.
+        """
+        readers = [r for r in self._readers if r is not None]
+        if not readers:
+            time.sleep(wait)
+            return []
+        messages: List[Any] = []
+        for reader in multiprocessing.connection.wait(readers, timeout=wait):
             try:
-                worker, op_id, reply = self._results.get(timeout=self.timeout)
-            except queue_module.Empty:
-                dead = [p.pid for p in self._processes if not p.is_alive()]
-                raise ServiceError(
-                    "timed out waiting for worker replies"
-                    + (f"; dead worker pids: {dead}" if dead else "")
-                ) from None
-            if op_id in pending:
-                collected[op_id] = (worker, reply)
-                pending.discard(op_id)
-            else:  # pragma: no cover - interleaved caller patterns
-                self._replies[op_id] = (worker, reply)
-        return collected
+                while reader.poll():
+                    messages.append(reader.recv())
+            except (EOFError, OSError, pickle.UnpicklingError):
+                try:
+                    reader.close()
+                except Exception:  # pragma: no cover - teardown race
+                    pass
+                for index, known in enumerate(self._readers):
+                    if known is reader:
+                        self._readers[index] = None
+        return messages
+
+    @staticmethod
+    def _valid_reply(reply: Any) -> bool:
+        return (
+            isinstance(reply, tuple)
+            and len(reply) == 2
+            and reply[0] in ("ok", "error")
+        )
+
+    def _fail_worker(
+        self,
+        worker: int,
+        reason: str,
+        pending: Dict[int, _PendingOp],
+        outcomes: Dict[int, Tuple[Any, ...]],
+    ) -> None:
+        """Restart a broken worker and retry (or fail) its in-flight ops."""
+        self._restart_worker(worker, reason)
+        now = time.monotonic()
+        for op in [
+            o for o in pending.values() if o.worker == worker and o.retry_at is None
+        ]:
+            op.history.append(
+                f"attempt {op.attempts} ({op.op} op {op.op_id}, "
+                f"worker {worker}): {reason}"
+            )
+            if op.attempts > self.max_retries:
+                outcomes[op.op_id] = ("unavailable", list(op.history))
+                del pending[op.op_id]
+            else:
+                op.attempts += 1
+                self._stats_retries += 1
+                delay = min(
+                    self.backoff_cap, self.backoff_base * 2 ** (op.attempts - 2)
+                )
+                delay *= 0.5 + 0.5 * self._backoff_rng.random()
+                op.retry_at = now + delay
+
+    def _restart_worker(self, worker: int, reason: str) -> None:
+        """Respawn one worker and replay its shard from the journal.
+
+        The old incarnation is terminated first (it may merely be hung), its
+        request queue is replaced — undelivered messages on it are exactly
+        the in-flight ops the caller retries — and every instance the shard
+        owns is re-registered from its journal snapshot plus compacted
+        updates, as fire-and-forget ops that precede any retried request in
+        the new queue's FIFO order.
+        """
+        started = time.monotonic()
+        process = self._processes[worker]
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck in a syscall
+                process.kill()
+                process.join(timeout=5.0)
+        old_queue = self._queues[worker]
+        try:
+            old_queue.close()
+            old_queue.cancel_join_thread()
+        except Exception:  # pragma: no cover - teardown race
+            pass
+        old_reader = self._readers[worker]
+        if old_reader is not None:
+            # Anything still buffered (including a partial frame from a
+            # terminate-mid-send) dies with the pipe; _spawn_worker installs
+            # the fresh incarnation's reader.
+            try:
+                old_reader.close()
+            except Exception:  # pragma: no cover - teardown race
+                pass
+            self._readers[worker] = None
+        # Replies from the dead incarnation can never arrive now; prune the
+        # discard sets so they do not grow across restarts.
+        self._abandoned = {i: w for i, w in self._abandoned.items() if w != worker}
+        self._background = {i: w for i, w in self._background.items() if w != worker}
+        self._incarnations[worker] += 1
+        self._queues[worker] = self._context.Queue()
+        self._processes[worker] = self._spawn_worker(worker)
+        replayed = 0
+        for instance_id, journal in self._journal.items():
+            if self._worker_for(instance_id) != worker:
+                continue
+            instance = pickle.loads(journal.snapshot)
+            for endpoints, probability in journal.updates.items():
+                instance.set_probability(endpoints, probability)
+            op_id = self._send(worker, "register", (instance_id, instance))
+            self._background[op_id] = worker
+            replayed += 1
+        self._stats_restarts += 1
+        self.restart_log.append(
+            {
+                "worker": worker,
+                "incarnation": self._incarnations[worker],
+                "reason": reason,
+                "duration_s": time.monotonic() - started,
+                "instances_replayed": replayed,
+            }
+        )

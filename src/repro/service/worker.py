@@ -12,8 +12,10 @@ answer requests fast:
   per instance on ``update_probability``).
 
 The same class backs both deployment shapes: :func:`worker_loop` drives it
-from a child process over multiprocessing queues, and the service's inline
-mode (``num_workers=0``) calls it directly in-process.  Messages are
+from a child process (requests arrive on a queue, replies leave on a pipe
+this worker alone writes — no cross-worker locks, so a crashed or
+terminated worker can never wedge its siblings' replies), and the service's
+inline mode (``num_workers=0``) calls it directly in-process.  Messages are
 ``(op_id, op, payload)`` tuples; every message gets exactly one reply
 ``(worker_index, op_id, reply)`` where ``reply`` is ``("ok", value)`` or
 ``("error", message)``.
@@ -21,6 +23,8 @@ mode (``num_workers=0``) calls it directly in-process.  Messages are
 
 from __future__ import annotations
 
+import os
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import replace
@@ -30,7 +34,12 @@ from repro.approx import ApproxParams
 from repro.core.solver import PHomResult, PHomSolver, requalify_result
 from repro.exceptions import ServiceError
 from repro.probability.prob_graph import ProbabilisticGraph
+from repro.service.faults import FaultInjector, FaultPlan
 from repro.service.requests import ServiceRequest
+
+#: Exit code of a worker killed by an injected ``kill`` fault (distinct from
+#: normal termination and from the supervisor's ``terminate()``).
+FAULT_KILL_EXIT_CODE = 17
 
 
 class WorkerState:
@@ -42,11 +51,13 @@ class WorkerState:
         solver: PHomSolver,
         default_precision: str,
         result_cache_size: int = 1024,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.worker_index = worker_index
         self.solver = solver
         self.default_precision = default_precision
         self.result_cache_size = result_cache_size
+        self.fault_injector = fault_injector
         self.instances: Dict[str, ProbabilisticGraph] = {}
         self._result_cache: "OrderedDict[Hashable, PHomResult]" = OrderedDict()
         self.counters: Dict[str, int] = {
@@ -90,6 +101,12 @@ class WorkerState:
         for request in requests:
             self.counters["requests"] += 1
             try:
+                if self.fault_injector is not None and (
+                    self.fault_injector.take_solver_error()
+                ):
+                    raise ServiceError(
+                        "injected solver fault (FaultPlan 'solver-error')"
+                    )
                 result, cached = self._solve_one(request)
                 outcomes.append(("ok", result, cached))
             except Exception as exc:  # noqa: BLE001 - a bad request (wrong
@@ -231,28 +248,80 @@ def handle_message(state: WorkerState, op: str, payload: Any) -> Tuple[str, Any]
 def worker_loop(
     worker_index: int,
     request_queue,
-    result_queue,
+    reply_pipe,
     solver: PHomSolver,
     default_precision: str,
     result_cache_size: int,
+    fault_plan: Optional[FaultPlan] = None,
+    incarnation: int = 0,
 ) -> None:
     """Entry point of a worker process: serve messages until ``None`` arrives.
 
     The solver arrives through the pickling contract of
     :class:`~repro.core.solver.PHomSolver` (configuration only, fresh plan
     cache), so every worker starts cold and warms its own shard.
+
+    ``reply_pipe`` is this incarnation's private write end — one writer per
+    pipe, so replies need no cross-process lock and this worker's death
+    (even mid-send) cannot block any other worker's replies.
+
+    ``fault_plan`` (chaos builds only) injects deterministic misbehaviour:
+    ``incarnation`` counts respawns of this worker index, so a non-``repeat``
+    fault fires only on the first life while ``repeat`` faults re-arm on
+    every respawn.
     """
+    injector = (
+        fault_plan.for_worker(worker_index, incarnation)
+        if fault_plan is not None
+        else None
+    )
     state = WorkerState(
-        worker_index, solver, default_precision, result_cache_size=result_cache_size
+        worker_index,
+        solver,
+        default_precision,
+        result_cache_size=result_cache_size,
+        fault_injector=injector,
     )
     while True:
         message = request_queue.get()
         if message is None:
             break
         op_id, op, payload = message
+        drop_reply = False
+        corrupt_reply = False
+        if injector is not None:
+            for fault in injector.on_message():
+                if fault.kind == "kill":
+                    # Die *before* handling, like a segfault: the message is
+                    # lost and no reply is ever sent.  os._exit skips every
+                    # cleanup handler, matching a hard crash.
+                    os._exit(FAULT_KILL_EXIT_CODE)
+                elif fault.kind == "delay":
+                    time.sleep(fault.seconds)
+                elif fault.kind == "drop":
+                    drop_reply = True
+                elif fault.kind == "corrupt":
+                    corrupt_reply = True
         try:
             reply = handle_message(state, op, payload)
         except Exception as exc:  # noqa: BLE001 - the process must survive
             # and reply, or the client blocks for its full timeout.
             reply = ("error", f"{type(exc).__name__}: {exc}")
-        result_queue.put((worker_index, op_id, reply))
+        if drop_reply:
+            continue
+        if corrupt_reply and injector is not None:
+            # A well-pickled frame whose *shape* is garbage: the coordinator's
+            # protocol validation rejects it and treats the worker as broken.
+            frame = (worker_index, op_id, injector.corrupt_bytes())
+        else:
+            frame = (worker_index, op_id, reply)
+        try:
+            reply_pipe.send(frame)
+        except (BrokenPipeError, OSError):  # pragma: no cover - the
+            # coordinator closed this incarnation's pipe (restart/shutdown);
+            # nobody will read another reply, so exit quietly.
+            break
+    try:
+        reply_pipe.close()
+    except Exception:  # pragma: no cover - teardown race
+        pass

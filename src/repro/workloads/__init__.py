@@ -3,6 +3,7 @@
 from repro.workloads.generators import (
     add_redundant_atoms,
     attach_random_probabilities,
+    chaos_traffic_trace,
     intractable_instance,
     intractable_workload,
     make_query,
@@ -18,6 +19,7 @@ from repro.workloads.generators import (
 __all__ = [
     "add_redundant_atoms",
     "attach_random_probabilities",
+    "chaos_traffic_trace",
     "intractable_instance",
     "intractable_workload",
     "make_query",

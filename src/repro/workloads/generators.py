@@ -409,3 +409,56 @@ def workload_for_cell(
         instance_class=instance_class,
         labeled=labeled,
     )
+
+
+def chaos_traffic_trace(
+    num_requests: int,
+    pool_size: int,
+    hard_every: int = 25,
+    num_uncertain_edges: int = 8,
+    skew: float = 1.1,
+    query_class: GraphClass = GraphClass.ONE_WAY_PATH,
+    labeled: bool = True,
+    query_size: int = 3,
+    rng: RandomLike = None,
+) -> "tuple[TrafficTrace, Workload, tuple[int, ...]]":
+    """A traffic trace salted with #P-hard requests, for fault-injection runs.
+
+    Starts from :func:`query_traffic_trace` and overwrites every
+    ``hard_every``-th position with a guaranteed-intractable request — the
+    ``R·S`` query of :func:`intractable_workload`, appended to the pool as
+    its last entry.  The hard requests are the natural deadline-degradation
+    candidates of a chaos benchmark: they are the ones an exact solver
+    cannot answer in bounded time, so a serving layer under a latency
+    budget must route them to the approximation path.
+
+    Returns ``(trace, hard_workload, hard_positions)``: the salted trace,
+    the hard query's :class:`Workload` (callers register its layered
+    instance separately from the trace's main instance), and the trace
+    positions holding the hard query.  Deterministic under a pinned
+    ``rng``.
+    """
+    if hard_every <= 0:
+        raise ReproError(f"hard_every must be positive, got {hard_every}")
+    r = _rng(rng)
+    base = query_traffic_trace(
+        num_requests,
+        pool_size,
+        skew=skew,
+        query_class=query_class,
+        labeled=labeled,
+        query_size=query_size,
+        rng=r,
+    )
+    hard = intractable_workload(num_uncertain_edges, r)
+    hard_index = len(base.pool)
+    requests = list(base.requests)
+    hard_positions = tuple(range(hard_every - 1, num_requests, hard_every))
+    for position in hard_positions:
+        requests[position] = hard_index
+    trace = TrafficTrace(
+        pool=tuple(base.pool) + (hard.query,),
+        requests=tuple(requests),
+        skew=skew,
+    )
+    return trace, hard, hard_positions

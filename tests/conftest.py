@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from fractions import Fraction
 
 import pytest
@@ -10,6 +12,13 @@ import pytest
 from repro.graphs.builders import downward_tree, one_way_path, two_way_path
 from repro.graphs.digraph import DiGraph
 from repro.probability.prob_graph import ProbabilisticGraph
+
+#: Hard wall-clock ceiling (seconds) for any single serving-layer test.
+#: The supervision loop is designed never to hang — a worker that dies or
+#: goes silent is restarted and its requests retried — so a service test
+#: that exceeds this budget IS the regression, and the alarm turns a stuck
+#: CI job into a stack trace.  Override with REPRO_SERVICE_TEST_TIMEOUT.
+SERVICE_TEST_TIMEOUT_S = float(os.environ.get("REPRO_SERVICE_TEST_TIMEOUT", "120"))
 
 
 def pytest_configure(config):
@@ -19,6 +28,38 @@ def pytest_configure(config):
         "CI runs them once in the docs job and excludes them from the "
         'matrix tier-1 step with -m "not tier2"',
     )
+
+
+@pytest.fixture(autouse=True)
+def _service_wall_clock_guard(request):
+    """SIGALRM guard on every test in the ``test_service*`` modules.
+
+    Multi-process supervision bugs manifest as hangs, not failures; the
+    alarm converts them into a loud ``Failed`` with the offending test's
+    name inside the timeout budget of any CI runner.
+    """
+    module = getattr(request.node, "module", None)
+    name = getattr(module, "__name__", "")
+    if "test_service" not in name or SERVICE_TEST_TIMEOUT_S <= 0:
+        yield
+        return
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise pytest.fail.Exception(
+            f"service test exceeded its {SERVICE_TEST_TIMEOUT_S:g}s "
+            f"wall-clock guard (likely a supervision hang)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, SERVICE_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

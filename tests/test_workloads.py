@@ -11,6 +11,7 @@ from repro.graphs.classes import GraphClass, graph_in_class
 from repro.graphs.builders import one_way_path
 from repro.workloads import (
     attach_random_probabilities,
+    chaos_traffic_trace,
     make_query,
     query_traffic_trace,
     workload_for_cell,
@@ -121,3 +122,28 @@ class TestZipfTraffic:
         assert [q.edge_set() for q in first.pool] == [q.edge_set() for q in second.pool]
         for query in first.pool:
             assert graph_in_class(query, GraphClass.TWO_WAY_PATH)
+
+
+class TestChaosTraffic:
+    def test_hard_positions_are_salted_and_reproducible(self):
+        trace, hard, positions = chaos_traffic_trace(
+            100, 6, hard_every=25, num_uncertain_edges=6, rng=23
+        )
+        assert positions == (24, 49, 74, 99)
+        assert len(trace.pool) == 7
+        hard_index = len(trace.pool) - 1
+        assert trace.pool[hard_index] is hard.query
+        for position, request in enumerate(trace.requests):
+            if position in positions:
+                assert request == hard_index
+            else:
+                assert request < hard_index
+        assert len(hard.instance.uncertain_edges()) == 6
+        again, _, _ = chaos_traffic_trace(
+            100, 6, hard_every=25, num_uncertain_edges=6, rng=23
+        )
+        assert again.requests == trace.requests
+
+    def test_hard_every_must_be_positive(self):
+        with pytest.raises(ReproError):
+            chaos_traffic_trace(10, 2, hard_every=0)
