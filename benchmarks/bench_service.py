@@ -6,6 +6,7 @@ either as
     python benchmarks/bench_service.py [--smoke] [--output BENCH_service.json]
                                        [--min-service-speedup X]
                                        [--faults] [--max-recovery-ms MS]
+                                       [--restart]
 
 or through the CLI as ``repro bench service``.  The recorded artefact,
 ``BENCH_service.json``, is checked into the repository root and tracks the
@@ -22,6 +23,14 @@ which CI uses as a smoke gate.
 records a ``service_recovery`` section (restart latency, retried-request
 overhead, degraded-answer accuracy); ``--max-recovery-ms`` gates on the
 recorded worst-case restart latency.
+
+``--restart`` runs the durable-state scenario (:mod:`repro.persist`) and
+records a ``restart_recovery`` section: a cold replay populates a state
+directory, a warm restart from it must recompile zero plans with
+bit-identical answers, and a seeded disk-fault matrix (torn-write,
+truncate-tail, bit-flip, enospc, store-bit-flip) must be fully detected
+and recovered — any violation is a non-zero exit code, which CI uses as
+the warm-restart smoke gate.
 """
 
 from __future__ import annotations

@@ -1,0 +1,184 @@
+"""CI gate: every seeded disk corruption must be caught by ``repro store verify``.
+
+The durable-state layer (:mod:`repro.persist`) promises that *silent*
+corruption is impossible: every write-ahead-log frame and every plan-store
+entry is checksummed, so damage is always detected — and detection is what
+this gate measures, at 100% or failure.
+
+The script builds a state-directory fixture whose corruption is injected
+through the same seeded :class:`~repro.service.faults.DiskFaultInjector`
+that the benchmarks and tests use — never by ad-hoc file poking — with one
+fault kind per write-ahead-log segment plus one bit-flipped plan-store
+entry:
+
+* segment 2 ends in a ``torn-write`` (a partial frame from a crash
+  mid-append);
+* segment 3 ends in a ``truncate-tail`` (bytes rolled back after the
+  write);
+* segment 4 ends in a ``bit-flip`` (one inverted bit in a framed record);
+* one plan-store entry is rewritten through a ``bit-flip`` injector.
+
+It then requires: ``repro store verify`` exits non-zero; the read-only
+scan reports exactly the clean records as valid (every damaged record
+excluded — 100% detection, no silent replay); and the plan store reports
+exactly the one corrupt entry.  Any miss is a non-zero exit for CI.
+
+Run as ``python benchmarks/store_corruption_gate.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import shutil
+import sys
+import tempfile
+
+from repro.bench import BENCH_SEED, _rng
+from repro.cli import main as cli_main
+from repro.core.solver import PHomSolver
+from repro.graphs.classes import GraphClass
+from repro.persist import (
+    PlanStore,
+    WriteAheadLog,
+    instance_digest,
+    plan_store_key,
+    scan_wal,
+)
+from repro.service import DiskFaultInjector, Fault, FaultPlan
+from repro.workloads.generators import attach_random_probabilities, make_instance
+
+
+def build_fixture(state_dir: str) -> dict:
+    """Seed one state directory with injector-driven corruption.
+
+    Returns the expectation: how many write-ahead-log records stay valid
+    and how many plan entries are corrupt.
+    """
+    plan = FaultPlan(
+        faults=(
+            Fault(kind="torn-write", after_messages=3),
+            Fault(kind="truncate-tail", after_messages=5),
+            Fault(kind="bit-flip", after_messages=7),
+        ),
+        seed=BENCH_SEED,
+    )
+    injector = DiskFaultInjector(plan)
+    wal = WriteAheadLog(
+        os.path.join(state_dir, "wal"), fsync="always", fault_injector=injector
+    )
+    appended = 0
+
+    def append_batch(count: int) -> None:
+        nonlocal appended
+        for _ in range(count):
+            appended += 1
+            wal.append(("update", "gate", (f"v{appended}", "w"), f"{appended}/16"))
+
+    append_batch(2)   # segment 1: clean
+    wal.rotate()
+    append_batch(2)   # segment 2: second append torn
+    wal.rotate()
+    append_batch(2)   # segment 3: second append rolled back
+    wal.rotate()
+    append_batch(2)   # segment 4: second append bit-flipped
+    wal.close()
+    if injector.fired != ["torn-write", "truncate-tail", "bit-flip"]:
+        raise AssertionError(f"fixture faults misfired: {injector.fired}")
+
+    rng = _rng(77)
+    graph = make_instance(GraphClass.UNION_DOWNWARD_TREE, True, 20, rng)
+    instance = attach_random_probabilities(graph, rng, certain_fraction=0.2)
+    solver = PHomSolver()
+    queries = [make_instance(GraphClass.ONE_WAY_PATH, True, 3, _rng(78 + i))
+               for i in range(2)]
+    compiled = []
+    for index, query in enumerate(queries):
+        try:
+            compiled.append((f"gate-key-{index}", solver.compile(query, instance)))
+        except Exception:  # noqa: BLE001 - a query outside the instance's
+            # label alphabet just compiles to a constant plan elsewhere; the
+            # gate only needs two entries of any kind.
+            continue
+    if not compiled:  # pragma: no cover - generator guarantee
+        raise AssertionError("fixture produced no compilable plans")
+    digest = instance_digest(instance)
+    clean_store = PlanStore(os.path.join(state_dir, "plans"))
+    for key, plan_obj in compiled:
+        clean_store.put(key, digest, "gate", plan_obj)
+    # Rewrite the first entry through a bit-flip injector: silent media
+    # corruption of a plan at rest.
+    key, plan_obj = compiled[0]
+    victim_path = clean_store.entry_path(plan_store_key(key, digest, "gate"))
+    os.remove(victim_path)
+    flipped = PlanStore(
+        os.path.join(state_dir, "plans"),
+        fault_injector=DiskFaultInjector(
+            FaultPlan(faults=(Fault(kind="bit-flip"),), seed=BENCH_SEED)
+        ),
+    )
+    flipped.put(key, digest, "gate", plan_obj)
+    # Appends 4, 6 and 8 are damaged; everything else must replay.
+    return {"valid_records": appended - 3, "corrupt_entries": 1,
+            "total_entries": len(compiled)}
+
+
+def main() -> int:
+    state_dir = tempfile.mkdtemp(prefix="repro-corruption-gate-")
+    try:
+        expected = build_fixture(state_dir)
+        failures = []
+
+        out, err = io.StringIO(), io.StringIO()
+        exit_code = cli_main(["store", "verify", state_dir], out, err)
+        sys.stdout.write(out.getvalue())
+        if exit_code != 1:
+            failures.append(
+                f"'repro store verify' exited {exit_code} on a corrupt "
+                "state directory (expected 1)"
+            )
+
+        wal_report = scan_wal(os.path.join(state_dir, "wal"))
+        if not wal_report.corruption_detected:
+            failures.append("the WAL scan reported no corruption")
+        if wal_report.records_replayed != expected["valid_records"]:
+            failures.append(
+                f"WAL scan replayed {wal_report.records_replayed} record(s), "
+                f"expected exactly the {expected['valid_records']} clean ones"
+            )
+        if wal_report.corrupt_frames != 1:
+            failures.append(
+                f"WAL scan counted {wal_report.corrupt_frames} corrupt "
+                "frame(s), expected 1 (the bit flip)"
+            )
+        if wal_report.torn_tail_bytes <= 0:
+            failures.append("WAL scan missed the torn/truncated tails")
+
+        store_report = PlanStore(os.path.join(state_dir, "plans")).verify()
+        if store_report["corrupt"] != expected["corrupt_entries"]:
+            failures.append(
+                f"plan-store verify found {store_report['corrupt']} corrupt "
+                f"entr(ies), expected {expected['corrupt_entries']}"
+            )
+        if store_report["entries"] != expected["total_entries"]:
+            failures.append(
+                f"plan-store verify saw {store_report['entries']} entr(ies), "
+                f"expected {expected['total_entries']}"
+            )
+
+        if failures:
+            for failure in failures:
+                sys.stderr.write(f"gate failure: {failure}\n")
+            return 1
+        sys.stdout.write(
+            "store-corruption gate passed: every seeded fault detected "
+            f"({expected['valid_records']} clean records replayed, "
+            "3 WAL corruptions + 1 corrupt plan entry caught)\n"
+        )
+        return 0
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

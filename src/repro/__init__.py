@@ -45,6 +45,8 @@ subpackages contain the full machinery:
   cells;
 * :mod:`repro.service` — the parallel serving layer: a sharded worker pool
   with request coalescing, result caching and per-request mixed precision;
+* :mod:`repro.persist` — durable serving state: a crash-safe write-ahead
+  log and a checksummed plan store for warm restarts;
 * :mod:`repro.workloads` — workload generators for the benchmark harness.
 """
 
@@ -57,6 +59,7 @@ from repro.exceptions import (
     LineageError,
     PlanError,
     AutomatonError,
+    PersistenceError,
     ServiceError,
     ServiceUnavailableError,
     DeadlineExceededError,
@@ -100,7 +103,17 @@ from repro.query import (
     parse_query_graph,
     query_core,
 )
+from repro.persist import (
+    PersistentPlanCache,
+    PlanStore,
+    WalRecovery,
+    WriteAheadLog,
+    instance_digest,
+    plan_store_key,
+    scan_wal,
+)
 from repro.service import (
+    DiskFaultInjector,
     Fault,
     FaultInjector,
     FaultPlan,
@@ -123,6 +136,7 @@ __all__ = [
     "LineageError",
     "PlanError",
     "AutomatonError",
+    "PersistenceError",
     "ServiceError",
     "ServiceUnavailableError",
     "DeadlineExceededError",
@@ -170,10 +184,18 @@ __all__ = [
     "normalize_query",
     "NormalizedQuery",
     "explain_query",
+    "PersistentPlanCache",
+    "PlanStore",
+    "WalRecovery",
+    "WriteAheadLog",
+    "instance_digest",
+    "plan_store_key",
+    "scan_wal",
     "QueryService",
     "ServiceRequest",
     "ServiceResult",
     "ServiceStats",
+    "DiskFaultInjector",
     "Fault",
     "FaultInjector",
     "FaultPlan",

@@ -26,6 +26,7 @@ Run it with ``repro bench`` or ``python benchmarks/bench_hotpaths.py``.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
@@ -238,10 +239,27 @@ def run_benchmarks(
 
 
 def write_report(report: Dict[str, object], path: str) -> None:
-    """Serialise the report to disk (stable key order, trailing newline)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    """Serialise the report to disk (stable key order, trailing newline).
+
+    The write is atomic — a temp file in the same directory, fsynced, then
+    ``os.replace`` — so an interrupted benchmark run can never leave a
+    truncated ``BENCH_*.json`` behind: the old report survives intact until
+    the new one is durably complete.  Every suite's ``write_*_report``
+    aliases this function.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    temporary = os.path.join(directory, f".{os.path.basename(path)}.tmp.{os.getpid()}")
+    try:
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+    except BaseException:
+        if os.path.exists(temporary):
+            os.remove(temporary)
+        raise
 
 
 def format_report(report: Dict[str, object]) -> str:

@@ -23,14 +23,25 @@ coalescing plus result caching removes duplicate arithmetic (the dominant
 effect on skewed traffic at any core count), and sharding adds parallelism
 on multi-core machines.
 
+With ``--restart`` the suite additionally measures durable-state restart
+(:mod:`repro.persist`): a cold replay populates a state directory, a warm
+replay restarts from it and must recompile *zero* plans while answering
+bit-identically, and a disk-fault matrix (torn-write, truncate-tail,
+bit-flip, enospc, store-bit-flip) proves that every seeded corruption is
+detected by checksum and recovered or quarantined — recorded as the
+``restart_recovery`` section.
+
 Results are written to ``BENCH_service.json``; run it with ``repro bench
 service`` or ``python benchmarks/bench_service.py``.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import platform
+import shutil
+import tempfile
 import time
 import warnings
 import zlib
@@ -41,8 +52,10 @@ from repro.bench import BENCH_SEED, _rng, write_report
 from repro.core.solver import PHomSolver
 from repro.graphs.classes import GraphClass
 from repro.graphs.digraph import DiGraph
+from repro.persist import PlanStore
 from repro.probability.prob_graph import ProbabilisticGraph
 from repro.service import (
+    DiskFaultInjector,
     Fault,
     FaultPlan,
     QueryService,
@@ -218,6 +231,8 @@ def replay_service(
     num_workers: int,
     fault_plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
+    state_dir: Optional[str] = None,
+    wal_fsync: str = "batch",
 ) -> Tuple[float, List, Dict]:
     """Replay the trace through a :class:`QueryService` at one worker count.
 
@@ -237,6 +252,9 @@ def replay_service(
         kwargs["fault_plan"] = fault_plan
     if timeout is not None:
         kwargs["timeout"] = timeout
+    if state_dir is not None:
+        kwargs["state_dir"] = state_dir
+        kwargs["wal_fsync"] = wal_fsync
     with QueryService(num_workers=num_workers, **kwargs) as service:
         for instance_id in sorted(instances):
             service.register_instance(instances[instance_id], instance_id)
@@ -260,6 +278,7 @@ def replay_service(
         elapsed = time.perf_counter() - start
         stats = service.stats()
         restart_log = [dict(entry) for entry in service.restart_log]
+        persistence = service.persistence_stats()
     return elapsed, answers, {
         "dedupe_hit_rate": stats.dedupe_hit_rate(),
         "coalesced": stats.coalesced,
@@ -269,6 +288,7 @@ def replay_service(
         "restarts": stats.restarts,
         "retries": stats.retries,
         "restart_log": restart_log,
+        "persistence": persistence,
     }
 
 
@@ -358,6 +378,250 @@ def run_chaos_scenario(
     }
 
 
+def _plan_cache_totals(stats: Dict) -> Dict[str, int]:
+    """Sum the per-worker plan-cache counters of a replay's stats."""
+    totals = {"compiles": 0, "loads": 0, "hits": 0}
+    for cache in stats.get("plan_cache", []):
+        if not cache:
+            continue
+        for counter in totals:
+            totals[counter] += cache.get(counter, 0)
+    return totals
+
+
+def _disk_fault_workload(offset: int):
+    """A small deterministic workload for one disk-fault case.
+
+    Returns ``(instance, queries, updates)``: a labeled ⊔DWT instance,
+    three 1WP queries against it, and four single-edge updates.
+    """
+    rng = _rng(500 + offset)
+    graph = make_instance(GraphClass.UNION_DOWNWARD_TREE, True, 24, rng)
+    instance = attach_random_probabilities(graph, rng, certain_fraction=0.2)
+    traffic = query_traffic_trace(
+        6, 3, skew=1.0,
+        query_class=GraphClass.ONE_WAY_PATH, labeled=True, query_size=3, rng=rng,
+    )
+    queries = list(traffic.queries())[:3]
+    uncertain = instance.uncertain_edges()
+    updates = [
+        ((edge.source, edge.target), f"{index + 1}/8")
+        for index, edge in enumerate(uncertain[:4])
+    ]
+    if len(updates) < 2:  # pragma: no cover - workload generator guarantee
+        raise AssertionError("disk-fault workload needs at least 2 uncertain edges")
+    return instance, queries, updates
+
+
+def _run_wal_fault_case(kind: str, offset: int) -> Dict[str, object]:
+    """Prove recovery under one injected write-ahead-log fault kind.
+
+    Phase 1 registers an instance and applies updates with the fault armed
+    to fire on the *last* update's log append (solving runs afterwards, so
+    plan-store writes cannot shift the shared write counter).  The damaged
+    or rejected append means exactly that last update is not durable, so
+    the expected post-restart state is known in closed form.  Phase 2
+    restarts from the state directory and asserts: the corruption was
+    detected (checksum/framing for torn-write / truncate-tail / bit-flip;
+    the counted ``OSError`` for enospc), the instance was restored, and
+    exact answers are bit-identical to an uninterrupted solver on the
+    recovered state.
+    """
+    instance, queries, updates = _disk_fault_workload(offset)
+    state_dir = tempfile.mkdtemp(prefix=f"repro-disk-{kind}-")
+    try:
+        fault = Fault(kind=kind, after_messages=len(updates))
+        plan = FaultPlan(faults=(fault,), seed=BENCH_SEED)
+        with QueryService(
+            num_workers=0, state_dir=state_dir, wal_fsync="always", fault_plan=plan
+        ) as service:
+            service.register_instance(
+                pickle.loads(pickle.dumps(instance)), "disk-case"
+            )
+            for endpoints, probability in updates:
+                service.update_probability("disk-case", endpoints, probability)
+            wal_errors = service.wal_errors
+            # Keep serving under the fault: answers must reflect the full
+            # in-memory state even when durability was just lost.
+            live = [
+                service.submit(query, "disk-case").result.probability
+                for query in queries
+            ]
+        # The last update was the damaged/rejected append, so the durable
+        # state is everything before it.
+        expected_instance = pickle.loads(pickle.dumps(instance))
+        for endpoints, probability in updates[:-1]:
+            expected_instance.set_probability(endpoints, probability)
+        solver = PHomSolver()
+        expected = [
+            solver.solve(query, expected_instance).probability for query in queries
+        ]
+        with QueryService(num_workers=0, state_dir=state_dir) as restarted:
+            recovery = restarted.recovery
+            wal_report = recovery["wal"]
+            recovered = [
+                restarted.submit(query, "disk-case").result.probability
+                for query in queries
+            ]
+        if kind == "enospc":
+            detected = wal_errors == 1
+        else:
+            detected = wal_report.corruption_detected
+        bit_identical = recovered == expected
+        full_state = pickle.loads(pickle.dumps(instance))
+        for endpoints, probability in updates:
+            full_state.set_probability(endpoints, probability)
+        live_expected = [
+            solver.solve(query, full_state).probability for query in queries
+        ]
+        return {
+            "kind": kind,
+            "detected": bool(detected),
+            "recovered": bool(
+                recovery["instances_restored"] == 1 and bit_identical
+            ),
+            "bit_identical": bool(bit_identical),
+            "served_through_fault": live == live_expected,
+            "lost_updates": 1,
+            "wal_errors": wal_errors,
+            "wal": wal_report.as_dict(),
+        }
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def _run_store_fault_case() -> Dict[str, object]:
+    """Prove recovery when a stored plan entry is silently corrupted.
+
+    Phase 1 serves (and therefore stores) the workload's plans cleanly.
+    One entry is then rewritten through the fault-injected write path with
+    a seeded bit flip — silent media corruption of a plan at rest.  The
+    detection contract is two-fold: ``PlanStore.verify`` (the ``repro
+    store verify`` gate) must report the entry, and a restarted service
+    must quarantine it during warm-up instead of unpickling garbage — then
+    serve bit-identical answers by recompiling just that plan.
+    """
+    from repro.persist import plan_store_key
+
+    instance, queries, _ = _disk_fault_workload(9)
+    state_dir = tempfile.mkdtemp(prefix="repro-disk-store-")
+    try:
+        with QueryService(num_workers=0, state_dir=state_dir) as service:
+            service.register_instance(
+                pickle.loads(pickle.dumps(instance)), "disk-case"
+            )
+            expected = [
+                service.submit(query, "disk-case").result.probability
+                for query in queries
+            ]
+        plans_dir = os.path.join(state_dir, "plans")
+        victim = next(iter(PlanStore(plans_dir).entries()))
+        clean = PlanStore(plans_dir)
+        victim_path = clean.entry_path(
+            plan_store_key(
+                victim["query_key"], victim["instance_digest"], victim["namespace"]
+            )
+        )
+        os.remove(victim_path)
+        injected = PlanStore(
+            plans_dir,
+            fault_injector=DiskFaultInjector(
+                FaultPlan(faults=(Fault(kind="bit-flip"),), seed=BENCH_SEED)
+            ),
+        )
+        injected.put(
+            victim["query_key"],
+            victim["instance_digest"],
+            victim["namespace"],
+            victim["plan"],
+        )
+        verify_report = PlanStore(plans_dir).verify()
+        with QueryService(num_workers=0, state_dir=state_dir) as restarted:
+            recovered = [
+                restarted.submit(query, "disk-case").result.probability
+                for query in queries
+            ]
+            store_stats = restarted.stats().workers[0]["plan_cache"]["store"]
+        bit_identical = recovered == expected
+        return {
+            "kind": "store-bit-flip",
+            "detected": bool(verify_report["corrupt"] == 1),
+            "recovered": bool(store_stats["corrupt"] >= 1 and bit_identical),
+            "bit_identical": bool(bit_identical),
+            "quarantined_entries": store_stats["corrupt"],
+            "verify": {
+                "entries": verify_report["entries"],
+                "corrupt": verify_report["corrupt"],
+            },
+        }
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def run_restart_scenario(
+    trace: ServiceTrace, baseline_answers: List
+) -> Dict[str, object]:
+    """Cold-vs-warm restart through one state directory, plus disk faults.
+
+    The cold replay starts with an empty ``state_dir`` and compiles the hot
+    set from scratch; the warm replay restarts from the directory the cold
+    run left behind and must *recompile zero plans* — every plan loads from
+    the store — while answering bit-identically to the single-process
+    baseline.  The disk-fault matrix then proves the recovery contract
+    under every seeded corruption kind.
+    """
+    state_dir = tempfile.mkdtemp(prefix="repro-restart-")
+    try:
+        cold_seconds, cold_answers, cold_stats = replay_service(
+            trace, 0, state_dir=state_dir
+        )
+        if cold_answers != baseline_answers:
+            raise AssertionError(
+                "cold durable replay answers are not bit-identical to the baseline"
+            )
+        warm_seconds, warm_answers, warm_stats = replay_service(
+            trace, 0, state_dir=state_dir
+        )
+        if warm_answers != baseline_answers:
+            raise AssertionError(
+                "warm restart answers are not bit-identical to the baseline"
+            )
+        cold_totals = _plan_cache_totals(cold_stats)
+        warm_totals = _plan_cache_totals(warm_stats)
+        if warm_totals["compiles"] != 0:
+            raise AssertionError(
+                f"warm restart recompiled {warm_totals['compiles']} plan(s); "
+                "the whole hot set must load from the store"
+            )
+        if warm_totals["loads"] == 0:
+            raise AssertionError("warm restart loaded no plans from the store")
+        warm_recovery = (warm_stats.get("persistence") or {}).get("recovery") or {}
+        disk_faults = [
+            _run_wal_fault_case(kind, offset)
+            for offset, kind in enumerate(
+                ("torn-write", "truncate-tail", "bit-flip", "enospc")
+            )
+        ]
+        disk_faults.append(_run_store_fault_case())
+        return {
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_speedup": round(cold_seconds / warm_seconds, 2),
+            "hot_set_plans": cold_totals["compiles"],
+            "cold_compiles": cold_totals["compiles"],
+            "warm_compiles": warm_totals["compiles"],
+            "warm_loads": warm_totals["loads"],
+            "warm_bit_identical": True,
+            "instances_restored": warm_recovery.get("instances_restored", 0),
+            "plans_warmed": warm_recovery.get("plans_warmed", 0),
+            "disk_faults": disk_faults,
+            "all_faults_detected": all(case["detected"] for case in disk_faults),
+            "all_faults_recovered": all(case["recovered"] for case in disk_faults),
+        }
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
 def check_degraded_accuracy(
     deadline_ms: float = 50.0, num_uncertain_edges: int = 10
 ) -> Dict[str, object]:
@@ -421,6 +685,7 @@ def run_service_benchmarks(
     smoke: bool = False,
     worker_counts: Optional[Sequence[int]] = None,
     faults: bool = False,
+    restart: bool = False,
 ) -> Dict[str, object]:
     """Run the full suite and return the report dictionary."""
     if worker_counts is None:
@@ -477,6 +742,9 @@ def run_service_benchmarks(
             trace, chaos_workers, float(fault_free), baseline_answers
         )
         recovery["degraded"] = check_degraded_accuracy()
+    restart_recovery: Optional[Dict[str, object]] = None
+    if restart:
+        restart_recovery = run_restart_scenario(trace, baseline_answers)
     report: Dict[str, object] = {
         "benchmark": "service",
         "config": {
@@ -512,6 +780,8 @@ def run_service_benchmarks(
     }
     if recovery is not None:
         report["service_recovery"] = recovery
+    if restart_recovery is not None:
+        report["restart_recovery"] = restart_recovery
     return report
 
 
@@ -551,6 +821,23 @@ def check_service_thresholds(
         raise AssertionError(
             "--max-recovery-ms requires the chaos scenario (run with --faults)"
         )
+    restart = report.get("restart_recovery")
+    if restart is not None:
+        if restart["warm_compiles"] != 0:
+            raise AssertionError(
+                f"warm restart recompiled {restart['warm_compiles']} plan(s)"
+            )
+        if not restart["warm_bit_identical"]:
+            raise AssertionError("warm-restart answers diverged from the baseline")
+        for case in restart["disk_faults"]:
+            if not case["detected"]:
+                raise AssertionError(
+                    f"injected {case['kind']} fault went undetected"
+                )
+            if not case["recovered"]:
+                raise AssertionError(
+                    f"recovery from the injected {case['kind']} fault failed"
+                )
 
 
 #: Serialise the report to disk — same format as the other benchmarks.
@@ -601,5 +888,19 @@ def format_service_report(report: Dict[str, object]) -> str:
             f"  degraded answer at deadline {degraded['deadline_ms']} ms: "
             f"relative error {degraded['relative_error']:.4f} <= "
             f"epsilon {degraded['epsilon']}"
+        )
+    restart = report.get("restart_recovery")
+    if restart is not None:
+        lines.append(
+            f"  restart: cold {restart['cold_seconds']}s -> warm "
+            f"{restart['warm_seconds']}s ({restart['warm_speedup']}x), "
+            f"{restart['warm_loads']} plan(s) loaded from the store, "
+            f"{restart['warm_compiles']} recompiled (bit-identical answers)"
+        )
+        fault_kinds = ", ".join(case["kind"] for case in restart["disk_faults"])
+        lines.append(
+            f"  disk faults [{fault_kinds}]: "
+            f"detected={restart['all_faults_detected']}, "
+            f"recovered={restart['all_faults_recovered']}"
         )
     return "\n".join(lines)

@@ -15,7 +15,11 @@ The subcommands mirror what a user typically wants:
   classification, showing when minimization changes the complexity cell;
 * ``repro serve --batch REQUESTS.jsonl`` — drive the parallel serving layer
   (:mod:`repro.service`) from a JSONL request stream, streaming JSONL
-  results (``-`` reads stdin);
+  results (``-`` reads stdin); with ``--state-dir`` the serving state is
+  durable (:mod:`repro.persist`) and a restart warm-starts from disk;
+* ``repro store {verify,compact,inspect} DIR`` — check every checksum in a
+  state directory (exit 1 on corruption), fold its write-ahead log, or
+  list what it holds;
 * ``repro bench [hotpaths|plans|sampling|service|query]`` — run a benchmark
   suite and record its ``BENCH_*.json`` report.
 
@@ -200,8 +204,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-worker result cache capacity (0 disables)",
     )
     serve.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help=(
+            "durable-state directory: registrations and updates are "
+            "write-ahead logged, compiled plans are stored on disk, and a "
+            "restart with the same directory warm-starts from both"
+        ),
+    )
+    serve.add_argument(
+        "--wal-fsync", choices=["always", "batch", "never"], default="batch",
+        help="write-ahead-log durability policy (with --state-dir)",
+    )
+    serve.add_argument(
         "--stats", action="store_true",
         help="print serving statistics to stderr when the stream ends",
+    )
+
+    store = subparsers.add_parser(
+        "store",
+        help=(
+            "operate on a QueryService state directory: 'verify' checks every "
+            "write-ahead-log frame and plan-store entry against its checksum "
+            "(exit 1 on any corruption), 'compact' folds the log into fresh "
+            "snapshots, 'inspect' lists the durable state"
+        ),
+    )
+    store.add_argument(
+        "action", choices=["verify", "compact", "inspect"],
+        help="what to do with the state directory",
+    )
+    store.add_argument(
+        "state_dir", metavar="DIR",
+        help="the state directory (as passed to 'repro serve --state-dir')",
     )
 
     bench = subparsers.add_parser(
@@ -295,6 +329,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "where to write the JSON report ('-' to skip writing; defaults to "
             "BENCH_hotpaths.json / BENCH_plans.json per suite)"
+        ),
+    )
+    bench.add_argument(
+        "--restart", action="store_true",
+        help=(
+            "service: also run the cold-vs-warm restart scenario (durable "
+            "state + seeded disk faults) and record a restart_recovery "
+            "section; fails unless the warm restart recompiles zero plans, "
+            "answers bit-identically, and every injected corruption is "
+            "detected and recovered"
         ),
     )
     bench.add_argument(
@@ -472,7 +516,16 @@ def _run_serve(args, out, err) -> int:
             prefer=args.prefer,
             plan_cache_size=args.plan_cache_size,
             result_cache_size=args.result_cache_size,
+            state_dir=args.state_dir,
+            wal_fsync=args.wal_fsync,
         ) as service:
+            if args.stats and service.recovery is not None:
+                recovered = service.recovery
+                err.write(
+                    f"recovered {recovered['instances_restored']} instance(s) "
+                    f"and pre-loaded {recovered['plans_warmed']} plan(s) "
+                    f"from {args.state_dir}\n"
+                )
             code = run_jsonl_session(lines, output, service)
             if args.stats:
                 stats = service.stats()
@@ -495,6 +548,101 @@ def _run_serve(args, out, err) -> int:
             close_input.close()
         if output is not out:
             output.close()
+
+
+def _run_store(args, out, err) -> int:
+    import os
+
+    from repro.persist import PlanStore, WriteAheadLog, scan_wal
+
+    state_dir = args.state_dir
+    if not os.path.isdir(state_dir):
+        err.write(f"error: {state_dir!r} is not a state directory\n")
+        return 2
+    wal_dir = os.path.join(state_dir, "wal")
+    plans_dir = os.path.join(state_dir, "plans")
+
+    if args.action == "verify":
+        wal_report = scan_wal(wal_dir)
+        out.write(
+            f"wal: {wal_report.segments_scanned} segment(s), "
+            f"{wal_report.records_replayed} valid record(s), "
+            f"{wal_report.torn_tail_bytes} torn tail byte(s), "
+            f"{wal_report.corrupt_frames} corrupt frame(s), "
+            f"{wal_report.quarantined_segments} bad segment header(s)\n"
+        )
+        store_report = PlanStore(plans_dir).verify()
+        out.write(
+            f"plans: {store_report['entries']} entr(ies), "
+            f"{store_report['valid']} valid, {store_report['corrupt']} corrupt\n"
+        )
+        for path, reason in sorted(store_report["failures"].items()):
+            out.write(f"  corrupt entry {path}: {reason}\n")
+        if wal_report.corruption_detected or store_report["corrupt"]:
+            err.write("error: corruption detected\n")
+            return 1
+        out.write("ok: every checksum verified\n")
+        return 0
+
+    if args.action == "compact":
+        # Offline compaction mirrors QueryService.compact_state: repair the
+        # log on open, fold it (last registration per instance + its
+        # last-write-wins updates applied to the snapshot), swap segments.
+        import pickle as _pickle
+
+        with WriteAheadLog(wal_dir) as wal:
+            before = wal.recovery
+            journals = {}
+            order = []
+            for record in wal.replay():
+                if not (isinstance(record, tuple) and len(record) >= 2):
+                    continue
+                if record[0] == "register" and len(record) == 3:
+                    if record[1] in journals:
+                        order.remove(record[1])
+                    journals[record[1]] = (record[2], [])
+                    order.append(record[1])
+                elif record[0] == "update" and len(record) == 4:
+                    entry = journals.get(record[1])
+                    if entry is not None:
+                        entry[1].append((record[2], record[3]))
+            records = []
+            for instance_id in order:
+                snapshot, updates = journals[instance_id]
+                if updates:
+                    instance = _pickle.loads(snapshot)
+                    for endpoints, probability in updates:
+                        instance.set_probability(endpoints, probability)
+                    snapshot = _pickle.dumps(instance)
+                records.append(("register", instance_id, snapshot))
+            wal.compact(records)
+        if before.corruption_detected:
+            out.write(
+                f"repaired on open: {before.torn_tail_bytes} torn tail "
+                f"byte(s), {before.corrupt_frames} corrupt frame(s), "
+                f"{before.quarantined_segments} quarantined segment(s)\n"
+            )
+        out.write(
+            f"compacted {before.records_replayed} record(s) into "
+            f"{len(records)} snapshot(s)\n"
+        )
+        return 0
+
+    # inspect
+    wal_report = scan_wal(wal_dir)
+    out.write(
+        f"wal: {wal_report.segments_scanned} segment(s), "
+        f"{wal_report.records_replayed} record(s)"
+        + (" [corruption detected]\n" if wal_report.corruption_detected else "\n")
+    )
+    rows = PlanStore(plans_dir).inspect()
+    out.write(f"plans: {len(rows)} entr(ies)\n")
+    for row in rows:
+        out.write(
+            f"  {row['digest'][:12]}  method={row['method']}  "
+            f"namespace={row['namespace']}  {row['bytes']} bytes\n"
+        )
+    return 0
 
 
 def _run_bench(args, out, err) -> int:
@@ -599,7 +747,9 @@ def _run_bench_service(args, out, err) -> int:
     )
 
     try:
-        report = run_service_benchmarks(smoke=args.smoke, faults=args.faults)
+        report = run_service_benchmarks(
+            smoke=args.smoke, faults=args.faults, restart=args.restart
+        )
         check_service_thresholds(
             report,
             min_speedup=args.min_service_speedup,
@@ -656,6 +806,8 @@ def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
         return _run_parse(args, out, err)
     if args.command == "serve":
         return _run_serve(args, out, err)
+    if args.command == "store":
+        return _run_store(args, out, err)
     if args.command == "bench":
         return _run_bench(args, out, err)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -197,6 +197,17 @@ class PHomSolver:
         coalesce syntactically distinct queries with equal cores.  ``False``
         classifies every query exactly as written (the pre-minimization
         behaviour, kept for benchmarking and differential testing).
+    plan_store:
+        An optional persistent tier behind the plan cache: a
+        :class:`~repro.persist.PlanStore` (or a directory path, opened as
+        one).  Freshly compiled plans are written through to the store;
+        an in-memory cache miss falls through to it and *rebinds* the
+        stored plan to the live instance instead of recompiling, so a
+        restarted process warm-starts its hot set from disk.  Entries are
+        namespaced by the compile-relevant solver knobs
+        (``allow_brute_force`` / ``prefer`` / ``minimize_queries``), so
+        differently configured solvers never exchange plans.  Requires
+        ``plan_cache_size > 0``.
     """
 
     def __init__(
@@ -209,6 +220,7 @@ class PHomSolver:
         delta: float = 0.01,
         seed: Optional[int] = None,
         minimize_queries: bool = True,
+        plan_store=None,
     ) -> None:
         if prefer not in ("dp", "lineage", "automaton"):
             raise ValueError("prefer must be one of 'dp', 'lineage', 'automaton'")
@@ -218,14 +230,49 @@ class PHomSolver:
         self.approx_params = ApproxParams(epsilon=epsilon, delta=delta, seed=seed)
         self.approximate = _is_approx(precision)
         self.context = FAST if self.approximate else resolve_context(precision)
-        self._plan_cache: Optional[PlanCache] = (
-            PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+        self._plan_store = self._resolve_plan_store(plan_store)
+        self._plan_cache = self._build_plan_cache(plan_cache_size)
+
+    @staticmethod
+    def _resolve_plan_store(plan_store):
+        """Accept a ready store, a directory path, or ``None``."""
+        if plan_store is None or not isinstance(plan_store, str):
+            return plan_store
+        # Imported lazily: repro.persist depends on repro.plan, and keeping
+        # the import out of module scope keeps the solver importable first.
+        from repro.persist import PlanStore
+
+        return PlanStore(plan_store)
+
+    def _build_plan_cache(self, size: int) -> Optional[PlanCache]:
+        if self._plan_store is not None:
+            if size <= 0:
+                raise ValueError("a persistent plan store needs plan_cache_size > 0")
+            from repro.persist import PersistentPlanCache
+
+            return PersistentPlanCache(
+                maxsize=size,
+                plan_store=self._plan_store,
+                namespace=self._plan_namespace(),
+            )
+        return PlanCache(size) if size > 0 else None
+
+    def _plan_namespace(self) -> str:
+        """The store namespace: every knob that shapes *compiled structure*."""
+        return (
+            f"brute={int(self.allow_brute_force)};prefer={self.prefer};"
+            f"minimize={int(self.minimize_queries)}"
         )
 
     @property
     def plan_cache(self) -> Optional[PlanCache]:
         """The solver's compiled-plan cache (``None`` when disabled)."""
         return self._plan_cache
+
+    @property
+    def plan_store(self):
+        """The persistent plan store behind the cache (``None`` when absent)."""
+        return self._plan_store
 
     def __getstate__(self) -> dict:
         """Pickle the configuration, not the cache contents.
@@ -234,7 +281,10 @@ class PHomSolver:
         does not survive a process boundary, so an unpickled solver starts
         with an empty cache of the same capacity.  This is what lets the
         :mod:`repro.service` workers be configured by shipping one solver
-        prototype instead of a bag of keyword arguments.
+        prototype instead of a bag of keyword arguments.  The persistent
+        plan store (holding only a path and counters, never file handles)
+        *does* travel, so an unpickled worker solver warms from the same
+        store directory.
         """
         state = self.__dict__.copy()
         cache = state.pop("_plan_cache")
@@ -244,7 +294,7 @@ class PHomSolver:
     def __setstate__(self, state: dict) -> None:
         size = state.pop("_plan_cache_size")
         self.__dict__.update(state)
-        self._plan_cache = PlanCache(size) if size > 0 else None
+        self._plan_cache = self._build_plan_cache(size)
 
     # ------------------------------------------------------------------
     # public entry points

@@ -84,6 +84,19 @@ class AutomatonError(ReproError):
     """Raised for malformed tree automata or trees that an automaton cannot run on."""
 
 
+class PersistenceError(ReproError):
+    """Raised for misuse of the durable-state layer (:mod:`repro.persist`).
+
+    Covers invalid configuration (an unknown fsync policy, a state directory
+    that is not a directory) and protocol misuse of the write-ahead log or
+    the plan store.  Note that *corruption on disk* deliberately does NOT
+    raise this error: recovery truncates torn write-ahead-log tails and
+    quarantines corrupt plan-store entries, reporting both through recovery
+    counters, because a restart after a crash must come back up rather than
+    crash again on the damage the first crash left behind.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for failures of the parallel serving layer (:mod:`repro.service`).
 

@@ -1,0 +1,45 @@
+"""Durable state for the serving layer: write-ahead log + plan store.
+
+The coordinator state of :class:`~repro.service.QueryService` (instance
+registrations and probability updates) and the compiled plans of
+:class:`~repro.core.solver.PHomSolver` are both expensive to lose:
+without durability, a process crash or redeploy cold-starts the service
+and recompiles the entire hot set.  This package makes restart a
+non-event:
+
+* :class:`~repro.persist.wal.WriteAheadLog` — an append-only, CRC32-framed,
+  segmented log of state changes with crash recovery (torn tails
+  truncated, damaged segments quarantined) and a compaction that folds
+  last-write-wins updates into a snapshot;
+* :class:`~repro.persist.store.PlanStore` — a content-addressed,
+  checksummed, atomically written store of compiled plans, with
+  quarantine-don't-crash handling of corrupt entries;
+* :class:`~repro.persist.store.PersistentPlanCache` — the solver-side
+  read-through/write-through tier that plugs the store into the existing
+  :class:`~repro.plan.PlanCache` seam.
+
+``QueryService(state_dir=...)`` wires all three together, and the
+recovery contract is proven — not assumed — by the seeded disk faults of
+:class:`~repro.service.faults.DiskFaultInjector` (torn-write,
+truncate-tail, bit-flip, enospc) threaded through every persistence
+write.  See ``docs/persistence.md`` for the formats and semantics.
+"""
+
+from repro.persist.store import (
+    PersistentPlanCache,
+    PlanStore,
+    instance_digest,
+    plan_store_key,
+)
+from repro.persist.wal import FSYNC_POLICIES, WalRecovery, WriteAheadLog, scan_wal
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "PersistentPlanCache",
+    "PlanStore",
+    "WalRecovery",
+    "WriteAheadLog",
+    "instance_digest",
+    "plan_store_key",
+    "scan_wal",
+]

@@ -1,0 +1,422 @@
+"""A crash-safe write-ahead log of serving-state changes.
+
+The coordinator of :class:`~repro.service.QueryService` keeps its shard
+state — instance registrations and probability updates — in an in-memory
+journal.  :class:`WriteAheadLog` makes that journal durable: every
+acknowledged state change is appended as one framed record, and a restarted
+coordinator replays the log to reconstruct the journal exactly.
+
+On-disk format
+--------------
+
+A log is a directory of numbered *segments* (``segment-000001.wal``,
+``segment-000002.wal``, ...), each an append-only file:
+
+* an 8-byte segment header: the magic ``b"RWAL"``, a little-endian
+  ``uint16`` format version, and two reserved zero bytes;
+* a sequence of frames, each ``uint32`` payload length + ``uint32``
+  CRC32 of the payload + the payload (a pickled record tuple).
+
+Records are ``("register", instance_id, snapshot_bytes)`` and
+``("update", instance_id, endpoints, probability)``; replay order within
+the log is append order.
+
+Recovery semantics
+------------------
+
+Opening a log scans every segment and *repairs before replaying*:
+
+* a segment whose header is missing or malformed is moved to the log's
+  ``quarantine/`` directory (never deleted, never replayed);
+* an incomplete frame at the end of a segment — a torn write from a crash
+  mid-append — is truncated away; the lost record was never acknowledged
+  durable, so truncation restores the last consistent prefix;
+* a frame whose CRC32 does not match its payload (a flipped bit) is
+  detected; the segment is truncated at the bad frame and the damaged
+  tail bytes are preserved in ``quarantine/`` for forensics.  Replay never
+  feeds corrupt bytes to ``pickle``.
+
+Every repair is counted in a :class:`WalRecovery` report, so callers (and
+the ``repro store verify`` CLI) can distinguish a clean start from a
+recovered one.  :func:`scan_wal` runs the same detection read-only,
+without repairing anything.
+
+Durability knob
+---------------
+
+``fsync="always"`` fsyncs after every append (each acknowledged record
+survives an OS crash); ``"batch"`` (the default) flushes to the OS per
+append and fsyncs on :meth:`WriteAheadLog.sync` and :meth:`close` (a
+*process* crash loses nothing, an OS crash loses at most the records since
+the last sync); ``"never"`` leaves flushing entirely to the OS.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import PersistenceError
+
+#: Segment header: magic + format version + two reserved bytes.
+WAL_MAGIC = b"RWAL"
+WAL_VERSION = 1
+_HEADER = WAL_MAGIC + struct.pack("<HH", WAL_VERSION, 0)
+_FRAME = struct.Struct("<II")
+
+#: Accepted fsync policies.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: Hard ceiling on a single frame's payload (a corrupt length field must
+#: never trigger a multi-gigabyte read).
+_MAX_PAYLOAD = 1 << 30
+
+
+@dataclass
+class WalRecovery:
+    """What opening (or scanning) a write-ahead log found and repaired.
+
+    A clean start has every counter at zero except ``segments_scanned`` and
+    ``records_replayed``.  ``corruption_detected`` summarises whether any
+    checksum, framing or header damage was seen.
+    """
+
+    segments_scanned: int = 0
+    records_replayed: int = 0
+    #: Bytes removed from segment tails (torn writes / truncated tails).
+    torn_tail_bytes: int = 0
+    #: Frames whose CRC32 (or pickled payload) failed validation.
+    corrupt_frames: int = 0
+    #: Whole segments quarantined for a missing or malformed header.
+    quarantined_segments: int = 0
+    #: Paths of quarantined files (segments and preserved damaged tails).
+    quarantined_files: List[str] = field(default_factory=list)
+
+    @property
+    def corruption_detected(self) -> bool:
+        """True when any repair or quarantine happened."""
+        return bool(
+            self.torn_tail_bytes
+            or self.corrupt_frames
+            or self.quarantined_segments
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly rendering (used by benchmark reports)."""
+        return {
+            "segments_scanned": self.segments_scanned,
+            "records_replayed": self.records_replayed,
+            "torn_tail_bytes": self.torn_tail_bytes,
+            "corrupt_frames": self.corrupt_frames,
+            "quarantined_segments": self.quarantined_segments,
+            "corruption_detected": self.corruption_detected,
+        }
+
+
+def _segment_name(index: int) -> str:
+    return f"segment-{index:06d}.wal"
+
+
+def _segment_index(name: str) -> Optional[int]:
+    if not (name.startswith("segment-") and name.endswith(".wal")):
+        return None
+    digits = name[len("segment-") : -len(".wal")]
+    return int(digits) if digits.isdigit() else None
+
+
+def _parse_segment(
+    path: str, recovery: WalRecovery, repair: bool, quarantine_dir: Optional[str]
+) -> Tuple[List[Any], bool]:
+    """Read one segment's valid record prefix; optionally repair in place.
+
+    Returns ``(records, header_ok)``.  With ``repair=True`` a damaged tail
+    is truncated (the corrupt remainder preserved under ``quarantine_dir``)
+    and a bad-header segment is moved there whole; with ``repair=False``
+    the damage is only counted.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < len(_HEADER) or data[: len(_HEADER)] != _HEADER:
+        recovery.quarantined_segments += 1
+        if repair and quarantine_dir is not None:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            target = os.path.join(quarantine_dir, os.path.basename(path))
+            os.replace(path, target)
+            recovery.quarantined_files.append(target)
+        return [], False
+    records: List[Any] = []
+    offset = len(_HEADER)
+    valid_end = offset
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            recovery.torn_tail_bytes += len(data) - offset
+            break
+        length, checksum = _FRAME.unpack_from(data, offset)
+        payload_start = offset + _FRAME.size
+        payload_end = payload_start + length
+        if length > _MAX_PAYLOAD or payload_end > len(data):
+            # A short payload at EOF is a torn write; an absurd length is a
+            # corrupt frame header.  Both invalidate everything after offset.
+            recovery.torn_tail_bytes += len(data) - offset
+            break
+        payload = data[payload_start:payload_end]
+        if zlib.crc32(payload) != checksum:
+            recovery.corrupt_frames += 1
+            break
+        try:
+            record = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - a CRC collision over garbage
+            # must be handled like any other corrupt frame, not crash replay.
+            recovery.corrupt_frames += 1
+            break
+        records.append(record)
+        offset = payload_end
+        valid_end = offset
+    if valid_end < len(data) and repair:
+        if quarantine_dir is not None:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            target = os.path.join(
+                quarantine_dir, os.path.basename(path) + f".tail-{valid_end}"
+            )
+            with open(target, "wb") as handle:
+                handle.write(data[valid_end:])
+            recovery.quarantined_files.append(target)
+        with open(path, "r+b") as handle:
+            handle.truncate(valid_end)
+    return records, True
+
+
+def scan_wal(directory: str) -> WalRecovery:
+    """Detect (but do not repair) damage in a write-ahead log directory.
+
+    The read-only twin of the recovery that :class:`WriteAheadLog` runs on
+    open: same framing and checksum validation, same counters, no
+    truncation and no quarantining — the tool behind ``repro store verify``.
+    """
+    recovery = WalRecovery()
+    if not os.path.isdir(directory):
+        return recovery
+    for name in sorted(os.listdir(directory)):
+        if _segment_index(name) is None:
+            continue
+        recovery.segments_scanned += 1
+        records, _ = _parse_segment(
+            os.path.join(directory, name), recovery, repair=False, quarantine_dir=None
+        )
+        recovery.records_replayed += len(records)
+    return recovery
+
+
+class WriteAheadLog:
+    """An append-only, checksummed, segmented log of serving-state records.
+
+    Opening the log recovers it first (see the module docstring); the
+    result is exposed as the :attr:`recovery` report.  ``fault_injector``
+    is the chaos hook: a
+    :class:`~repro.service.faults.DiskFaultInjector` threaded through
+    every append, used by tests and benchmarks to prove the recovery
+    contract under seeded corruption.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "batch",
+        segment_max_bytes: int = 4 << 20,
+        fault_injector=None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise PersistenceError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        if segment_max_bytes <= len(_HEADER):
+            raise PersistenceError("segment_max_bytes is too small for the header")
+        self.directory = directory
+        self.fsync = fsync
+        self.segment_max_bytes = segment_max_bytes
+        self.fault_injector = fault_injector
+        os.makedirs(directory, exist_ok=True)
+        #: Number of records appended through this handle (not replayed ones).
+        self.appended = 0
+        self._closed = False
+        self.recovery = WalRecovery()
+        self._segments: List[int] = []
+        for name in sorted(os.listdir(directory)):
+            index = _segment_index(name)
+            if index is not None:
+                self._segments.append(index)
+        self._segments.sort()
+        # Repair pass: truncate torn tails, quarantine bad-header segments.
+        surviving: List[int] = []
+        for index in list(self._segments):
+            self.recovery.segments_scanned += 1
+            records, header_ok = _parse_segment(
+                self._segment_path(index),
+                self.recovery,
+                repair=True,
+                quarantine_dir=self._quarantine_dir(),
+            )
+            self.recovery.records_replayed += len(records)
+            if header_ok:
+                surviving.append(index)
+        self._segments = surviving
+        if not self._segments:
+            self._segments = [1]
+            self._write_fresh_segment(1, [])
+        self._handle = open(self._segment_path(self._segments[-1]), "ab")
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, _segment_name(index))
+
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.directory, "quarantine")
+
+    @property
+    def segments(self) -> List[str]:
+        """The live segment file paths, oldest first."""
+        return [self._segment_path(index) for index in self._segments]
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _frame(self, record: Any) -> bytes:
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+    def append(self, record: Any) -> None:
+        """Durably append one record (honouring the fsync policy).
+
+        Raises ``OSError`` when the underlying write fails (disk full —
+        injected or real); the caller decides whether to degrade or stop.
+        """
+        self._check_open()
+        frame = self._frame(record)
+        if self.fault_injector is not None:
+            frame = self.fault_injector.mutate_write(frame)
+        self._handle.write(frame)
+        if self.fsync == "always":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        elif self.fsync == "batch":
+            self._handle.flush()
+        if self.fault_injector is not None:
+            truncation = self.fault_injector.take_tail_truncation()
+            if truncation:
+                self._handle.flush()
+                size = os.fstat(self._handle.fileno()).st_size
+                os.ftruncate(
+                    self._handle.fileno(), max(len(_HEADER), size - truncation)
+                )
+                self._handle.seek(0, os.SEEK_END)
+        self.appended += 1
+        if self._handle.tell() >= self.segment_max_bytes:
+            self.rotate()
+
+    def sync(self) -> None:
+        """Flush and fsync the active segment (a batch-policy barrier)."""
+        self._check_open()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def rotate(self) -> None:
+        """Atomically start a fresh segment; subsequent appends go there."""
+        self._check_open()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        index = self._segments[-1] + 1
+        self._write_fresh_segment(index, [])
+        self._segments.append(index)
+        self._handle = open(self._segment_path(index), "ab")
+
+    def _write_fresh_segment(self, index: int, records: Iterable[Any]) -> None:
+        """Write header + records into ``segment-index`` via temp + rename."""
+        path = self._segment_path(index)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(temporary, "wb") as handle:
+                handle.write(_HEADER)
+                for record in records:
+                    handle.write(self._frame(record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, path)
+        except BaseException:
+            if os.path.exists(temporary):
+                os.remove(temporary)
+            raise
+
+    def compact(self, records: Iterable[Any]) -> None:
+        """Replace the whole log with one fresh segment holding ``records``.
+
+        The caller passes the *folded* state (each instance's latest
+        snapshot followed by its last-write-wins updates); the new segment
+        is written atomically (temp file + rename + fsync) under the next
+        segment number before the old segments are deleted, so a crash at
+        any point leaves either the old log or the new one — never neither.
+        """
+        self._check_open()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        old = list(self._segments)
+        index = old[-1] + 1
+        self._write_fresh_segment(index, records)
+        self._segments = [index]
+        for stale in old:
+            try:
+                os.remove(self._segment_path(stale))
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._handle = open(self._segment_path(index), "ab")
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def replay(self) -> List[Any]:
+        """Every record in the (already repaired) log, in append order."""
+        self._check_open()
+        self._handle.flush()
+        records: List[Any] = []
+        scratch = WalRecovery()
+        for index in self._segments:
+            segment_records, _ = _parse_segment(
+                self._segment_path(index), scratch, repair=False, quarantine_dir=None
+            )
+            records.extend(segment_records)
+        return records
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PersistenceError("the write-ahead log has been closed")
+
+    def close(self) -> None:
+        """Flush, fsync and close the active segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.flush()
+            if self.fsync != "never":
+                os.fsync(self._handle.fileno())
+        finally:
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        """Context-manager entry; returns the log itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the log."""
+        self.close()

@@ -313,6 +313,28 @@ class CompiledPlan:
         A no-op on plan kinds without serving state (constants, fallbacks).
         """
 
+    def rebind(self, instance: ProbabilisticGraph) -> None:
+        """Attach the plan to a *structurally identical* live instance.
+
+        Plans separate structure from arithmetic, so a plan compiled in a
+        previous process (and e.g. loaded back from the persistent plan
+        store of :mod:`repro.persist`) is reusable against any instance
+        with the same vertices and the same labelled edges — the
+        probabilities are re-read from the new instance at evaluation
+        time.  Raises :class:`PlanError` when the structures differ, and
+        drops any serving-side state (the unpickled instance's updates are
+        not this instance's updates).
+        """
+        if (
+            instance.graph.vertices != self.instance.graph.vertices
+            or instance.graph.edge_set() != self.instance.graph.edge_set()
+        ):
+            raise PlanError(
+                "cannot rebind a plan to a structurally different instance"
+            )
+        self.instance = instance
+        self.reset_serving()
+
     # -- helpers -------------------------------------------------------
     def _context(self, precision: PrecisionLike) -> NumericContext:
         if precision is None:

@@ -12,7 +12,10 @@ The layer is fault tolerant: the coordinator supervises its workers
 (restarting dead or hung processes and replaying their shard state from a
 journal), requests may carry deadlines with graceful degradation through
 the ``(ε, δ)`` sampler, and :mod:`repro.service.faults` provides a seeded
-fault-injection harness for chaos testing all of it.
+fault-injection harness for chaos testing all of it.  With
+``QueryService(state_dir=...)`` the coordinator state is durable too: a
+write-ahead log and a checksummed plan store (:mod:`repro.persist`) make a
+whole-process restart a warm start that recompiles nothing.
 
 See :mod:`repro.service.service` for the architecture notes,
 :mod:`repro.service.requests` for the request/result types, and
@@ -27,6 +30,8 @@ from repro.service.requests import (
 )
 from repro.service.service import QueryService, ServiceStats
 from repro.service.faults import (
+    DISK_FAULT_KINDS,
+    DiskFaultInjector,
     Fault,
     FaultInjector,
     FaultPlan,
@@ -39,6 +44,8 @@ __all__ = [
     "ServiceRequest",
     "ServiceResult",
     "ServiceStats",
+    "DISK_FAULT_KINDS",
+    "DiskFaultInjector",
     "Fault",
     "FaultInjector",
     "FaultPlan",

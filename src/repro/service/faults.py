@@ -43,18 +43,48 @@ Triggering is message-based, not time-based, so plans are reproducible:
 update / solve / stats all count) handled by the targeted worker.  A fault
 fires once per arming; ``repeat=True`` re-arms it for every respawned
 incarnation of the worker, which is how retry exhaustion is simulated.
+
+Disk fault kinds
+----------------
+
+The durable-state layer (:mod:`repro.persist`) is exercised by a second
+family of fault kinds, threaded through the persistence *write path* by a
+:class:`DiskFaultInjector` (built from the same :class:`FaultPlan`; for
+disk faults ``after_messages`` counts persistence writes, and ``worker``
+is ignored — the write-ahead log is coordinator-side):
+
+``torn-write``
+    Only a prefix of the written bytes reaches the file — a crash midway
+    through an append.  Recovery must detect the torn frame via its
+    checksum / framing and truncate the tail.
+``truncate-tail``
+    The file loses a seeded number of bytes off its end *after* the write
+    — a filesystem rolling back data that was never fsynced.  Same
+    recovery contract as ``torn-write``.
+``bit-flip``
+    One seeded bit of the written bytes is inverted — silent media
+    corruption.  Recovery must detect the CRC mismatch and quarantine the
+    damaged frame or store entry instead of replaying garbage.
+``enospc``
+    The write fails with ``OSError(ENOSPC)`` — disk full.  The persistence
+    layer must surface the error as a counted degradation (serving
+    continues without durability) rather than crash.
 """
 
 from __future__ import annotations
 
+import errno
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.exceptions import ServiceError
 
+#: Disk fault kinds, honoured by the persistence write path only.
+DISK_FAULT_KINDS = ("torn-write", "truncate-tail", "bit-flip", "enospc")
+
 #: The recognised fault kinds.
-FAULT_KINDS = ("kill", "delay", "drop", "solver-error", "corrupt")
+FAULT_KINDS = ("kill", "delay", "drop", "solver-error", "corrupt") + DISK_FAULT_KINDS
 
 #: Fault kinds honoured by the inline (``num_workers=0``) service.
 INLINE_FAULT_KINDS = ("delay", "solver-error")
@@ -138,7 +168,13 @@ class FaultInjector:
         self.worker_index = worker_index
         self.incarnation = incarnation
         self.handled = 0
-        self._armed: List[Fault] = list(plan.targets(worker_index, incarnation))
+        # Disk faults target the persistence write path (DiskFaultInjector),
+        # never the message loop; arming them here would silently eat them.
+        self._armed: List[Fault] = [
+            fault
+            for fault in plan.targets(worker_index, incarnation)
+            if fault.kind not in DISK_FAULT_KINDS
+        ]
         self._solver_errors = 0
         # Deterministic per (plan seed, worker, incarnation): integer tuple
         # hashes do not depend on PYTHONHASHSEED, so corrupt payloads are
@@ -173,6 +209,75 @@ class FaultInjector:
     def corrupt_bytes(self, length: int = 24) -> bytes:
         """Seeded garbage standing in for a corrupted reply frame."""
         return bytes(self._rng.randrange(256) for _ in range(length))
+
+
+class DiskFaultInjector:
+    """Seeded disk misbehaviour for the persistence write path.
+
+    Built from the same :class:`FaultPlan` as the worker-side injectors but
+    arming only the :data:`DISK_FAULT_KINDS`; for disk faults
+    ``after_messages`` counts persistence *writes* (write-ahead-log appends
+    and plan-store entry writes share one counter) and ``worker`` is
+    ignored.  The injector is picklable, so a plan-store copy shipped to a
+    worker process carries its own deterministic instance.
+
+    The write path calls :meth:`mutate_write` with the exact bytes it is
+    about to write; the injector returns them unchanged, returns a damaged
+    variant (``torn-write`` prefix, ``bit-flip``), or raises
+    ``OSError(ENOSPC)`` (``enospc``).  After a successful write the caller
+    asks :meth:`take_tail_truncation` how many bytes to chop off the file's
+    end (``truncate-tail``); the seeded RNG keeps every payload
+    reproducible run to run.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.writes = 0
+        #: Kinds that actually fired, in firing order (for assertions).
+        self.fired: List[str] = []
+        self._armed: List[Fault] = [
+            fault for fault in plan.faults if fault.kind in DISK_FAULT_KINDS
+        ]
+        self._pending_truncation = 0
+        self._rng = random.Random(hash((plan.seed, "disk")))
+
+    def _take_firing(self) -> List[Fault]:
+        firing = [f for f in self._armed if f.after_messages < self.writes]
+        for fault in firing:
+            self._armed.remove(fault)
+            self.fired.append(fault.kind)
+        return firing
+
+    def mutate_write(self, data: bytes) -> bytes:
+        """Advance the write counter; return the bytes that reach the disk.
+
+        Raises ``OSError(ENOSPC)`` when an ``enospc`` fault fires; for
+        ``torn-write`` returns a strict seeded prefix, for ``bit-flip``
+        returns the data with one seeded bit inverted.  A firing
+        ``truncate-tail`` fault is deferred to :meth:`take_tail_truncation`.
+        """
+        self.writes += 1
+        for fault in self._take_firing():
+            if fault.kind == "enospc":
+                raise OSError(
+                    errno.ENOSPC, "injected disk-full fault (FaultPlan 'enospc')"
+                )
+            if fault.kind == "torn-write" and len(data) > 1:
+                data = data[: self._rng.randrange(1, len(data))]
+            elif fault.kind == "bit-flip" and data:
+                position = self._rng.randrange(len(data))
+                mutated = bytearray(data)
+                mutated[position] ^= 1 << self._rng.randrange(8)
+                data = bytes(mutated)
+            elif fault.kind == "truncate-tail":
+                self._pending_truncation = self._rng.randrange(1, 16)
+        return data
+
+    def take_tail_truncation(self) -> int:
+        """Bytes to chop off the end of the file after the last write (0 = none)."""
+        pending = self._pending_truncation
+        self._pending_truncation = 0
+        return pending
 
 
 def epsilon_for_budget(budget_ms: Optional[float], floor: float = 0.05) -> float:

@@ -54,12 +54,21 @@ from repro.exceptions import (
     ServiceUnavailableError,
 )
 from repro.graphs.digraph import DiGraph, Edge
+from repro.persist import PlanStore, WriteAheadLog
 from repro.probability.prob_graph import ProbabilisticGraph
-from repro.service.faults import FaultPlan, epsilon_for_budget
+from repro.service.faults import DiskFaultInjector, FaultPlan, epsilon_for_budget
 from repro.service.requests import ServiceRequest, ServiceResult
 from repro.service.worker import WorkerState, handle_message, worker_loop
 
 RequestLike = Union[ServiceRequest, Tuple[DiGraph, Any]]
+
+#: Cap on :attr:`QueryService.restart_log` entries kept in memory; older
+#: entries are dropped (the total is still counted in ``stats().restarts``).
+RESTART_LOG_LIMIT = 256
+
+#: Write-ahead-log appends between automatic compactions of the durable
+#: state (folding last-write-wins updates into fresh snapshots).
+WAL_COMPACT_AFTER = 4096
 
 
 @dataclass
@@ -181,6 +190,28 @@ class QueryService:
     fault_plan:
         Optional :class:`~repro.service.faults.FaultPlan` shipped to every
         worker incarnation — the chaos-testing hook; ``None`` in production.
+        Disk-fault kinds in the plan are threaded through the persistence
+        write path (see :class:`~repro.service.faults.DiskFaultInjector`)
+        and only take effect together with ``state_dir``.
+    state_dir:
+        Optional directory of durable state (:mod:`repro.persist`).  When
+        given, every acknowledged registration and probability update is
+        appended to a write-ahead log under ``<state_dir>/wal`` before the
+        call returns, compiled plans are written through to a checksummed
+        store under ``<state_dir>/plans``, and *startup replays the log*:
+        the instance journal is restored, every restored instance is
+        re-registered with its owning worker, and the workers pre-load the
+        instances' stored plans — a warm restart recompiles nothing.  The
+        :attr:`recovery` attribute reports what startup found.
+    wal_fsync:
+        The write-ahead log's durability policy: ``"always"`` fsyncs every
+        append, ``"batch"`` (default) flushes per append and fsyncs on
+        compaction and close, ``"never"`` leaves flushing to the OS.
+    journal_update_limit:
+        Per-instance bound on the in-memory update journal: once an
+        instance accumulates this many distinct updated edges, the journal
+        folds them into a fresh snapshot (the durable log compacts on its
+        own cadence, ``WAL_COMPACT_AFTER`` appends).
     """
 
     def __init__(
@@ -202,6 +233,9 @@ class QueryService:
         backoff_cap: float = 1.0,
         poll_interval: float = 0.05,
         fault_plan: Optional[FaultPlan] = None,
+        state_dir: Optional[str] = None,
+        wal_fsync: str = "batch",
+        journal_update_limit: int = 256,
     ) -> None:
         if default_precision not in ("exact", "float", "approx"):
             raise ServiceError(
@@ -226,6 +260,39 @@ class QueryService:
         self.backoff_cap = backoff_cap
         self.poll_interval = poll_interval
         self.fault_plan = fault_plan
+        if journal_update_limit <= 0:
+            raise ServiceError(
+                f"journal_update_limit must be positive, got {journal_update_limit}"
+            )
+        self.state_dir = state_dir
+        self.journal_update_limit = journal_update_limit
+        #: Appends rejected by the disk (ENOSPC and friends) — each one is a
+        #: state change that stayed in memory but lost durability.
+        self.wal_errors = 0
+        self._wal: Optional[WriteAheadLog] = None
+        self._plan_store: Optional[PlanStore] = None
+        #: Startup recovery report (``None`` without ``state_dir``): the
+        #: write-ahead log's :class:`~repro.persist.WalRecovery` plus how
+        #: many instances were restored and how many stored plans the
+        #: workers pre-loaded.
+        self.recovery: Optional[Dict[str, Any]] = None
+        self._disk_faults = (
+            DiskFaultInjector(fault_plan)
+            if fault_plan is not None and state_dir is not None
+            else None
+        )
+        if state_dir is not None:
+            if os.path.exists(state_dir) and not os.path.isdir(state_dir):
+                raise ServiceError(f"state_dir {state_dir!r} is not a directory")
+            os.makedirs(state_dir, exist_ok=True)
+            self._plan_store = PlanStore(
+                os.path.join(state_dir, "plans"), fault_injector=self._disk_faults
+            )
+            self._wal = WriteAheadLog(
+                os.path.join(state_dir, "wal"),
+                fsync=wal_fsync,
+                fault_injector=self._disk_faults,
+            )
         self._closed = False
         self._instances: Dict[str, ProbabilisticGraph] = {}
         self._ids_by_identity: Dict[int, str] = {}
@@ -264,6 +331,7 @@ class QueryService:
                 epsilon=epsilon,
                 delta=delta,
                 seed=seed,
+                plan_store=self._plan_store,
             )
 
         self._make_solver = make_solver
@@ -281,6 +349,7 @@ class QueryService:
             self._queues: List = []
             self._readers: List = []
             self._incarnations: List[int] = []
+            self._recover_from_state()
             return
         self._inline = None
         if start_method is None:
@@ -297,6 +366,7 @@ class QueryService:
         self._incarnations = [0] * num_workers
         for index in range(num_workers):
             self._processes.append(self._spawn_worker(index))
+        self._recover_from_state()
 
     def _spawn_worker(self, index: int):
         """Start one worker process for the current incarnation of ``index``.
@@ -325,6 +395,139 @@ class QueryService:
         return process
 
     # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def _recover_from_state(self) -> None:
+        """Replay the write-ahead log and warm the workers from the store.
+
+        Runs once, at the end of ``__init__`` (after the worker pool — or
+        the inline state — exists).  Replay folds the log into per-instance
+        journals (a later registration supersedes everything before it, and
+        updates are last-write-wins per edge, exactly like the in-memory
+        journal), re-registers each restored instance with its owning
+        worker, and asks that worker to pre-load the instance's stored
+        plans.  The result is recorded in :attr:`recovery`.
+        """
+        if self._wal is None:
+            return
+        folded: "OrderedDict[str, _InstanceJournal]" = OrderedDict()
+        for record in self._wal.replay():
+            if not (isinstance(record, tuple) and len(record) >= 2):
+                continue  # unknown record shapes are skipped, not fatal
+            kind = record[0]
+            if kind == "register" and len(record) == 3:
+                instance_id, snapshot = record[1], record[2]
+                previous = folded.pop(instance_id, None)
+                folded[instance_id] = _InstanceJournal(
+                    snapshot=snapshot,
+                    version=(previous.version + 1) if previous is not None else 0,
+                )
+            elif kind == "update" and len(record) == 4:
+                journal = folded.get(record[1])
+                if journal is not None:
+                    endpoints, probability = record[2], record[3]
+                    journal.updates[endpoints] = probability
+                    journal.updates.move_to_end(endpoints)
+                    journal.version += 1
+        restored = 0
+        warmed = 0
+        highest_numbered = -1
+        for instance_id, journal in folded.items():
+            instance = pickle.loads(journal.snapshot)
+            for endpoints, probability in journal.updates.items():
+                instance.set_probability(endpoints, probability)
+            self._journal[instance_id] = journal
+            self._instances[instance_id] = instance
+            self._ids_by_identity[id(instance)] = instance_id
+            worker = self._worker_for(instance_id)
+            shipped = instance
+            if self._inline is not None:
+                # Same isolation as register_instance: the inline worker
+                # holds its own copy of the restored instance.
+                shipped = pickle.loads(pickle.dumps(instance))
+            self._call(worker, "register", (instance_id, shipped))
+            warmed += self._call(worker, "warm", instance_id)
+            restored += 1
+            # Keep auto-generated ids ("instance-N") unique across restarts.
+            if instance_id.startswith("instance-"):
+                suffix = instance_id[len("instance-") :]
+                if suffix.isdigit():
+                    highest_numbered = max(highest_numbered, int(suffix))
+        if highest_numbered >= 0:
+            self._next_instance = itertools.count(highest_numbered + 1)
+        self.recovery = {
+            "wal": self._wal.recovery,
+            "instances_restored": restored,
+            "plans_warmed": warmed,
+        }
+
+    def _wal_append(self, record: Tuple) -> None:
+        """Append one state change to the write-ahead log (if configured).
+
+        A failing disk (ENOSPC — injected or real) degrades instead of
+        crashing: the state change stays applied in memory and on the
+        workers, the lost durability is counted in :attr:`wal_errors`, and
+        serving continues.
+        """
+        if self._wal is None:
+            return
+        try:
+            self._wal.append(record)
+        except OSError:
+            self.wal_errors += 1
+            return
+        if self._wal.appended >= WAL_COMPACT_AFTER:
+            self.compact_state()
+
+    def compact_state(self) -> None:
+        """Fold the durable log into one snapshot-only segment.
+
+        Rewrites the write-ahead log from the live in-memory journal — one
+        registration record per instance carrying a freshly folded
+        snapshot, no update records — via an atomic segment swap.  A crash
+        during compaction leaves either the old log or the new one.  No-op
+        without ``state_dir``.
+        """
+        if self._wal is None:
+            return
+        records: List[Tuple] = []
+        for instance_id, journal in self._journal.items():
+            if journal.updates:
+                instance = pickle.loads(journal.snapshot)
+                for endpoints, probability in journal.updates.items():
+                    instance.set_probability(endpoints, probability)
+                snapshot = pickle.dumps(instance)
+            else:
+                snapshot = journal.snapshot
+            records.append(("register", instance_id, snapshot))
+        try:
+            self._wal.compact(records)
+        except OSError:  # pragma: no cover - compaction needs disk space
+            self.wal_errors += 1
+
+    def persistence_stats(self) -> Optional[Dict[str, Any]]:
+        """Counters of the durable-state layer (``None`` without one).
+
+        Reports the log's append count, segment count and rejected appends,
+        the coordinator-side plan-store counters, and the startup recovery
+        summary (with the WAL report flattened to plain numbers) — the data
+        behind the ``restart_recovery`` benchmark section.
+        """
+        if self._wal is None:
+            return None
+        recovery = None
+        if self.recovery is not None:
+            recovery = dict(self.recovery)
+            recovery["wal"] = self.recovery["wal"].as_dict()
+        return {
+            "wal_appends": self._wal.appended,
+            "wal_segments": len(self._wal.segments),
+            "wal_errors": self.wal_errors,
+            "plan_store": self._plan_store.stats if self._plan_store else None,
+            "recovery": recovery,
+        }
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def __enter__(self) -> "QueryService":
@@ -346,6 +549,11 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self._wal is not None:
+            try:
+                self._wal.close()
+            except Exception:  # pragma: no cover - a full disk at teardown
+                pass
         for worker_queue in self._queues:
             try:
                 worker_queue.put_nowait(None)
@@ -435,6 +643,7 @@ class QueryService:
             snapshot=snapshot,
             version=(previous.version + 1) if previous is not None else 0,
         )
+        self._wal_append(("register", instance_id, snapshot))
         return instance_id
 
     def _worker_for(self, instance_id: str) -> int:
@@ -944,6 +1153,17 @@ class QueryService:
             journal.updates[endpoints] = probability
             journal.updates.move_to_end(endpoints)
             journal.version += 1
+            if len(journal.updates) >= self.journal_update_limit:
+                # Fold the accumulated updates into a fresh snapshot so the
+                # in-memory journal stays bounded under sustained update
+                # traffic against many distinct edges.  The folded state is
+                # identical, so the version (the degrade-memo key) holds.
+                folded = pickle.loads(journal.snapshot)
+                for folded_endpoints, folded_probability in journal.updates.items():
+                    folded.set_probability(folded_endpoints, folded_probability)
+                journal.snapshot = pickle.dumps(folded)
+                journal.updates.clear()
+        self._wal_append(("update", instance_id, endpoints, probability))
 
     def stats(self) -> ServiceStats:
         """Service-level coalescing counters plus per-worker statistics."""
@@ -1233,6 +1453,12 @@ class QueryService:
                 instance.set_probability(endpoints, probability)
             op_id = self._send(worker, "register", (instance_id, instance))
             self._background[op_id] = worker
+            if self._plan_store is not None:
+                # Fire-and-forget warm-up: the respawned incarnation loads
+                # the shard's stored plans off the request path instead of
+                # recompiling them on first use.
+                warm_id = self._send(worker, "warm", instance_id)
+                self._background[warm_id] = worker
             replayed += 1
         self._stats_restarts += 1
         self.restart_log.append(
@@ -1244,3 +1470,7 @@ class QueryService:
                 "instances_replayed": replayed,
             }
         )
+        if len(self.restart_log) > RESTART_LOG_LIMIT:
+            # A worker stuck in a crash loop must not grow the log without
+            # bound; the totals survive in the service counters.
+            del self.restart_log[: len(self.restart_log) - RESTART_LOG_LIMIT]

@@ -88,6 +88,20 @@ class WorkerState:
         self.counters["updates"] += 1
         self._invalidate_results(instance_id)
 
+    def warm(self, instance_id: str) -> int:
+        """Pre-load the instance's stored plans into the plan cache.
+
+        Only meaningful when the solver carries a persistent plan tier
+        (:class:`~repro.persist.PersistentPlanCache`); without one, warming
+        is a no-op returning 0.  Returns the number of plans loaded from
+        disk (loaded — not compiled: warm restarts must recompile nothing).
+        """
+        instance = self._instance(instance_id)
+        cache = self.solver.plan_cache
+        if cache is None or not hasattr(cache, "warm"):
+            return 0
+        return cache.warm(instance)
+
     def solve_batch(
         self, requests: List[ServiceRequest]
     ) -> List[Tuple[str, Any]]:
@@ -237,6 +251,8 @@ def handle_message(state: WorkerState, op: str, payload: Any) -> Tuple[str, Any]
             instance_id, endpoints, probability = payload
             state.update(instance_id, endpoints, probability)
             return ("ok", None)
+        if op == "warm":
+            return ("ok", state.warm(payload))
         if op == "stats":
             return ("ok", state.stats())
         return ("error", f"unknown service op {op!r}")
