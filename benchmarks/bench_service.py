@@ -5,6 +5,8 @@ either as
 
     python benchmarks/bench_service.py [--smoke] [--output BENCH_service.json]
                                        [--min-service-speedup X]
+                                       [--min-worker-scaling X]
+                                       [--max-p99-ms MS]
                                        [--faults] [--max-recovery-ms MS]
                                        [--restart]
 
@@ -16,7 +18,20 @@ traffic trace, the request-coalescing hit rate, and the speedup of the
 with exact answers asserted bit-identical and pinned-seed approx estimates
 asserted identical at every worker count on every run.  The
 ``--min-service-speedup`` flag turns regressions into a non-zero exit code,
-which CI uses as a smoke gate.
+which CI uses as a smoke gate (like ``--min-worker-scaling`` below, it is
+enforced only on machines with at least as many CPUs as workers — a
+smaller box cannot honestly show parallel speedup).
+
+The report also records a ``throughput_vs_workers`` curve: a balanced
+multi-instance trace replayed at 1/2/4 workers with p50/p99 batch
+latencies, steal counts and the per-worker instance map.  The curve's
+machine-independent invariants — exact answers bit-identical across
+worker counts, no registered shard leaving a worker idle — are asserted
+on every run; ``--min-worker-scaling X`` gates 4-worker throughput at
+``X`` times the 1-worker replay (enforced only when the machine has at
+least as many CPUs as workers, and recorded as
+``scaling_gate_enforceable`` either way) and ``--max-p99-ms`` caps the
+worst recorded p99 batch latency.
 
 ``--faults`` additionally runs the chaos scenario — a seeded
 :class:`~repro.service.faults.FaultPlan` kills one worker mid-trace — and

@@ -297,6 +297,22 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.add_argument(
+        "--min-worker-scaling", type=float, default=0.0,
+        help=(
+            "service: fail when max-worker throughput over 1-worker "
+            "throughput on the balanced trace drops below this (enforced "
+            "only on machines with at least as many CPU cores as workers; "
+            "recorded everywhere)"
+        ),
+    )
+    bench.add_argument(
+        "--max-p99-ms", type=float, default=0.0,
+        help=(
+            "service: fail when any worker count's p99 tick latency on the "
+            "balanced trace exceeds this many ms"
+        ),
+    )
+    bench.add_argument(
         "--min-minimization-speedup", type=float, default=0.0,
         help=(
             "query: fail when the minimized-dispatch speedup over unminimized "
@@ -754,6 +770,8 @@ def _run_bench_service(args, out, err) -> int:
             report,
             min_speedup=args.min_service_speedup,
             max_recovery_ms=args.max_recovery_ms,
+            min_worker_scaling=args.min_worker_scaling,
+            max_p99_ms=args.max_p99_ms,
         )
     except AssertionError as exc:
         err.write(f"error: service benchmark check failed: {exc}\n")

@@ -5,10 +5,17 @@
 (:mod:`repro.plan`) and the ``(ε, δ)`` samplers (:mod:`repro.approx`) — into
 one servable system:
 
-* **Instance-affinity sharding.**  Every registered instance is owned by
-  exactly one worker process (stable hash of its id), so that worker's
-  frozen instance graph, memoised metadata and compiled-plan cache stay warm
-  across the whole request stream instead of being rebuilt per batch.
+* **Two-level sharding: balanced affinity plus work stealing.**  Every
+  registered instance is *owned* by exactly one worker process — assigned
+  least-loaded at registration time, so K instances always spread over
+  ``min(K, num_workers)`` workers — and that worker's frozen instance
+  graph, memoised metadata and compiled-plan cache stay warm across the
+  whole request stream.  On top of the affinity tier, the coordinator
+  steals work per batch: when one shard's queue is lopsided while another
+  worker sits idle, independent requests move to the idle worker, shipping
+  the instance's journal snapshot bytes on the first steal and keeping the
+  stolen replica warm afterwards (replicas are soft state, invalidated by
+  :meth:`QueryService.update_probability` and dropped on worker restart).
 * **Request coalescing.**  Duplicate requests — same instance, same
   canonical query form (:func:`repro.plan.canonical_query_key`), same
   options — are detected *before* dispatch; each distinct computation runs
@@ -41,7 +48,6 @@ import pickle
 import random
 import time
 import warnings
-import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
@@ -70,17 +76,36 @@ RESTART_LOG_LIMIT = 256
 #: state (folding last-write-wins updates into fresh snapshots).
 WAL_COMPACT_AFTER = 4096
 
+#: Capacity of the coordinator's dispatch-frame cache (coalesce key ->
+#: pickled request bytes): hot queries on a Zipf trace are re-submitted
+#: every tick, and re-pickling their graphs per request dominates dispatch
+#: once the worker caches are warm.
+FRAME_CACHE_LIMIT = 4096
+
+#: Minimum per-batch difference between the busiest worker's *cold* request
+#: count (coalesce keys never dispatched before) and the idlest worker's
+#: queue length before the coordinator steals a request (a difference of 1
+#: cannot be improved by moving work).
+STEAL_IMBALANCE = 2
+
 
 @dataclass
 class ServiceStats:
     """A snapshot of serving statistics.
 
-    ``requests`` counts every request submitted; ``dispatched`` counts the
-    distinct computations actually sent to workers after coalescing, so
-    ``coalesced == requests - dispatched`` duplicates never crossed the
-    dispatch boundary.  ``workers`` holds one per-worker dictionary with the
-    worker's serving counters and its plan-cache statistics (hits, misses,
-    compiles, evictions — see :attr:`repro.plan.PlanCache.stats`).
+    ``requests`` counts every *normalisable* request submitted (entries that
+    fail normalization under ``on_error="return"`` are counted in
+    ``rejected`` instead, so they cannot skew :meth:`dedupe_hit_rate`);
+    ``dispatched`` counts the distinct computations actually sent to workers
+    after coalescing, so ``coalesced == requests - dispatched`` duplicates
+    never crossed the dispatch boundary.  ``steals`` counts requests the
+    coordinator moved off their owning shard onto an idle worker, and
+    ``replicas_shipped`` the instance snapshots shipped to make that
+    possible.  ``workers`` holds one per-worker dictionary — keyed by its
+    ``"worker"`` index, in index order — with the worker's serving counters
+    and its plan-cache statistics (hits, misses, compiles, evictions — see
+    :attr:`repro.plan.PlanCache.stats`), so an idle shard is visible as that
+    worker's zeroed counters rather than as an anonymous entry.
 
     The reliability counters record supervision activity: ``restarts``
     (worker processes respawned after a crash or hang), ``retries``
@@ -90,6 +115,7 @@ class ServiceStats:
     """
 
     requests: int = 0
+    rejected: int = 0
     dispatched: int = 0
     coalesced: int = 0
     batches: int = 0
@@ -98,6 +124,8 @@ class ServiceStats:
     retries: int = 0
     deadline_hits: int = 0
     degraded: int = 0
+    steals: int = 0
+    replicas_shipped: int = 0
     workers: List[Dict[str, Any]] = field(default_factory=list)
 
     def dedupe_hit_rate(self) -> float:
@@ -137,6 +165,9 @@ class _PendingOp:
     op is genuinely in flight); ``deadline`` is the monotonic instant the
     op's request budget expires; ``history`` accumulates one line per failed
     attempt for :class:`~repro.exceptions.ServiceUnavailableError` notes.
+    ``instance_ids`` names the instances the op's requests touch, so a
+    retry onto a freshly restarted worker can re-ship any stolen replicas
+    the old incarnation held before the op is resent.
     """
 
     op_id: int
@@ -149,6 +180,7 @@ class _PendingOp:
     retry_at: Optional[float] = None
     deadline: Optional[float] = None
     history: List[str] = field(default_factory=list)
+    instance_ids: Tuple[str, ...] = ()
 
 
 class QueryService:
@@ -187,6 +219,12 @@ class QueryService:
     poll_interval:
         Granularity (seconds) of the supervision loop's liveness, deadline
         and backoff checks while waiting for replies.
+    work_stealing:
+        Enable the second sharding tier: per-batch coordinator-side work
+        stealing (see :meth:`_steal_balance`).  ``False`` pins every
+        request to its instance's owning worker — pure affinity routing,
+        the knob the routing-equivalence tests flip to show answers do not
+        depend on which worker ran them.
     fault_plan:
         Optional :class:`~repro.service.faults.FaultPlan` shipped to every
         worker incarnation — the chaos-testing hook; ``None`` in production.
@@ -232,6 +270,7 @@ class QueryService:
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
         poll_interval: float = 0.05,
+        work_stealing: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         state_dir: Optional[str] = None,
         wal_fsync: str = "batch",
@@ -259,6 +298,7 @@ class QueryService:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.poll_interval = poll_interval
+        self.work_stealing = work_stealing
         self.fault_plan = fault_plan
         if journal_update_limit <= 0:
             raise ServiceError(
@@ -301,7 +341,18 @@ class QueryService:
         self._degrade_solver: Optional[PHomSolver] = None
         self._next_instance = itertools.count()
         self._next_op = itertools.count()
+        # Two-level sharding state: the affinity map (instance id -> owning
+        # worker, assigned least-loaded and stable for the id's lifetime)
+        # and the soft replica map (instance id -> non-owner workers
+        # currently holding a stolen copy of its journal state).
+        self._assignment: Dict[str, int] = {}
+        self._replicas: Dict[str, set] = {}
+        # Dispatch-frame cache: coalesce key -> (pickled request bytes, the
+        # query object the frame was built from — identity-compared to flag
+        # positions whose answer needs coordinator-side requalification).
+        self._frame_cache: "OrderedDict[Hashable, Tuple[bytes, Any]]" = OrderedDict()
         self._stats_requests = 0
+        self._stats_rejected = 0
         self._stats_dispatched = 0
         self._stats_batches = 0
         self._stats_updates = 0
@@ -309,6 +360,8 @@ class QueryService:
         self._stats_retries = 0
         self._stats_deadline_hits = 0
         self._stats_degraded = 0
+        self._stats_steals = 0
+        self._stats_replicas_shipped = 0
         #: One dict per worker restart (worker, incarnation, reason,
         #: duration_s, instances_replayed) — the raw data behind the
         #: ``service_recovery`` benchmark section.
@@ -440,12 +493,14 @@ class QueryService:
             self._instances[instance_id] = instance
             self._ids_by_identity[id(instance)] = instance_id
             worker = self._worker_for(instance_id)
-            shipped = instance
-            if self._inline is not None:
-                # Same isolation as register_instance: the inline worker
-                # holds its own copy of the restored instance.
-                shipped = pickle.loads(pickle.dumps(instance))
-            self._call(worker, "register", (instance_id, shipped))
+            # Ship the journal bytes as-is (snapshot plus folded updates);
+            # the worker unpickles and applies them, so recovery never
+            # re-pickles a restored instance just to cross the queue.
+            self._call(
+                worker,
+                "register",
+                (instance_id, journal.snapshot, tuple(journal.updates.items())),
+            )
             warmed += self._call(worker, "warm", instance_id)
             restored += 1
             # Keep auto-generated ids ("instance-N") unique across restarts.
@@ -627,14 +682,15 @@ class QueryService:
         self._instances[instance_id] = instance
         self._ids_by_identity[id(instance)] = instance_id
         snapshot = pickle.dumps(instance)
-        shipped = instance
-        if self._inline is not None:
-            # Mirror the process-boundary copy semantics in inline mode: the
-            # worker must hold its own instance, so a direct mutation of the
-            # caller's object cannot desynchronise the worker's result cache
-            # (go through update_probability, as with a real pool).
-            shipped = pickle.loads(snapshot)
-        self._call(self._worker_for(instance_id), "register", (instance_id, shipped))
+        # The worker unpickles the snapshot bytes itself — one serialization
+        # total (the old path materialised a copy only for the queue to
+        # pickle it again), and in both deployment shapes the worker holds
+        # its own instance, so a direct mutation of the caller's object
+        # cannot desynchronise the worker's result cache (go through
+        # update_probability, as with a real pool).
+        self._call(self._worker_for(instance_id), "register", (instance_id, snapshot))
+        # A replaced instance invalidates any stolen replicas of its id.
+        self._replicas.pop(instance_id, None)
         # Journal the acknowledged registration: the snapshot is the state
         # the worker holds *now*, so replaying it (plus later journaled
         # updates) reconstructs the shard exactly on a respawned worker.
@@ -647,10 +703,26 @@ class QueryService:
         return instance_id
 
     def _worker_for(self, instance_id: str) -> int:
-        """Stable instance-affinity shard: id bytes -> worker index."""
+        """The instance's owning worker: least-loaded at first sight, stable after.
+
+        The assignment is made on the id's first appearance — to the worker
+        owning the fewest instances, lowest index on ties — and never moves,
+        so K instances always spread over ``min(K, num_workers)`` workers
+        (the bare ``crc32 % num_workers`` shard this replaces could collide
+        every hot instance onto one worker, leaving the rest of the pool
+        idle) while an instance's plan and result caches stay warm on one
+        worker for its whole lifetime.
+        """
         if self.num_workers == 0:
             return 0
-        return zlib.crc32(instance_id.encode("utf-8")) % self.num_workers
+        worker = self._assignment.get(instance_id)
+        if worker is None:
+            loads = [0] * self.num_workers
+            for assigned in self._assignment.values():
+                loads[assigned] += 1
+            worker = min(range(self.num_workers), key=lambda w: (loads[w], w))
+            self._assignment[instance_id] = worker
+        return worker
 
     def _resolve_instance_id(self, instance: Union[str, ProbabilisticGraph]) -> str:
         if isinstance(instance, str):
@@ -741,7 +813,11 @@ class QueryService:
                     ),
                     str(exc),
                 )
-        self._stats_requests += len(normalized)
+        # Entries that failed normalization never reach a worker; counting
+        # them as requests would inflate dedupe_hit_rate's denominator.
+        rejected = sum(1 for request in normalized if request is None)
+        self._stats_requests += len(normalized) - rejected
+        self._stats_rejected += rejected
         self._stats_batches += 1
         if not normalized:
             return []
@@ -750,6 +826,7 @@ class QueryService:
         representative: Dict[Hashable, int] = {}
         unique_indices: List[int] = []
         source_of: List[int] = []
+        key_of: Dict[int, Hashable] = {}
         for position, request in enumerate(normalized):
             if request is None:
                 source_of.append(position)
@@ -760,13 +837,16 @@ class QueryService:
                 representative[key] = position
                 unique_indices.append(position)
                 source_of.append(position)
+                key_of[position] = key
             else:
                 source_of.append(first)
         self._stats_dispatched += len(unique_indices)
 
-        # Shard the distinct requests by instance affinity.  Requests with a
-        # deadline dispatch as single-request ops so each can be abandoned
-        # (and degraded) on its own; unconstrained requests batch per worker.
+        # Shard the distinct requests by instance affinity, then let idle
+        # workers steal from lopsided shards.  Requests with a deadline
+        # dispatch as single-request ops so each can be abandoned (and
+        # degraded) on its own; unconstrained requests batch per worker —
+        # one queue message per worker per call.
         by_worker: Dict[int, List[int]] = {}
         solo: List[int] = []
         for position in unique_indices:
@@ -776,8 +856,10 @@ class QueryService:
             else:
                 worker = self._worker_for(request.instance_id)
                 by_worker.setdefault(worker, []).append(position)
+        self._steal_balance(by_worker, normalized, key_of)
 
         histories: Dict[int, Tuple[str, ...]] = {}
+        requalify: set = set()
         if self._inline is not None:
             for worker, positions in by_worker.items():
                 payload = [normalized[p] for p in positions]
@@ -790,7 +872,18 @@ class QueryService:
             ops: Dict[int, _PendingOp] = {}
             op_positions: Dict[int, List[int]] = {}
             for worker, positions in by_worker.items():
-                op = self._make_op(worker, "solve", [normalized[p] for p in positions])
+                payload = [
+                    self._request_frame(normalized[p], key_of[p], p, requalify)
+                    for p in positions
+                ]
+                op = self._make_op(
+                    worker,
+                    "solve",
+                    payload,
+                    instance_ids=tuple(
+                        dict.fromkeys(normalized[p].instance_id for p in positions)
+                    ),
+                )
                 ops[op.op_id] = op
                 op_positions[op.op_id] = positions
             start = time.monotonic()
@@ -801,6 +894,7 @@ class QueryService:
                     "solve",
                     [request],
                     deadline=start + request.deadline_ms / 1000.0,
+                    instance_ids=(request.instance_id,),
                 )
                 ops[op.op_id] = op
                 op_positions[op.op_id] = [position]
@@ -809,7 +903,13 @@ class QueryService:
                 if outcome[0] == "reply":
                     _, worker, reply, attempts = outcome
                     self._consume_solve(
-                        reply, worker, positions, normalized, answered, attempts
+                        reply,
+                        worker,
+                        positions,
+                        normalized,
+                        answered,
+                        attempts,
+                        requalify,
                     )
                 elif outcome[0] == "timeout":
                     _, elapsed_ms, attempts = outcome
@@ -903,6 +1003,114 @@ class QueryService:
             )
         return request
 
+    def _steal_balance(
+        self,
+        by_worker: Dict[int, List[int]],
+        normalized: List[Optional[ServiceRequest]],
+        key_of: Dict[int, Hashable],
+    ) -> None:
+        """Per-batch work stealing: rebalance lopsided shard queues in place.
+
+        Balance is measured in *cold* requests — coalesce keys never
+        dispatched before (absent from the frame cache).  A previously
+        dispatched key is almost certainly a result-cache hit on its owner,
+        so moving it to another worker re-runs a computation the pool
+        already has; only genuinely new work is worth shipping.  While the
+        busiest worker's cold count exceeds the idlest worker's total queue
+        by at least ``STEAL_IMBALANCE``, one cold request moves to the idle
+        worker — preferring one whose instance already has a warm replica
+        there, otherwise taking from the tail.  The first steal of an
+        instance onto a worker ships the instance's journal state ahead of
+        the batch (:meth:`_ensure_replica`); the queue is FIFO, so the
+        replica is installed before the stolen request runs.  Coalescing
+        already guaranteed the moved requests are independent computations.
+        """
+        if self.num_workers <= 1 or not self.work_stealing:
+            return
+        cold: Dict[int, List[int]] = {w: [] for w in range(self.num_workers)}
+        loads = {w: len(by_worker.get(w, ())) for w in range(self.num_workers)}
+        for worker, positions in by_worker.items():
+            for position in positions:
+                if key_of[position] not in self._frame_cache:
+                    cold[worker].append(position)
+        while True:
+            busiest = max(cold, key=lambda w: (len(cold[w]), -w))
+            idlest = min(loads, key=lambda w: (loads[w], w))
+            if len(cold[busiest]) - loads[idlest] < STEAL_IMBALANCE:
+                return
+            candidates = cold[busiest]
+            pick = len(candidates) - 1
+            for i in range(len(candidates) - 1, -1, -1):
+                iid = normalized[candidates[i]].instance_id
+                if idlest in self._replicas.get(iid, ()):
+                    pick = i
+                    break
+            position = candidates.pop(pick)
+            by_worker[busiest].remove(position)
+            self._ensure_replica(idlest, normalized[position].instance_id)
+            by_worker.setdefault(idlest, []).append(position)
+            self._stats_steals += 1
+            loads[busiest] -= 1
+            loads[idlest] += 1
+
+    def _ensure_replica(self, worker: int, instance_id: str) -> None:
+        """Ship an instance's journal state to a non-owner worker, once.
+
+        The replica is soft state: re-shipped only after
+        :meth:`update_probability` invalidates it or a restart drops the
+        holding worker, and sent fire-and-forget (tracked in
+        ``_background``) so stealing never blocks on the install ack.
+        """
+        if worker == self._worker_for(instance_id):
+            return
+        holders = self._replicas.setdefault(instance_id, set())
+        if worker in holders:
+            return
+        journal = self._journal.get(instance_id)
+        if journal is None:  # pragma: no cover - registration always journals
+            return
+        op_id = self._send(
+            worker,
+            "register",
+            (instance_id, journal.snapshot, tuple(journal.updates.items())),
+        )
+        self._background[op_id] = worker
+        holders.add(worker)
+        self._stats_replicas_shipped += 1
+
+    def _request_frame(
+        self,
+        request: ServiceRequest,
+        key: Hashable,
+        position: int,
+        requalify: set,
+    ) -> bytes:
+        """The pickled dispatch frame for one request, cached by coalesce key.
+
+        Hot queries on a skewed trace are re-submitted every tick, and
+        pickling their query graphs per dispatch dominates the coordinator
+        once the worker caches answer everything else; the frame bytes are
+        therefore LRU-cached on the coalesce key (every answer-affecting
+        field is folded into that key, and workers never read
+        ``request_id`` — answers map back by position).  A cached frame may
+        carry an *equivalent spelling* of this position's query (coalesce
+        keys merge isomorphic spellings); such positions are added to
+        ``requalify`` so :meth:`_consume_solve` re-describes the answer for
+        the spelling actually submitted.
+        """
+        cached = self._frame_cache.get(key)
+        if cached is not None:
+            self._frame_cache.move_to_end(key)
+            frame, source_query = cached
+            if source_query is not request.query:
+                requalify.add(position)
+            return frame
+        frame = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+        self._frame_cache[key] = (frame, request.query)
+        while len(self._frame_cache) > FRAME_CACHE_LIMIT:
+            self._frame_cache.popitem(last=False)
+        return frame
+
     def _consume_solve(
         self,
         reply: Tuple[str, Any],
@@ -911,6 +1119,7 @@ class QueryService:
         normalized: List[ServiceRequest],
         answered: Dict[int, Tuple[ServiceResult, str]],
         attempts: int = 1,
+        requalify: Optional[set] = None,
     ) -> None:
         status, value = reply
         if status != "ok":
@@ -920,14 +1129,22 @@ class QueryService:
                 f"worker {worker} answered {len(value)} of {len(positions)} requests"
             )
         for position, outcome in zip(positions, value):
+            request = normalized[position]
             if outcome[0] == "ok":
                 _, result, cached = outcome
+                if requalify and position in requalify:
+                    # The dispatch frame carried an equivalent spelling;
+                    # re-describe the answer for the one actually asked.
+                    result = requalify_result(
+                        result, request.query, minimize=request.method == "auto"
+                    )
                 answered[position] = (
                     ServiceResult(
                         result=result,
-                        request_id=normalized[position].request_id,
+                        request_id=request.request_id,
                         worker=worker,
                         cached=cached,
+                        stolen=worker != self._worker_for(request.instance_id),
                         attempts=attempts,
                     ),
                     "",
@@ -1145,6 +1362,11 @@ class QueryService:
             "update",
             (instance_id, endpoints, probability),
         )
+        # Replicas are soft state: invalidate them so the next steal of this
+        # instance re-ships the updated journal instead of answering from a
+        # stale copy (the re-shipped register also drops the thief's cached
+        # results for the instance).
+        self._replicas.pop(instance_id, None)
         journal = self._journal.get(instance_id)
         if journal is not None:
             # Last-write-wins compaction: replay order only matters per
@@ -1192,6 +1414,7 @@ class QueryService:
             workers = [ordered[index] for index in sorted(ordered)]
         return ServiceStats(
             requests=self._stats_requests,
+            rejected=self._stats_rejected,
             dispatched=self._stats_dispatched,
             coalesced=self._stats_requests - self._stats_dispatched,
             batches=self._stats_batches,
@@ -1200,6 +1423,8 @@ class QueryService:
             retries=self._stats_retries,
             deadline_hits=self._stats_deadline_hits,
             degraded=self._stats_degraded,
+            steals=self._stats_steals,
+            replicas_shipped=self._stats_replicas_shipped,
             workers=workers,
         )
 
@@ -1212,7 +1437,12 @@ class QueryService:
         return op_id
 
     def _make_op(
-        self, worker: int, op: str, payload: Any, deadline: Optional[float] = None
+        self,
+        worker: int,
+        op: str,
+        payload: Any,
+        deadline: Optional[float] = None,
+        instance_ids: Tuple[str, ...] = (),
     ) -> _PendingOp:
         """Dispatch one op and return its supervision record."""
         now = time.monotonic()
@@ -1224,6 +1454,7 @@ class QueryService:
             created_at=now,
             sent_at=now,
             deadline=deadline,
+            instance_ids=instance_ids,
         )
 
     def _call(self, worker: int, op: str, payload: Any) -> Any:
@@ -1276,7 +1507,12 @@ class QueryService:
                 if op.retry_at is not None and now >= op.retry_at:
                     # The worker was restarted (and its journal replayed)
                     # when the failure was detected; the queue is FIFO, so
-                    # this resend lands after the replay ops.
+                    # this resend lands after the replay ops.  Stolen
+                    # instances are not part of that replay — re-ship their
+                    # replicas ahead of the resend (the restart dropped the
+                    # worker from every holder set, so this is a real send).
+                    for instance_id in op.instance_ids:
+                        self._ensure_replica(op.worker, instance_id)
                     op.retry_at = None
                     op.sent_at = now
                     self._queues[op.worker].put((op.op_id, op.op, op.payload))
@@ -1444,14 +1680,21 @@ class QueryService:
         self._incarnations[worker] += 1
         self._queues[worker] = self._context.Queue()
         self._processes[worker] = self._spawn_worker(worker)
+        # Any stolen replicas died with the old incarnation; forget them so
+        # the next steal (or a retried op naming them) re-ships fresh state.
+        for holders in self._replicas.values():
+            holders.discard(worker)
         replayed = 0
         for instance_id, journal in self._journal.items():
             if self._worker_for(instance_id) != worker:
                 continue
-            instance = pickle.loads(journal.snapshot)
-            for endpoints, probability in journal.updates.items():
-                instance.set_probability(endpoints, probability)
-            op_id = self._send(worker, "register", (instance_id, instance))
+            # The journal bytes cross the queue untouched; the fresh
+            # incarnation unpickles the snapshot and folds the updates.
+            op_id = self._send(
+                worker,
+                "register",
+                (instance_id, journal.snapshot, tuple(journal.updates.items())),
+            )
             self._background[op_id] = worker
             if self._plan_store is not None:
                 # Fire-and-forget warm-up: the respawned incarnation loads

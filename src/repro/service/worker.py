@@ -24,6 +24,7 @@ inline mode (``num_workers=0``) calls it directly in-process.  Messages are
 from __future__ import annotations
 
 import os
+import pickle
 import time
 import warnings
 from collections import OrderedDict
@@ -75,8 +76,24 @@ class WorkerState:
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
-    def register(self, instance_id: str, instance: ProbabilisticGraph) -> int:
-        """Install (or replace) an instance; returns its edge count."""
+    def register(
+        self,
+        instance_id: str,
+        instance: Any,
+        updates: Tuple = (),
+    ) -> int:
+        """Install (or replace) an instance; returns its edge count.
+
+        ``instance`` is a :class:`ProbabilisticGraph` or its pickled bytes
+        (the coordinator ships its journal snapshot verbatim — serialized
+        once, unpickled here — for registrations, restart replays and
+        stolen-shard replicas alike); ``updates`` is the journal's folded
+        ``(endpoints, probability)`` tail, applied on top of the snapshot.
+        """
+        if isinstance(instance, (bytes, bytearray)):
+            instance = pickle.loads(instance)
+        for endpoints, probability in updates:
+            instance.set_probability(endpoints, probability)
         self.instances[instance_id] = instance
         self._invalidate_results(instance_id)
         return instance.graph.num_edges()
@@ -243,10 +260,19 @@ def handle_message(state: WorkerState, op: str, payload: Any) -> Tuple[str, Any]
     """Dispatch one protocol message against a worker state."""
     try:
         if op == "solve":
-            return ("ok", state.solve_batch(payload))
+            # Batch entries are ServiceRequest objects or pickled frames
+            # (the coordinator's frame cache ships hot requests as bytes so
+            # their query graphs are serialized once, not per dispatch).
+            requests = [
+                pickle.loads(entry)
+                if isinstance(entry, (bytes, bytearray))
+                else entry
+                for entry in payload
+            ]
+            return ("ok", state.solve_batch(requests))
         if op == "register":
-            instance_id, instance = payload
-            return ("ok", state.register(instance_id, instance))
+            instance_id, instance, *updates = payload
+            return ("ok", state.register(instance_id, instance, *updates))
         if op == "update":
             instance_id, endpoints, probability = payload
             state.update(instance_id, endpoints, probability)

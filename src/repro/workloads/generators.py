@@ -14,6 +14,7 @@ import random
 from bisect import bisect_left
 from dataclasses import dataclass
 from fractions import Fraction
+from itertools import zip_longest
 from typing import Optional, Sequence, Union
 
 from repro.approx import make_rng
@@ -351,6 +352,20 @@ def zipf_ranks(num_requests: int, pool_size: int, skew: float, rng: RandomLike =
         min(bisect_left(cumulative, r.random() * total), pool_size - 1)
         for _ in range(num_requests)
     ]
+
+
+def round_robin_interleave(streams: Sequence[Sequence]) -> list:
+    """Merge per-source streams into one arrival order, round-robin.
+
+    Item ``k`` of every stream precedes item ``k+1`` of any stream, and
+    within a round items keep their streams' order — the arrival model of a
+    serving front end fed by several concurrent clients.  Streams may have
+    unequal lengths; exhausted streams simply drop out of later rounds.
+    """
+    arrival: list = []
+    for round_items in zip_longest(*streams):
+        arrival.extend(item for item in round_items if item is not None)
+    return arrival
 
 
 def query_traffic_trace(
