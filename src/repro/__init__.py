@@ -37,6 +37,8 @@ subpackages contain the full machinery:
   class-aware ``normalize`` pass;
 * :mod:`repro.core` — the tractable solvers and the dispatching
   :class:`~repro.core.solver.PHomSolver`;
+* :mod:`repro.tape` — compiled plans lowered to flat array programs
+  (:class:`~repro.tape.PlanTape`) with vectorized batch evaluation;
 * :mod:`repro.reductions` — the hardness reductions (#Bipartite-Edge-Cover,
   #PP2DNF) with brute-force counters;
 * :mod:`repro.classification` — Tables 1–3 as code;
@@ -92,6 +94,7 @@ from repro.probability import ProbabilisticGraph, brute_force_phom
 from repro.lineage import PositiveDNF, DDNNF, CircuitEvaluator, match_lineage
 from repro.core import PHomSolver, PHomResult, phom_probability
 from repro.plan import CompiledPlan, PlanCache, canonical_query_key
+from repro.tape import PlanTape, TapeEvaluator, compile_plan_tape
 from repro.query import (
     Atom,
     NormalizedQuery,
@@ -175,6 +178,9 @@ __all__ = [
     "CompiledPlan",
     "PlanCache",
     "canonical_query_key",
+    "PlanTape",
+    "TapeEvaluator",
+    "compile_plan_tape",
     "Atom",
     "QueryIR",
     "parse_query",

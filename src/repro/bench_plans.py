@@ -12,7 +12,12 @@ module measures exactly that, plus the incremental single-edge update path:
   versus one ``compile`` followed by ``plan.evaluate`` per round;
 * ``incremental`` — a stream of single-edge probability updates answered by
   ``plan.update`` (ancestor-only recomputation on the d-DNNF route) versus a
-  full re-solve per update.
+  full re-solve per update;
+* ``tape_batch`` — a batch of probability valuations answered in one
+  vectorized pass over the plan's flat tape
+  (:meth:`repro.plan.CompiledPlan.evaluate_many`, see :mod:`repro.tape`)
+  versus one ``plan.evaluate`` call per valuation, across batch sizes
+  1 / 16 / 256.
 
 Every configuration is cross-checked: plan results must be *bit-identical*
 to the one-shot API in exact mode and within ``1e-9`` of exact in float
@@ -285,6 +290,95 @@ def run_incremental_benchmark(instance_size: int, updates: int) -> Dict[str, obj
     }
 
 
+def run_tape_benchmark(
+    instance_size: int, batch_sizes: Tuple[int, ...] = (1, 16, 256)
+) -> Dict[str, object]:
+    """Batched tape evaluation vs one ``plan.evaluate`` call per valuation.
+
+    Uses the d-DNNF route (the largest arithmetic half) with a floor on the
+    instance size so even smoke runs exercise a real tape.  Before timing,
+    the exact-mode contract is asserted *in the bench*: ``evaluate_many``
+    must be bit-identical to looped ``evaluate`` calls, and the float
+    backend must stay within ``FLOAT_TOLERANCE`` of the per-call float
+    path.  Each valuation overrides a couple of edge probabilities — the
+    serving drift shape the batched path is built for.
+    """
+    from repro.numeric import numpy_module
+
+    rng = _rng(13)
+    size = max(instance_size, 60)
+    graph = make_instance(GraphClass.POLYTREE, False, size, rng)
+    instance = attach_random_probabilities(graph, rng)
+    query = make_query(GraphClass.DOWNWARD_TREE, False, 4, rng)
+    solver = PHomSolver(prefer="automaton")
+    plan = solver.compile(query, instance)
+    tape = plan.tape()
+
+    edges = instance.edges()
+    largest = max(batch_sizes)
+    batch = [
+        {rng.choice(edges): Fraction(rng.randint(1, 15), 16) for _ in range(2)}
+        for _ in range(largest)
+    ]
+
+    # Correctness contract, checked before any timing.  Exact mode must be
+    # bit-identical to the object-graph evaluator (`==` on Fractions) —
+    # this is the acceptance gate for the tape backend itself.
+    check = batch[: min(largest, 32)]
+    if plan.evaluate_many(check) != [plan.evaluate(overrides) for overrides in check]:
+        raise AssertionError(
+            "exact evaluate_many diverged from looped plan.evaluate"
+        )
+    float_loop = [plan.evaluate(overrides, precision="float") for overrides in check]
+    float_many = plan.evaluate_many(check, precision="float")
+    drift = max(abs(a - b) for a, b in zip(float_loop, float_many))
+    if drift > FLOAT_TOLERANCE:
+        raise AssertionError(
+            f"float evaluate_many drifted {drift} from looped plan.evaluate"
+        )
+
+    curve = []
+    for batch_size in batch_sizes:
+        subset = batch[:batch_size]
+        repeats = 3
+        baseline_seconds = min(
+            _time(
+                lambda: [
+                    plan.evaluate(overrides, precision="float")
+                    for overrides in subset
+                ]
+            )
+            for _ in range(repeats)
+        )
+        tape_seconds = min(
+            _time(lambda: plan.evaluate_many(subset, precision="float"))
+            for _ in range(repeats)
+        )
+        speedup = baseline_seconds / tape_seconds if tape_seconds > 0 else float("inf")
+        curve.append(
+            {
+                "batch": batch_size,
+                "evaluate_seconds": round(baseline_seconds, 6),
+                "evaluate_many_seconds": round(tape_seconds, 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+    return {
+        "description": (
+            f"batched tape re-evaluation on a {graph.num_vertices()}-vertex "
+            "polytree, d-DNNF route"
+        ),
+        "backend": "numpy" if numpy_module() is not None else "stdlib",
+        "tape": tape.describe(),
+        "instance_vertices": graph.num_vertices(),
+        "instance_edges": graph.num_edges(),
+        "tape_batch": curve,
+        "batched_speedup": curve[-1]["speedup"],
+        "exact_bit_identical": True,
+        "float_max_abs_error": drift,
+    }
+
+
 def run_plan_benchmarks(
     instance_size: int = 60,
     num_queries: int = 20,
@@ -297,6 +391,7 @@ def run_plan_benchmarks(
         for workload in build_plan_workloads(instance_size, num_queries)
     ]
     incremental = run_incremental_benchmark(max(instance_size // 2, 6), updates)
+    tape_batch = run_tape_benchmark(instance_size)
     return {
         "benchmark": "plans",
         "version": __version__,
@@ -311,13 +406,16 @@ def run_plan_benchmarks(
         },
         "workloads": workload_reports,
         "incremental": incremental,
+        "tape": tape_batch,
         "summary": {
             "min_plan_reuse_speedup": min(
                 w["plan_reuse_speedup"] for w in workload_reports
             ),
             "incremental_update_speedup": incremental["incremental_speedup"],
+            "tape_batched_speedup": tape_batch["batched_speedup"],
             "contract": (
-                "exact plan results bit-identical to the one-shot API; "
+                "exact plan results bit-identical to the one-shot API "
+                "(including batched tape evaluation); "
                 f"float within {FLOAT_TOLERANCE}"
             ),
         },
@@ -328,6 +426,7 @@ def check_plan_thresholds(
     report: Dict[str, object],
     min_reuse_speedup: float = 0.0,
     min_incremental_speedup: float = 0.0,
+    min_tape_speedup: float = 0.0,
 ) -> None:
     """Raise AssertionError when a recorded speedup falls below a threshold."""
     summary = report["summary"]
@@ -341,6 +440,12 @@ def check_plan_thresholds(
         raise AssertionError(
             f"incremental update speedup {incremental}x is below the required "
             f"{min_incremental_speedup}x"
+        )
+    tape = summary["tape_batched_speedup"]
+    if tape < min_tape_speedup:
+        raise AssertionError(
+            f"batched tape speedup {tape}x is below the required "
+            f"{min_tape_speedup}x"
         )
 
 
@@ -366,9 +471,20 @@ def format_plan_report(report: Dict[str, object]) -> str:
     lines.append(
         f"    incremental speedup    {incremental['incremental_speedup']}x vs full re-solve"
     )
+    tape = report["tape"]
+    lines.append(f"  tape: {tape['description']} ({tape['backend']} backend)")
+    for point in tape["tape_batch"]:
+        lines.append(
+            f"    batch {point['batch']:>4}            "
+            f"{point['speedup']:>8.1f}x vs per-call evaluate"
+        )
     summary = report["summary"]
     lines.append(
         f"  minimum plan reuse speedup vs solve_many(float): "
         f"{summary['min_plan_reuse_speedup']}x"
+    )
+    lines.append(
+        f"  batched tape speedup (batch {tape['tape_batch'][-1]['batch']}): "
+        f"{summary['tape_batched_speedup']}x"
     )
     return "\n".join(lines)

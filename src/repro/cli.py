@@ -283,6 +283,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="plans: fail when the recorded incremental-update speedup drops below this",
     )
     bench.add_argument(
+        "--min-tape-speedup", type=float, default=0.0,
+        help=(
+            "plans: fail when the batched-tape speedup at the largest batch "
+            "size drops below this"
+        ),
+    )
+    bench.add_argument(
         "--min-sampling-speedup", type=float, default=0.0,
         help=(
             "sampling: fail when the Karp-Luby speedup over brute force on the "
@@ -716,6 +723,7 @@ def _run_bench_plans(args, out, err) -> int:
             report,
             min_reuse_speedup=args.min_reuse_speedup,
             min_incremental_speedup=args.min_incremental_speedup,
+            min_tape_speedup=args.min_tape_speedup,
         )
     except AssertionError as exc:
         err.write(f"error: plan benchmark check failed: {exc}\n")

@@ -21,6 +21,11 @@ subpath ending at ``j``; a left-to-right scan over the edge positions whose
 state is the current run length of consecutively present edges then computes
 the probability that some matching subpath is fully present, in ``O(k²)``
 arithmetic operations.
+
+Tape-lowering contract: :mod:`repro.tape` compiles the interval dynamic
+program to a flat tape by symbolically executing it with slot references in
+place of numbers.  The DP must therefore branch only on structure (which
+subpaths match — decided at compile time), never on probability values.
 """
 
 from __future__ import annotations

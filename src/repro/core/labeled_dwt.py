@@ -16,6 +16,13 @@ tree, and the failure probability is multiplied over independent subtrees.
 The state space is ``O(|H| · |G|)`` pairs, each processed in constant time
 per child edge, so the overall complexity is ``O(|H| · |G|)`` — the same
 bound as the paper's.
+
+Tape-lowering contract: :mod:`repro.tape` compiles the KMP-automaton dynamic
+program to a flat tape by symbolically executing it with slot references in
+place of numbers.  Automaton transitions depend only on labels (structure),
+so the control flow is probability-independent — keep it that way when
+modifying the DP, or compiled tapes would specialise to the probabilities
+seen at compile time.
 """
 
 from __future__ import annotations

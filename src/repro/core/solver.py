@@ -659,6 +659,69 @@ class PHomSolver:
         validate_query_graph(query)
         return self._plan_for(query, instance)
 
+    def tape_for(self, query: QueryLike, instance: ProbabilisticGraph):
+        """The pair's compiled plan lowered to a flat :class:`~repro.tape.PlanTape`.
+
+        Compiles (or retrieves from the cache) the plan exactly as
+        :meth:`compile` does, then lowers its arithmetic half to a tape on
+        first request and memoises it on the plan.  Unlike calling
+        ``plan.tape()`` directly, this entry point also notifies the plan
+        cache (:meth:`~repro.plan.PlanCache.note_tape`): the lowering is
+        accounted as a *tape* compile — never as a plan compile — and a
+        persistent cache tier refreshes the plan's store entry so the tape
+        is durable alongside its plan.  Raises
+        :class:`~repro.exceptions.PlanError` for brute-force fallback
+        plans, which have no arithmetic half to lower.
+        """
+        return self._tape_plan_for(query, instance).tape()
+
+    def _tape_plan_for(
+        self, query: QueryLike, instance: ProbabilisticGraph
+    ) -> CompiledPlan:
+        """The cached plan with its tape compiled (and accounted/persisted)."""
+        query = as_query_graph(query)
+        self._validate_inputs(query, instance)
+        validate_query_graph(query)
+        core = query_core(query) if self.minimize_queries else query
+        plan = self._plan_for(core, instance)
+        if not plan.has_tape():
+            plan.tape()
+            if self._plan_cache is not None:
+                key = canonical_query_key(core, minimize=self.minimize_queries)
+                self._plan_cache.note_tape(key, instance, plan)
+        return plan
+
+    def evaluate_many(
+        self,
+        query: QueryLike,
+        instance: ProbabilisticGraph,
+        batches: Sequence[Optional[dict]],
+        precision: PrecisionLike = None,
+        backend: str = "auto",
+    ) -> List[Number]:
+        """Answer one query under a whole batch of probability valuations.
+
+        Each entry of ``batches`` is an override mapping exactly as in
+        :meth:`~repro.plan.CompiledPlan.evaluate` (``None`` / ``{}`` for
+        the instance's live table); the result list is index-aligned.  The
+        batch runs in one structural pass over the plan's flat tape (see
+        :meth:`tape_for` — compiled and cached on first use), vectorizing
+        every arithmetic operation across the valuations, which is the
+        serving layer's bulk re-evaluation fast path.  ``precision``
+        selects the numeric backend as in :meth:`solve` (``"approx"`` is
+        rejected: batched evaluation is an exact/float contract);
+        ``backend`` is forwarded to
+        :meth:`~repro.tape.PlanTape.evaluate_many`.
+        """
+        if _is_approx(precision):
+            raise ReproError(
+                "evaluate_many computes exact/float probabilities; "
+                "precision='approx' does not apply to batched tape evaluation"
+            )
+        plan = self._tape_plan_for(query, instance)
+        context, _approx = self._resolve_precision(precision)
+        return plan.evaluate_many(batches, precision=context, backend=backend)
+
     def _plan_for(
         self,
         query: DiGraph,

@@ -15,6 +15,13 @@ so it suffices to collapse the query and reuse Proposition 5.4.
 Both an automaton route and a direct message-passing dynamic program over the
 original polytree are provided; they implement the same state space
 (⟨up, down, best⟩ capped at ``m``) and are cross-checked in the tests.
+
+Tape-lowering contract: :mod:`repro.tape` compiles both routes (the d-DNNF
+evaluation and the message-passing DP) to flat tapes by symbolically
+executing them with slot references in place of numbers.  Their control flow
+— automaton transitions, state-vector indexing, message schedules — depends
+only on graph structure, never on probability values; preserve that
+invariant when modifying either route.
 """
 
 from __future__ import annotations

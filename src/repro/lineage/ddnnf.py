@@ -19,6 +19,17 @@ The class below is a small arena-based DAG of gates.  Structural property
 *checkers* are included (syntactic decomposability; exhaustive determinism on
 small supports) so the test suite can verify that the circuits produced by
 :mod:`repro.automata.provenance` really are d-DNNFs.
+
+Tape-lowering contract
+----------------------
+
+:mod:`repro.tape` compiles circuit evaluation to a flat postfix tape by
+*symbolically executing* :meth:`DDNNF.probability` with slot references in
+place of numbers.  That is sound because the bottom-up pass branches only on
+circuit *structure* (gate kinds and wires), never on the probability values
+flowing through it; keep it that way — a value-dependent branch (e.g. a
+short-circuit on ``p == 0``) would silently specialise compiled tapes to the
+probabilities seen at compile time.
 """
 
 from __future__ import annotations

@@ -81,6 +81,32 @@ FAST = NumericContext(name="float", zero=0.0, one=1.0, convert=float)
 
 _CONTEXTS = {"exact": EXACT, "float": FAST}
 
+#: Sentinel distinguishing "never probed" from "probed and absent".
+_NUMPY_UNPROBED = object()
+_numpy_cache: Any = _NUMPY_UNPROBED
+
+
+def numpy_module():
+    """The optional vectorization accelerator: numpy, or ``None`` (memoised).
+
+    numpy is never a dependency of this library — every computation has a
+    dependency-free stdlib path — but the batched tape evaluator of
+    :mod:`repro.tape` vectorizes its float backend across probability
+    valuations when numpy is importable.  This seam is the single gate:
+    callers ask here instead of importing numpy themselves, so stubbing
+    this function (or running without numpy installed) exercises the
+    stdlib fallback everywhere at once.
+    """
+    global _numpy_cache
+    if _numpy_cache is _NUMPY_UNPROBED:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - depends on the environment
+            _numpy_cache = None
+        else:
+            _numpy_cache = numpy
+    return _numpy_cache
+
 
 def resolve_context(precision: Union[str, NumericContext, None]) -> NumericContext:
     """Resolve a ``precision=`` argument to a :class:`NumericContext`.

@@ -267,6 +267,9 @@ class CompiledPlan:
         self.labeled = labeled
         self.notes = notes
         self._default_context = default_context
+        #: Lazily compiled flat tape (see :meth:`tape`); pickled with the
+        #: plan so it ships to serving workers and the persistent store.
+        self._tape = None
 
     # -- evaluation ----------------------------------------------------
     def evaluate(
@@ -284,6 +287,95 @@ class CompiledPlan:
         context = self._context(precision)
         table = self._probability_table(probabilities, context)
         return self._evaluate_with(table, context)
+
+    # -- tape lowering -------------------------------------------------
+    def tape(self):
+        """The plan's flat-tape lowering (compiled lazily, memoised).
+
+        Returns a :class:`~repro.tape.PlanTape`: the arithmetic half
+        flattened to parallel opcode/operand arrays evaluated in one
+        non-recursive loop, with a batched
+        :meth:`~repro.tape.PlanTape.evaluate_many` entry point.  The tape
+        performs the same operations as :meth:`evaluate`, so exact-mode
+        results are bit-identical.  Raises
+        :class:`~repro.exceptions.PlanError` on brute-force fallback plans
+        (no arithmetic half to lower).  Prefer
+        :meth:`~repro.core.solver.PHomSolver.tape_for` when the plan lives
+        in a solver's cache — the solver also accounts the compile in the
+        cache statistics and refreshes the persistent store entry.
+        """
+        if getattr(self, "_tape", None) is None:
+            # Imported lazily: repro.tape imports the plan classes, so a
+            # module-scope import here would be circular.
+            from repro.tape import compile_plan_tape
+
+            self._tape = compile_plan_tape(self)
+        return self._tape
+
+    def has_tape(self) -> bool:
+        """Whether a tape has been compiled for this plan already."""
+        return getattr(self, "_tape", None) is not None
+
+    def evaluate_many(
+        self,
+        batches: Sequence[Optional[Mapping]],
+        precision: PrecisionLike = None,
+        backend: str = "auto",
+    ) -> List[Number]:
+        """Answer a whole batch of probability valuations in one pass.
+
+        Each entry of ``batches`` is an override mapping exactly as in
+        :meth:`evaluate` (``None`` or ``{}`` for the instance's live
+        table); the result list is index-aligned.  Evaluation runs on the
+        plan's flat tape (compiled on first use, see :meth:`tape`), which
+        vectorizes every operation across the batch — with numpy on the
+        float backend when available, dependency-free stdlib lists
+        otherwise — instead of re-interpreting the plan per valuation.
+        Exact-mode results are bit-identical to looped :meth:`evaluate`
+        calls; ``backend`` is forwarded to the tape.
+        """
+        context = self._context(precision)
+        tape = self.tape()
+        # Deltas against the live table, not full per-valuation copies: the
+        # per-entry setup cost scales with the overridden edges, which is
+        # what makes large batches an order of magnitude cheaper than
+        # looped evaluate() calls.
+        deltas = [
+            {
+                self._resolve_edge(key): context.convert(as_probability(value))
+                for key, value in overrides.items()
+            }
+            if overrides
+            else None
+            for overrides in batches
+        ]
+        return tape.evaluate_overrides(
+            context.instance_probabilities(self.instance),
+            deltas,
+            precision=context,
+            backend=backend,
+        )
+
+    def tape_evaluator(
+        self,
+        probabilities: Optional[Mapping] = None,
+        precision: PrecisionLike = None,
+    ):
+        """A bound :class:`~repro.tape.TapeEvaluator` over the plan's tape.
+
+        Seeds a fresh register file from the instance's live table (plus
+        ``probabilities`` overrides, as in :meth:`evaluate`) and returns
+        the evaluator, ready for incremental
+        :meth:`~repro.tape.TapeEvaluator.update` calls — single-edge slot
+        rewrites that replay only the dependent tape operations, on every
+        tractable plan kind.
+        """
+        from repro.tape import TapeEvaluator
+
+        context = self._context(precision)
+        evaluator = TapeEvaluator(self.tape())
+        evaluator.bind(self._probability_table(probabilities, context), context)
+        return evaluator
 
     def update(
         self,
@@ -426,6 +518,9 @@ class ComponentPlan(CompiledPlan):
         self._serving: Optional[
             Tuple[NumericContext, Dict[Edge, Number], List[Number]]
         ] = None
+        # Tape-backed serving state (used instead of the evaluator path when
+        # a tape has been compiled): single-slot rewrites on the flat tape.
+        self._tape_serving = None
 
     def _evaluate_with(self, table, context):
         return self._combine(
@@ -445,6 +540,14 @@ class ComponentPlan(CompiledPlan):
         context = self._context(precision)
         edge = self._resolve_edge(edge)
         value = context.convert(as_probability(probability))
+        if getattr(self, "_tape", None) is not None and self._serving is None:
+            # Tape slot rewrite instead of evaluator re-runs/circuit re-wires:
+            # once a tape exists, updates replay only its dependent ops —
+            # incremental on *every* tractable route, and bitwise-identical
+            # to the evaluator path (same operations, same order).  A legacy
+            # serving session opened before the tape was compiled keeps using
+            # the evaluator path below: its drifted table must not be lost.
+            return self._tape_update(edge, value, context)
         if self._serving is not None and self._serving[0] is not context:
             raise PlanError(
                 f"the serving table was built with precision "
@@ -466,19 +569,40 @@ class ComponentPlan(CompiledPlan):
             values[component] = evaluator.update_edge(edge, value, table, context)
         return self._combine(values, context)
 
+    def _tape_update(self, edge: Edge, value: Number, context: NumericContext) -> Number:
+        from repro.tape import TapeEvaluator
+
+        serving = getattr(self, "_tape_serving", None)
+        if serving is not None and serving.context is not context:
+            raise PlanError(
+                f"the serving table was built with precision "
+                f"{serving.context.name!r} but update() was called with "
+                f"{context.name!r}; call reset_serving() to switch backends"
+            )
+        if serving is None:
+            serving = TapeEvaluator(self._tape)
+            serving.bind(dict(context.instance_probabilities(self.instance)), context)
+            self._tape_serving = serving
+        return serving.update(edge, value)
+
     def reset_serving(self) -> None:
         """Drop the serving table; the next update() reseeds from the instance."""
         self._serving = None
+        self._tape_serving = None
 
     def __getstate__(self):
         """Pickle the structure only; the serving table is process-local state.
 
         An unpickled plan starts a fresh serving session (its first
         ``update`` reseeds from the shipped instance copy), which is the
-        contract the :mod:`repro.service` workers rely on.
+        contract the :mod:`repro.service` workers rely on.  The compiled
+        flat tape ``_tape`` *does* travel — it is structure, and shipping
+        it is what lets store-loaded plans and serving workers batch-
+        evaluate without recompiling the lowering.
         """
         state = self.__dict__.copy()
         state["_serving"] = None
+        state["_tape_serving"] = None
         return state
 
 
@@ -587,6 +711,7 @@ class PlanCache:
         self.misses = 0
         self.compiles = 0
         self.evictions = 0
+        self.tape_compiles = 0
 
     def lookup(
         self, query_key: Hashable, instance: ProbabilisticGraph
@@ -615,17 +740,33 @@ class PlanCache:
             if self.on_evict is not None:
                 self.on_evict(evicted_key, evicted_plan)
 
+    def note_tape(
+        self, query_key: Hashable, instance: ProbabilisticGraph, plan: CompiledPlan
+    ) -> None:
+        """Account one tape lowering of an already-cached plan.
+
+        Tapes are a second compilation tier: lowering a plan's arithmetic
+        to a flat tape is *not* a plan compile (the structural phase ran
+        exactly once, at :meth:`store` time), so it is counted in
+        ``tape_compiles`` and must never inflate ``compiles`` — the
+        invariant the stats-hygiene regression tests pin down.  The
+        persistent subclass also refreshes the plan's store entry here so
+        the lowered tape survives restarts alongside its plan.
+        """
+        self.tape_compiles += 1
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._entries.clear()
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Cache counters: hits, misses, compiles, evictions, size, maxsize."""
+        """Cache counters: hits, misses, compiles, tape_compiles, evictions, size, maxsize."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "compiles": self.compiles,
+            "tape_compiles": self.tape_compiles,
             "evictions": self.evictions,
             "size": len(self._entries),
             "maxsize": self.maxsize,

@@ -1387,6 +1387,34 @@ class QueryService:
                 journal.updates.clear()
         self._wal_append(("update", instance_id, endpoints, probability))
 
+    def evaluate_many(
+        self,
+        instance: Union[str, ProbabilisticGraph],
+        query,
+        batches,
+        precision: Optional[str] = None,
+        backend: str = "auto",
+    ) -> List:
+        """Batch-evaluate one query under many probability valuations.
+
+        Dispatches to the owning worker's flat-tape fast path
+        (:meth:`~repro.service.worker.WorkerState.evaluate_many`): the
+        query's plan is compiled (or found in the worker's plan cache)
+        once, lowered to a tape, and every valuation in ``batches`` is
+        answered in a single vectorized structural pass.  Each batch entry
+        is an override mapping keyed by edge endpoints (``None`` / ``{}``
+        for the shard's live table); the returned list is index-aligned.
+        ``precision`` defaults to the service's default precision —
+        sampling ("approx") has no batched tape and is rejected.
+        """
+        self._check_open()
+        instance_id = self._resolve_instance_id(instance)
+        return self._call(
+            self._worker_for(instance_id),
+            "evaluate_many",
+            (instance_id, query, list(batches), precision, backend),
+        )
+
     def stats(self) -> ServiceStats:
         """Service-level coalescing counters plus per-worker statistics."""
         self._check_open()

@@ -66,6 +66,7 @@ class WorkerState:
             "solved": 0,
             "result_cache_hits": 0,
             "updates": 0,
+            "batch_evals": 0,
         }
         if self.solver.plan_cache is not None:
             # Eviction hook: evicted structure is re-compilable, but knowing
@@ -118,6 +119,34 @@ class WorkerState:
         if cache is None or not hasattr(cache, "warm"):
             return 0
         return cache.warm(instance)
+
+    def evaluate_many(
+        self,
+        instance_id: str,
+        query: Any,
+        batches: List,
+        precision: Optional[str] = None,
+        backend: str = "auto",
+    ) -> List:
+        """Answer many probability valuations of one query in one pass.
+
+        Compiles (or reuses) the query's plan and its flat tape through the
+        shard solver, then runs the batched tape evaluator — the serving
+        fast path for "same plan, many drifted probability tables".
+        ``batches`` entries are override mappings keyed by edge endpoints
+        (``None``/``{}`` for the live table).  ``precision`` defaults to the
+        service's default precision; sampling ("approx") has no batched
+        tape, so it is rejected by the solver.
+        """
+        instance = self._instance(instance_id)
+        if precision is None:
+            precision = self.default_precision
+        self.counters["batch_evals"] += 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return self.solver.evaluate_many(
+                query, instance, batches, precision=precision, backend=backend
+            )
 
     def solve_batch(
         self, requests: List[ServiceRequest]
@@ -277,6 +306,12 @@ def handle_message(state: WorkerState, op: str, payload: Any) -> Tuple[str, Any]
             instance_id, endpoints, probability = payload
             state.update(instance_id, endpoints, probability)
             return ("ok", None)
+        if op == "evaluate_many":
+            instance_id, query, batches, precision, backend = payload
+            return (
+                "ok",
+                state.evaluate_many(instance_id, query, batches, precision, backend),
+            )
         if op == "warm":
             return ("ok", state.warm(payload))
         if op == "stats":

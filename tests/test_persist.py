@@ -14,6 +14,7 @@ from __future__ import annotations
 import errno
 import os
 import pickle
+from fractions import Fraction
 
 import pytest
 
@@ -339,6 +340,135 @@ class TestPersistentPlanCache:
         clone = pickle.loads(pickle.dumps(solver))
         assert clone.plan_store is not None
         assert clone.solve(query, instance).probability == expected
+
+
+# ----------------------------------------------------------------------
+# Tape persistence
+# ----------------------------------------------------------------------
+def tape_batches(instance: ProbabilisticGraph, seed: int):
+    """A small batch of override valuations over ``instance``'s edges."""
+    edges = sorted(instance.graph.edges())
+    return [
+        None,
+        {},
+        {edges[seed % len(edges)]: Fraction(3, 7)},
+        {edge: Fraction((i + seed) % 9 + 1, 11) for i, edge in enumerate(edges[:4])},
+    ]
+
+
+def entry_files(root) -> list:
+    return [
+        os.path.join(dirpath, name)
+        for dirpath, _, files in os.walk(root)
+        for name in files
+        if name.endswith(".plan") and "quarantine" not in dirpath
+    ]
+
+
+class TestTapePersistence:
+    """Compiled tapes are durable alongside their plans: a pickle or a
+    store roundtrip carries the tape, rebinding re-targets it to the live
+    instance, and a corrupt tape-bearing entry costs a recompile — never a
+    crash or a wrong answer."""
+
+    def test_pickle_store_roundtrip_rebind_matches_fresh_compile(self, tmp_path):
+        instance = build_instance(141)
+        query = build_query(142)
+        solver = PHomSolver()
+        plan = solver.compile(query, instance)
+        tape = solver.tape_for(query, instance)
+        batches = tape_batches(instance, 141)
+        expected = plan.evaluate_many(batches)
+
+        # compile -> pickle -> PlanStore roundtrip -> rebind -> evaluate
+        store = PlanStore(str(tmp_path / "plans"))
+        digest = instance_digest(instance)
+        store.put("key", digest, "ns", plan)
+        loaded = store.get("key", digest, "ns")
+        assert loaded is not plan and loaded.has_tape()
+        reweighted = attach_random_probabilities(instance.graph.copy(), 143)
+        loaded.rebind(reweighted)
+
+        fresh = PHomSolver().compile(query, reweighted)
+        assert loaded.evaluate() == fresh.evaluate()
+        assert loaded.evaluate_many(tape_batches(reweighted, 143)) == \
+            fresh.evaluate_many(tape_batches(reweighted, 143))
+        # ...and the original binding's answers were not disturbed.
+        assert plan.evaluate_many(batches) == expected
+        # The pickled tape is structurally the same program.
+        assert loaded.tape().describe() == tape.describe()
+
+    def test_plan_pickles_after_vectorized_evaluation(self):
+        # evaluate_many materialises derived per-backend caches (packed
+        # segments, edge-slot maps, possibly numpy arrays); none of that
+        # may leak into the pickle, which must stay loadable anywhere.
+        instance = build_instance(151)
+        query = build_query(152)
+        solver = PHomSolver()
+        batches = tape_batches(instance, 151)
+        expected = solver.evaluate_many(query, instance, batches)
+        plan = solver.compile(query, instance)
+        clone = pickle.loads(pickle.dumps(plan))
+        clone.rebind(instance)
+        assert clone.evaluate_many(batches) == expected
+
+    def test_note_tape_refreshes_store_entry(self, tmp_path):
+        instance = build_instance(161)
+        query = build_query(162)
+        writer = PHomSolver(plan_store=str(tmp_path / "plans"))
+        writer.compile(query, instance)
+        store = writer.plan_cache.plan_store
+        (row,) = store.inspect()
+        assert row["tape"] is False
+        puts_before = store.stats["puts"]
+
+        writer.tape_for(query, instance)
+        (row,) = store.inspect()
+        assert row["tape"] is True  # the entry was re-put with the tape
+        assert store.stats["puts"] == puts_before + 1
+        assert len(entry_files(tmp_path / "plans")) == 1  # refreshed, not duplicated
+
+    def test_warm_restart_loads_tape_without_recompiling(self, tmp_path):
+        instance = build_instance(171)
+        query = build_query(172)
+        writer = PHomSolver(plan_store=str(tmp_path / "plans"))
+        expected = writer.evaluate_many(query, instance, tape_batches(instance, 171))
+
+        reader = PHomSolver(plan_store=str(tmp_path / "plans"))
+        assert reader.plan_cache.warm(instance) == 1
+        plan = reader.compile(query, instance)
+        assert plan.has_tape()  # the tape rode along with the stored plan
+        assert reader.evaluate_many(query, instance, tape_batches(instance, 171)) == expected
+        stats = reader.plan_cache.stats
+        assert stats["compiles"] == 0 and stats["tape_compiles"] == 0
+        assert stats["loads"] == 1
+
+    def test_corrupt_tape_entry_quarantined_then_recompiled(self, tmp_path):
+        instance = build_instance(181)
+        query = build_query(182)
+        writer = PHomSolver(plan_store=str(tmp_path / "plans"))
+        expected = writer.evaluate_many(query, instance, tape_batches(instance, 181))
+        (path,) = entry_files(tmp_path / "plans")
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) - 5] ^= 0x20  # hit the pickled payload (tape bytes)
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+
+        reader = PHomSolver(plan_store=str(tmp_path / "plans"))
+        answers = reader.evaluate_many(query, instance, tape_batches(instance, 181))
+        assert answers == expected  # recompiled from scratch, bit-identical
+        stats = reader.plan_cache.stats
+        assert stats["compiles"] == 1 and stats["tape_compiles"] == 1
+        assert stats["store"]["corrupt"] == 1
+        quarantine = tmp_path / "plans" / "quarantine"
+        assert len(list(quarantine.iterdir())) == 1  # evidence preserved
+        # The recompile was written back through — the same path now holds
+        # a fresh, valid entry, tape and all.
+        verifier = PlanStore(str(tmp_path / "plans"))
+        assert verifier.verify() == {"entries": 1, "valid": 1, "corrupt": 0,
+                                     "failures": {}}
+        (row,) = verifier.inspect()
+        assert row["tape"] is True
 
 
 # ----------------------------------------------------------------------
