@@ -9,6 +9,8 @@ either as
                                        [--max-p99-ms MS]
                                        [--faults] [--max-recovery-ms MS]
                                        [--restart]
+                                       [--min-obs-overhead-ratio X]
+                                       [--trace-out trace.jsonl]
 
 or through the CLI as ``repro bench service``.  The recorded artefact,
 ``BENCH_service.json``, is checked into the repository root and tracks the
@@ -38,6 +40,17 @@ worst recorded p99 batch latency.
 records a ``service_recovery`` section (restart latency, retried-request
 overhead, degraded-answer accuracy); ``--max-recovery-ms`` gates on the
 recorded worst-case restart latency.
+
+Every run also records an ``observability`` section: the trace is
+replayed untraced and at trace sample rate 1.0 in interleaved,
+order-alternated rounds, and the report captures the throughput ratio
+(two noise-floor estimators, answers asserted bit-identical, the span
+stream validated) plus per-route latency histograms (exact-dp, ddnnf,
+karp-luby, tape-batch) from the telemetry registry.
+``--min-obs-overhead-ratio 0.95`` turns more than 5% tracing overhead
+into a non-zero exit code — the CI observability smoke gate — and
+``--trace-out PATH`` keeps the traced replay's span JSONL so
+``repro trace --validate`` can re-check the same artifact.
 
 ``--restart`` runs the durable-state scenario (:mod:`repro.persist`) and
 records a ``restart_recovery`` section: a cold replay populates a state

@@ -55,6 +55,7 @@ from typing import Hashable, List, Mapping, Optional, Tuple
 from repro.exceptions import LineageError
 from repro.lineage.dnf import PositiveDNF
 from repro.approx.sampling import ApproxEstimate, ApproxParams
+from repro.obs.trace import current_tracer
 
 Variable = Hashable
 
@@ -200,9 +201,13 @@ def karp_luby_probability(
     pilot_cap = 4 * target * m  # E[samples to target] ≤ target·m since p ≥ 1/m
     pilot_n = 0
     pilot_successes = 0
-    while pilot_successes < target and pilot_n < pilot_cap:
-        pilot_successes += sampler.draw(1, rng)
-        pilot_n += 1
+    with current_tracer().span("sampler.pilot") as span:
+        while pilot_successes < target and pilot_n < pilot_cap:
+            pilot_successes += sampler.draw(1, rng)
+            pilot_n += 1
+        if span:
+            span.attrs["samples"] = pilot_n
+            span.attrs["clauses"] = m
     p_hat = pilot_successes / pilot_n
     p_lb = max(2.0 * p_hat / 3.0, 1.0 / m)
 
@@ -211,7 +216,11 @@ def karp_luby_probability(
     if k % 2 == 0:
         k += 1
     group_size = math.ceil(4.0 / (epsilon * epsilon * p_lb))
-    means = [sampler.draw(group_size, rng) / group_size for _ in range(k)]
+    with current_tracer().span("sampler.main") as span:
+        means = [sampler.draw(group_size, rng) / group_size for _ in range(k)]
+        if span:
+            span.attrs["samples"] = k * group_size
+            span.attrs["groups"] = k
     value = sampler.total_weight * median(means)
     return ApproxEstimate(
         value=min(max(value, 0.0), 1.0),

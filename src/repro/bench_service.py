@@ -50,6 +50,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench import BENCH_SEED, _rng, write_report
 from repro.core.solver import PHomSolver
+from repro.obs.metrics import histogram_quantile, merge_snapshots
+from repro.obs.trace import read_trace, validate_trace
 from repro.graphs.classes import GraphClass
 from repro.graphs.digraph import DiGraph
 from repro.persist import PlanStore
@@ -228,6 +230,9 @@ def replay_service(
     timeout: Optional[float] = None,
     state_dir: Optional[str] = None,
     wal_fsync: str = "batch",
+    trace_sample_rate: float = 0.0,
+    trace_path: Optional[str] = None,
+    collect_metrics: bool = False,
 ) -> Tuple[float, List, Dict]:
     """Replay the trace through a :class:`QueryService` at one worker count.
 
@@ -251,6 +256,9 @@ def replay_service(
     if state_dir is not None:
         kwargs["state_dir"] = state_dir
         kwargs["wal_fsync"] = wal_fsync
+    if trace_sample_rate > 0.0:
+        kwargs["trace_sample_rate"] = trace_sample_rate
+        kwargs["trace_path"] = trace_path
     with QueryService(num_workers=num_workers, **kwargs) as service:
         for instance_id in sorted(instances):
             service.register_instance(instances[instance_id], instance_id)
@@ -277,7 +285,10 @@ def replay_service(
         stats = service.stats()
         restart_log = [dict(entry) for entry in service.restart_log]
         persistence = service.persistence_stats()
+        metrics = service.metrics_snapshot() if collect_metrics else None
+    extra = {"metrics_snapshot": metrics} if collect_metrics else {}
     return elapsed, answers, {
+        **extra,
         "dedupe_hit_rate": stats.dedupe_hit_rate(),
         "coalesced": stats.coalesced,
         "dispatched": stats.dispatched,
@@ -798,11 +809,191 @@ def check_degraded_accuracy(
     }
 
 
+def _route_mix_snapshot() -> Dict[str, object]:
+    """One inline service exercising every dispatch route at least once.
+
+    The main trace is exact-only, so the d-DNNF / Karp–Luby / tape-batch
+    rows of the per-route latency histogram come from this dedicated mix:
+    polytree queries through the automaton method, a pinned-seed approx
+    request on a ``#P``-hard pair, and one ``evaluate_many`` tape batch.
+    Returns the service's pool-wide metrics snapshot.
+    """
+    rng = _rng(77)
+    polytree = attach_random_probabilities(
+        make_instance(GraphClass.POLYTREE, False, 24, rng), rng,
+        certain_fraction=0.2,
+    )
+    tree_queries = list(
+        query_traffic_trace(
+            4, 2, skew=1.0, query_class=GraphClass.DOWNWARD_TREE,
+            labeled=False, query_size=4, rng=rng,
+        ).queries()
+    )
+    hard = intractable_workload(8, rng=_rng(7))
+    with QueryService(num_workers=0, seed=BENCH_SEED) as service:
+        service.register_instance(polytree, "mix-polytree")
+        service.register_instance(
+            pickle.loads(pickle.dumps(hard.instance)), "mix-hard"
+        )
+        for query in tree_queries:
+            service.submit(query, "mix-polytree")
+            service.submit(query, "mix-polytree", method="polytree-automaton")
+        service.submit(
+            hard.query, "mix-hard",
+            precision="approx", epsilon=0.1, delta=0.05, seed=BENCH_SEED,
+        )
+        service.evaluate_many(
+            "mix-polytree", tree_queries[0], [None, {}], precision="float"
+        )
+        return service.metrics_snapshot()
+
+
+def _route_latency_section(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """The per-route latency histogram of a metrics snapshot, summarised.
+
+    Reads the ``repro_request_duration_ms`` family and reports, per route
+    label, the raw bucket counts plus count / mean / p50 / p99 — the
+    ``route_latency_ms`` section of ``BENCH_service.json``.
+    """
+    family = (snapshot.get("histograms") or {}).get("repro_request_duration_ms")
+    if not family:
+        return {"buckets_ms": [], "routes": {}}
+    bounds = list(family["buckets"])
+    routes: Dict[str, Dict[str, object]] = {}
+    for labelvalues, data in family["samples"]:
+        count = data["count"]
+        if not count:
+            continue
+        route = labelvalues[0] if labelvalues else ""
+        routes[route] = {
+            "count": count,
+            "mean_ms": round(data["sum"] / count, 3),
+            "p50_ms": round(histogram_quantile(bounds, data["counts"], 0.5), 3),
+            "p99_ms": round(histogram_quantile(bounds, data["counts"], 0.99), 3),
+            "bucket_counts": list(data["counts"]),
+        }
+    return {"buckets_ms": bounds, "routes": routes}
+
+
+def _tick_floor_ms(rounds: List[List[float]]) -> float:
+    """Sum of per-tick minimum latencies across several replay rounds.
+
+    Per-tick minima filter scheduler jitter tick by tick instead of
+    requiring one fully clean replay, so the sum estimates the noise-free
+    cost of the whole trace far more tightly than a single wall time.
+    """
+    return sum(min(column) for column in zip(*rounds))
+
+
+def run_obs_scenario(
+    trace: ServiceTrace, trace_out: Optional[str] = None, rounds: int = 4
+) -> Dict[str, object]:
+    """Measure full-rate tracing overhead and collect per-route latency.
+
+    Replays the main trace inline untraced and at trace sample rate 1.0,
+    interleaved over ``rounds`` rounds, alternating which arm goes first
+    each round so slow clock drift (CPU frequency scaling) cancels
+    instead of consistently penalising one arm.  A single replay is fast
+    enough that machine noise would dominate any one measurement, so the
+    recorded ``overhead_ratio`` — traced throughput over untraced
+    throughput, 1.0 meaning free, gated by ``--min-obs-overhead-ratio``
+    — is the better of two floor estimators: best whole-replay wall time
+    per arm, and the summed per-tick minima (:func:`_tick_floor_ms`).  A
+    real regression depresses both floors together; uncorrelated noise
+    rarely does.  Answers must stay bit-identical and the emitted span
+    stream must validate — no orphan parents, no duplicate span ids.
+    The trace JSONL is kept at ``trace_out`` when given, so CI can run
+    ``repro trace --validate`` on the same artifact.
+    """
+    cleanup = trace_out is None
+    if trace_out is None:
+        handle, path = tempfile.mkstemp(prefix="repro-obs-", suffix=".jsonl")
+        os.close(handle)
+    else:
+        path = trace_out
+    try:
+        plain_seconds = math.inf
+        traced_seconds = math.inf
+        plain_ticks: List[List[float]] = []
+        traced_ticks: List[List[float]] = []
+        plain_answers: Optional[List] = None
+        stats: Dict = {}
+        traced_answers: Optional[List] = None
+
+        def run_plain() -> None:
+            nonlocal plain_seconds, plain_answers
+            seconds, answers, _stats = replay_service(trace, 0)
+            plain_seconds = min(plain_seconds, seconds)
+            plain_ticks.append(_stats["tick_latencies_ms"])
+            if plain_answers is None:
+                plain_answers = answers
+
+        def run_traced() -> None:
+            nonlocal traced_seconds, traced_answers, stats
+            # Truncate between rounds so the validated artifact holds
+            # exactly one replay's spans.
+            open(path, "w").close()
+            seconds, answers, stats = replay_service(
+                trace, 0,
+                trace_sample_rate=1.0, trace_path=path, collect_metrics=True,
+            )
+            traced_seconds = min(traced_seconds, seconds)
+            traced_ticks.append(stats["tick_latencies_ms"])
+            traced_answers = answers
+
+        for i in range(max(2, rounds)):
+            first, second = (run_plain, run_traced) if i % 2 == 0 else (
+                run_traced, run_plain
+            )
+            first()
+            second()
+        if traced_answers != plain_answers:
+            raise AssertionError(
+                "traced replay answers diverged from the untraced run"
+            )
+        records = read_trace(path)
+        problems = validate_trace(records)
+        if problems:
+            raise AssertionError(
+                f"emitted trace failed validation: {problems[:3]}"
+            )
+        snapshot = merge_snapshots(
+            [stats["metrics_snapshot"], _route_mix_snapshot()]
+        )
+    finally:
+        if cleanup:
+            os.remove(path)
+    roots = sum(1 for record in records if record["parent"] is None)
+    wall_ratio = plain_seconds / traced_seconds
+    floor_ratio = _tick_floor_ms(plain_ticks) / _tick_floor_ms(traced_ticks)
+    return {
+        "overhead": {
+            "sample_rate": 1.0,
+            "requests": trace.num_requests(),
+            "rounds": max(2, rounds),
+            "untraced_seconds": round(plain_seconds, 4),
+            "traced_seconds": round(traced_seconds, 4),
+            "wall_ratio": round(wall_ratio, 4),
+            "tick_floor_ratio": round(floor_ratio, 4),
+            "overhead_ratio": round(max(wall_ratio, floor_ratio), 4),
+            "bit_identical": True,
+        },
+        "trace": {
+            "spans": len(records),
+            "roots": roots,
+            "span_names": sorted({record["name"] for record in records}),
+            "valid": True,
+        },
+        "route_latency_ms": _route_latency_section(snapshot),
+    }
+
+
 def run_service_benchmarks(
     smoke: bool = False,
     worker_counts: Optional[Sequence[int]] = None,
     faults: bool = False,
     restart: bool = False,
+    trace_out: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the full suite and return the report dictionary."""
     if worker_counts is None:
@@ -850,6 +1041,7 @@ def run_service_benchmarks(
 
     scaling = measure_throughput_vs_workers(smoke, worker_counts)
     approx = check_approx_reproducibility(worker_counts)
+    observability = run_obs_scenario(trace, trace_out=trace_out, rounds=8)
     max_workers = max(worker_counts)
     recovery: Optional[Dict[str, object]] = None
     if faults:
@@ -886,6 +1078,7 @@ def run_service_benchmarks(
         "modes": modes,
         "throughput_vs_workers": scaling,
         "approx_reproducibility": approx,
+        "observability": observability,
         "summary": {
             "speedup_at_max_workers": round(speedups[max_workers], 2),
             "max_workers": max_workers,
@@ -918,6 +1111,7 @@ def check_service_thresholds(
     max_recovery_ms: float = 0.0,
     min_worker_scaling: float = 0.0,
     max_p99_ms: float = 0.0,
+    min_obs_overhead_ratio: float = 0.0,
 ) -> None:
     """Raise AssertionError when a serving or reliability metric regresses.
 
@@ -978,6 +1172,24 @@ def check_service_thresholds(
                     f"{ratio}x the 1-worker run, below the required "
                     f"{min_worker_scaling}x"
                 )
+    observability = report.get("observability")
+    if observability is not None:
+        if not observability["trace"]["valid"]:
+            raise AssertionError("the emitted trace failed validation")
+        if not observability["overhead"]["bit_identical"]:
+            raise AssertionError("traced answers diverged from untraced")
+        if min_obs_overhead_ratio > 0:
+            ratio = observability["overhead"]["overhead_ratio"]
+            if ratio < min_obs_overhead_ratio:
+                raise AssertionError(
+                    f"tracing at sample rate 1.0 kept only {ratio}x of the "
+                    f"untraced throughput, below the required "
+                    f"{min_obs_overhead_ratio}x"
+                )
+    elif min_obs_overhead_ratio > 0:
+        raise AssertionError(
+            "--min-obs-overhead-ratio requires the observability section"
+        )
     recovery = report.get("service_recovery")
     if recovery is not None:
         if recovery["lost_requests"] != 0:
@@ -1064,6 +1276,21 @@ def format_service_report(report: Dict[str, object]) -> str:
         f"  pinned-seed approx estimate {approx['estimate']:.6f} identical across "
         f"worker counts {approx['worker_counts']}"
     )
+    observability = report.get("observability")
+    if observability is not None:
+        overhead = observability["overhead"]
+        lines.append(
+            f"  tracing at rate {overhead['sample_rate']}: "
+            f"{overhead['overhead_ratio']}x of untraced throughput, "
+            f"{observability['trace']['spans']} span(s) emitted and validated"
+        )
+        routes = observability["route_latency_ms"]["routes"]
+        for route in sorted(routes):
+            entry = routes[route]
+            lines.append(
+                f"    route {route:<12} {entry['count']:>5} request(s), "
+                f"p50 {entry['p50_ms']} ms, p99 {entry['p99_ms']} ms"
+            )
     lines.append(
         f"  speedup at {summary['max_workers']} workers: "
         f"{summary['speedup_at_max_workers']}x (exact answers bit-identical)"

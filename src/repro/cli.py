@@ -20,6 +20,11 @@ The subcommands mirror what a user typically wants:
 * ``repro store {verify,compact,inspect} DIR`` — check every checksum in a
   state directory (exit 1 on corruption), fold its write-ahead log, or
   list what it holds;
+* ``repro metrics SNAPSHOT`` / ``repro trace FILE [--validate]`` /
+  ``repro top SNAPSHOT [--watch]`` — render the observability artifacts of
+  a serving session (:mod:`repro.obs`): Prometheus text from a metrics
+  snapshot, a span tree from a JSONL trace, and a live per-route serving
+  dashboard;
 * ``repro bench [hotpaths|plans|sampling|service|query]`` — run a benchmark
   suite and record its ``BENCH_*.json`` report.
 
@@ -219,6 +224,99 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print serving statistics to stderr when the stream ends",
     )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "write a span JSONL trace of the session to PATH; render it "
+            "with 'repro trace PATH'"
+        ),
+    )
+    serve.add_argument(
+        "--trace-sample-rate", type=float, default=None, metavar="RATE",
+        help=(
+            "fraction of request batches traced, in [0, 1] "
+            "(default: 1.0 when --trace is given, otherwise tracing is off)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help=(
+            "record requests slower than this in the slow-query log "
+            "(printed to stderr with --stats)"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help=(
+            "write the pool-wide metrics snapshot (JSON) to PATH, refreshed "
+            "after every batch; render it with 'repro metrics' or watch it "
+            "with 'repro top --watch'"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-interval", type=float, default=2.0, metavar="SECONDS",
+        help=(
+            "minimum seconds between metrics-snapshot refreshes with "
+            "--metrics-out (the final snapshot is always written)"
+        ),
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help=(
+            "render a metrics snapshot (the JSON written by "
+            "'repro serve --metrics-out') as Prometheus text-format output"
+        ),
+    )
+    metrics.add_argument(
+        "snapshot", metavar="SNAPSHOT",
+        help="path to the snapshot JSON file, or '-' to read stdin",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help=(
+            "render a span JSONL trace (written by 'repro serve --trace') "
+            "as an indented span tree with per-phase totals"
+        ),
+    )
+    trace.add_argument(
+        "trace_file", metavar="TRACE",
+        help="path to the span JSONL file",
+    )
+    trace.add_argument(
+        "--validate", action="store_true",
+        help=(
+            "check the trace invariants (unique span ids, no orphan "
+            "parents, closed statuses, monotonic timestamps) and exit 1 "
+            "on any violation"
+        ),
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help=(
+            "serving dashboard from a metrics snapshot: per-route request "
+            "counts and latency percentiles, cache hit rates, sampler "
+            "volume, steal/restart counters"
+        ),
+    )
+    top.add_argument(
+        "snapshot", metavar="SNAPSHOT",
+        help="path to the snapshot JSON file (as written by --metrics-out)",
+    )
+    top.add_argument(
+        "--watch", action="store_true",
+        help="re-read the snapshot periodically and render request rates",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period with --watch (default 2s)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="with --watch, stop after N refreshes (0 = until interrupted)",
+    )
 
     store = subparsers.add_parser(
         "store",
@@ -345,6 +443,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "service: with --faults, fail when the worst worker restart "
             "(detect + respawn + journal replay) exceeds this many ms"
+        ),
+    )
+    bench.add_argument(
+        "--min-obs-overhead-ratio", type=float, default=0.0,
+        help=(
+            "service: fail when the traced replay (trace sample rate 1.0) "
+            "keeps less than this ratio of the untraced throughput "
+            "(0.95 = at most 5%% overhead)"
+        ),
+    )
+    bench.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help=(
+            "service: keep the traced replay's span JSONL at PATH "
+            "(for 'repro trace --validate')"
         ),
     )
     bench.add_argument(
@@ -511,7 +624,20 @@ def _run_parse(args, out, err) -> int:
     return 0
 
 
+def _write_metrics_snapshot(service, path: str) -> None:
+    """Atomically replace ``path`` with the service's metrics snapshot."""
+    import json
+    import os
+
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(service.metrics_snapshot(), handle, sort_keys=True)
+    os.replace(tmp, path)
+
+
 def _run_serve(args, out, err) -> int:
+    import time as _time
+
     from repro.service import QueryService, run_jsonl_session
 
     try:
@@ -531,6 +657,9 @@ def _run_serve(args, out, err) -> int:
             close_input.close()
         err.write(f"error: could not open output stream: {exc}\n")
         return 2
+    trace_sample_rate = args.trace_sample_rate
+    if trace_sample_rate is None:
+        trace_sample_rate = 1.0 if args.trace else 0.0
     try:
         with QueryService(
             num_workers=args.workers,
@@ -541,6 +670,9 @@ def _run_serve(args, out, err) -> int:
             result_cache_size=args.result_cache_size,
             state_dir=args.state_dir,
             wal_fsync=args.wal_fsync,
+            trace_sample_rate=trace_sample_rate,
+            trace_path=args.trace,
+            slow_query_ms=args.slow_query_ms,
         ) as service:
             if args.stats and service.recovery is not None:
                 recovered = service.recovery
@@ -549,7 +681,19 @@ def _run_serve(args, out, err) -> int:
                     f"and pre-loaded {recovered['plans_warmed']} plan(s) "
                     f"from {args.state_dir}\n"
                 )
-            code = run_jsonl_session(lines, output, service)
+            on_batch = None
+            if args.metrics_out:
+                last_write = [0.0]
+
+                def on_batch() -> None:
+                    now = _time.monotonic()
+                    if now - last_write[0] >= args.metrics_interval:
+                        last_write[0] = now
+                        _write_metrics_snapshot(service, args.metrics_out)
+
+            code = run_jsonl_session(lines, output, service, on_batch=on_batch)
+            if args.metrics_out:
+                _write_metrics_snapshot(service, args.metrics_out)
             if args.stats:
                 stats = service.stats()
                 err.write(
@@ -565,12 +709,161 @@ def _run_serve(args, out, err) -> int:
                     f"{stats.deadline_hits} deadline hit(s), "
                     f"{stats.degraded} degraded answer(s)\n"
                 )
+                for entry in service.slow_queries:
+                    err.write(
+                        f"slow query: {entry['duration_ms']:.1f} ms "
+                        f"id={entry['request_id']} instance={entry['instance']} "
+                        f"method={entry['method']} worker={entry['worker']}\n"
+                    )
             return code
     finally:
         if close_input is not None:
             close_input.close()
         if output is not out:
             output.close()
+
+
+def _load_snapshot(path: str):
+    """Load a metrics snapshot JSON file ('-' reads stdin)."""
+    import json
+
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _run_metrics(args, out, err) -> int:
+    from repro.obs.metrics import render_prometheus
+
+    try:
+        snapshot = _load_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        err.write(f"error: could not load snapshot: {exc}\n")
+        return 2
+    out.write(render_prometheus(snapshot))
+    return 0
+
+
+def _run_trace(args, out, err) -> int:
+    from repro.obs.trace import read_trace, render_trace, validate_trace
+
+    try:
+        records = read_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        err.write(f"error: could not read trace: {exc}\n")
+        return 2
+    if args.validate:
+        problems = validate_trace(records)
+        if problems:
+            for problem in problems:
+                err.write(f"invalid: {problem}\n")
+            err.write(f"error: {len(problems)} trace violation(s)\n")
+            return 1
+        out.write(f"ok: {len(records)} span(s), all invariants hold\n")
+        return 0
+    out.write(render_trace(records) + "\n")
+    return 0
+
+
+def _format_top(snapshot, previous=None, elapsed: Optional[float] = None) -> str:
+    """Render one ``repro top`` frame from a metrics snapshot.
+
+    With a ``previous`` snapshot and the ``elapsed`` seconds between the
+    two reads, per-route request rates are the deltas — the live view of
+    ``--watch``; a single snapshot renders totals with rates left blank.
+    """
+    from repro.obs.metrics import counter_total, histogram_quantile
+
+    def rate(now: float, before: float) -> str:
+        if previous is None or not elapsed:
+            return "-"
+        return f"{max(0.0, now - before) / elapsed:.1f}/s"
+
+    lines = ["route          requests    req/s     p50 ms    p99 ms"]
+    family = (snapshot.get("histograms") or {}).get("repro_request_duration_ms")
+    prev_counts: dict = {}
+    if previous is not None:
+        prev_family = (previous.get("histograms") or {}).get(
+            "repro_request_duration_ms"
+        )
+        if prev_family:
+            prev_counts = {
+                tuple(labels): data["count"]
+                for labels, data in prev_family["samples"]
+            }
+    if family:
+        bounds = family["buckets"]
+        for labels, data in sorted(family["samples"]):
+            if not data["count"]:
+                continue
+            route = labels[0] if labels else "?"
+            p50 = histogram_quantile(bounds, data["counts"], 0.5)
+            p99 = histogram_quantile(bounds, data["counts"], 0.99)
+            lines.append(
+                f"{route:<14} {data['count']:>8} {rate(data['count'], prev_counts.get(tuple(labels), 0)):>8} "
+                f"{p50:>9.2f} {p99:>9.2f}"
+            )
+    else:
+        lines.append("(no request latency samples)")
+
+    def total(name: str) -> int:
+        return int(counter_total(snapshot, name))
+
+    requests = total("repro_worker_requests_total")
+    cache_hits = total("repro_worker_result_cache_hits_total")
+    submitted = total("repro_service_requests_total")
+    dispatched = total("repro_service_dispatched_total")
+    hit_rate = cache_hits / requests if requests else 0.0
+    dedupe = (submitted - dispatched) / submitted if submitted else 0.0
+    lines.append(
+        f"caches: result-cache hit rate {hit_rate:.0%} "
+        f"({cache_hits}/{requests}), dedupe rate {dedupe:.0%} "
+        f"({submitted - dispatched}/{submitted} coalesced)"
+    )
+    lines.append(
+        f"sampler: {total('repro_sampler_samples_total')} sample(s) drawn"
+    )
+    lines.append(
+        f"pool: {total('repro_service_steals_total')} steal(s), "
+        f"{total('repro_service_restarts_total')} restart(s), "
+        f"{total('repro_service_retries_total')} retried dispatch(es), "
+        f"{total('repro_service_deadline_hits_total')} deadline hit(s), "
+        f"{total('repro_service_degraded_total')} degraded answer(s)"
+    )
+    return "\n".join(lines)
+
+
+def _run_top(args, out, err) -> int:
+    import time as _time
+
+    try:
+        snapshot = _load_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        err.write(f"error: could not load snapshot: {exc}\n")
+        return 2
+    if not args.watch:
+        out.write(_format_top(snapshot) + "\n")
+        return 0
+    iterations = 0
+    previous = snapshot
+    out.write(_format_top(snapshot) + "\n")
+    try:
+        while args.iterations <= 0 or iterations < args.iterations:
+            _time.sleep(args.interval)
+            iterations += 1
+            try:
+                snapshot = _load_snapshot(args.snapshot)
+            except (OSError, ValueError):
+                continue  # mid-rewrite or gone; keep the last frame
+            out.write("\x1b[2J\x1b[H" if out.isatty() else "\n")
+            out.write(
+                _format_top(snapshot, previous, elapsed=args.interval) + "\n"
+            )
+            previous = snapshot
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _run_store(args, out, err) -> int:
@@ -772,7 +1065,8 @@ def _run_bench_service(args, out, err) -> int:
 
     try:
         report = run_service_benchmarks(
-            smoke=args.smoke, faults=args.faults, restart=args.restart
+            smoke=args.smoke, faults=args.faults, restart=args.restart,
+            trace_out=args.trace_out,
         )
         check_service_thresholds(
             report,
@@ -780,6 +1074,7 @@ def _run_bench_service(args, out, err) -> int:
             max_recovery_ms=args.max_recovery_ms,
             min_worker_scaling=args.min_worker_scaling,
             max_p99_ms=args.max_p99_ms,
+            min_obs_overhead_ratio=args.min_obs_overhead_ratio,
         )
     except AssertionError as exc:
         err.write(f"error: service benchmark check failed: {exc}\n")
@@ -832,6 +1127,12 @@ def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
         return _run_parse(args, out, err)
     if args.command == "serve":
         return _run_serve(args, out, err)
+    if args.command == "metrics":
+        return _run_metrics(args, out, err)
+    if args.command == "trace":
+        return _run_trace(args, out, err)
+    if args.command == "top":
+        return _run_top(args, out, err)
     if args.command == "store":
         return _run_store(args, out, err)
     if args.command == "bench":

@@ -32,6 +32,7 @@ from repro.graphs.builders import path_query_labels, unlabeled_path
 from repro.graphs.digraph import DiGraph
 from repro.lineage.builders import match_lineage
 from repro.numeric import EXACT, FAST, Number, NumericContext, resolve_context
+from repro.obs.trace import current_tracer
 from repro.probability.brute_force import brute_force_phom, brute_force_phom_over_matches
 from repro.probability.prob_graph import ProbabilisticGraph
 from repro.query.minimize import (
@@ -740,11 +741,22 @@ class PHomSolver:
             # nothing, keeps accepting degenerate queries it can answer.
             query = query_core(query)
         if self._plan_cache is None:
-            return self._compile_plan(query, instance, allow_fallback)
+            with current_tracer().span("plan.compile") as span:
+                plan = self._compile_plan(query, instance, allow_fallback)
+                if span:
+                    span.attrs["method"] = plan.method
+                    span.attrs["cached"] = False
+            return plan
         key = canonical_query_key(query, minimize=self.minimize_queries)
-        plan = self._plan_cache.lookup(key, instance)
+        with current_tracer().span("plan.lookup") as span:
+            plan = self._plan_cache.lookup(key, instance)
+            if span:
+                span.attrs["hit"] = plan is not None
         if plan is None:
-            plan = self._compile_plan(query, instance, allow_fallback)
+            with current_tracer().span("plan.compile") as span:
+                plan = self._compile_plan(query, instance, allow_fallback)
+                if span:
+                    span.attrs["method"] = plan.method
             self._plan_cache.store(key, instance, plan)
         elif isinstance(plan, FallbackPlan) and not allow_fallback:
             # A FallbackPlan cached by an approx call must not change what a

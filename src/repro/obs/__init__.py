@@ -1,0 +1,64 @@
+"""Observability: a telemetry registry and structured tracing, zero deps.
+
+The package holds the two measurement substrates the serving stack shares:
+
+* :mod:`repro.obs.metrics` — labeled counters / gauges / histograms with
+  fixed log-scale buckets, lock-free per process and mergeable across the
+  worker pool via plain JSON-able snapshots;
+* :mod:`repro.obs.trace` — explicit :class:`Tracer` / :class:`Span`
+  objects with parent links, wall + CPU time and attributes, propagated
+  through request frames and piggybacked back on reply pipes, behind a
+  module-level no-op tracer so the disabled path stays allocation-free.
+
+Neither module imports anything from the rest of the library (or any third
+party), so every layer — plans, tapes, samplers, persistence, serving —
+can hook into them without import cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_samples,
+    counter_total,
+    counter_value,
+    histogram_quantile,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    read_trace,
+    render_trace,
+    set_tracer,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_samples",
+    "counter_total",
+    "counter_value",
+    "histogram_quantile",
+    "merge_snapshots",
+    "render_prometheus",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "read_trace",
+    "render_trace",
+    "set_tracer",
+    "validate_trace",
+]

@@ -1,0 +1,680 @@
+"""Structured tracing: explicit spans across coordinator, workers and solver.
+
+A :class:`Span` is one timed phase of one request — plan-cache lookup,
+compile, tape evaluate, a sampler's pilot loop, a WAL append — with a
+process-unique id, a parent id, wall-clock and CPU time, and a free-form
+attribute dict.  A :class:`Tracer` owns the spans of one process: it makes
+the sampling decision per *root* span (the ``sample_rate`` knob bounds
+overhead), keeps finished spans in a bounded ring buffer, and optionally
+flushes them to a JSONL sink.
+
+The library is instrumented through a **module-level no-op tracer**
+(:data:`NULL_TRACER`, installed by default): call sites do ::
+
+    with current_tracer().span("plan.compile") as span:
+        ...
+        if span:
+            span.attrs["ops"] = len(program)
+
+and the disabled path allocates nothing — :data:`current_tracer` returns
+the singleton :class:`NullTracer`, whose ``span()`` hands back one shared
+falsy no-op span, so the ``if span:`` guard also skips the attribute dict.
+
+Cross-process propagation is explicit: the coordinator passes
+``tracer.context(span)`` — a ``(trace_id, span_id)`` pair — inside the
+request frame, the worker brackets the work with :meth:`Tracer.adopt` /
+:meth:`Tracer.release`, and the worker's finished spans ride back on the
+reply pipe (:meth:`Tracer.drain`) to be folded into the coordinator's ring
+(:meth:`Tracer.ingest`).  :func:`validate_trace` checks the resulting JSONL
+(spans closed, parents present, timestamps monotonic) and
+:func:`render_trace` pretty-prints the span forest with per-phase totals —
+the engines behind ``repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+#: Span statuses a well-formed trace may carry.  ``"retried"`` marks a
+#: dispatch attempt whose worker died — the coordinator closes the orphaned
+#: span itself and opens a fresh one for the retry.
+SPAN_STATUSES = ("ok", "error", "retried", "timeout")
+
+#: Wall-clock slack (seconds) tolerated between a parent's start and a
+#: child's start when validating timestamps across process boundaries.
+CLOCK_SLACK_S = 0.005
+
+#: Offset mapping ``time.perf_counter()`` onto the epoch, computed once per
+#: process: span timestamps are ``_TS_BASE + perf_counter()`` so opening a
+#: span costs two clock reads (perf + CPU), not three.
+_TS_BASE = time.time() - time.perf_counter()
+
+#: One reused compact encoder for the JSONL sink — building a fresh encoder
+#: per record (what ``json.dumps`` with keyword arguments does) is
+#: measurable at trace rate 1.0 on cache-hit traffic.
+_ENCODE = json.JSONEncoder(separators=(",", ":"), default=str).encode
+
+#: Finished spans buffered in memory before the sink encodes and writes
+#: them in one batch.  Serialisation is the dominant cost of tracing
+#: cache-hit traffic, so it is amortised over many spans instead of being
+#: paid inside every request batch.
+SINK_BATCH = 512
+
+
+class Span:
+    """One timed phase: id, parent, wall + CPU time, attributes, status.
+
+    Spans are context managers (``with tracer.span("plan.compile") as s:``)
+    and truthy, so instrumentation can guard attribute writes with
+    ``if s:``; the disabled path hands out a falsy no-op span instead.
+    ``status`` defaults to ``"ok"`` and becomes ``"error"`` automatically
+    when the ``with`` block raises.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "ts",
+        "duration_ms",
+        "cpu_ms",
+        "status",
+        "attrs",
+        "_tracer",
+        "_t0",
+        "_c0",
+        "_detached",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        detached: bool = False,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        self.ts = _TS_BASE + self._t0
+        self.duration_ms = 0.0
+        self.cpu_ms = 0.0
+        self.status = "ok"
+        self.attrs: Dict[str, Any] = {}
+        self._detached = detached
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer.end(self, "error" if exc_type is not None else self.status)
+        return False
+
+    def record(self) -> Dict[str, Any]:
+        """The span as a plain JSON-able dictionary (one JSONL line)."""
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "ts": self.ts,
+            "dur_ms": self.duration_ms,
+            "cpu_ms": self.cpu_ms,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class _NullAttrs(dict):
+    """An attribute dict that silently discards writes (shared, stateless)."""
+
+    def __setitem__(self, key, value) -> None:
+        pass
+
+    def update(self, *args, **kwargs) -> None:
+        pass
+
+
+class _NullSpan:
+    """The shared falsy no-op span: a zero-allocation context manager."""
+
+    __slots__ = ()
+    attrs = _NullAttrs()
+    status = "ok"
+    span_id = None
+    trace_id = None
+    parent_id = None
+    duration_ms = 0.0
+    cpu_ms = 0.0
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _SuppressedSpan:
+    """The falsy span handed out under an unsampled root (per tracer).
+
+    It still balances the tracer's suppression depth on exit, so nested
+    instrumentation under an unsampled root costs one integer per span and
+    recording resumes exactly when the unsampled root closes.
+    """
+
+    __slots__ = ("_tracer",)
+    attrs = _NullAttrs()
+    status = "ok"
+    span_id = None
+    trace_id = None
+    parent_id = None
+    duration_ms = 0.0
+    cpu_ms = 0.0
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_SuppressedSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._suppress -= 1
+        return False
+
+
+class Tracer:
+    """The per-process span collector: sampling, ring buffer, JSONL sink.
+
+    Parameters
+    ----------
+    sample_rate:
+        Probability that a *root* span (opened with an empty stack and no
+        adopted remote context) is recorded; every descendant follows the
+        root's decision, so a trace is always complete or absent.  ``0.0``
+        records only adopted (remote-parented) work, ``1.0`` records
+        everything.
+    ring_size:
+        Capacity of the finished-span ring buffer; the oldest spans are
+        dropped on overflow (the sink flushes per root, so overflow only
+        matters for pathologically deep traces).
+    sink_path:
+        Optional JSONL file; finished spans are appended whenever the
+        tracer goes idle (no open spans) and on :meth:`close`.
+    seed:
+        Seed of the sampling RNG, so a seeded service traces the same
+        requests run to run.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.0,
+        ring_size: int = 4096,
+        sink_path: Optional[str] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.sample_rate = sample_rate
+        self.sink_path = sink_path
+        self._rng = random.Random(seed if seed is not None else 0)
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=ring_size)
+        self._stack: List[Span] = []
+        self._suppress = 0
+        self._suppressed = _SuppressedSpan(self)
+        self._adopted: Optional[Tuple[str, str]] = None
+        self._seq = 0
+        self._next_id = 0
+        self._prefix = f"{os.getpid():x}"
+        self._sink: Optional[Any] = None
+        self._pending: List[Dict[str, Any]] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # opening and closing spans
+    # ------------------------------------------------------------------
+    def _new_id(self) -> str:
+        self._next_id += 1
+        return f"{self._prefix}-{self._next_id}"
+
+    def span(self, name: str) -> Union[Span, _SuppressedSpan]:
+        """Open a span as the child of the current stack top.
+
+        A root span (empty stack, no adopted context) takes the sampling
+        decision for its whole trace; unsampled trees cost one integer per
+        nested span and allocate nothing.
+        """
+        if self._suppress:
+            self._suppress += 1
+            return self._suppressed
+        if not self._stack:
+            if self._adopted is not None:
+                trace_id, parent_id = self._adopted
+            else:
+                if self.sample_rate <= 0.0 or (
+                    self.sample_rate < 1.0
+                    and self._rng.random() >= self.sample_rate
+                ):
+                    self._suppress = 1
+                    return self._suppressed
+                trace_id, parent_id = f"t{self._prefix}-{self._next_id + 1}", None
+        else:
+            top = self._stack[-1]
+            trace_id, parent_id = top.trace_id, top.span_id
+        span = Span(self, name, trace_id, self._new_id(), parent_id)
+        self._stack.append(span)
+        return span
+
+    def start_span(
+        self,
+        name: str,
+        parent: Union[Span, Tuple[str, str], None] = None,
+    ) -> Span:
+        """Open a *detached* span (not pushed on the implicit stack).
+
+        Detached spans are for concurrent phases the ``with``-stack cannot
+        model — one dispatch span per in-flight worker op — and must be
+        closed explicitly with :meth:`end`.  ``parent`` is a live
+        :class:`Span` or a ``(trace_id, span_id)`` context; sampling is the
+        caller's job (gate on the truthiness of the would-be parent).
+        """
+        if isinstance(parent, Span):
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif parent is not None:
+            trace_id, parent_id = parent
+        else:
+            trace_id, parent_id = f"t{self._prefix}-{self._next_id + 1}", None
+        return Span(self, name, trace_id, self._new_id(), parent_id, detached=True)
+
+    def end(self, span: Union[Span, _NullSpan, _SuppressedSpan], status: str = "ok") -> None:
+        """Close a span, stamping duration / CPU time and recording it."""
+        if not isinstance(span, Span):
+            return
+        span.duration_ms = (time.perf_counter() - span._t0) * 1000.0
+        span.cpu_ms = (time.process_time() - span._c0) * 1000.0
+        span.status = status
+        if not span._detached:
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
+            else:  # pragma: no cover - unbalanced instrumentation
+                self._stack = [s for s in self._stack if s is not span]
+        self._seq += 1
+        # Inlined span.record() — this is the per-span hot path.
+        self._ring.append(
+            {
+                "trace": span.trace_id,
+                "span": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "ts": span.ts,
+                "dur_ms": span.duration_ms,
+                "cpu_ms": span.cpu_ms,
+                "status": status,
+                "attrs": span.attrs,
+                "seq": self._seq,
+            }
+        )
+        if self.sink_path is not None and not self._stack:
+            self._buffer()
+
+    # ------------------------------------------------------------------
+    # cross-process propagation
+    # ------------------------------------------------------------------
+    def context(
+        self, span: Union[Span, None, "_NullSpan", "_SuppressedSpan"] = None
+    ) -> Optional[Tuple[str, str]]:
+        """The ``(trace_id, span_id)`` pair to ship in a request frame.
+
+        ``None`` when the given span (or, by default, the stack top) is not
+        being recorded — an absent context is exactly how workers know not
+        to record.
+        """
+        if span is None:
+            span = self._stack[-1] if self._stack else None
+        if not isinstance(span, Span):
+            return None
+        return (span.trace_id, span.span_id)
+
+    def adopt(self, context: Optional[Tuple[str, str]]):
+        """Parent subsequent root spans under a remote context.
+
+        Returns an opaque token for :meth:`release`; adopting ``None``
+        leaves the tracer untouched (and the token restores that too), so
+        worker loops can bracket every message unconditionally.
+        """
+        token = self._adopted
+        if context is not None:
+            self._adopted = (str(context[0]), str(context[1]))
+        return token
+
+    def release(self, token) -> None:
+        """Undo the matching :meth:`adopt`."""
+        self._adopted = token
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Remove and return every finished span record (for piggybacking)."""
+        records = list(self._ring)
+        self._ring.clear()
+        return records
+
+    def ingest(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Fold remote span records (a worker's :meth:`drain`) into the ring."""
+        for record in records:
+            self._seq += 1
+            record = dict(record)
+            record["seq"] = self._seq
+            self._ring.append(record)
+        if self.sink_path is not None and not self._stack:
+            self._buffer()
+
+    # ------------------------------------------------------------------
+    # aggregation and the sink
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """A position in the finished-span sequence (see :meth:`phase_totals`)."""
+        return self._seq
+
+    def phase_totals(self, mark: int) -> Dict[str, float]:
+        """Total duration (ms) per span name finished since ``mark``.
+
+        This is the per-request timing breakdown: the worker marks before a
+        request, solves under spans, and ships the aggregate back on the
+        result.
+        """
+        totals: Dict[str, float] = {}
+        # Sequence numbers are monotonic, so everything after ``mark`` is a
+        # suffix of the ring — walk backwards and stop at the mark instead
+        # of scanning the whole buffer per request.
+        for record in reversed(self._ring):
+            if record["seq"] <= mark:
+                break
+            name = record["name"]
+            totals[name] = totals.get(name, 0.0) + record["dur_ms"]
+        return totals
+
+    def _buffer(self) -> None:
+        """Move finished spans out of the ring into the write-behind buffer.
+
+        This runs whenever the span stack empties — the per-batch hot path —
+        so it only does the cheap part (a list extend); the expensive part
+        (JSON encoding and the write) is deferred to :meth:`flush`, which
+        fires once per :data:`SINK_BATCH` buffered spans and on
+        :meth:`close`.
+        """
+        self._pending.extend(self._ring)
+        self._ring.clear()
+        if len(self._pending) >= SINK_BATCH:
+            self.flush()
+
+    def flush(self) -> None:
+        """Encode buffered spans and append them to the JSONL sink.
+
+        A no-op without a sink.  The handle is opened lazily on first write
+        and kept open — reopening the file per batch would dominate the
+        cost of tracing cache-hit traffic — so the file is complete only
+        after :meth:`close` (or interpreter exit).
+        """
+        if self.sink_path is None:
+            return
+        if not self._stack:
+            self._pending.extend(self._ring)
+            self._ring.clear()
+        records, self._pending = self._pending, []
+        if not records:
+            return
+        if self._sink is None:
+            self._sink = open(self.sink_path, "a", encoding="utf-8")
+        self._sink.write("".join(_ENCODE(record) + "\n" for record in records))
+
+    def close(self) -> None:
+        """Flush the sink; open spans (a bug) are abandoned, not fabricated."""
+        self.flush()
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+
+class NullTracer:
+    """The default, disabled tracer: every operation is a cheap no-op.
+
+    It is falsy (``if current_tracer():`` gates optional work) and its
+    :meth:`span` returns one shared falsy span, so fully instrumented code
+    paths allocate nothing when telemetry is off.
+    """
+
+    __slots__ = ()
+    sample_rate = 0.0
+    sink_path = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str) -> _NullSpan:
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def start_span(self, name, parent=None) -> _NullSpan:
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def end(self, span, status: str = "ok") -> None:
+        """Do nothing."""
+
+    def context(self, span=None) -> None:
+        """No context: remote ends see tracing as off."""
+        return None
+
+    def adopt(self, context) -> None:
+        """Do nothing; the token is ``None``."""
+        return None
+
+    def release(self, token) -> None:
+        """Do nothing."""
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """No spans, ever."""
+        return []
+
+    def ingest(self, records) -> None:
+        """Discard remote records."""
+
+    def mark(self) -> int:
+        """A constant mark."""
+        return 0
+
+    def phase_totals(self, mark: int) -> Dict[str, float]:
+        """No totals."""
+        return {}
+
+    def flush(self) -> None:
+        """Do nothing."""
+
+    def close(self) -> None:
+        """Do nothing."""
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The singleton disabled tracer (the default for every process).
+NULL_TRACER = NullTracer()
+
+_TRACER: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def current_tracer() -> Union[Tracer, NullTracer]:
+    """The process-wide tracer instrumentation hooks report to."""
+    return _TRACER
+
+
+def set_tracer(tracer: Union[Tracer, NullTracer, None]) -> Union[Tracer, NullTracer]:
+    """Install the process-wide tracer; returns the previous one.
+
+    ``None`` restores the disabled :data:`NULL_TRACER`.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+# ----------------------------------------------------------------------
+# trace files: validation and rendering
+# ----------------------------------------------------------------------
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load span records from a JSONL trace file."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_trace(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Check trace invariants; returns a list of violations (empty = valid).
+
+    * every span record is closed with a known status (never ``"open"``);
+    * span ids are unique across the whole trace file;
+    * every non-root span's parent exists, in the same trace;
+    * timestamps are monotonic: a child never starts before its parent
+      (modulo :data:`CLOCK_SLACK_S` of cross-process clock slack) and no
+      duration is negative.
+    """
+    errors: List[str] = []
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for i, record in enumerate(records):
+        missing = [
+            key
+            for key in ("trace", "span", "name", "ts", "dur_ms", "status")
+            if key not in record
+        ]
+        if missing:
+            errors.append(f"record {i}: missing field(s) {missing}")
+            continue
+        if record["status"] not in SPAN_STATUSES:
+            errors.append(
+                f"span {record['span']} ({record['name']}): not closed "
+                f"(status {record['status']!r})"
+            )
+        if record["dur_ms"] < 0:
+            errors.append(
+                f"span {record['span']} ({record['name']}): negative duration"
+            )
+        if record["span"] in by_id:
+            errors.append(f"duplicate span id {record['span']}")
+            continue
+        by_id[record["span"]] = record
+    for record in by_id.values():
+        parent_id = record.get("parent")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            errors.append(
+                f"span {record['span']} ({record['name']}): parent "
+                f"{parent_id} not in trace file (orphan)"
+            )
+            continue
+        if parent["trace"] != record["trace"]:
+            errors.append(
+                f"span {record['span']}: parent {parent_id} belongs to "
+                f"another trace"
+            )
+        if record["ts"] + CLOCK_SLACK_S < parent["ts"]:
+            errors.append(
+                f"span {record['span']} ({record['name']}): starts "
+                f"{parent['ts'] - record['ts']:.4f}s before its parent"
+            )
+    return errors
+
+
+def _format_attrs(attrs: Dict[str, Any], limit: int = 4) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{k}={attrs[k]}" for k in sorted(attrs)[:limit]]
+    if len(attrs) > limit:
+        parts.append("...")
+    return "  {" + ", ".join(parts) + "}"
+
+
+def render_trace(records: Sequence[Dict[str, Any]]) -> str:
+    """Pretty-print a span forest with per-phase totals and coverage.
+
+    Spans are grouped by trace and indented under their parents (orphans
+    surface at top level, flagged); the footer aggregates total duration
+    per span name and reports *coverage* — the summed duration of each
+    root's direct children against the root's own wall time, the honesty
+    check that the instrumented phases account for where the time went.
+    """
+    lines: List[str] = []
+    by_trace: "Dict[str, List[Dict[str, Any]]]" = {}
+    for record in records:
+        by_trace.setdefault(record["trace"], []).append(record)
+    totals: Dict[str, Tuple[int, float]] = {}
+    root_wall = 0.0
+    child_wall = 0.0
+    for trace_id in sorted(by_trace):
+        group = sorted(by_trace[trace_id], key=lambda r: (r["ts"], r.get("seq", 0)))
+        children: "Dict[Optional[str], List[Dict[str, Any]]]" = {}
+        ids = {record["span"] for record in group}
+        for record in group:
+            parent = record.get("parent")
+            children.setdefault(parent if parent in ids else None, []).append(record)
+        lines.append(f"trace {trace_id}")
+
+        def walk(record: Dict[str, Any], depth: int) -> None:
+            status = record["status"]
+            marker = "" if status == "ok" else f" [{status}]"
+            lines.append(
+                f"  {'  ' * depth}{record['name']}  "
+                f"{record['dur_ms']:.3f} ms{marker}"
+                f"{_format_attrs(record.get('attrs', {}))}"
+            )
+            for child in children.get(record["span"], ()):
+                walk(child, depth + 1)
+
+        for root in children.get(None, ()):
+            walk(root, 0)
+            if root.get("parent") is None:
+                root_wall += root["dur_ms"]
+                child_wall += sum(
+                    c["dur_ms"] for c in children.get(root["span"], ())
+                )
+    for record in records:
+        count, total = totals.get(record["name"], (0, 0.0))
+        totals[record["name"]] = (count + 1, total + record["dur_ms"])
+    lines.append("")
+    lines.append("phase totals:")
+    for name in sorted(totals, key=lambda n: -totals[n][1]):
+        count, total = totals[name]
+        lines.append(f"  {name:<24} {count:>6} span(s)  {total:>10.3f} ms")
+    if root_wall > 0:
+        lines.append(
+            f"coverage: {child_wall:.3f} ms of phases under "
+            f"{root_wall:.3f} ms of root wall time "
+            f"({child_wall / root_wall:.0%})"
+        )
+    return "\n".join(lines)

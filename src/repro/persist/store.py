@@ -49,6 +49,7 @@ import zlib
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import PersistenceError
+from repro.obs.trace import current_tracer
 from repro.plan import CompiledPlan, PlanCache
 from repro.probability.prob_graph import ProbabilisticGraph
 
@@ -169,47 +170,51 @@ class PlanStore:
         ``put_errors`` and returns ``None``: losing durability for one
         plan must never take serving down.
         """
-        digest = plan_store_key(query_key, structure_digest, namespace)
-        path = self.entry_path(digest)
-        if os.path.exists(path) and not replace:
-            return digest
-        payload = pickle.dumps(
-            {
-                "query_key": query_key,
-                "instance_digest": structure_digest,
-                "namespace": namespace,
-                "plan": plan,
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-        data = (
-            _HEADER.pack(STORE_MAGIC, STORE_VERSION, 0, zlib.crc32(payload)) + payload
-        )
-        temporary = f"{path}.tmp.{os.getpid()}"
-        try:
-            if self.fault_injector is not None:
-                data = self.fault_injector.mutate_write(data)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(temporary, "wb") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
+        with current_tracer().span("store.put") as span:
+            digest = plan_store_key(query_key, structure_digest, namespace)
+            path = self.entry_path(digest)
+            if os.path.exists(path) and not replace:
+                return digest
+            payload = pickle.dumps(
+                {
+                    "query_key": query_key,
+                    "instance_digest": structure_digest,
+                    "namespace": namespace,
+                    "plan": plan,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            data = (
+                _HEADER.pack(STORE_MAGIC, STORE_VERSION, 0, zlib.crc32(payload))
+                + payload
+            )
+            if span:
+                span.attrs["bytes"] = len(data)
+            temporary = f"{path}.tmp.{os.getpid()}"
+            try:
                 if self.fault_injector is not None:
-                    truncation = self.fault_injector.take_tail_truncation()
-                    if truncation:
-                        size = os.fstat(handle.fileno()).st_size
-                        os.ftruncate(handle.fileno(), max(0, size - truncation))
-            os.replace(temporary, path)
-        except OSError:
-            self.put_errors += 1
-            if os.path.exists(temporary):
-                try:
-                    os.remove(temporary)
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
-            return None
-        self.puts += 1
-        return digest
+                    data = self.fault_injector.mutate_write(data)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(temporary, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    if self.fault_injector is not None:
+                        truncation = self.fault_injector.take_tail_truncation()
+                        if truncation:
+                            size = os.fstat(handle.fileno()).st_size
+                            os.ftruncate(handle.fileno(), max(0, size - truncation))
+                os.replace(temporary, path)
+            except OSError:
+                self.put_errors += 1
+                if os.path.exists(temporary):
+                    try:
+                        os.remove(temporary)
+                    except OSError:  # pragma: no cover - best-effort cleanup
+                        pass
+                return None
+            self.puts += 1
+            return digest
 
     # ------------------------------------------------------------------
     # reading
@@ -266,24 +271,33 @@ class PlanStore:
         A corrupt entry is quarantined and reported as a miss; the caller
         simply recompiles.
         """
-        digest = plan_store_key(query_key, structure_digest, namespace)
-        path = self.entry_path(digest)
-        if not os.path.exists(path):
-            self.misses += 1
-            return None
-        entry, failure = self._read_entry(path)
-        if entry is None:
-            self._quarantine(path)
-            self.misses += 1
-            return None
-        if failure is None and entry.get("instance_digest") != structure_digest:
-            # A digest collision is cryptographically implausible; treat a
-            # mismatched payload as corruption all the same.
-            self._quarantine(path)
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry["plan"]
+        with current_tracer().span("store.get") as span:
+            digest = plan_store_key(query_key, structure_digest, namespace)
+            path = self.entry_path(digest)
+            if not os.path.exists(path):
+                self.misses += 1
+                if span:
+                    span.attrs["hit"] = False
+                return None
+            entry, failure = self._read_entry(path)
+            if entry is None:
+                self._quarantine(path)
+                self.misses += 1
+                if span:
+                    span.attrs["hit"] = False
+                return None
+            if failure is None and entry.get("instance_digest") != structure_digest:
+                # A digest collision is cryptographically implausible; treat a
+                # mismatched payload as corruption all the same.
+                self._quarantine(path)
+                self.misses += 1
+                if span:
+                    span.attrs["hit"] = False
+                return None
+            self.hits += 1
+            if span:
+                span.attrs["hit"] = True
+            return entry["plan"]
 
     def entries(self) -> Iterator[Dict[str, Any]]:
         """Iterate the valid entries' payload dictionaries (corrupt ones

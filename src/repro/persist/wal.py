@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import PersistenceError
+from repro.obs.trace import current_tracer
 
 #: Segment header: magic + format version + two reserved bytes.
 WAL_MAGIC = b"RWAL"
@@ -297,27 +298,31 @@ class WriteAheadLog:
         injected or real); the caller decides whether to degrade or stop.
         """
         self._check_open()
-        frame = self._frame(record)
-        if self.fault_injector is not None:
-            frame = self.fault_injector.mutate_write(frame)
-        self._handle.write(frame)
-        if self.fsync == "always":
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-        elif self.fsync == "batch":
-            self._handle.flush()
-        if self.fault_injector is not None:
-            truncation = self.fault_injector.take_tail_truncation()
-            if truncation:
+        with current_tracer().span("wal.append") as span:
+            frame = self._frame(record)
+            if span:
+                span.attrs["bytes"] = len(frame)
+                span.attrs["fsync"] = self.fsync
+            if self.fault_injector is not None:
+                frame = self.fault_injector.mutate_write(frame)
+            self._handle.write(frame)
+            if self.fsync == "always":
                 self._handle.flush()
-                size = os.fstat(self._handle.fileno()).st_size
-                os.ftruncate(
-                    self._handle.fileno(), max(len(_HEADER), size - truncation)
-                )
-                self._handle.seek(0, os.SEEK_END)
-        self.appended += 1
-        if self._handle.tell() >= self.segment_max_bytes:
-            self.rotate()
+                os.fsync(self._handle.fileno())
+            elif self.fsync == "batch":
+                self._handle.flush()
+            if self.fault_injector is not None:
+                truncation = self.fault_injector.take_tail_truncation()
+                if truncation:
+                    self._handle.flush()
+                    size = os.fstat(self._handle.fileno()).st_size
+                    os.ftruncate(
+                        self._handle.fileno(), max(len(_HEADER), size - truncation)
+                    )
+                    self._handle.seek(0, os.SEEK_END)
+            self.appended += 1
+            if self._handle.tell() >= self.segment_max_bytes:
+                self.rotate()
 
     def sync(self) -> None:
         """Flush and fsync the active segment (a batch-policy barrier)."""

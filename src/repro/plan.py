@@ -58,6 +58,7 @@ from repro.lineage.builders import match_lineage
 from repro.lineage.ddnnf import CircuitEvaluator, DDNNF
 from repro.lineage.dnf import PositiveDNF
 from repro.numeric import EXACT, FAST, Number, NumericContext, resolve_context
+from repro.obs.trace import current_tracer
 from repro.probability.brute_force import brute_force_phom
 from repro.probability.prob_graph import ProbabilisticGraph, as_probability
 from repro.query.minimize import query_core
@@ -284,9 +285,12 @@ class CompiledPlan:
         ``(source, target)`` pairs.  ``precision`` selects the numeric
         backend, defaulting to the compiling solver's.
         """
-        context = self._context(precision)
-        table = self._probability_table(probabilities, context)
-        return self._evaluate_with(table, context)
+        with current_tracer().span("plan.evaluate") as span:
+            if span:
+                span.attrs["method"] = self.method
+            context = self._context(precision)
+            table = self._probability_table(probabilities, context)
+            return self._evaluate_with(table, context)
 
     # -- tape lowering -------------------------------------------------
     def tape(self):
@@ -309,7 +313,10 @@ class CompiledPlan:
             # module-scope import here would be circular.
             from repro.tape import compile_plan_tape
 
-            self._tape = compile_plan_tape(self)
+            with current_tracer().span("tape.compile") as span:
+                self._tape = compile_plan_tape(self)
+                if span:
+                    span.attrs["method"] = self.method
         return self._tape
 
     def has_tape(self) -> bool:
@@ -336,25 +343,29 @@ class CompiledPlan:
         """
         context = self._context(precision)
         tape = self.tape()
-        # Deltas against the live table, not full per-valuation copies: the
-        # per-entry setup cost scales with the overridden edges, which is
-        # what makes large batches an order of magnitude cheaper than
-        # looped evaluate() calls.
-        deltas = [
-            {
-                self._resolve_edge(key): context.convert(as_probability(value))
-                for key, value in overrides.items()
-            }
-            if overrides
-            else None
-            for overrides in batches
-        ]
-        return tape.evaluate_overrides(
-            context.instance_probabilities(self.instance),
-            deltas,
-            precision=context,
-            backend=backend,
-        )
+        with current_tracer().span("tape.evaluate") as span:
+            if span:
+                span.attrs["batch"] = len(batches)
+                span.attrs["method"] = self.method
+            # Deltas against the live table, not full per-valuation copies:
+            # the per-entry setup cost scales with the overridden edges,
+            # which is what makes large batches an order of magnitude
+            # cheaper than looped evaluate() calls.
+            deltas = [
+                {
+                    self._resolve_edge(key): context.convert(as_probability(value))
+                    for key, value in overrides.items()
+                }
+                if overrides
+                else None
+                for overrides in batches
+            ]
+            return tape.evaluate_overrides(
+                context.instance_probabilities(self.instance),
+                deltas,
+                precision=context,
+                backend=backend,
+            )
 
     def tape_evaluator(
         self,

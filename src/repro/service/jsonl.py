@@ -44,7 +44,7 @@ reports whether any line failed.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, TextIO, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO, Tuple
 
 from repro.exceptions import ServiceError
 from repro.graphs.serialization import load_instance, probabilistic_graph_from_dict
@@ -128,11 +128,29 @@ def _flush_batch(
 
 
 def run_jsonl_session(
-    lines: Iterable[str], out: TextIO, service: QueryService
+    lines: Iterable[str],
+    out: TextIO,
+    service: QueryService,
+    on_batch: Optional[Callable[[], None]] = None,
 ) -> int:
-    """Drive a service from JSONL input lines; returns a process exit code."""
+    """Drive a service from JSONL input lines; returns a process exit code.
+
+    ``on_batch``, when given, is called after every flushed solve
+    micro-batch and after every ``register``/``update`` acknowledgement —
+    the hook behind ``repro serve --metrics-out``, which refreshes the
+    on-disk metrics snapshot there so ``repro top --watch`` stays live
+    during a long session.
+    """
     failures = 0
     batch: List[Tuple[int, ServiceRequest]] = []
+
+    def flush() -> int:
+        flushed = len(batch)
+        failed = _flush_batch(service, batch, out)
+        if flushed and on_batch is not None:
+            on_batch()
+        return failed
+
     for line_number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -140,7 +158,7 @@ def run_jsonl_session(
         try:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
-            failures += _flush_batch(service, batch, out)
+            failures += flush()
             failures += 1
             _emit(
                 out,
@@ -153,7 +171,7 @@ def run_jsonl_session(
             if op == "solve":
                 batch.append((line_number, request_from_json_dict(data)))
                 continue
-            failures += _flush_batch(service, batch, out)
+            failures += flush()
             if op == "register":
                 instance_id = _handle_register(service, data)
                 _emit(out, {"ok": True, "op": "register", "instance": instance_id})
@@ -162,6 +180,8 @@ def run_jsonl_session(
                 _emit(out, {"ok": True, "op": "update", "instance": data["instance"]})
             else:
                 raise ServiceError(f"unknown op {op!r}")
+            if on_batch is not None:
+                on_batch()
         except Exception as exc:  # noqa: BLE001 - one bad line must never
             # abort the stream; it becomes a typed failure record.
             failures += 1
@@ -169,7 +189,7 @@ def run_jsonl_session(
                 out,
                 failure_record(str(exc), type(exc).__name__, line_number, request_id),
             )
-    failures += _flush_batch(service, batch, out)
+    failures += flush()
     return 1 if failures else 0
 
 

@@ -180,6 +180,13 @@ class ServiceResult:
     work-stealing tier — same answer by contract, different shard);
     ``error_class`` names the exception type behind ``error`` so callers
     can branch without string matching (see :attr:`retryable`).
+
+    ``duration_ms`` is the worker-side wall time of the answering solve
+    (``None`` for failures and for answers computed before the worker
+    measured, e.g. coordinator-degraded results).  ``timing`` is the
+    per-phase breakdown — span name to total milliseconds, e.g.
+    ``{"plan.compile": 1.2, "tape.run": 0.3}`` — and is only populated
+    when the request ran under an active trace (see :mod:`repro.obs`).
     """
 
     result: Optional[PHomResult]
@@ -193,6 +200,8 @@ class ServiceResult:
     attempts: int = 1
     degraded: bool = False
     timed_out: bool = False
+    duration_ms: Optional[float] = None
+    timing: Optional[Dict[str, float]] = None
 
     @property
     def retryable(self) -> bool:
@@ -323,6 +332,10 @@ def result_to_json_dict(outcome: ServiceResult) -> Dict[str, Any]:
         "cached": outcome.cached,
         "coalesced": outcome.coalesced,
     }
+    if outcome.duration_ms is not None:
+        payload["duration_ms"] = outcome.duration_ms
+    if outcome.timing:
+        payload["timing"] = outcome.timing
     if outcome.attempts > 1:
         payload["attempts"] = outcome.attempts
     if outcome.degraded:

@@ -60,6 +60,8 @@ from repro.exceptions import (
     ServiceUnavailableError,
 )
 from repro.graphs.digraph import DiGraph, Edge
+from repro.obs.metrics import MetricsRegistry, counter_total, counter_value, merge_snapshots
+from repro.obs.trace import NULL_TRACER, Span, Tracer, set_tracer
 from repro.persist import PlanStore, WriteAheadLog
 from repro.probability.prob_graph import ProbabilisticGraph
 from repro.service.faults import DiskFaultInjector, FaultPlan, epsilon_for_budget
@@ -88,6 +90,25 @@ FRAME_CACHE_LIMIT = 4096
 #: cannot be improved by moving work).
 STEAL_IMBALANCE = 2
 
+#: Cap on :attr:`QueryService.slow_queries` entries kept in memory; older
+#: entries are dropped, newest last.
+SLOW_QUERY_LOG_LIMIT = 256
+
+#: The service-level counters (``repro_service_<name>_total`` in the
+#: telemetry registry), in the field order of :class:`ServiceStats`.
+_SERVICE_COUNTERS = (
+    ("requests", "Normalisable requests submitted."),
+    ("rejected", "Requests that failed normalization."),
+    ("batches", "submit_many calls."),
+    ("updates", "Probability updates applied."),
+    ("restarts", "Worker processes respawned."),
+    ("retries", "Request re-dispatches after a worker failure."),
+    ("deadline_hits", "Requests that missed their deadline."),
+    ("degraded", "Deadline misses answered by the approximate tier."),
+    ("steals", "Requests moved off their owning shard."),
+    ("replicas_shipped", "Instance snapshots shipped for stealing."),
+)
+
 
 @dataclass
 class ServiceStats:
@@ -102,10 +123,14 @@ class ServiceStats:
     coordinator moved off their owning shard onto an idle worker, and
     ``replicas_shipped`` the instance snapshots shipped to make that
     possible.  ``workers`` holds one per-worker dictionary — keyed by its
-    ``"worker"`` index, in index order — with the worker's serving counters
-    and its plan-cache statistics (hits, misses, compiles, evictions — see
-    :attr:`repro.plan.PlanCache.stats`), so an idle shard is visible as that
-    worker's zeroed counters rather than as an anonymous entry.
+    ``"worker"`` index, in index order — with the worker's serving counters,
+    its plan-cache statistics (hits, misses, compiles, evictions — see
+    :attr:`repro.plan.PlanCache.stats`), its telemetry snapshot (under
+    ``"metrics"``) and its share of the coordinator's ``dispatched``
+    counter, so an idle shard is visible as that worker's zeroed counters
+    rather than as an anonymous entry.  Every number is read back from the
+    telemetry registries (see :meth:`QueryService.stats`), so the pool
+    totals always equal the sum of the per-worker rows.
 
     The reliability counters record supervision activity: ``restarts``
     (worker processes respawned after a crash or hang), ``retries``
@@ -181,6 +206,9 @@ class _PendingOp:
     deadline: Optional[float] = None
     history: List[str] = field(default_factory=list)
     instance_ids: Tuple[str, ...] = ()
+    #: The root span's ``(trace_id, span_id)`` when the op's batch is being
+    #: traced — each dispatch *attempt* gets its own detached span under it.
+    trace_parent: Optional[Tuple[str, str]] = None
 
 
 class QueryService:
@@ -250,6 +278,21 @@ class QueryService:
         instance accumulates this many distinct updated edges, the journal
         folds them into a fresh snapshot (the durable log compacts on its
         own cadence, ``WAL_COMPACT_AFTER`` appends).
+    trace_sample_rate:
+        Probability that one ``submit_many`` call is traced end to end
+        (``0.0``, the default, disables tracing entirely — the hooks hit a
+        no-op tracer and allocate nothing).  A traced call opens a root
+        span, ships its context to the workers inside the request frames,
+        and folds the workers' spans (piggybacked on their reply frames)
+        back into one trace.
+    trace_path:
+        Optional JSONL sink for finished spans (rendered by
+        ``repro trace``); without it, spans stay in the tracer's in-memory
+        ring buffer.
+    slow_query_ms:
+        Optional threshold (milliseconds of worker-side solve time) above
+        which a request is recorded in :attr:`slow_queries` with its
+        dispatch provenance; ``None`` disables the slow-query log.
     """
 
     def __init__(
@@ -275,6 +318,9 @@ class QueryService:
         state_dir: Optional[str] = None,
         wal_fsync: str = "batch",
         journal_update_limit: int = 256,
+        trace_sample_rate: float = 0.0,
+        trace_path: Optional[str] = None,
+        slow_query_ms: Optional[float] = None,
     ) -> None:
         if default_precision not in ("exact", "float", "approx"):
             raise ServiceError(
@@ -351,17 +397,41 @@ class QueryService:
         # query object the frame was built from — identity-compared to flag
         # positions whose answer needs coordinator-side requalification).
         self._frame_cache: "OrderedDict[Hashable, Tuple[bytes, Any]]" = OrderedDict()
-        self._stats_requests = 0
-        self._stats_rejected = 0
-        self._stats_dispatched = 0
-        self._stats_batches = 0
-        self._stats_updates = 0
-        self._stats_restarts = 0
-        self._stats_retries = 0
-        self._stats_deadline_hits = 0
-        self._stats_degraded = 0
-        self._stats_steals = 0
-        self._stats_replicas_shipped = 0
+        # The coordinator's telemetry registry is the single source of the
+        # service-level counters: stats() reads them back from one snapshot,
+        # so the ServiceStats totals and the per-worker rows cannot disagree
+        # (``dispatched`` is labeled by worker and summed for the total).
+        self.metrics = MetricsRegistry()
+        self._counters = {
+            name: self.metrics.counter(f"repro_service_{name}_total", help)
+            for name, help in _SERVICE_COUNTERS
+        }
+        self._dispatched = self.metrics.counter(
+            "repro_service_dispatched_total",
+            "Distinct computations dispatched after coalescing, by worker.",
+            labelnames=("worker",),
+        )
+        self._batch_latency = self.metrics.histogram(
+            "repro_service_batch_ms",
+            "submit_many wall time at the coordinator.",
+        )
+        # Tracing: a sampling tracer installed process-wide (the library
+        # hooks report to it) while this service lives; NULL_TRACER when
+        # disabled, so every hook stays allocation-free.
+        self.trace_sample_rate = trace_sample_rate
+        self.slow_query_ms = slow_query_ms
+        #: Newest-last ring of slow-request records (see ``slow_query_ms``).
+        self.slow_queries: List[Dict[str, Any]] = []
+        self._tracer: Any = NULL_TRACER
+        self._previous_tracer: Any = None
+        self._op_spans: Dict[int, Span] = {}
+        if trace_sample_rate > 0.0:
+            self._tracer = Tracer(
+                sample_rate=trace_sample_rate,
+                sink_path=trace_path,
+                seed=seed if seed is not None else 0,
+            )
+            self._previous_tracer = set_tracer(self._tracer)
         #: One dict per worker restart (worker, incarnation, reason,
         #: duration_s, instances_replayed) — the raw data behind the
         #: ``service_recovery`` benchmark section.
@@ -439,6 +509,7 @@ class QueryService:
                 self._result_cache_size,
                 self.fault_plan,
                 self._incarnations[index],
+                self.trace_sample_rate > 0.0,
             ),
             daemon=True,
         )
@@ -604,6 +675,12 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self._tracer is not NULL_TRACER:
+            try:
+                self._tracer.close()
+            except Exception:  # pragma: no cover - a full disk at teardown
+                pass
+            set_tracer(self._previous_tracer)
         if self._wal is not None:
             try:
                 self._wal.close()
@@ -790,6 +867,22 @@ class QueryService:
         if on_error not in ("raise", "return"):
             raise ServiceError(f"unknown on_error mode {on_error!r}")
         self._check_open()
+        start = time.perf_counter()
+        try:
+            with self._tracer.span("service.submit_many") as root:
+                if root:
+                    root.attrs["requests"] = len(requests)
+                return self._submit_batch(requests, on_error, root)
+        finally:
+            self._batch_latency.observe((time.perf_counter() - start) * 1000.0)
+
+    def _submit_batch(
+        self,
+        requests: Sequence[RequestLike],
+        on_error: str,
+        root: Any,
+    ) -> List[ServiceResult]:
+        """The body of :meth:`submit_many`, run under its root span."""
         normalized: List[Optional[ServiceRequest]] = []
         answered: Dict[int, Tuple[ServiceResult, str]] = {}
         for position, entry in enumerate(requests):
@@ -816,9 +909,9 @@ class QueryService:
         # Entries that failed normalization never reach a worker; counting
         # them as requests would inflate dedupe_hit_rate's denominator.
         rejected = sum(1 for request in normalized if request is None)
-        self._stats_requests += len(normalized) - rejected
-        self._stats_rejected += rejected
-        self._stats_batches += 1
+        self._counters["requests"].inc(len(normalized) - rejected)
+        self._counters["rejected"].inc(rejected)
+        self._counters["batches"].inc()
         if not normalized:
             return []
 
@@ -840,7 +933,9 @@ class QueryService:
                 key_of[position] = key
             else:
                 source_of.append(first)
-        self._stats_dispatched += len(unique_indices)
+        # ``dispatched`` is counted per worker at actual dispatch time (after
+        # stealing), so the pool total is structurally the sum of the
+        # per-worker rows in :meth:`stats`.
 
         # Shard the distinct requests by instance affinity, then let idle
         # workers steal from lopsided shards.  Requests with a deadline
@@ -863,23 +958,29 @@ class QueryService:
         if self._inline is not None:
             for worker, positions in by_worker.items():
                 payload = [normalized[p] for p in positions]
+                self._dispatched.labels(worker).inc(len(positions))
                 self._inline_fire()
                 reply = handle_message(self._inline, "solve", payload)
                 self._consume_solve(reply, worker, positions, normalized, answered)
             for position in solo:
+                self._dispatched.labels(0).inc()
                 self._solve_inline_solo(position, normalized, answered)
         else:
+            root_context = (
+                (root.trace_id, root.span_id) if isinstance(root, Span) else None
+            )
             ops: Dict[int, _PendingOp] = {}
             op_positions: Dict[int, List[int]] = {}
             for worker, positions in by_worker.items():
-                payload = [
+                frames = [
                     self._request_frame(normalized[p], key_of[p], p, requalify)
                     for p in positions
                 ]
-                op = self._make_op(
+                self._dispatched.labels(worker).inc(len(positions))
+                op = self._dispatch_op(
                     worker,
-                    "solve",
-                    payload,
+                    frames,
+                    root_context,
                     instance_ids=tuple(
                         dict.fromkeys(normalized[p].instance_id for p in positions)
                     ),
@@ -889,10 +990,12 @@ class QueryService:
             start = time.monotonic()
             for position in solo:
                 request = normalized[position]
-                op = self._make_op(
-                    self._worker_for(request.instance_id),
-                    "solve",
+                worker = self._worker_for(request.instance_id)
+                self._dispatched.labels(worker).inc()
+                op = self._dispatch_op(
+                    worker,
                     [request],
+                    root_context,
                     deadline=start + request.deadline_ms / 1000.0,
                     instance_ids=(request.instance_id,),
                 )
@@ -1049,7 +1152,7 @@ class QueryService:
             by_worker[busiest].remove(position)
             self._ensure_replica(idlest, normalized[position].instance_id)
             by_worker.setdefault(idlest, []).append(position)
-            self._stats_steals += 1
+            self._counters["steals"].inc()
             loads[busiest] -= 1
             loads[idlest] += 1
 
@@ -1076,7 +1179,7 @@ class QueryService:
         )
         self._background[op_id] = worker
         holders.add(worker)
-        self._stats_replicas_shipped += 1
+        self._counters["replicas_shipped"].inc()
 
     def _request_frame(
         self,
@@ -1131,24 +1234,40 @@ class QueryService:
         for position, outcome in zip(positions, value):
             request = normalized[position]
             if outcome[0] == "ok":
-                _, result, cached = outcome
+                # Workers answer ("ok", result, cached, duration_ms, timing);
+                # the short 3-tuple form is tolerated for robustness.
+                _, result, cached = outcome[:3]
+                duration_ms = outcome[3] if len(outcome) > 3 else None
+                timing = outcome[4] if len(outcome) > 4 else None
                 if requalify and position in requalify:
                     # The dispatch frame carried an equivalent spelling;
                     # re-describe the answer for the one actually asked.
                     result = requalify_result(
                         result, request.query, minimize=request.method == "auto"
                     )
+                stolen = worker != self._worker_for(request.instance_id)
                 answered[position] = (
                     ServiceResult(
                         result=result,
                         request_id=request.request_id,
                         worker=worker,
                         cached=cached,
-                        stolen=worker != self._worker_for(request.instance_id),
+                        stolen=stolen,
                         attempts=attempts,
+                        duration_ms=duration_ms,
+                        timing=timing,
                     ),
                     "",
                 )
+                if (
+                    self.slow_query_ms is not None
+                    and duration_ms is not None
+                    and duration_ms >= self.slow_query_ms
+                ):
+                    self._record_slow_query(
+                        request, result, worker, duration_ms, cached, stolen,
+                        attempts,
+                    )
             else:
                 message = outcome[1]
                 # Worker errors are formatted "ExceptionType: detail".
@@ -1164,6 +1283,37 @@ class QueryService:
                     ),
                     message,
                 )
+
+    def _record_slow_query(
+        self,
+        request: ServiceRequest,
+        result: PHomResult,
+        worker: int,
+        duration_ms: float,
+        cached: bool,
+        stolen: bool,
+        attempts: int,
+    ) -> None:
+        """Append one slow-request record (bounded, newest last).
+
+        The record carries the dispatch provenance an operator needs to see
+        *why* the request was slow — which worker ran it, whether it was
+        stolen or retried, and which dichotomy route answered it.
+        """
+        self.slow_queries.append(
+            {
+                "request_id": request.request_id,
+                "instance": request.instance_id,
+                "method": result.method,
+                "duration_ms": duration_ms,
+                "worker": worker,
+                "cached": cached,
+                "stolen": stolen,
+                "attempts": attempts,
+            }
+        )
+        if len(self.slow_queries) > SLOW_QUERY_LOG_LIMIT:
+            del self.slow_queries[: len(self.slow_queries) - SLOW_QUERY_LOG_LIMIT]
 
     def _raise_failures(
         self,
@@ -1203,10 +1353,11 @@ class QueryService:
         answered: Dict[int, Tuple[ServiceResult, str]],
     ) -> None:
         """Record the outcome of a missed deadline under the request policy."""
-        self._stats_deadline_hits += 1
+        self._counters["deadline_hits"].inc()
         if request.on_deadline == "degrade":
+            degrade_start = time.perf_counter()
             result = self._degrade_request(request)
-            self._stats_degraded += 1
+            self._counters["degraded"].inc()
             answered[position] = (
                 ServiceResult(
                     result=result,
@@ -1214,6 +1365,7 @@ class QueryService:
                     worker=-1,  # answered by the coordinator's degrade tier
                     attempts=attempts,
                     degraded=True,
+                    duration_ms=(time.perf_counter() - degrade_start) * 1000.0,
                 ),
                 "",
             )
@@ -1356,7 +1508,7 @@ class QueryService:
         # Validate (and normalise) locally first: a bad update must fail
         # without desynchronising the worker copy.
         local.set_probability(endpoints, probability)
-        self._stats_updates += 1
+        self._counters["updates"].inc()
         self._call(
             self._worker_for(instance_id),
             "update",
@@ -1416,7 +1568,14 @@ class QueryService:
         )
 
     def stats(self) -> ServiceStats:
-        """Service-level coalescing counters plus per-worker statistics."""
+        """Service-level coalescing counters plus per-worker statistics.
+
+        Every number is read back from one snapshot of the coordinator's
+        telemetry registry; in particular ``dispatched`` is the sum of the
+        per-worker ``dispatched`` series injected into the worker rows, so
+        the pool total and the rows cannot disagree — not under stealing,
+        not across restarts.
+        """
         self._check_open()
         if self._inline is not None:
             workers = [self._inline.stats()]
@@ -1440,21 +1599,54 @@ class QueryService:
                     raise ServiceError(f"worker {worker} failed stats: {value}")
                 ordered[worker] = value
             workers = [ordered[index] for index in sorted(ordered)]
+        snapshot = self.metrics.snapshot()
+        totals = {
+            name: int(counter_total(snapshot, f"repro_service_{name}_total"))
+            for name, _ in _SERVICE_COUNTERS
+        }
+        for row in workers:
+            row["dispatched"] = int(
+                counter_value(
+                    snapshot,
+                    "repro_service_dispatched_total",
+                    (str(row["worker"]),),
+                )
+            )
+        dispatched = int(
+            counter_total(snapshot, "repro_service_dispatched_total")
+        )
         return ServiceStats(
-            requests=self._stats_requests,
-            rejected=self._stats_rejected,
-            dispatched=self._stats_dispatched,
-            coalesced=self._stats_requests - self._stats_dispatched,
-            batches=self._stats_batches,
-            updates=self._stats_updates,
-            restarts=self._stats_restarts,
-            retries=self._stats_retries,
-            deadline_hits=self._stats_deadline_hits,
-            degraded=self._stats_degraded,
-            steals=self._stats_steals,
-            replicas_shipped=self._stats_replicas_shipped,
+            requests=totals["requests"],
+            rejected=totals["rejected"],
+            dispatched=dispatched,
+            coalesced=totals["requests"] - dispatched,
+            batches=totals["batches"],
+            updates=totals["updates"],
+            restarts=totals["restarts"],
+            retries=totals["retries"],
+            deadline_hits=totals["deadline_hits"],
+            degraded=totals["degraded"],
+            steals=totals["steals"],
+            replicas_shipped=totals["replicas_shipped"],
             workers=workers,
         )
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One pool-wide telemetry snapshot (coordinator + every worker).
+
+        Merges the coordinator registry with each worker's registry
+        snapshot (shipped inside the worker's ``stats`` reply) via
+        :func:`repro.obs.metrics.merge_snapshots`; the result is a plain
+        JSON-able dictionary — the input of ``repro metrics`` and
+        ``repro top``.
+        """
+        service_stats = self.stats()
+        snapshots = [self.metrics.snapshot()]
+        for row in service_stats.workers:
+            worker_metrics = row.get("metrics")
+            if worker_metrics:
+                snapshots.append(worker_metrics)
+        return merge_snapshots(snapshots)
 
     # ------------------------------------------------------------------
     # message plumbing and supervision
@@ -1484,6 +1676,62 @@ class QueryService:
             deadline=deadline,
             instance_ids=instance_ids,
         )
+
+    def _dispatch_op(
+        self,
+        worker: int,
+        entries: List[Any],
+        root_context: Optional[Tuple[str, str]],
+        deadline: Optional[float] = None,
+        instance_ids: Tuple[str, ...] = (),
+    ) -> _PendingOp:
+        """Dispatch one solve op, opening its per-attempt dispatch span.
+
+        The solve payload is ``(entries, trace_context)``: the context is
+        the *dispatch span's* id pair, so the worker's spans parent under
+        the attempt that actually ran them — a retry opens a fresh span
+        (fresh ids) and re-targets the payload, which is what keeps chaos
+        traces free of orphaned or duplicated span ids.
+        """
+        context = None
+        span: Optional[Span] = None
+        if root_context is not None:
+            span = self._tracer.start_span("service.dispatch", parent=root_context)
+            span.attrs["worker"] = worker
+            span.attrs["requests"] = len(entries)
+            span.attrs["attempt"] = 1
+            context = (span.trace_id, span.span_id)
+        op = self._make_op(
+            worker,
+            "solve",
+            (entries, context),
+            deadline=deadline,
+            instance_ids=instance_ids,
+        )
+        op.trace_parent = root_context
+        if span is not None:
+            self._op_spans[op.op_id] = span
+        return op
+
+    def _close_op_span(self, op_id: int, status: str, reason: str = "") -> None:
+        """Close the current dispatch-attempt span of an op, if any."""
+        span = self._op_spans.pop(op_id, None)
+        if span is None:
+            return
+        if reason:
+            span.attrs["reason"] = reason
+        self._tracer.end(span, status)
+
+    def _reopen_op_span(self, op: _PendingOp) -> None:
+        """Open a fresh dispatch span for a retry and re-target its payload."""
+        if op.trace_parent is None:
+            return
+        span = self._tracer.start_span("service.dispatch", parent=op.trace_parent)
+        span.attrs["worker"] = op.worker
+        span.attrs["attempt"] = op.attempts
+        self._op_spans[op.op_id] = span
+        if op.op == "solve" and isinstance(op.payload, tuple):
+            op.payload = (op.payload[0], (span.trace_id, span.span_id))
 
     def _call(self, worker: int, op: str, payload: Any) -> Any:
         """Send one op and wait for its reply (inline mode short-circuits).
@@ -1543,11 +1791,19 @@ class QueryService:
                         self._ensure_replica(op.worker, instance_id)
                     op.retry_at = None
                     op.sent_at = now
+                    self._reopen_op_span(op)
                     self._queues[op.worker].put((op.op_id, op.op, op.payload))
             for message in self._drain(self.poll_interval):
-                if not (isinstance(message, tuple) and len(message) == 3):
+                if not (isinstance(message, tuple) and len(message) in (3, 4)):
                     continue  # pragma: no cover - unattributable corruption
-                worker, op_id, reply = message
+                if len(message) == 4:
+                    # Worker spans piggybacked on the reply frame: fold them
+                    # into the coordinator's ring before the reply settles.
+                    worker, op_id, reply, spans = message
+                    if isinstance(spans, list):
+                        self._tracer.ingest(spans)
+                else:
+                    worker, op_id, reply = message
                 if not isinstance(op_id, int):
                     continue  # pragma: no cover - unattributable corruption
                 if op_id in self._abandoned:
@@ -1569,6 +1825,7 @@ class QueryService:
                         outcomes,
                     )
                     continue
+                self._close_op_span(op_id, "ok")
                 outcomes[op_id] = ("reply", worker, reply, op.attempts)
                 del pending[op_id]
             now = time.monotonic()
@@ -1578,6 +1835,7 @@ class QueryService:
                         # Still in flight: the worker may answer later;
                         # remember to discard that late reply.
                         self._abandoned[op.op_id] = op.worker
+                    self._close_op_span(op.op_id, "timeout")
                     outcomes[op.op_id] = (
                         "timeout",
                         (now - op.created_at) * 1000.0,
@@ -1655,12 +1913,17 @@ class QueryService:
                 f"attempt {op.attempts} ({op.op} op {op.op_id}, "
                 f"worker {worker}): {reason}"
             )
+            # The attempt's in-flight work died with the worker: the
+            # coordinator closes the dispatch span itself (the worker's own
+            # spans were never sent), marking it ``"retried"`` — the
+            # follow-up attempt opens a fresh span at resend time.
+            self._close_op_span(op.op_id, "retried", reason=reason)
             if op.attempts > self.max_retries:
                 outcomes[op.op_id] = ("unavailable", list(op.history))
                 del pending[op.op_id]
             else:
                 op.attempts += 1
-                self._stats_retries += 1
+                self._counters["retries"].inc()
                 delay = min(
                     self.backoff_cap, self.backoff_base * 2 ** (op.attempts - 2)
                 )
@@ -1731,7 +1994,7 @@ class QueryService:
                 warm_id = self._send(worker, "warm", instance_id)
                 self._background[warm_id] = worker
             replayed += 1
-        self._stats_restarts += 1
+        self._counters["restarts"].inc()
         self.restart_log.append(
             {
                 "worker": worker,

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import re
 import time
 import warnings
 from collections import OrderedDict
@@ -34,6 +35,8 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 from repro.approx import ApproxParams
 from repro.core.solver import PHomResult, PHomSolver, requalify_result
 from repro.exceptions import ServiceError
+from repro.obs.metrics import MetricsRegistry, counter_total
+from repro.obs.trace import Tracer, current_tracer, set_tracer
 from repro.probability.prob_graph import ProbabilisticGraph
 from repro.service.faults import FaultInjector, FaultPlan
 from repro.service.requests import ServiceRequest
@@ -41,6 +44,28 @@ from repro.service.requests import ServiceRequest
 #: Exit code of a worker killed by an injected ``kill`` fault (distinct from
 #: normal termination and from the supervisor's ``terminate()``).
 FAULT_KILL_EXIT_CODE = 17
+
+#: The dichotomy routes of the latency histogram: which tier of the paper's
+#: complexity map answered a request (plus the batched-tape fast path).
+ROUTES = ("exact-dp", "ddnnf", "karp-luby", "tape-batch")
+
+#: Sample counts ride back inside ``ApproxEstimate.describe()`` notes
+#: ("karp-luby: 1234 samples, ε=0.05, ...") — parsed, not re-plumbed.
+_SAMPLES_RE = re.compile(r"(\d+) samples")
+
+
+def route_for_method(method: str) -> str:
+    """Map a solver method name onto its dichotomy route.
+
+    Sampling methods (the #P-hard tier) report as ``"karp-luby"``, d-DNNF
+    style compilation (the polytree automaton) as ``"ddnnf"``, and every
+    exact dynamic-programming / enumeration method as ``"exact-dp"``.
+    """
+    if method in PHomSolver.SAMPLING_METHODS:
+        return "karp-luby"
+    if method == "polytree-automaton":
+        return "ddnnf"
+    return "exact-dp"
 
 
 class WorkerState:
@@ -61,13 +86,32 @@ class WorkerState:
         self.fault_injector = fault_injector
         self.instances: Dict[str, ProbabilisticGraph] = {}
         self._result_cache: "OrderedDict[Hashable, PHomResult]" = OrderedDict()
-        self.counters: Dict[str, int] = {
-            "requests": 0,
-            "solved": 0,
-            "result_cache_hits": 0,
-            "updates": 0,
-            "batch_evals": 0,
+        # The telemetry registry is the single source for the serving
+        # counters: stats() derives its numbers from a snapshot, so the
+        # stats view and the metrics view cannot disagree.
+        self.metrics = MetricsRegistry()
+        self._counters = {
+            name: self.metrics.counter(
+                f"repro_worker_{name}_total",
+                help,
+            )
+            for name, help in (
+                ("requests", "Requests handled by this worker (per shard)."),
+                ("solved", "Requests answered by running the solver."),
+                ("result_cache_hits", "Requests answered from the result cache."),
+                ("updates", "Probability updates applied to this shard."),
+                ("batch_evals", "evaluate_many batches run on this shard."),
+            )
         }
+        self._latency = self.metrics.histogram(
+            "repro_request_duration_ms",
+            "Per-request wall time on this worker, by dichotomy route.",
+            labelnames=("route",),
+        )
+        self._sampler_samples = self.metrics.counter(
+            "repro_sampler_samples_total",
+            "Karp-Luby samples drawn by this worker's samplers.",
+        )
         if self.solver.plan_cache is not None:
             # Eviction hook: evicted structure is re-compilable, but knowing
             # how often it happens tells the operator the cache is undersized.
@@ -103,7 +147,7 @@ class WorkerState:
         """Apply one probability update and drop the instance's cached results."""
         instance = self._instance(instance_id)
         instance.set_probability(endpoints, probability)
-        self.counters["updates"] += 1
+        self._counters["updates"].inc()
         self._invalidate_results(instance_id)
 
     def warm(self, instance_id: str) -> int:
@@ -141,25 +185,36 @@ class WorkerState:
         instance = self._instance(instance_id)
         if precision is None:
             precision = self.default_precision
-        self.counters["batch_evals"] += 1
+        self._counters["batch_evals"].inc()
+        start = time.perf_counter()
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            return self.solver.evaluate_many(
+            values = self.solver.evaluate_many(
                 query, instance, batches, precision=precision, backend=backend
             )
+        self._latency.labels("tape-batch").observe(
+            (time.perf_counter() - start) * 1000.0
+        )
+        return values
 
     def solve_batch(
         self, requests: List[ServiceRequest]
     ) -> List[Tuple[str, Any]]:
         """Answer a batch of (already coalesced) requests.
 
-        Returns one outcome per request, in order: ``("ok", result, cached)``
-        or ``("error", message)`` — a failing request never poisons the rest
-        of the batch.
+        Returns one outcome per request, in order:
+        ``("ok", result, cached, duration_ms, timing)`` or
+        ``("error", message)`` — a failing request never poisons the rest
+        of the batch.  ``duration_ms`` is always measured; ``timing`` is
+        the per-phase span breakdown (``None`` unless the request ran
+        under an active trace).
         """
         outcomes: List[Tuple[str, Any]] = []
+        tracer = current_tracer()
         for request in requests:
-            self.counters["requests"] += 1
+            self._counters["requests"].inc()
+            start = time.perf_counter()
+            mark = tracer.mark()
             try:
                 if self.fault_injector is not None and (
                     self.fault_injector.take_solver_error()
@@ -167,21 +222,54 @@ class WorkerState:
                     raise ServiceError(
                         "injected solver fault (FaultPlan 'solver-error')"
                     )
-                result, cached = self._solve_one(request)
-                outcomes.append(("ok", result, cached))
+                with tracer.span("worker.solve") as span:
+                    result, cached = self._solve_one(request)
+                    if span:
+                        span.attrs = {
+                            "worker": self.worker_index,
+                            "instance": request.instance_id,
+                            "method": result.method,
+                            "cached": cached,
+                        }
+                duration_ms = (time.perf_counter() - start) * 1000.0
+                self._observe(result, cached, duration_ms)
+                if span and cached:
+                    # A cache hit runs no sub-phases: its whole breakdown is
+                    # the solve span itself, no ring scan needed.
+                    timing: Optional[Dict[str, float]] = {
+                        "worker.solve": span.duration_ms
+                    }
+                else:
+                    timing = tracer.phase_totals(mark) or None
+                outcomes.append(("ok", result, cached, duration_ms, timing))
             except Exception as exc:  # noqa: BLE001 - a bad request (wrong
                 # types included) must fail *that request*, never the batch
                 # or the worker process.
                 outcomes.append(("error", f"{type(exc).__name__}: {exc}"))
         return outcomes
 
+    def _observe(self, result: PHomResult, cached: bool, duration_ms: float) -> None:
+        """Fold one answered request into the route histogram and counters."""
+        self._latency.labels(route_for_method(result.method)).observe(duration_ms)
+        if not cached and result.method in PHomSolver.SAMPLING_METHODS:
+            match = _SAMPLES_RE.search(result.notes or "")
+            if match:
+                self._sampler_samples.inc(int(match.group(1)))
+
     def stats(self) -> Dict[str, Any]:
-        """Serving counters plus the per-worker plan-cache statistics."""
+        """Serving counters plus the per-worker plan-cache statistics.
+
+        The counter values are read back from the telemetry registry's
+        snapshot (which also rides along under the ``"metrics"`` key), so
+        the stats view and the metrics view are two renderings of the same
+        numbers and cannot drift apart.
+        """
         plan_stats = (
             dict(self.solver.plan_cache.stats)
             if self.solver.plan_cache is not None
             else None
         )
+        snapshot = self.metrics.snapshot()
         return {
             "worker": self.worker_index,
             "instances": sorted(self.instances),
@@ -189,7 +277,11 @@ class WorkerState:
             "plan_evictions_by_instance": dict(self._plans_evicted_by_instance),
             "result_cache_size": len(self._result_cache),
             "result_cache_capacity": self.result_cache_size,
-            **self.counters,
+            "metrics": snapshot,
+            **{
+                name: int(counter_total(snapshot, f"repro_worker_{name}_total"))
+                for name in self._counters
+            },
         }
 
     # ------------------------------------------------------------------
@@ -214,7 +306,7 @@ class WorkerState:
             hit = self._result_cache.get(key)
             if hit is not None:
                 self._result_cache.move_to_end(key)
-                self.counters["result_cache_hits"] += 1
+                self._counters["result_cache_hits"].inc()
                 # Hand out a copy so callers mutating a result cannot poison
                 # the cache (PHomResult is a mutable dataclass), re-described
                 # for this request's spelling (the cache key is the query
@@ -232,7 +324,7 @@ class WorkerState:
                     True,
                 )
         result = self._dispatch(request, instance)
-        self.counters["solved"] += 1
+        self._counters["solved"].inc()
         if key is not None:
             self._result_cache[key] = replace(result)
             while len(self._result_cache) > self.result_cache_size:
@@ -289,16 +381,29 @@ def handle_message(state: WorkerState, op: str, payload: Any) -> Tuple[str, Any]
     """Dispatch one protocol message against a worker state."""
     try:
         if op == "solve":
-            # Batch entries are ServiceRequest objects or pickled frames
-            # (the coordinator's frame cache ships hot requests as bytes so
-            # their query graphs are serialized once, not per dispatch).
+            # Payload is the entry list, optionally paired with a remote
+            # trace context ``(entries, (trace_id, span_id) | None)`` — the
+            # context rides the payload (never the cached frames, which are
+            # shared across requests).  Entries are ServiceRequest objects
+            # or pickled frames (the coordinator's frame cache ships hot
+            # requests as bytes so their query graphs are serialized once,
+            # not per dispatch).
+            if isinstance(payload, tuple):
+                entries, trace_context = payload
+            else:
+                entries, trace_context = payload, None
             requests = [
                 pickle.loads(entry)
                 if isinstance(entry, (bytes, bytearray))
                 else entry
-                for entry in payload
+                for entry in entries
             ]
-            return ("ok", state.solve_batch(requests))
+            tracer = current_tracer()
+            token = tracer.adopt(trace_context)
+            try:
+                return ("ok", state.solve_batch(requests))
+            finally:
+                tracer.release(token)
         if op == "register":
             instance_id, instance, *updates = payload
             return ("ok", state.register(instance_id, instance, *updates))
@@ -331,6 +436,7 @@ def worker_loop(
     result_cache_size: int,
     fault_plan: Optional[FaultPlan] = None,
     incarnation: int = 0,
+    trace_enabled: bool = False,
 ) -> None:
     """Entry point of a worker process: serve messages until ``None`` arrives.
 
@@ -346,12 +452,22 @@ def worker_loop(
     ``incarnation`` counts respawns of this worker index, so a non-``repeat``
     fault fires only on the first life while ``repeat`` faults re-arm on
     every respawn.
+
+    ``trace_enabled`` installs an adoption-only :class:`~repro.obs.trace.Tracer`
+    (``sample_rate=0.0`` — the worker records exactly the work whose request
+    frame carried a trace context); finished spans piggyback on the reply
+    frame as a fourth element, so tracing adds no extra pipe traffic.
     """
     injector = (
         fault_plan.for_worker(worker_index, incarnation)
         if fault_plan is not None
         else None
     )
+    # Install this process's tracer unconditionally: under a ``fork`` start
+    # method the child would otherwise inherit the coordinator's tracer —
+    # sink handle, sampling RNG and all.
+    tracer = Tracer(sample_rate=0.0) if trace_enabled else None
+    set_tracer(tracer)
     state = WorkerState(
         worker_index,
         solver,
@@ -392,6 +508,14 @@ def worker_loop(
             frame = (worker_index, op_id, injector.corrupt_bytes())
         else:
             frame = (worker_index, op_id, reply)
+            if tracer is not None:
+                spans = tracer.drain()
+                if spans:
+                    # Piggyback the finished spans on the reply frame; a
+                    # worker that dies before sending loses them with the
+                    # reply itself, which is exactly the retried case the
+                    # coordinator closes on its side.
+                    frame = (worker_index, op_id, reply, spans)
         try:
             reply_pipe.send(frame)
         except (BrokenPipeError, OSError):  # pragma: no cover - the

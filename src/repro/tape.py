@@ -74,6 +74,7 @@ from repro.numeric import (
     numpy_module,
     resolve_context,
 )
+from repro.obs.trace import current_tracer
 
 #: Opcodes of the tape instruction set.  ``COMPL`` is the semiring
 #: complement ``dst = 1 - lhs`` (``rhs`` unused); the rest are binary.
@@ -521,6 +522,20 @@ class PlanTape:
         batch = len(overrides)
         if batch == 0:
             return []
+        with current_tracer().span("tape.run") as span:
+            if span:
+                span.attrs["backend"] = _name
+                span.attrs["batch"] = batch
+            return self._evaluate_overrides(np, context, base, overrides, batch)
+
+    def _evaluate_overrides(
+        self,
+        np,
+        context: NumericContext,
+        base: Mapping[Edge, Number],
+        overrides: Sequence[Optional[Mapping[Edge, Number]]],
+        batch: int,
+    ) -> List[Number]:
         edge_slots = self._edge_slots()
         convert = context.convert
         if np is not None:
